@@ -1,0 +1,89 @@
+"""Figure 10: DALI, PyTorch, and Smol across vCPU counts for (a) CPU
+preprocessing, (b) optimized preprocessing, and (c) end-to-end inference.
+
+Paper shape: Smol outperforms both baselines in all settings except optimized
+preprocessing at very low vCPU counts, where DALI's fixed CPU/GPU split gives
+it an edge.
+"""
+
+from benchlib import emit
+
+from repro.baselines.dali import DaliLikeLoader
+from repro.baselines.pytorch_loader import PyTorchLikeLoader
+from repro.codecs.formats import FULL_JPEG
+from repro.inference.perfmodel import EngineConfig
+from repro.nn.zoo import resnet_profile
+from repro.utils.tables import Table
+
+VCPU_COUNTS = (4, 8, 16, 32, 64)
+
+
+def build_table(perf_model) -> tuple[Table, dict]:
+    model = resnet_profile(50)
+    dali = DaliLikeLoader(perf_model)
+    pytorch = PyTorchLikeLoader(perf_model)
+    table = Table("Figure 10: Smol vs DALI vs PyTorch (im/s)",
+                  ["Panel", "vCPUs", "Smol", "DALI", "PyTorch"])
+    series: dict[str, dict[str, list[float]]] = {
+        "cpu-preproc": {"smol": [], "dali": [], "pytorch": []},
+        "opt-preproc": {"smol": [], "dali": [], "pytorch": []},
+        "end-to-end": {"smol": [], "dali": [], "pytorch": []},
+    }
+    for vcpus in VCPU_COUNTS:
+        plain_config = EngineConfig(num_producers=vcpus, optimize_dag=False)
+        full_config = EngineConfig(num_producers=vcpus)
+        smol_cpu = perf_model.preprocessing_model.throughput(FULL_JPEG,
+                                                             plain_config)
+        smol_opt = perf_model.preprocessing_model.throughput(
+            FULL_JPEG, full_config, cpu_op_fraction=0.25
+        )
+        smol_e2e = perf_model.estimate(model, FULL_JPEG, full_config,
+                                       offloaded_fraction=0.5).pipelined_upper_bound
+        rows = {
+            "cpu-preproc": (smol_cpu,
+                            dali.cpu_preprocessing_throughput(FULL_JPEG, vcpus),
+                            pytorch.cpu_preprocessing_throughput(FULL_JPEG, vcpus)),
+            "opt-preproc": (smol_opt,
+                            dali.optimized_preprocessing_throughput(FULL_JPEG,
+                                                                    vcpus),
+                            pytorch.optimized_preprocessing_throughput(FULL_JPEG,
+                                                                       vcpus)),
+            "end-to-end": (smol_e2e,
+                           dali.end_to_end_throughput(model, FULL_JPEG, vcpus),
+                           pytorch.end_to_end_throughput(model, FULL_JPEG, vcpus)),
+        }
+        for panel, (smol_value, dali_value, pytorch_value) in rows.items():
+            series[panel]["smol"].append(smol_value)
+            series[panel]["dali"].append(dali_value)
+            series[panel]["pytorch"].append(pytorch_value)
+            table.add_row(panel, vcpus, round(smol_value), round(dali_value),
+                          round(pytorch_value))
+    return table, series
+
+
+def test_fig10_loader_comparison(benchmark, perf_model):
+    table, series = benchmark.pedantic(build_table, args=(perf_model,),
+                                       rounds=1, iterations=1)
+    emit(table)
+    # CPU preprocessing: Smol wins at every core count.
+    for index in range(len(VCPU_COUNTS)):
+        assert series["cpu-preproc"]["smol"][index] > (
+            series["cpu-preproc"]["dali"][index]
+        )
+        assert series["cpu-preproc"]["smol"][index] > (
+            series["cpu-preproc"]["pytorch"][index]
+        )
+    # End-to-end: Smol wins everywhere; DALI beats PyTorch.
+    for index in range(len(VCPU_COUNTS)):
+        assert series["end-to-end"]["smol"][index] > (
+            series["end-to-end"]["dali"][index]
+        )
+        assert series["end-to-end"]["dali"][index] > (
+            series["end-to-end"]["pytorch"][index]
+        )
+    # Optimized preprocessing: Smol wins from 8 vCPUs upward.
+    for index, vcpus in enumerate(VCPU_COUNTS):
+        if vcpus >= 8:
+            assert series["opt-preproc"]["smol"][index] > (
+                series["opt-preproc"]["dali"][index] * 0.95
+            )

@@ -1,0 +1,45 @@
+"""Figure 1: per-image breakdown of end-to-end inference for ResNet-50/18.
+
+Paper values (per image, batch 64, g4dn.xlarge): ResNet-50 execution 222 us,
+ResNet-18 execution 79 us; preprocessing decode 1668 us, resize 201 us,
+normalize 125 us.  DNN execution is 7.1x (RN-50) and 22.9x (RN-18) faster
+than preprocessing in aggregate throughput.
+"""
+
+from benchlib import emit
+
+from repro.measurement.study import MeasurementStudy
+from repro.utils.tables import Table
+
+
+def build_breakdown() -> tuple[Table, dict]:
+    study = MeasurementStudy("g4dn.xlarge")
+    table = Table("Figure 1: end-to-end inference breakdown (per image, us)",
+                  ["Model", "DNN exec (us)", "Decode", "Resize", "Normalize",
+                   "Split", "Preproc/exec ratio"])
+    ratios = {}
+    for model_name in ("resnet-50", "resnet-18"):
+        breakdown = study.inference_breakdown(model_name)
+        ratio = study.preprocessing_vs_execution(model_name)["ratio"]
+        ratios[model_name] = ratio
+        stages = breakdown.preprocessing_us
+        table.add_row(
+            model_name,
+            round(breakdown.dnn_execution_us, 1),
+            round(stages["decode"], 1),
+            round(stages["resize"], 1),
+            round(stages["normalize"], 1),
+            round(stages["split"], 1),
+            round(ratio, 1),
+        )
+    return table, ratios
+
+
+def test_fig1_breakdown(benchmark):
+    table, ratios = benchmark(build_breakdown)
+    emit(table)
+    assert ratios["resnet-50"] > 4.0
+    assert ratios["resnet-18"] > ratios["resnet-50"]
+    decode = [row for row in table.rows if row[0] == "resnet-50"][0][2]
+    resize = [row for row in table.rows if row[0] == "resnet-50"][0][3]
+    assert decode > resize

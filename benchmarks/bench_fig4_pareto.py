@@ -1,0 +1,63 @@
+"""Figure 4: accuracy/throughput Pareto frontiers of the naive baseline,
+Tahoma, and Smol on the four image datasets.
+
+Paper shape: Smol improves throughput by up to ~5.9x at no accuracy loss and
+improves the Pareto frontier on every dataset; Tahoma underperforms on
+preprocessing-bound workloads.
+"""
+
+from benchlib import emit
+
+from repro import Smol
+from repro.baselines.naive import NaiveResNetBaseline
+from repro.baselines.tahoma import TahomaBaseline
+from repro.utils.tables import Table
+
+DATASETS = ("imagenet", "birds-200", "animals-10", "bike-bird")
+
+
+def build_frontiers(perf_model) -> tuple[Table, dict]:
+    table = Table("Figure 4: Pareto frontiers (throughput im/s, accuracy)",
+                  ["Dataset", "System", "Plan", "Throughput", "Accuracy"])
+    summary: dict[str, dict[str, float]] = {}
+    for dataset_name in DATASETS:
+        smol = Smol(dataset_name=dataset_name)
+        smol_frontier = smol.pareto_frontier()
+        naive = NaiveResNetBaseline(perf_model, dataset_name=dataset_name).evaluate()
+        tahoma = TahomaBaseline(perf_model, dataset_name=dataset_name,
+                                num_specialized=4).pareto_frontier()
+        for estimate in smol_frontier:
+            table.add_row(dataset_name, "smol", estimate.plan.describe(),
+                          round(estimate.throughput), round(estimate.accuracy, 4))
+        for estimate in naive:
+            table.add_row(dataset_name, "naive", estimate.plan.describe(),
+                          round(estimate.throughput), round(estimate.accuracy, 4))
+        for evaluation in tahoma:
+            table.add_row(dataset_name, "tahoma",
+                          f"{evaluation.proxy_name}->{evaluation.target_name}",
+                          round(evaluation.throughput),
+                          round(evaluation.accuracy, 4))
+        naive_rn18 = min(naive, key=lambda e: e.accuracy)
+        best_smol = max(
+            (e for e in smol_frontier if e.accuracy >= naive_rn18.accuracy),
+            key=lambda e: e.throughput,
+        )
+        summary[dataset_name] = {
+            "speedup_vs_naive": best_smol.throughput / naive_rn18.throughput,
+            "tahoma_best": max(e.throughput for e in tahoma),
+            "smol_best": max(e.throughput for e in smol_frontier),
+        }
+    return table, summary
+
+
+def test_fig4_pareto_frontiers(benchmark, perf_model):
+    table, summary = benchmark.pedantic(build_frontiers, args=(perf_model,),
+                                        rounds=1, iterations=1)
+    emit(table)
+    for dataset_name, stats in summary.items():
+        # Smol improves throughput at no accuracy loss on every dataset.
+        assert stats["speedup_vs_naive"] > 1.5, dataset_name
+        # And its best plan is at least as fast as Tahoma's best cascade.
+        assert stats["smol_best"] >= stats["tahoma_best"] * 0.99, dataset_name
+    # The headline speedup lands in the paper's regime (up to ~5.9x).
+    assert max(s["speedup_vs_naive"] for s in summary.values()) > 3.0

@@ -1,0 +1,49 @@
+"""Figure 5: lesion study -- individually removing the preprocessing
+optimizations and the low-resolution data from Smol.
+
+Paper shape: removing either optimization shifts the Pareto frontier down on
+every dataset.
+"""
+
+from benchlib import emit
+
+from repro import Smol
+from repro.core.planner import PlannerFeatures
+from repro.utils.tables import Table
+
+DATASETS = ("imagenet", "birds-200", "animals-10", "bike-bird")
+ACCURACY_FLOORS = {"imagenet": 0.72, "birds-200": 0.73, "animals-10": 0.965,
+                   "bike-bird": 0.99}
+
+
+def _best_throughput(dataset: str, features: PlannerFeatures | None) -> float:
+    smol = Smol(dataset_name=dataset, features=features)
+    return smol.best_plan(accuracy_floor=ACCURACY_FLOORS[dataset]).throughput
+
+
+def build_table() -> tuple[Table, dict]:
+    table = Table("Figure 5: lesion study (best throughput at fixed accuracy)",
+                  ["Dataset", "Smol", "- low res", "- preproc opt"])
+    results = {}
+    for dataset in DATASETS:
+        full = _best_throughput(dataset, None)
+        no_lowres = _best_throughput(
+            dataset, PlannerFeatures().without("low-resolution")
+        )
+        no_preproc = _best_throughput(
+            dataset, PlannerFeatures().without("preproc-opt").without("roi")
+        )
+        results[dataset] = {"full": full, "no_lowres": no_lowres,
+                            "no_preproc": no_preproc}
+        table.add_row(dataset, round(full), round(no_lowres), round(no_preproc))
+    return table, results
+
+
+def test_fig5_lesion_study(benchmark):
+    table, results = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit(table)
+    for dataset, row in results.items():
+        assert row["full"] >= row["no_lowres"], dataset
+        assert row["full"] >= row["no_preproc"], dataset
+    # Removing low-resolution data hurts badly on at least one dataset.
+    assert any(row["full"] > row["no_lowres"] * 1.3 for row in results.values())

@@ -1,0 +1,54 @@
+"""Figure 6: factor analysis -- successively adding the preprocessing
+optimizations and then the low-resolution data.
+
+Paper shape: each added optimization improves the Pareto frontier; the easy
+binary task (bike-bird) already reaches high throughput with the
+preprocessing optimizations alone.
+"""
+
+from benchlib import emit
+
+from repro import Smol
+from repro.core.planner import PlannerFeatures
+from repro.utils.tables import Table
+
+DATASETS = ("imagenet", "birds-200", "animals-10", "bike-bird")
+ACCURACY_FLOORS = {"imagenet": 0.70, "birds-200": 0.72, "animals-10": 0.96,
+                   "bike-bird": 0.985}
+
+BASIC = PlannerFeatures.all_disabled()
+WITH_PREPROC = PlannerFeatures(
+    use_low_resolution=False, use_lowres_training=False, use_roi_decoding=True,
+    use_preprocessing_optimizations=True, use_expanded_search_space=True,
+)
+FULL = PlannerFeatures()
+
+
+def _best(dataset: str, features: PlannerFeatures) -> float:
+    smol = Smol(dataset_name=dataset, features=features)
+    return smol.best_plan(accuracy_floor=ACCURACY_FLOORS[dataset]).throughput
+
+
+def build_table() -> tuple[Table, dict]:
+    table = Table("Figure 6: factor analysis (best throughput at fixed accuracy)",
+                  ["Dataset", "Basic", "+ preproc", "+ lowres & preproc"])
+    results = {}
+    for dataset in DATASETS:
+        basic = _best(dataset, BASIC)
+        preproc = _best(dataset, WITH_PREPROC)
+        full = _best(dataset, FULL)
+        results[dataset] = (basic, preproc, full)
+        table.add_row(dataset, round(basic), round(preproc), round(full))
+    return table, results
+
+
+def test_fig6_factor_analysis(benchmark):
+    table, results = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit(table)
+    for dataset, (basic, preproc, full) in results.items():
+        assert basic <= preproc + 1e-6, dataset
+        assert preproc <= full + 1e-6, dataset
+    # Both factors contribute on the harder datasets.
+    basic, preproc, full = results["imagenet"]
+    assert preproc > basic
+    assert full > preproc

@@ -1,0 +1,49 @@
+"""Figure 7: lesion study of Smol's systems optimizations (threading, memory
+reuse, pinned memory, DAG optimization) for full- and low-resolution inputs.
+
+Paper shape: every optimization contributes; threading is the largest factor,
+and the DAG optimization matters more for low-resolution inputs.
+"""
+
+from benchlib import emit
+
+from repro.codecs.formats import FULL_JPEG, THUMB_PNG_161
+from repro.inference.engine import SmolRuntimeEngine
+from repro.inference.perfmodel import EngineConfig
+from repro.nn.zoo import get_model_profile
+from repro.utils.tables import Table
+
+LESIONS = ("all", "threading", "mem-reuse", "pinned", "dag")
+
+
+def build_table(perf_model) -> tuple[Table, dict]:
+    model = get_model_profile("resnet-50")
+    table = Table("Figure 7: systems-optimization lesion study (im/s)",
+                  ["Condition", "Full resolution", "Low resolution (161 PNG)"])
+    results: dict[str, dict[str, float]] = {}
+    for lesion in LESIONS:
+        config = EngineConfig(num_producers=4)
+        if lesion != "all":
+            config = config.without(lesion)
+        engine = SmolRuntimeEngine(config, perf_model)
+        full = engine.run_simulated(model, FULL_JPEG, num_images=1024).throughput
+        low = engine.run_simulated(model, THUMB_PNG_161, num_images=1024).throughput
+        label = "All" if lesion == "all" else f"- {lesion}"
+        results[lesion] = {"full": full, "low": low}
+        table.add_row(label, round(full), round(low))
+    return table, results
+
+
+def test_fig7_systems_lesion(benchmark, perf_model):
+    table, results = benchmark.pedantic(build_table, args=(perf_model,),
+                                        rounds=1, iterations=1)
+    emit(table)
+    for lesion in ("threading", "mem-reuse", "dag"):
+        assert results[lesion]["full"] <= results["all"]["full"] + 1e-6
+        assert results[lesion]["low"] <= results["all"]["low"] + 1e-6
+    # Threading is the single largest contributor.
+    assert results["threading"]["full"] < results["mem-reuse"]["full"]
+    # The DAG optimization matters relatively more at low resolution.
+    dag_penalty_full = results["all"]["full"] / results["dag"]["full"]
+    dag_penalty_low = results["all"]["low"] / results["dag"]["low"]
+    assert dag_penalty_low >= dag_penalty_full

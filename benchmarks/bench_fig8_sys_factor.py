@@ -1,0 +1,54 @@
+"""Figure 8: factor analysis of Smol's systems optimizations, added in
+sequence (threading, memory reuse, pinned memory, DAG optimization).
+
+Paper shape: throughput increases monotonically as optimizations are added,
+for both full-resolution and low-resolution inputs.
+"""
+
+from benchlib import emit
+
+from repro.codecs.formats import FULL_JPEG, THUMB_PNG_161
+from repro.inference.engine import SmolRuntimeEngine
+from repro.inference.perfmodel import EngineConfig
+from repro.nn.zoo import get_model_profile
+from repro.utils.tables import Table
+
+STAGES = (
+    ("None", dict(use_threading=False, reuse_buffers=False, pinned_memory=False,
+                  optimize_dag=False)),
+    ("+ threading", dict(use_threading=True, reuse_buffers=False,
+                         pinned_memory=False, optimize_dag=False)),
+    ("+ mem reuse", dict(use_threading=True, reuse_buffers=True,
+                         pinned_memory=False, optimize_dag=False)),
+    ("+ pinned", dict(use_threading=True, reuse_buffers=True,
+                      pinned_memory=True, optimize_dag=False)),
+    ("+ DAG", dict(use_threading=True, reuse_buffers=True, pinned_memory=True,
+                   optimize_dag=True)),
+)
+
+
+def build_table(perf_model) -> tuple[Table, dict]:
+    model = get_model_profile("resnet-50")
+    table = Table("Figure 8: systems-optimization factor analysis (im/s)",
+                  ["Condition", "Full resolution", "Low resolution (161 PNG)"])
+    results: dict[str, dict[str, float]] = {}
+    for label, flags in STAGES:
+        config = EngineConfig(num_producers=4, **flags)
+        engine = SmolRuntimeEngine(config, perf_model)
+        full = engine.run_simulated(model, FULL_JPEG, num_images=1024).throughput
+        low = engine.run_simulated(model, THUMB_PNG_161, num_images=1024).throughput
+        results[label] = {"full": full, "low": low}
+        table.add_row(label, round(full), round(low))
+    return table, results
+
+
+def test_fig8_systems_factor_analysis(benchmark, perf_model):
+    table, results = benchmark.pedantic(build_table, args=(perf_model,),
+                                        rounds=1, iterations=1)
+    emit(table)
+    labels = [label for label, _ in STAGES]
+    for column in ("full", "low"):
+        series = [results[label][column] for label in labels]
+        assert all(later >= earlier * 0.98
+                   for earlier, later in zip(series, series[1:])), column
+        assert series[-1] > series[0] * 2.0

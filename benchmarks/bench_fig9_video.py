@@ -1,0 +1,48 @@
+"""Figure 9: query execution time vs requested error for BlazeIt and Smol on
+the four video datasets.
+
+Paper shape: Smol consistently outperforms BlazeIt, through more accurate
+specialized NNs (lower sampling variance) and low-resolution video (cheaper
+preprocessing); speedups reach roughly 2.5x at a fixed error level.
+"""
+
+from benchlib import emit
+
+from repro.baselines.blazeit import BlazeItBaseline, SmolVideoRunner
+from repro.datasets.video import load_video_dataset
+from repro.utils.tables import Table
+
+DATASETS = ("taipei", "night-street", "amsterdam", "rialto")
+ERROR_BOUNDS = (0.01, 0.03, 0.05)
+
+
+def build_table(perf_model) -> tuple[Table, dict]:
+    table = Table("Figure 9: query time (s) vs error bound",
+                  ["Dataset", "Error", "BlazeIt (s)", "Smol (s)", "Speedup"])
+    speedups: dict[str, list[float]] = {}
+    blazeit = BlazeItBaseline(perf_model)
+    smol = SmolVideoRunner(perf_model)
+    for dataset_name in DATASETS:
+        dataset = load_video_dataset(dataset_name)
+        speedups[dataset_name] = []
+        for error in ERROR_BOUNDS:
+            blazeit_result = blazeit.run(dataset, error, seed=17)
+            smol_result = smol.run(dataset, error, seed=17)
+            speedup = blazeit_result.total_seconds / smol_result.total_seconds
+            speedups[dataset_name].append(speedup)
+            table.add_row(dataset_name, error,
+                          round(blazeit_result.total_seconds, 1),
+                          round(smol_result.total_seconds, 1),
+                          round(speedup, 2))
+    return table, speedups
+
+
+def test_fig9_video_query_times(benchmark, perf_model):
+    table, speedups = benchmark.pedantic(build_table, args=(perf_model,),
+                                         rounds=1, iterations=1)
+    emit(table)
+    for dataset_name, values in speedups.items():
+        # Smol outperforms BlazeIt in every setting (Section 8.4).
+        assert all(value > 1.0 for value in values), dataset_name
+    best = max(max(values) for values in speedups.values())
+    assert 1.5 < best < 20.0

@@ -1,0 +1,29 @@
+"""Section 2: MobileNet-SSD execution vs preprocessing throughput.
+
+Paper values: the MLPerf MobileNet-SSD executes at 7,431 im/s on the T4 while
+MS-COCO preprocessing reaches only 397 im/s on the paired CPU cores.
+"""
+
+from benchlib import emit
+
+from repro.measurement.study import MeasurementStudy
+from repro.utils.tables import Table
+
+
+def build_table() -> tuple[Table, dict]:
+    gap = MeasurementStudy("g4dn.xlarge").mobilenet_ssd_gap()
+    table = Table("Section 2: MobileNet-SSD execution vs preprocessing",
+                  ["Quantity", "Throughput (im/s)"])
+    table.add_row("DNN execution (T4)", round(gap["dnn_throughput"]))
+    table.add_row("Preprocessing (4 vCPUs)",
+                  round(gap["preprocessing_throughput"]))
+    table.add_row("Ratio", round(gap["ratio"], 1))
+    return table, gap
+
+
+def test_sec2_mobilenet_ssd_gap(benchmark):
+    table, gap = benchmark(build_table)
+    emit(table)
+    assert gap["dnn_throughput"] > 7_000
+    assert gap["preprocessing_throughput"] < 1_000
+    assert gap["ratio"] > 15.0

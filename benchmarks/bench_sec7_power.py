@@ -1,0 +1,49 @@
+"""Section 7: power and dollar cost of preprocessing vs DNN execution, plus
+the per-vCPU price regression.
+
+Paper values: the T4 costs ~$0.218/hour and a vCPU ~$0.0639/hour (R^2 0.999),
+so ~3.4 vCPUs equal one T4; keeping up with ResNet-50 takes ~2.2-2.3x the
+power and ~11x the dollars on the CPU side, and the gap widens for ResNet-18.
+"""
+
+from benchlib import emit
+
+from repro.hardware.instance import estimate_core_price
+from repro.measurement.costs import CostAnalysis
+from repro.utils.tables import Table
+
+
+def build_table() -> tuple[Table, dict]:
+    analysis = CostAnalysis("g4dn.xlarge")
+    slope, intercept = estimate_core_price()
+    table = Table("Section 7: preprocessing vs DNN execution cost and power",
+                  ["Model", "DNN $/h", "Preproc $/h", "Cost ratio",
+                   "DNN W", "Preproc W", "Power ratio", "vCPUs needed"])
+    results = {}
+    for model_name in ("resnet-50", "resnet-18"):
+        breakdown = analysis.preprocessing_vs_execution(model_name)
+        results[model_name] = breakdown
+        table.add_row(model_name,
+                      round(breakdown.dnn_usd_per_hour, 3),
+                      round(breakdown.preproc_usd_per_hour, 2),
+                      round(breakdown.cost_ratio, 1),
+                      round(breakdown.dnn_watts),
+                      round(breakdown.preproc_watts),
+                      round(breakdown.power_ratio, 2),
+                      round(breakdown.preproc_vcpus_needed, 1))
+    results["regression"] = (slope, intercept)
+    return table, results
+
+
+def test_sec7_power_and_cost(benchmark):
+    table, results = benchmark(build_table)
+    emit(table)
+    slope, intercept = results["regression"]
+    assert abs(slope - 0.0639) < 0.01
+    assert 2.0 < intercept / slope < 5.0
+    rn50 = results["resnet-50"]
+    rn18 = results["resnet-18"]
+    assert rn50.cost_ratio > 2.0
+    assert rn50.power_ratio > 1.5
+    assert rn18.cost_ratio > rn50.cost_ratio
+    assert rn18.power_ratio > rn50.power_ratio

@@ -1,0 +1,27 @@
+"""Table 1: ResNet-50 throughput on the T4 under three execution backends.
+
+Paper values: Keras 243 im/s, PyTorch 424 im/s, TensorRT 4,513 im/s.
+"""
+
+from benchlib import emit
+
+from repro.measurement.study import MeasurementStudy
+from repro.utils.tables import Table
+
+
+def build_table() -> Table:
+    study = MeasurementStudy("g4dn.xlarge")
+    table = Table("Table 1: ResNet-50 on T4 by execution environment",
+                  ["Execution environment", "Batch size", "Throughput (im/s)"])
+    for row in study.backend_comparison("resnet-50"):
+        table.add_row(row.backend_name, row.batch_size, round(row.throughput))
+    return table
+
+
+def test_table1_backend_throughputs(benchmark):
+    table = benchmark(build_table)
+    emit(table)
+    throughputs = dict(zip(table.column("Execution environment"),
+                           table.column("Throughput (im/s)")))
+    assert throughputs["keras"] < throughputs["pytorch"] < throughputs["tensorrt"]
+    assert throughputs["tensorrt"] / throughputs["keras"] > 10

@@ -1,0 +1,27 @@
+"""Table 2: throughput and top-1 accuracy across ResNet depths.
+
+Paper values: RN-18 12,592 im/s / 68.2%; RN-34 6,860 / 71.9%;
+RN-50 4,513 / 74.34%.
+"""
+
+from benchlib import emit
+
+from repro.measurement.study import MeasurementStudy
+from repro.utils.tables import Table
+
+
+def build_table() -> Table:
+    table = Table("Table 2: ResNet depth vs throughput and ImageNet top-1",
+                  ["ResNet", "Throughput (im/s)", "Accuracy"])
+    for row in MeasurementStudy("g4dn.xlarge").resnet_depth_tradeoff():
+        table.add_row(row["model"], round(row["throughput"]),
+                      f"{row['top1_accuracy'] * 100:.2f}%")
+    return table
+
+
+def test_table2_resnet_tradeoff(benchmark):
+    table = benchmark(build_table)
+    emit(table)
+    throughputs = table.column("Throughput (im/s)")
+    assert throughputs == sorted(throughputs, reverse=True)
+    assert throughputs[0] > 10_000 and throughputs[-1] < 5_000

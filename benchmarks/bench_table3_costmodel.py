@@ -1,0 +1,67 @@
+"""Table 3: cost-model accuracy under balanced, preprocessing-bound, and
+DNN-bound configurations.
+
+The paper measures three configurations and compares estimation error of the
+Smol (min), BlazeIt (execution-only), and Tahoma (serial-sum) cost models.
+The Smol model matches or ties the most accurate estimate in every regime.
+"""
+
+from benchlib import emit
+
+from repro.codecs.formats import FULL_JPEG, THUMB_JPEG_161_Q75, THUMB_PNG_161
+from repro.core.costmodel import all_cost_models
+from repro.core.plans import Plan
+from repro.inference.perfmodel import EngineConfig
+from repro.inference.pipeline_sim import PipelineSimulator
+from repro.nn.zoo import get_model_profile
+from repro.utils.tables import Table
+
+CONFIGURATIONS = (
+    ("balanced", THUMB_PNG_161, "resnet-50"),
+    ("preproc-bound", FULL_JPEG, "resnet-50"),
+    ("dnn-bound", THUMB_JPEG_161_Q75, "resnet-101"),
+)
+
+
+def build_table(perf_model) -> tuple[Table, dict]:
+    config = EngineConfig(num_producers=4)
+    smol, exec_only, serial = all_cost_models(perf_model, config)
+    simulator = PipelineSimulator(config)
+    table = Table(
+        "Table 3: cost model validation",
+        ["Config", "Preproc (im/s)", "DNN (im/s)", "Pipelined (im/s)",
+         "Smol err", "Exec-only err", "Serial-sum err"],
+    )
+    errors: dict[str, dict[str, float]] = {}
+    for name, fmt, model_name in CONFIGURATIONS:
+        plan = Plan.single(get_model_profile(model_name), fmt,
+                           offloaded_fraction=0.0)
+        stage = smol.stage_estimate(plan)
+        measured = simulator.measured_throughput(stage, num_images=2048)
+        row_errors = {}
+        for model in (smol, exec_only, serial):
+            row_errors[model.name] = model.estimate(plan).error_against(measured)
+        errors[name] = row_errors
+        table.add_row(
+            name,
+            round(stage.preprocessing_throughput),
+            round(stage.dnn_throughput),
+            round(measured),
+            f"{row_errors['smol'] * 100:.1f}%",
+            f"{row_errors['exec-only'] * 100:.1f}%",
+            f"{row_errors['serial-sum'] * 100:.1f}%",
+        )
+    return table, errors
+
+
+def test_table3_cost_model_accuracy(benchmark, perf_model):
+    table, errors = benchmark(build_table, perf_model)
+    emit(table)
+    for name, row in errors.items():
+        assert row["smol"] <= row["exec-only"] + 1e-9, name
+        assert row["smol"] <= row["serial-sum"] + 1e-9, name
+    # Execution-only is catastrophically wrong when preprocessing dominates.
+    assert errors["preproc-bound"]["exec-only"] > 1.0
+    # Average Smol error stays small (paper reports 5.9%).
+    average = sum(row["smol"] for row in errors.values()) / len(errors)
+    assert average < 0.15

@@ -1,0 +1,31 @@
+"""Table 4: popular visual data formats and their low-fidelity decode features.
+
+Paper rows: JPEG (partial decoding), PNG/WebP (early stopping), HEIC/HEVC,
+H.264, VP8, VP9 (reduced fidelity decoding).
+"""
+
+from benchlib import emit
+
+from repro.codecs.registry import list_formats
+from repro.utils.tables import Table
+
+
+def build_table() -> Table:
+    table = Table("Table 4: visual data formats and low-fidelity features",
+                  ["Format", "Type", "Low-fidelity feature"])
+    for capability in list_formats():
+        if capability.low_fidelity_feature == "None":
+            continue
+        table.add_row(capability.format.value.upper(), capability.media_type,
+                      capability.low_fidelity_feature)
+    return table
+
+
+def test_table4_format_registry(benchmark):
+    table = benchmark(build_table)
+    emit(table)
+    rows = {row[0]: row[2] for row in table.rows}
+    assert rows["JPEG"] == "Partial decoding"
+    assert rows["PNG"] == "Early stopping"
+    assert rows["H264"] == "Reduced fidelity decoding"
+    assert len(table.rows) >= 6

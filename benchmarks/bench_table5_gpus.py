@@ -1,0 +1,26 @@
+"""Table 5: ResNet-50 throughput across GPU generations.
+
+Paper values: K80 159, P100 1,955, T4 4,513, V100 7,151, RTX 15,008 im/s.
+"""
+
+from benchlib import emit
+
+from repro.measurement.study import MeasurementStudy
+from repro.utils.tables import Table
+
+
+def build_table() -> Table:
+    table = Table("Table 5: ResNet-50 throughput by GPU generation",
+                  ["GPU", "Release year", "Throughput (im/s)"])
+    for row in MeasurementStudy("g4dn.xlarge").gpu_generation_trend("resnet-50"):
+        table.add_row(row["gpu"], row["release_year"], round(row["throughput"]))
+    return table
+
+
+def test_table5_gpu_generations(benchmark):
+    table = benchmark(build_table)
+    emit(table)
+    throughputs = dict(zip(table.column("GPU"), table.column("Throughput (im/s)")))
+    assert throughputs["K80"] < throughputs["P100"] < throughputs["T4"]
+    assert throughputs["T4"] / throughputs["K80"] > 25
+    assert throughputs["RTX"] > throughputs["V100"]

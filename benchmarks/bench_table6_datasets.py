@@ -1,0 +1,27 @@
+"""Table 6: still-image dataset statistics used in the evaluation.
+
+Paper rows: bike-bird (2 classes), animals-10 (10), birds-200 (200),
+imagenet (1,000).
+"""
+
+from benchlib import emit
+
+from repro.datasets.images import list_image_datasets
+from repro.utils.tables import Table
+
+
+def build_table() -> Table:
+    table = Table("Table 6: image dataset statistics",
+                  ["Dataset", "# classes", "# train im.", "# test im."])
+    for dataset in list_image_datasets():
+        table.add_row(dataset.name, dataset.stats.num_classes,
+                      dataset.stats.train_images, dataset.stats.test_images)
+    return table
+
+
+def test_table6_dataset_statistics(benchmark):
+    table = benchmark(build_table)
+    emit(table)
+    by_name = {row[0]: row[1] for row in table.rows}
+    assert by_name == {"bike-bird": 2, "animals-10": 10, "birds-200": 200,
+                       "imagenet": 1000}

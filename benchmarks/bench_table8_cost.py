@@ -1,0 +1,37 @@
+"""Table 8: throughput and cost to reach 75% ImageNet accuracy, by vCPU count,
+with and without Smol's optimizations.
+
+Paper shape: the optimized configuration is several times faster and several
+times cheaper per image at every core count; scaling flattens once the
+ResNet-50 execution ceiling is reached.
+"""
+
+from benchlib import emit
+
+from repro.measurement.costs import CostAnalysis
+from repro.utils.tables import Table
+
+
+def build_table() -> tuple[Table, dict]:
+    analysis = CostAnalysis("g4dn.xlarge")
+    points = analysis.accuracy_target_scaling(vcpu_counts=(4, 8, 16))
+    table = Table("Table 8: throughput and cost at 75% ImageNet accuracy",
+                  ["Condition", "vCPUs", "Throughput (im/s)",
+                   "Cost (cents / 1M images)"])
+    by_key = {}
+    for point in points:
+        by_key[(point.condition, point.vcpus)] = point
+        table.add_row(point.condition, point.vcpus, round(point.throughput),
+                      round(point.cents_per_million_images, 2))
+    return table, by_key
+
+
+def test_table8_cost_scaling(benchmark):
+    table, by_key = benchmark(build_table)
+    emit(table)
+    for vcpus in (4, 8, 16):
+        opt = by_key[("opt", vcpus)]
+        no_opt = by_key[("no-opt", vcpus)]
+        assert opt.throughput > 2 * no_opt.throughput
+        assert opt.cents_per_million_images < no_opt.cents_per_million_images
+    assert by_key[("no-opt", 16)].throughput > by_key[("no-opt", 4)].throughput

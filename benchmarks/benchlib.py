@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness (importable from bench files)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+
+def emit(table) -> None:
+    """Print a results table (visible with ``pytest -s``)."""
+    print()
+    print(table.render() if hasattr(table, "render") else table)

@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure from the paper
+(see DESIGN.md for the index).  Each benchmark prints the rows/series the
+paper reports; run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+from repro.hardware.instance import get_instance               # noqa: E402
+from repro.inference.perfmodel import EngineConfig, PerformanceModel  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def instance():
+    """The paper's primary evaluation instance (g4dn.xlarge)."""
+    return get_instance("g4dn.xlarge")
+
+
+@pytest.fixture(scope="session")
+def perf_model(instance):
+    """Calibrated performance model for the g4dn.xlarge."""
+    return PerformanceModel(instance)
+
+
+@pytest.fixture(scope="session")
+def engine_config(instance):
+    """Engine configuration matching the instance's vCPU count."""
+    return EngineConfig(num_producers=instance.vcpus)
+
+
+def emit(table) -> None:
+    """Print a results table (visible with ``-s``)."""
+    print()
+    print(table.render() if hasattr(table, "render") else table)

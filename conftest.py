@@ -1,0 +1,15 @@
+"""Repository-root pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (offline environments without a working editable install).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: plan and execute an end-to-end visual analytics query with Smol.
+
+This example mirrors the system diagram of the paper (Figure 2): Smol takes a
+set of candidate DNNs, the natively available input formats, and an accuracy
+constraint; it produces the Pareto frontier of (throughput, accuracy) plans,
+selects the best one under the constraint, and executes it in the pipelined
+runtime (simulated on the calibrated g4dn.xlarge performance model).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Smol
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    # 1. Build Smol for the ImageNet-like workload on the paper's instance.
+    smol = Smol(instance="g4dn.xlarge", dataset_name="imagenet")
+
+    # 2. Inspect the Pareto frontier over DNNs x input formats.
+    frontier = smol.pareto_frontier()
+    table = Table("Pareto frontier (DNN x input format)",
+                  ["Plan", "Throughput (im/s)", "Accuracy"])
+    for estimate in frontier:
+        table.add_row(estimate.plan.describe(), round(estimate.throughput),
+                      f"{estimate.accuracy * 100:.2f}%")
+    print(table)
+    print()
+
+    # 3. Select the best plan subject to an accuracy floor.
+    best = smol.best_plan(accuracy_floor=0.74)
+    print(f"Selected plan: {best.plan.describe()}")
+    print(f"  estimated throughput: {best.throughput:,.0f} im/s")
+    print(f"  estimated accuracy:   {best.accuracy * 100:.2f}%")
+    print(f"  bottleneck:           {best.bottleneck}")
+    print()
+
+    # 4. Execute the plan in the pipelined runtime engine.
+    result = smol.run(best, limit=8192)
+    print(f"Simulated end-to-end run over {result.num_images} images:")
+    print(f"  measured throughput:  {result.throughput:,.0f} im/s")
+    stats = result.pipeline_stats
+    print(f"  producer utilization: {stats.producer_utilization * 100:.0f}%")
+    print(f"  stream utilization:   {stats.consumer_utilization * 100:.0f}%")
+
+    # 5. Compare against the naive single-format baseline.
+    naive = [e for e in smol.planner.score(smol.planner.generate())
+             if e.plan.input_format.is_full_resolution
+             and e.plan.primary_model.name == "resnet-50"][0]
+    print()
+    print(f"Naive ResNet-50 on full-resolution JPEG: {naive.throughput:,.0f} im/s")
+    print(f"Speedup at no accuracy loss: {best.throughput / naive.throughput:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Video aggregation example: BlazeIt-style queries accelerated by Smol.
+
+Scenario from the paper's aggregation example (Section 3.2): "what is the
+average number of cars per frame?" over long fixed-camera videos, answered to
+a requested error bound.  The query engine runs a cheap specialized NN over
+every frame (cost dominated by video decoding) and samples frames for the
+expensive target detector, using the specialized NN as a control variate.
+
+The example contrasts the BlazeIt configuration (tiny specialized NN,
+full-resolution video, plain runtime) with Smol's (more accurate specialized
+NN, natively-present 480p rendition, optimized runtime), reproducing the
+shape of Figure 9.
+
+Run with:  python examples/video_aggregation.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.baselines.blazeit import BlazeItBaseline, SmolVideoRunner
+from repro.datasets.video import list_video_datasets
+from repro.hardware.instance import get_instance
+from repro.inference.perfmodel import PerformanceModel
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    perf = PerformanceModel(get_instance("g4dn.xlarge"))
+    blazeit = BlazeItBaseline(perf)
+    smol = SmolVideoRunner(perf)
+    error_bounds = (0.01, 0.03, 0.05)
+
+    table = Table("Aggregation query execution time (seconds)",
+                  ["Video", "Error bound", "BlazeIt", "Smol", "Speedup",
+                   "Smol estimate", "True mean"])
+    for dataset in list_video_datasets():
+        for error in error_bounds:
+            blazeit_result = blazeit.run(dataset, error, seed=42)
+            smol_result = smol.run(dataset, error, seed=42)
+            table.add_row(
+                dataset.name,
+                error,
+                round(blazeit_result.total_seconds, 1),
+                round(smol_result.total_seconds, 1),
+                f"{blazeit_result.total_seconds / smol_result.total_seconds:.2f}x",
+                round(smol_result.estimate, 3),
+                round(smol_result.true_mean, 3),
+            )
+    print(table)
+    print()
+    print("Where the speedup comes from (error bound 0.03, taipei):")
+    dataset = next(d for d in list_video_datasets() if d.name == "taipei")
+    blazeit_result = blazeit.run(dataset, 0.03, seed=42)
+    smol_result = smol.run(dataset, 0.03, seed=42)
+    print(f"  BlazeIt: cheap pass {blazeit_result.specialized_pass_seconds:8.1f}s"
+          f" + target pass {blazeit_result.target_pass_seconds:8.1f}s"
+          f" ({blazeit_result.target_invocations:,} target invocations)")
+    print(f"  Smol:    cheap pass {smol_result.specialized_pass_seconds:8.1f}s"
+          f" + target pass {smol_result.target_pass_seconds:8.1f}s"
+          f" ({smol_result.target_invocations:,} target invocations)")
+    print()
+    print("Smol's cheaper pass comes from decoding the 480p rendition; its "
+          "smaller target pass comes from the more accurate specialized NN "
+          "reducing sampling variance.")
+
+
+if __name__ == "__main__":
+    main()

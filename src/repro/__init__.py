@@ -1,0 +1,54 @@
+"""repro: a reproduction of Smol (Kang et al., VLDB 2020).
+
+Smol jointly optimizes preprocessing (decode, resize, normalize, layout) and
+DNN execution for visual analytics queries.  This package re-implements the
+full system and every substrate it depends on in pure Python/numpy:
+
+* :mod:`repro.hardware` -- accelerator/CPU/instance models (calibrated).
+* :mod:`repro.codecs` -- JPEG-like, PNG-like, and H.264-like codecs with
+  partial, early-stopping and reduced-fidelity decoding.
+* :mod:`repro.preprocessing` -- preprocessing operators, DAG optimizer, and
+  CPU/accelerator placement.
+* :mod:`repro.nn` -- a numpy mini neural-network framework plus a calibrated
+  model zoo of standard ResNets and specialized NNs.
+* :mod:`repro.inference` -- the pipelined MPMC runtime engine, buffer pools,
+  and backend efficiency models.
+* :mod:`repro.core` -- the Smol planner: preprocessing-aware cost model, plan
+  enumeration over DNNs x input formats, Pareto frontier, and constraints.
+* :mod:`repro.analytics` -- Tahoma-style cascades and BlazeIt-style
+  aggregation queries built on top of Smol.
+* :mod:`repro.datasets` -- synthetic multi-resolution image and video
+  datasets standing in for the paper's eight evaluation datasets.
+* :mod:`repro.measurement` -- the Section 2 measurement study and the
+  Section 7 power/dollar cost analysis.
+* :mod:`repro.baselines` -- naive ResNets, Tahoma, BlazeIt, DALI-like and
+  PyTorch-loader baselines.
+
+Quickstart
+----------
+>>> from repro import Smol
+>>> from repro.datasets import load_image_dataset
+>>> dataset = load_image_dataset("bike-bird")
+>>> smol = Smol.for_dataset(dataset)
+>>> plan = smol.best_plan(accuracy_floor=0.99)
+>>> result = smol.run(plan, limit=100)
+"""
+
+from repro._version import __version__
+from repro.core.smol import Smol
+from repro.core.plans import Plan, PlanConstraints
+from repro.core.costmodel import (
+    SmolCostModel,
+    ExecutionOnlyCostModel,
+    SerialSumCostModel,
+)
+
+__all__ = [
+    "__version__",
+    "Smol",
+    "Plan",
+    "PlanConstraints",
+    "SmolCostModel",
+    "ExecutionOnlyCostModel",
+    "SerialSumCostModel",
+]

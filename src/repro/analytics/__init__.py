@@ -1,0 +1,49 @@
+"""Query systems built on top of Smol.
+
+Two query-processing methods from recent visual analytics systems are
+re-implemented so Smol can be evaluated end-to-end (Section 3.2):
+
+* :mod:`repro.analytics.classification` -- Tahoma-style binary/multi-class
+  classification with specialized-NN / target-DNN cascades.
+* :mod:`repro.analytics.aggregation` -- BlazeIt-style aggregation queries
+  (average object count per frame) using a specialized NN as a control
+  variate to reduce sampling variance.
+"""
+
+from repro.analytics.sampling import (
+    SamplingResult,
+    uniform_sample_mean,
+    control_variate_mean,
+    required_sample_size,
+)
+from repro.analytics.aggregation import (
+    AggregationQuery,
+    AggregationResult,
+    AggregationEngine,
+)
+from repro.analytics.classification import (
+    CascadeClassifier,
+    CascadeEvaluation,
+    ClassificationQuery,
+)
+from repro.analytics.limit_queries import (
+    LimitQuery,
+    LimitQueryResult,
+    LimitQueryEngine,
+)
+
+__all__ = [
+    "LimitQuery",
+    "LimitQueryResult",
+    "LimitQueryEngine",
+    "SamplingResult",
+    "uniform_sample_mean",
+    "control_variate_mean",
+    "required_sample_size",
+    "AggregationQuery",
+    "AggregationResult",
+    "AggregationEngine",
+    "CascadeClassifier",
+    "CascadeEvaluation",
+    "ClassificationQuery",
+]

@@ -1,0 +1,121 @@
+"""Sampling estimators for aggregation queries.
+
+BlazeIt answers "average number of objects per frame" queries by sampling
+frames, running the expensive target DNN on the sample, and using a cheap
+specialized NN evaluated on *every* frame as a control variate: because the
+proxy is correlated with the truth, subtracting its sample mean and adding
+back its population mean reduces estimator variance, so fewer target-DNN
+invocations reach a requested error bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.utils.rng import deterministic_rng
+
+
+@dataclass(frozen=True)
+class SamplingResult:
+    """Outcome of a sampling-based mean estimate.
+
+    Attributes
+    ----------
+    estimate:
+        The estimated population mean.
+    half_width:
+        Half-width of the (approximately) 95% confidence interval.
+    samples_used:
+        Number of expensive (target DNN) samples consumed.
+    variance:
+        Estimated per-sample variance of the estimator's summand.
+    """
+
+    estimate: float
+    half_width: float
+    samples_used: int
+    variance: float
+
+    def within(self, true_mean: float, slack: float = 1.0) -> bool:
+        """Whether ``true_mean`` lies within ``slack`` times the half-width."""
+        return abs(self.estimate - true_mean) <= self.half_width * slack
+
+
+Z_95 = 1.96
+
+
+def uniform_sample_mean(values: np.ndarray, sample_size: int,
+                        seed: int = 0) -> SamplingResult:
+    """Estimate the mean of ``values`` from a uniform random sample."""
+    _validate(values, sample_size)
+    rng = deterministic_rng("uniform-sample", seed)
+    indices = rng.choice(values.shape[0], size=sample_size, replace=False)
+    sample = values[indices].astype(np.float64)
+    variance = float(sample.var(ddof=1)) if sample_size > 1 else 0.0
+    half_width = Z_95 * np.sqrt(variance / sample_size)
+    return SamplingResult(
+        estimate=float(sample.mean()),
+        half_width=float(half_width),
+        samples_used=sample_size,
+        variance=variance,
+    )
+
+
+def control_variate_mean(values: np.ndarray, proxy: np.ndarray,
+                         sample_size: int, seed: int = 0) -> SamplingResult:
+    """Estimate the mean of ``values`` using ``proxy`` as a control variate.
+
+    ``proxy`` must be available for the whole population (it is cheap to
+    compute); ``values`` are only observed on the sample.  The optimal control
+    coefficient is estimated from the sample covariance.
+    """
+    _validate(values, sample_size)
+    if proxy.shape != values.shape:
+        raise QueryError("proxy and values must have the same shape")
+    rng = deterministic_rng("cv-sample", seed)
+    indices = rng.choice(values.shape[0], size=sample_size, replace=False)
+    sample_values = values[indices].astype(np.float64)
+    sample_proxy = proxy[indices].astype(np.float64)
+    proxy_population_mean = float(proxy.mean())
+    if sample_size > 2 and sample_proxy.var(ddof=1) > 1e-12:
+        covariance = float(np.cov(sample_values, sample_proxy, ddof=1)[0, 1])
+        coefficient = covariance / float(sample_proxy.var(ddof=1))
+    else:
+        coefficient = 0.0
+    adjusted = sample_values - coefficient * (sample_proxy - proxy_population_mean)
+    variance = float(adjusted.var(ddof=1)) if sample_size > 1 else 0.0
+    half_width = Z_95 * np.sqrt(variance / sample_size)
+    return SamplingResult(
+        estimate=float(adjusted.mean()),
+        half_width=float(half_width),
+        samples_used=sample_size,
+        variance=variance,
+    )
+
+
+def required_sample_size(variance: float, target_half_width: float,
+                         population: int | None = None) -> int:
+    """Samples needed for a 95% confidence half-width of ``target_half_width``."""
+    if target_half_width <= 0:
+        raise QueryError("target half-width must be positive")
+    if variance < 0:
+        raise QueryError("variance cannot be negative")
+    if variance == 0:
+        return 1
+    needed = int(np.ceil(Z_95 ** 2 * variance / target_half_width ** 2))
+    needed = max(2, needed)
+    if population is not None:
+        needed = min(needed, population)
+    return needed
+
+
+def _validate(values: np.ndarray, sample_size: int) -> None:
+    if values.ndim != 1 or values.shape[0] == 0:
+        raise QueryError("values must be a non-empty 1-D array")
+    if not 0 < sample_size <= values.shape[0]:
+        raise QueryError(
+            f"sample_size must be in [1, {values.shape[0]}], got {sample_size}"
+        )

@@ -1,0 +1,27 @@
+"""Baseline systems Smol is compared against.
+
+* :mod:`repro.baselines.naive` -- standard ResNets on full-resolution data
+  (the "naive" baseline of Figure 4).
+* :mod:`repro.baselines.tahoma` -- Tahoma-style cascades with a fixed input
+  format and a fixed target model.
+* :mod:`repro.baselines.blazeit` -- BlazeIt-style aggregation with a single
+  tiny specialized NN and full-resolution video.
+* :mod:`repro.baselines.dali` -- a DALI-like preprocessing library model
+  (training-oriented, no buffer reuse into the inference engine).
+* :mod:`repro.baselines.pytorch_loader` -- a PyTorch-DataLoader-like CPU
+  preprocessing baseline with an unoptimized execution backend.
+"""
+
+from repro.baselines.naive import NaiveResNetBaseline
+from repro.baselines.tahoma import TahomaBaseline
+from repro.baselines.blazeit import BlazeItBaseline
+from repro.baselines.dali import DaliLikeLoader
+from repro.baselines.pytorch_loader import PyTorchLikeLoader
+
+__all__ = [
+    "NaiveResNetBaseline",
+    "TahomaBaseline",
+    "BlazeItBaseline",
+    "DaliLikeLoader",
+    "PyTorchLikeLoader",
+]

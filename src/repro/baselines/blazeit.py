@@ -1,0 +1,92 @@
+"""BlazeIt-style baseline for aggregation queries.
+
+BlazeIt uses a single tiny specialized NN, a fixed full-resolution video
+rendition, and an unoptimized runtime engine; its cost model ignores
+preprocessing.  Smol's video experiments (Figure 9) replicate BlazeIt's query
+processing but swap in a more accurate specialized NN, low-resolution video,
+and the optimized runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.aggregation import (
+    AggregationEngine,
+    AggregationQuery,
+    AggregationResult,
+)
+from repro.codecs.formats import VIDEO_1080P_H264, VIDEO_480P_H264
+from repro.datasets.video import VideoDataset
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.specialized import SpecializedNN, tiny_resnet
+from repro.nn.zoo import ModelProfile
+
+
+def _profile_for(specialized: SpecializedNN,
+                 performance_model: PerformanceModel) -> ModelProfile:
+    """Wrap a specialized NN descriptor as a ModelProfile."""
+    gpu = performance_model.instance.gpu
+    return ModelProfile(
+        name=specialized.name,
+        gflops=specialized.gflops_224,
+        t4_throughput=specialized.throughput_on(gpu),
+        imagenet_top1=None,
+        input_size=224,
+    )
+
+
+@dataclass
+class BlazeItBaseline:
+    """BlazeIt configuration: tiny ResNet, full-resolution video, plain engine."""
+
+    performance_model: PerformanceModel
+    specialized_accuracy: float = 0.80
+
+    def run(self, dataset: VideoDataset, error_bound: float,
+            seed: int = 0) -> AggregationResult:
+        """Execute an aggregation query the way BlazeIt would."""
+        config = EngineConfig(
+            num_producers=self.performance_model.instance.vcpus,
+            optimize_dag=False,
+            reuse_buffers=False,
+            pinned_memory=False,
+        )
+        engine = AggregationEngine(self.performance_model, config,
+                                   use_control_variate=True)
+        specialized = _profile_for(tiny_resnet(), self.performance_model)
+        query = AggregationQuery(dataset=dataset, error_bound=error_bound)
+        return engine.execute(
+            query, specialized_model=specialized, fmt=VIDEO_1080P_H264,
+            specialized_accuracy=self.specialized_accuracy, seed=seed,
+        )
+
+
+@dataclass
+class SmolVideoRunner:
+    """Smol's configuration for the same queries: better specialized NN,
+    low-resolution rendition, optimized engine."""
+
+    performance_model: PerformanceModel
+    specialized_accuracy: float = 0.93
+    use_low_resolution: bool = True
+
+    def run(self, dataset: VideoDataset, error_bound: float,
+            seed: int = 0) -> AggregationResult:
+        """Execute an aggregation query with Smol's optimizations."""
+        config = EngineConfig(num_producers=self.performance_model.instance.vcpus)
+        engine = AggregationEngine(self.performance_model, config,
+                                   use_control_variate=True)
+        # Smol expands the specialized-NN search space: a ResNet-18-class
+        # model is affordable because preprocessing, not the DNN, is the
+        # bottleneck for the cheap pass.
+        specialized = SpecializedNN(
+            name="specialized-resnet18", width=64, depth=8,
+            gflops_224=1.82, accuracy_factor=0.95,
+        )
+        fmt = VIDEO_480P_H264 if self.use_low_resolution else VIDEO_1080P_H264
+        query = AggregationQuery(dataset=dataset, error_bound=error_bound)
+        return engine.execute(
+            query, specialized_model=_profile_for(specialized, self.performance_model),
+            fmt=fmt, specialized_accuracy=self.specialized_accuracy, seed=seed,
+        )

@@ -1,0 +1,64 @@
+"""The naive baseline: standard ResNets on full-resolution data.
+
+This baseline has no access to alternative input formats and no preprocessing
+or runtime optimizations -- it is what a practitioner gets by exporting a
+standard ResNet and running it behind an unoptimized data loader.  The paper
+shows all depths of this baseline are preprocessing-bound, so further DNN-side
+optimizations cannot improve its end-to-end throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.formats import FULL_JPEG, InputFormatSpec
+from repro.core.accuracy import AccuracyEstimator
+from repro.core.plans import Plan, PlanEstimate
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.zoo import resnet_profile
+
+
+@dataclass
+class NaiveResNetBaseline:
+    """Standard ResNets (18/34/50) on the provided full-resolution format."""
+
+    performance_model: PerformanceModel
+    dataset_name: str = "imagenet"
+    input_format: InputFormatSpec = FULL_JPEG
+    depths: tuple[int, ...] = (18, 34, 50)
+    optimized_runtime: bool = False
+
+    def plans(self) -> list[Plan]:
+        """One single-model plan per ResNet depth on full-resolution data."""
+        return [
+            Plan.single(resnet_profile(depth), self.input_format,
+                        label=f"naive-resnet-{depth}")
+            for depth in self.depths
+        ]
+
+    def evaluate(self) -> list[PlanEstimate]:
+        """Throughput/accuracy estimates for each depth."""
+        accuracy = AccuracyEstimator(self.dataset_name)
+        config = EngineConfig(
+            num_producers=self.performance_model.instance.vcpus,
+            optimize_dag=self.optimized_runtime,
+            reuse_buffers=self.optimized_runtime,
+            pinned_memory=self.optimized_runtime,
+        )
+        estimates: list[PlanEstimate] = []
+        for plan in self.plans():
+            stage = self.performance_model.estimate(
+                plan.primary_model, plan.input_format, config,
+                offloaded_fraction=0.0,
+            )
+            throughput = stage.pipelined_upper_bound
+            acc = accuracy.calibrated(plan.primary_model, plan.input_format,
+                                      training="regular")
+            estimates.append(PlanEstimate(
+                plan=plan,
+                throughput=throughput,
+                accuracy=acc.accuracy,
+                preprocessing_throughput=stage.preprocessing_throughput,
+                dnn_throughput=stage.dnn_throughput,
+            ))
+        return estimates

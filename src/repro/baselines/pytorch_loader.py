@@ -1,0 +1,65 @@
+"""A PyTorch-DataLoader-like baseline (Appendix A.1, Figure 10).
+
+The stock PyTorch path uses multiprocess CPU workers for preprocessing (with
+per-batch tensor allocation and inter-process copies) and executes the model
+without an optimized inference compiler.  Its preprocessing throughput scales
+with cores but with higher per-image overhead than a tuned C++ loop, and it
+loses NUMA locality at high core counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.formats import InputFormatSpec
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.zoo import ModelProfile
+
+# Python-level per-image overhead and worker-to-main-process copies.
+PYTORCH_LOADER_PENALTY = 1.8
+# Loss of efficiency past 16 workers from NUMA-unaware placement.
+PYTORCH_NUMA_PENALTY_PER_16VCPU = 0.35
+# PyTorch eager execution backend efficiency comes from the backend model.
+PYTORCH_BACKEND = "pytorch"
+
+
+@dataclass
+class PyTorchLikeLoader:
+    """Analytic model of the stock PyTorch preprocessing + eager execution."""
+
+    performance_model: PerformanceModel
+
+    def cpu_preprocessing_throughput(self, fmt: InputFormatSpec,
+                                     vcpus: int) -> float:
+        """CPU preprocessing throughput of the DataLoader (Figure 10a)."""
+        config = EngineConfig(num_producers=vcpus, optimize_dag=False)
+        base = self.performance_model.preprocessing_model.throughput(
+            fmt, config, cpu_op_fraction=1.0
+        )
+        numa_penalty = 1.0 + PYTORCH_NUMA_PENALTY_PER_16VCPU * max(
+            0, vcpus - 16
+        ) / 16
+        return base / (PYTORCH_LOADER_PENALTY * numa_penalty)
+
+    def end_to_end_throughput(self, model: ModelProfile, fmt: InputFormatSpec,
+                              vcpus: int) -> float:
+        """End-to-end throughput with eager-mode execution (Figure 10c)."""
+        from repro.inference.backends import get_backend
+
+        config = EngineConfig(num_producers=vcpus)
+        preproc = self.cpu_preprocessing_throughput(fmt, vcpus)
+        backend = get_backend(PYTORCH_BACKEND)
+        dnn = model.throughput_on(
+            self.performance_model.instance.gpu,
+            backend_efficiency=backend.efficiency,
+        )
+        # Eager execution does not overlap preprocessing with execution as
+        # effectively; model it as partially serialized.
+        pipelined = min(preproc, dnn)
+        serial = 1.0 / (1.0 / preproc + 1.0 / dnn)
+        return 0.5 * pipelined + 0.5 * serial
+
+    def optimized_preprocessing_throughput(self, fmt: InputFormatSpec,
+                                           vcpus: int) -> float:
+        """PyTorch has no GPU preprocessing path; same as the CPU number."""
+        return self.cpu_preprocessing_throughput(fmt, vcpus)

@@ -1,0 +1,88 @@
+"""Tahoma-style baseline: specialized-NN cascades on a fixed input format.
+
+Tahoma trains a family of specialized NNs and cascades each with the target
+DNN; its cost model adds preprocessing and DNN time serially (Equation 3) and
+it only ever considers the provided full-resolution JPEG input format.  The
+baseline exposes the same (throughput, accuracy) estimate interface as the
+Smol planner so Figure 4 can overlay the two Pareto frontiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analytics.classification import CascadeClassifier, CascadeEvaluation
+from repro.codecs.formats import FULL_JPEG, InputFormatSpec
+from repro.core.accuracy import AccuracyEstimator
+from repro.errors import PlanError
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.specialized import SpecializedNN, make_specialized_family
+from repro.nn.zoo import ModelProfile, get_model_profile, resnet_profile
+from repro.utils.pareto import pareto_frontier, sort_frontier
+
+
+@dataclass
+class TahomaBaseline:
+    """Cascades of specialized NNs with a ResNet-50 target on full-res JPEG."""
+
+    performance_model: PerformanceModel
+    dataset_name: str = "imagenet"
+    input_format: InputFormatSpec = FULL_JPEG
+    num_specialized: int = 8
+    target_model: ModelProfile = field(
+        default_factory=lambda: get_model_profile("resnet-50")
+    )
+
+    def specialized_family(self) -> list[SpecializedNN]:
+        """The representative family of specialized NN architectures."""
+        return make_specialized_family(self.num_specialized)
+
+    def _proxy_profile(self, specialized: SpecializedNN) -> ModelProfile:
+        """Express a specialized NN as a ModelProfile for the cost models."""
+        gpu = self.performance_model.instance.gpu
+        return ModelProfile(
+            name=specialized.name,
+            gflops=specialized.gflops_224,
+            t4_throughput=specialized.throughput_on(gpu),
+            imagenet_top1=None,
+            input_size=224,
+        )
+
+    def evaluate(self) -> list[CascadeEvaluation]:
+        """Evaluate every (specialized NN, pass-through rate) cascade."""
+        accuracy_estimator = AccuracyEstimator(self.dataset_name)
+        target_accuracy = accuracy_estimator.calibrated(
+            self.target_model, self.input_format, training="regular"
+        ).accuracy
+        config = EngineConfig(num_producers=self.performance_model.instance.vcpus,
+                              optimize_dag=False)
+        classifier = CascadeClassifier(self.performance_model, config)
+        proxies = []
+        for specialized in self.specialized_family():
+            proxy_accuracy = accuracy_estimator.calibrated(
+                resnet_profile(18), self.input_format, training="regular",
+                accuracy_factor=specialized.accuracy_factor,
+            ).accuracy
+            proxies.append((self._proxy_profile(specialized), proxy_accuracy))
+        return classifier.sweep(
+            proxies=proxies,
+            target=self.target_model,
+            target_accuracy=target_accuracy,
+            fmt=self.input_format,
+            num_classes=2,
+        )
+
+    def pareto_frontier(self) -> list[CascadeEvaluation]:
+        """Pareto-optimal cascade configurations in (throughput, accuracy)."""
+        evaluations = self.evaluate()
+        if not evaluations:
+            raise PlanError("no cascade configurations were evaluated")
+        frontier = pareto_frontier(evaluations, lambda e: e.objectives())
+        return sort_frontier(frontier, lambda e: e.objectives(), axis=0)
+
+    def estimate_throughput_serial_sum(self, evaluation: CascadeEvaluation) -> float:
+        """Tahoma's own (serial-sum) throughput estimate for a cascade."""
+        return 1.0 / (
+            1.0 / evaluation.preprocessing_throughput
+            + 1.0 / evaluation.dnn_throughput
+        )

@@ -1,0 +1,144 @@
+"""Command-line interface for the Smol reproduction.
+
+Subcommands:
+
+* ``plan``      -- print the Pareto frontier and the selected plan for a dataset.
+* ``run``       -- execute the selected plan in the simulated runtime.
+* ``measure``   -- print the Section 2 measurement study tables.
+* ``costs``     -- print the Section 7 / Table 8 cost analyses.
+* ``video``     -- run the BlazeIt-vs-Smol video aggregation comparison.
+
+Examples
+--------
+    python -m repro.cli plan --dataset imagenet --accuracy-floor 0.74
+    python -m repro.cli run --dataset bike-bird --images 8192
+    python -m repro.cli measure
+    python -m repro.cli video --dataset taipei --error 0.03
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.baselines.blazeit import BlazeItBaseline, SmolVideoRunner
+from repro.core.smol import Smol
+from repro.datasets.video import load_video_dataset
+from repro.hardware.instance import get_instance
+from repro.inference.perfmodel import PerformanceModel
+from repro.measurement.costs import CostAnalysis
+from repro.measurement.study import MeasurementStudy
+from repro.utils.tables import Table
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    smol = Smol(instance=args.instance, dataset_name=args.dataset)
+    report = smol.report(accuracy_floor=args.accuracy_floor)
+    print(report.describe())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    smol = Smol(instance=args.instance, dataset_name=args.dataset)
+    estimate = smol.best_plan(accuracy_floor=args.accuracy_floor)
+    result = smol.run(estimate, limit=args.images)
+    print(f"plan:       {estimate.plan.describe()}")
+    print(f"estimated:  {estimate.throughput:,.0f} im/s at "
+          f"{estimate.accuracy * 100:.2f}% accuracy")
+    print(f"simulated:  {result.throughput:,.0f} im/s over "
+          f"{result.num_images} images")
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    study = MeasurementStudy(args.instance)
+    table = Table("ResNet-50 by execution backend",
+                  ["Backend", "Batch", "Throughput (im/s)"])
+    for row in study.backend_comparison():
+        table.add_row(row.backend_name, row.batch_size, round(row.throughput))
+    print(table)
+    print()
+    table = Table("ResNet-50 by GPU generation",
+                  ["GPU", "Year", "Throughput (im/s)"])
+    for row in study.gpu_generation_trend():
+        table.add_row(row["gpu"], row["release_year"], round(row["throughput"]))
+    print(table)
+    print()
+    for model in ("resnet-50", "resnet-18"):
+        gap = study.preprocessing_vs_execution(model)
+        print(f"{model}: DNN execution is {gap['ratio']:.1f}x faster than "
+              f"preprocessing ({gap['dnn_throughput']:,.0f} vs "
+              f"{gap['preprocessing_throughput']:,.0f} im/s)")
+    return 0
+
+
+def _cmd_costs(args: argparse.Namespace) -> int:
+    analysis = CostAnalysis(args.instance)
+    table = Table("Throughput and cost at 75% ImageNet accuracy",
+                  ["Condition", "vCPUs", "Throughput (im/s)", "Cents / 1M images"])
+    for point in analysis.accuracy_target_scaling():
+        table.add_row(point.condition, point.vcpus, round(point.throughput),
+                      round(point.cents_per_million_images, 2))
+    print(table)
+    return 0
+
+
+def _cmd_video(args: argparse.Namespace) -> int:
+    perf = PerformanceModel(get_instance(args.instance))
+    dataset = load_video_dataset(args.dataset)
+    blazeit = BlazeItBaseline(perf).run(dataset, args.error, seed=args.seed)
+    smol = SmolVideoRunner(perf).run(dataset, args.error, seed=args.seed)
+    table = Table(f"Aggregation query on {dataset.name} (error {args.error})",
+                  ["System", "Query time (s)", "Target invocations", "Estimate"])
+    table.add_row("BlazeIt", round(blazeit.total_seconds, 1),
+                  blazeit.target_invocations, round(blazeit.estimate, 3))
+    table.add_row("Smol", round(smol.total_seconds, 1),
+                  smol.target_invocations, round(smol.estimate, 3))
+    print(table)
+    print(f"speedup: {blazeit.total_seconds / smol.total_seconds:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Smol reproduction command-line interface"
+    )
+    parser.add_argument("--instance", default="g4dn.xlarge",
+                        help="cloud instance to model (default: g4dn.xlarge)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    plan = subparsers.add_parser("plan", help="print the Pareto frontier")
+    plan.add_argument("--dataset", default="imagenet")
+    plan.add_argument("--accuracy-floor", type=float, default=None)
+    plan.set_defaults(func=_cmd_plan)
+
+    run = subparsers.add_parser("run", help="execute the selected plan")
+    run.add_argument("--dataset", default="imagenet")
+    run.add_argument("--accuracy-floor", type=float, default=None)
+    run.add_argument("--images", type=int, default=4096)
+    run.set_defaults(func=_cmd_run)
+
+    measure = subparsers.add_parser("measure", help="Section 2 measurement study")
+    measure.set_defaults(func=_cmd_measure)
+
+    costs = subparsers.add_parser("costs", help="Section 7 / Table 8 cost analysis")
+    costs.set_defaults(func=_cmd_costs)
+
+    video = subparsers.add_parser("video", help="video aggregation comparison")
+    video.add_argument("--dataset", default="taipei")
+    video.add_argument("--error", type=float, default=0.03)
+    video.add_argument("--seed", type=int, default=0)
+    video.set_defaults(func=_cmd_video)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Visual compression substrate.
+
+The paper's optimizations act on properties of real codecs: JPEG macroblocks
+can be decoded independently (ROI decoding), raster-order formats permit early
+stopping, and video codecs have an optional deblocking filter whose omission
+trades fidelity for speed.  This package implements working numpy codecs with
+exactly those hooks:
+
+* :mod:`repro.codecs.jpeg` -- a block-DCT, quantized, entropy-coded lossy
+  image codec with per-macroblock partial decoding.
+* :mod:`repro.codecs.png` -- a filtered, losslessly compressed image codec
+  with raster-order early stopping.
+* :mod:`repro.codecs.video` -- an I/P-frame motion-compensated video codec
+  with an optional deblocking filter (reduced-fidelity decoding).
+* :mod:`repro.codecs.registry` -- the format registry reproducing Table 4.
+"""
+
+from repro.codecs.image import Image, ImageFormat, Resolution
+from repro.codecs.jpeg import JpegCodec, JpegEncoded
+from repro.codecs.png import PngCodec, PngEncoded
+from repro.codecs.video import VideoCodec, EncodedVideo, VideoFrameRef
+from repro.codecs.registry import (
+    FormatCapability,
+    FORMAT_REGISTRY,
+    get_format,
+    list_formats,
+)
+from repro.codecs.roi import RegionOfInterest, central_crop_roi, expand_to_blocks
+from repro.codecs.progressive import ProgressiveCodec, ProgressiveEncoded
+
+__all__ = [
+    "ProgressiveCodec",
+    "ProgressiveEncoded",
+    "Image",
+    "ImageFormat",
+    "Resolution",
+    "JpegCodec",
+    "JpegEncoded",
+    "PngCodec",
+    "PngEncoded",
+    "VideoCodec",
+    "EncodedVideo",
+    "VideoFrameRef",
+    "FormatCapability",
+    "FORMAT_REGISTRY",
+    "get_format",
+    "list_formats",
+    "RegionOfInterest",
+    "central_crop_roi",
+    "expand_to_blocks",
+]

@@ -1,0 +1,163 @@
+"""Entropy coding for the lossy codecs.
+
+Real JPEG uses Huffman coding of run-length encoded, zig-zag ordered DCT
+coefficients.  We implement run-length encoding of zero runs followed by a
+canonical variable-length integer packing.  The important behavioural
+properties are preserved: compressed size shrinks with aggressive
+quantization, decoding cost scales with the number of coded symbols, and the
+stream is decodable block-by-block (which is what makes macroblock ROI
+decoding possible).
+
+This coder is intentionally byte-aligned per block: each block's payload is
+independently decodable given its offset, mirroring JPEG restart markers.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import CorruptBitstreamError
+
+_MAGIC = b"RPRE"  # repro run-length entropy stream
+
+
+def encode_coefficients(flat_coeffs: np.ndarray) -> bytes:
+    """Encode one block's zig-zag coefficient vector.
+
+    Encoding: pairs of (zero-run length, value) with values stored as
+    zig-zag-signed varints, terminated by an end-of-block marker.
+    """
+    if flat_coeffs.ndim != 1:
+        raise CorruptBitstreamError("expected a flat coefficient vector")
+    out = bytearray()
+    run = 0
+    for value in flat_coeffs.tolist():
+        if value == 0:
+            run += 1
+            continue
+        _write_varint(out, run)
+        _write_varint(out, _zigzag_signed(int(value)))
+        run = 0
+    # End-of-block marker: run of 0xFFFF (an impossible run length for 64
+    # coefficient blocks) signals the remaining coefficients are zero.
+    _write_varint(out, 0xFFFF)
+    return bytes(out)
+
+
+def decode_coefficients(payload: bytes, length: int) -> np.ndarray:
+    """Decode one block's payload into a coefficient vector of ``length``."""
+    coeffs = np.zeros(length, dtype=np.int16)
+    pos = 0
+    index = 0
+    while True:
+        run, pos = _read_varint(payload, pos)
+        if run == 0xFFFF:
+            break
+        value, pos = _read_varint(payload, pos)
+        index += run
+        if index >= length:
+            raise CorruptBitstreamError(
+                f"coefficient index {index} exceeds block length {length}"
+            )
+        coeffs[index] = _unzigzag_signed(value)
+        index += 1
+    return coeffs
+
+
+def pack_blocks(block_payloads: list[bytes]) -> bytes:
+    """Pack per-block payloads with an offset index for random access.
+
+    Layout: magic, block count, uint32 offsets table, concatenated payloads.
+    The offsets table is what enables macroblock ROI decoding: a decoder can
+    seek straight to the blocks intersecting the region of interest.
+    """
+    header = bytearray()
+    header += _MAGIC
+    header += struct.pack("<I", len(block_payloads))
+    offsets = []
+    cursor = 0
+    for payload in block_payloads:
+        offsets.append(cursor)
+        cursor += len(payload)
+    header += struct.pack(f"<{len(offsets)}I", *offsets) if offsets else b""
+    header += struct.pack("<I", cursor)  # total payload size for bounds checks
+    return bytes(header) + b"".join(block_payloads)
+
+
+def unpack_block(data: bytes, block_index: int) -> bytes:
+    """Extract the payload of a single block from a packed stream."""
+    count, offsets_start = _read_header(data)
+    if not 0 <= block_index < count:
+        raise CorruptBitstreamError(
+            f"block index {block_index} out of range [0, {count})"
+        )
+    offsets = struct.unpack_from(f"<{count}I", data, offsets_start)
+    total = struct.unpack_from("<I", data, offsets_start + 4 * count)[0]
+    payload_start = offsets_start + 4 * count + 4
+    start = payload_start + offsets[block_index]
+    end = (
+        payload_start + offsets[block_index + 1]
+        if block_index + 1 < count
+        else payload_start + total
+    )
+    return data[start:end]
+
+
+def block_count(data: bytes) -> int:
+    """Number of blocks in a packed stream."""
+    count, _ = _read_header(data)
+    return count
+
+
+def payload_size(data: bytes) -> int:
+    """Total size in bytes of the packed coefficient payloads."""
+    count, offsets_start = _read_header(data)
+    return struct.unpack_from("<I", data, offsets_start + 4 * count)[0]
+
+
+def _read_header(data: bytes) -> tuple[int, int]:
+    if len(data) < 8 or data[:4] != _MAGIC:
+        raise CorruptBitstreamError("not a repro entropy stream")
+    count = struct.unpack_from("<I", data, 4)[0]
+    return count, 8
+
+
+def _zigzag_signed(value: int) -> int:
+    """Map a signed int to an unsigned int (zig-zag signing, as in protobuf)."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag_signed(value: int) -> int:
+    """Inverse of :func:`_zigzag_signed`."""
+    return (value >> 1) if value % 2 == 0 else -((value + 1) >> 1)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise CorruptBitstreamError("varints must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptBitstreamError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptBitstreamError("varint too long")

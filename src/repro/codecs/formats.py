@@ -1,0 +1,168 @@
+"""Input format specifications.
+
+An *input format* is one natively-available rendition of the visual data:
+full-resolution JPEG, a 161-pixel PNG thumbnail, a 480p H.264 re-encode, and
+so on.  Smol's plan space is the cross product of candidate DNNs and these
+formats (Section 3.1), so the format spec carries everything the cost model
+and the codecs need: codec kind, resolution, quality, and whether the
+rendition is natively present (free) or must be produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.image import ImageFormat, Resolution
+from repro.codecs.registry import FormatCapability, get_format
+from repro.errors import UnsupportedFormatError
+
+
+@dataclass(frozen=True)
+class InputFormatSpec:
+    """One available rendition of the input data.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, e.g. ``"full-jpeg"`` or ``"161-png"``.
+    codec:
+        The compression format of this rendition.
+    short_side:
+        Short-edge resolution in pixels of the stored rendition.
+    quality:
+        Encoder quality for lossy codecs (ignored for lossless).
+    lossless:
+        True for lossless codecs (PNG-like).
+    natively_present:
+        True when the serving system already stores this rendition
+        (thumbnails, multi-bitrate video); False when it must be produced.
+    typical_resolution:
+        Representative full resolution of a stored asset (used by the cost
+        models for full-resolution formats whose size varies per dataset).
+    """
+
+    name: str
+    codec: ImageFormat
+    short_side: int
+    quality: int = 100
+    lossless: bool = False
+    natively_present: bool = True
+    typical_resolution: Resolution = Resolution(500, 375)
+
+    def __post_init__(self) -> None:
+        if self.short_side <= 0:
+            raise UnsupportedFormatError("short_side must be positive")
+        if not 1 <= self.quality <= 100:
+            raise UnsupportedFormatError("quality must be in [1, 100]")
+
+    @property
+    def capability(self) -> FormatCapability:
+        """Low-fidelity decode capabilities of this rendition's codec."""
+        return get_format(self.codec)
+
+    @property
+    def resolution(self) -> Resolution:
+        """Stored resolution of this rendition."""
+        if self.is_full_resolution:
+            return self.typical_resolution
+        return self.typical_resolution.scaled_to_short_side(self.short_side)
+
+    @property
+    def is_full_resolution(self) -> bool:
+        """True when this rendition is the original (non-thumbnail) data."""
+        return self.short_side >= self.typical_resolution.short_side
+
+    @property
+    def is_video(self) -> bool:
+        """True for video codecs."""
+        return self.codec in (ImageFormat.H264, ImageFormat.VP8, ImageFormat.VP9)
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        fidelity = "lossless" if self.lossless else f"q={self.quality}"
+        return f"{self.name} ({self.codec.value}, short side {self.short_side}, {fidelity})"
+
+
+# ---------------------------------------------------------------------------
+# Standard image format catalog used across the evaluation (Section 8.1):
+# full-resolution JPEG plus 161-short-side thumbnails in PNG and JPEG.
+# ---------------------------------------------------------------------------
+FULL_JPEG = InputFormatSpec(
+    name="full-jpeg",
+    codec=ImageFormat.JPEG,
+    short_side=375,
+    quality=95,
+    natively_present=True,
+)
+THUMB_PNG_161 = InputFormatSpec(
+    name="161-png",
+    codec=ImageFormat.PNG,
+    short_side=161,
+    lossless=True,
+    natively_present=True,
+)
+THUMB_JPEG_161_Q95 = InputFormatSpec(
+    name="161-jpeg-q95",
+    codec=ImageFormat.JPEG,
+    short_side=161,
+    quality=95,
+    natively_present=True,
+)
+THUMB_JPEG_161_Q75 = InputFormatSpec(
+    name="161-jpeg-q75",
+    codec=ImageFormat.JPEG,
+    short_side=161,
+    quality=75,
+    natively_present=True,
+)
+
+# Video renditions used by the BlazeIt-style aggregation experiments.
+VIDEO_1080P_H264 = InputFormatSpec(
+    name="1080p-h264",
+    codec=ImageFormat.H264,
+    short_side=1080,
+    quality=85,
+    natively_present=True,
+    typical_resolution=Resolution(1920, 1080),
+)
+VIDEO_480P_H264 = InputFormatSpec(
+    name="480p-h264",
+    codec=ImageFormat.H264,
+    short_side=480,
+    quality=85,
+    natively_present=True,
+    typical_resolution=Resolution(1920, 1080),
+)
+
+STANDARD_IMAGE_FORMATS: tuple[InputFormatSpec, ...] = (
+    FULL_JPEG,
+    THUMB_PNG_161,
+    THUMB_JPEG_161_Q95,
+    THUMB_JPEG_161_Q75,
+)
+STANDARD_VIDEO_FORMATS: tuple[InputFormatSpec, ...] = (
+    VIDEO_1080P_H264,
+    VIDEO_480P_H264,
+)
+
+_FORMATS_BY_NAME = {
+    spec.name: spec
+    for spec in STANDARD_IMAGE_FORMATS + STANDARD_VIDEO_FORMATS
+}
+
+
+def get_input_format(name: str) -> InputFormatSpec:
+    """Look up a standard input format by name."""
+    if name not in _FORMATS_BY_NAME:
+        raise UnsupportedFormatError(
+            f"unknown input format {name!r}; known: {sorted(_FORMATS_BY_NAME)}"
+        )
+    return _FORMATS_BY_NAME[name]
+
+
+def list_input_formats(include_video: bool = False) -> list[InputFormatSpec]:
+    """The standard format catalog (optionally including video renditions)."""
+    formats = list(STANDARD_IMAGE_FORMATS)
+    if include_video:
+        formats.extend(STANDARD_VIDEO_FORMATS)
+    return formats

@@ -1,0 +1,138 @@
+"""In-memory image containers used by the codecs and preprocessing operators.
+
+Images are HWC uint8 arrays (the decoded representation) paired with light
+metadata.  The DNN-facing representation (float32, CHW, normalized) is
+produced by the preprocessing operators, not stored here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodecError
+
+
+class ImageFormat(enum.Enum):
+    """Encoded visual data formats supported by the substrate."""
+
+    JPEG = "jpeg"
+    PNG = "png"
+    WEBP = "webp"
+    HEIC = "heic"
+    H264 = "h264"
+    VP8 = "vp8"
+    VP9 = "vp9"
+    RAW = "raw"
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """An image resolution (width x height) with helpers for short-side sizing."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise CodecError(f"invalid resolution {self.width}x{self.height}")
+
+    @property
+    def pixels(self) -> int:
+        """Number of pixels."""
+        return self.width * self.height
+
+    @property
+    def short_side(self) -> int:
+        """Length of the shorter edge."""
+        return min(self.width, self.height)
+
+    def scaled_to_short_side(self, short_side: int) -> "Resolution":
+        """Resolution with the same aspect ratio whose shorter edge is given."""
+        if short_side <= 0:
+            raise CodecError("short side must be positive")
+        scale = short_side / self.short_side
+        return Resolution(
+            width=max(1, round(self.width * scale)),
+            height=max(1, round(self.height * scale)),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.width}x{self.height}"
+
+
+@dataclass
+class Image:
+    """A decoded image: HWC uint8 pixels plus minimal metadata."""
+
+    pixels: np.ndarray
+    label: int | None = None
+    source_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pixels.ndim == 2:
+            self.pixels = self.pixels[:, :, np.newaxis].repeat(3, axis=2)
+        if self.pixels.ndim != 3 or self.pixels.shape[2] not in (1, 3):
+            raise CodecError(
+                f"expected HxWx3 (or HxWx1) pixel array, got shape {self.pixels.shape}"
+            )
+        if self.pixels.dtype != np.uint8:
+            raise CodecError(f"expected uint8 pixels, got {self.pixels.dtype}")
+
+    @property
+    def height(self) -> int:
+        """Image height in pixels."""
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Image width in pixels."""
+        return int(self.pixels.shape[1])
+
+    @property
+    def channels(self) -> int:
+        """Number of channels (1 or 3)."""
+        return int(self.pixels.shape[2])
+
+    @property
+    def resolution(self) -> Resolution:
+        """The image resolution."""
+        return Resolution(width=self.width, height=self.height)
+
+    def crop(self, left: int, top: int, width: int, height: int) -> "Image":
+        """Return a copy cropped to the given rectangle."""
+        if left < 0 or top < 0 or width <= 0 or height <= 0:
+            raise CodecError("invalid crop rectangle")
+        if left + width > self.width or top + height > self.height:
+            raise CodecError(
+                f"crop {left},{top},{width},{height} exceeds image "
+                f"{self.width}x{self.height}"
+            )
+        return Image(
+            pixels=self.pixels[top:top + height, left:left + width].copy(),
+            label=self.label,
+            source_id=self.source_id,
+        )
+
+    def mse(self, other: "Image") -> float:
+        """Mean squared pixel error against ``other`` (must match shape)."""
+        if self.pixels.shape != other.pixels.shape:
+            raise CodecError(
+                f"shape mismatch: {self.pixels.shape} vs {other.pixels.shape}"
+            )
+        diff = self.pixels.astype(np.float64) - other.pixels.astype(np.float64)
+        return float(np.mean(diff * diff))
+
+    def psnr(self, other: "Image") -> float:
+        """Peak signal-to-noise ratio in dB against ``other``."""
+        mse = self.mse(other)
+        if mse == 0:
+            return float("inf")
+        return float(10.0 * np.log10(255.0 ** 2 / mse))
+
+    def copy(self) -> "Image":
+        """Deep copy of the image."""
+        return Image(pixels=self.pixels.copy(), label=self.label,
+                     source_id=self.source_id)

@@ -1,0 +1,165 @@
+"""A JPEG-like lossy image codec with macroblock partial decoding.
+
+Pipeline (per channel): level shift, 8x8 block DCT, quality-scaled
+quantization, zig-zag run-length entropy coding, and a per-block offset index.
+The offset index is the feature the paper's ROI decoding exploits: blocks are
+independently decodable, so only the macroblocks intersecting a region of
+interest need to be entropy-decoded and inverse-transformed.
+
+Chroma handling is simplified: all three channels use the luminance
+quantization table.  This does not change any of the behaviours the paper's
+optimizations depend on (cost scaling with decoded blocks, quality-dependent
+fidelity and size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs import blocks as blk
+from repro.codecs import entropy
+from repro.codecs.image import Image, Resolution
+from repro.codecs.roi import RegionOfInterest, expand_to_blocks
+from repro.errors import CodecError
+
+
+@dataclass(frozen=True)
+class JpegEncoded:
+    """An encoded JPEG-like image.
+
+    Attributes
+    ----------
+    width, height:
+        Original image dimensions (before block padding).
+    channels:
+        Number of channels (3 for RGB).
+    quality:
+        Encoding quality in [1, 100].
+    blocks_x, blocks_y:
+        Macroblock grid dimensions.
+    data:
+        Packed entropy-coded payload with a per-block offset index.
+    """
+
+    width: int
+    height: int
+    channels: int
+    quality: int
+    blocks_x: int
+    blocks_y: int
+    data: bytes
+
+    @property
+    def resolution(self) -> Resolution:
+        """Resolution of the decoded image."""
+        return Resolution(width=self.width, height=self.height)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total macroblocks across all channels."""
+        return self.blocks_x * self.blocks_y * self.channels
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Size of the encoded payload in bytes."""
+        return len(self.data)
+
+
+class JpegCodec:
+    """Encoder/decoder for the JPEG-like format."""
+
+    def __init__(self, quality: int = 75) -> None:
+        if not 1 <= quality <= 100:
+            raise CodecError(f"quality must be in [1, 100], got {quality}")
+        self._quality = quality
+        self._quant_table = blk.quality_to_quant_table(quality)
+
+    @property
+    def quality(self) -> int:
+        """The encoder quality factor."""
+        return self._quality
+
+    def encode(self, image: Image) -> JpegEncoded:
+        """Encode an image into the JPEG-like format."""
+        payloads: list[bytes] = []
+        blocks_x = blocks_y = 0
+        for channel_index in range(image.channels):
+            channel = image.pixels[:, :, channel_index].astype(np.float64) - 128.0
+            padded = blk.pad_to_blocks(channel)
+            channel_blocks = blk.blockify(padded)
+            blocks_y, blocks_x = channel_blocks.shape[:2]
+            coeffs = blk.forward_dct_blocks(channel_blocks)
+            quantized = blk.quantize_blocks(coeffs, self._quant_table)
+            for by in range(blocks_y):
+                for bx in range(blocks_x):
+                    flat = blk.zigzag_scan(quantized[by, bx])
+                    payloads.append(entropy.encode_coefficients(flat))
+        return JpegEncoded(
+            width=image.width,
+            height=image.height,
+            channels=image.channels,
+            quality=self._quality,
+            blocks_x=blocks_x,
+            blocks_y=blocks_y,
+            data=entropy.pack_blocks(payloads),
+        )
+
+    def decode(self, encoded: JpegEncoded) -> Image:
+        """Fully decode an encoded image."""
+        roi = RegionOfInterest(0, 0, encoded.width, encoded.height)
+        return self.decode_roi(encoded, roi)
+
+    def decode_roi(self, encoded: JpegEncoded, roi: RegionOfInterest) -> Image:
+        """Decode only the macroblocks intersecting ``roi``.
+
+        Returns the decoded ROI as an image (not the full frame); the returned
+        image's size is the block-aligned expansion of the request clipped to
+        the frame, which is what the downstream crop consumes.
+        """
+        quant_table = blk.quality_to_quant_table(encoded.quality)
+        aligned = expand_to_blocks(roi, encoded.resolution)
+        block_left = aligned.left // blk.BLOCK_SIZE
+        block_top = aligned.top // blk.BLOCK_SIZE
+        blocks_w = (aligned.width + blk.BLOCK_SIZE - 1) // blk.BLOCK_SIZE
+        blocks_h = (aligned.height + blk.BLOCK_SIZE - 1) // blk.BLOCK_SIZE
+        out = np.zeros(
+            (blocks_h * blk.BLOCK_SIZE, blocks_w * blk.BLOCK_SIZE, encoded.channels),
+            dtype=np.float64,
+        )
+        blocks_per_channel = encoded.blocks_x * encoded.blocks_y
+        for channel_index in range(encoded.channels):
+            for local_by in range(blocks_h):
+                for local_bx in range(blocks_w):
+                    by = block_top + local_by
+                    bx = block_left + local_bx
+                    block_index = (
+                        channel_index * blocks_per_channel + by * encoded.blocks_x + bx
+                    )
+                    payload = entropy.unpack_block(encoded.data, block_index)
+                    flat = entropy.decode_coefficients(
+                        payload, blk.BLOCK_SIZE * blk.BLOCK_SIZE
+                    )
+                    quantized = blk.zigzag_unscan(flat)
+                    coeffs = blk.dequantize_blocks(quantized, quant_table)
+                    pixel_block = blk.inverse_dct_blocks(coeffs) + 128.0
+                    top = local_by * blk.BLOCK_SIZE
+                    left = local_bx * blk.BLOCK_SIZE
+                    out[top:top + blk.BLOCK_SIZE, left:left + blk.BLOCK_SIZE,
+                        channel_index] = pixel_block
+        # Clip to the frame: edge blocks may extend past the true image size.
+        height = min(aligned.height, encoded.height - aligned.top)
+        width = min(aligned.width, encoded.width - aligned.left)
+        pixels = np.clip(np.round(out[:height, :width]), 0, 255).astype(np.uint8)
+        return Image(pixels=pixels)
+
+    def decoded_block_fraction(self, encoded: JpegEncoded,
+                               roi: RegionOfInterest) -> float:
+        """Fraction of macroblocks an ROI decode touches (cost proxy)."""
+        aligned = expand_to_blocks(roi, encoded.resolution)
+        blocks_w = (aligned.width + blk.BLOCK_SIZE - 1) // blk.BLOCK_SIZE
+        blocks_h = (aligned.height + blk.BLOCK_SIZE - 1) // blk.BLOCK_SIZE
+        touched = blocks_w * blocks_h
+        total = encoded.blocks_x * encoded.blocks_y
+        return touched / total if total else 0.0

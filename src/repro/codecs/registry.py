@@ -1,0 +1,104 @@
+"""Format registry: which formats support which low-fidelity decode features.
+
+Reproduces Table 4 of the paper.  The planner and the preprocessing placement
+logic consult this registry to decide whether ROI decoding, early stopping, or
+reduced-fidelity decoding are available for a given input format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.image import ImageFormat
+from repro.errors import UnsupportedFormatError
+
+
+@dataclass(frozen=True)
+class FormatCapability:
+    """Decode-time capabilities of a visual data format.
+
+    Attributes
+    ----------
+    format:
+        The visual data format.
+    media_type:
+        ``"image"``, ``"video"`` or ``"image/video"``.
+    partial_decoding:
+        True when independent macroblocks permit ROI decoding (JPEG).
+    early_stopping:
+        True when decoding can stop once enough raster rows are produced
+        (PNG, WebP).
+    reduced_fidelity:
+        True when a post-processing filter (deblocking) can be disabled for
+        a cheaper, lower-fidelity decode (H.264, HEVC, VP8/9).
+    multi_resolution:
+        True when the bitstream natively contains several resolutions
+        (JPEG2000 progressive images).
+    """
+
+    format: ImageFormat
+    media_type: str
+    partial_decoding: bool = False
+    early_stopping: bool = False
+    reduced_fidelity: bool = False
+    multi_resolution: bool = False
+
+    @property
+    def low_fidelity_feature(self) -> str:
+        """Human-readable primary low-fidelity feature (Table 4 wording)."""
+        if self.partial_decoding:
+            return "Partial decoding"
+        if self.early_stopping:
+            return "Early stopping"
+        if self.reduced_fidelity:
+            return "Reduced fidelity decoding"
+        if self.multi_resolution:
+            return "Multi-resolution decoding"
+        return "None"
+
+    def supports_roi(self) -> bool:
+        """True when an ROI-limited decode is cheaper than a full decode."""
+        return self.partial_decoding or self.early_stopping
+
+
+FORMAT_REGISTRY: dict[ImageFormat, FormatCapability] = {
+    ImageFormat.JPEG: FormatCapability(
+        format=ImageFormat.JPEG, media_type="image", partial_decoding=True
+    ),
+    ImageFormat.PNG: FormatCapability(
+        format=ImageFormat.PNG, media_type="image", early_stopping=True
+    ),
+    ImageFormat.WEBP: FormatCapability(
+        format=ImageFormat.WEBP, media_type="image", early_stopping=True
+    ),
+    ImageFormat.HEIC: FormatCapability(
+        format=ImageFormat.HEIC, media_type="image/video", reduced_fidelity=True
+    ),
+    ImageFormat.H264: FormatCapability(
+        format=ImageFormat.H264, media_type="video", reduced_fidelity=True
+    ),
+    ImageFormat.VP8: FormatCapability(
+        format=ImageFormat.VP8, media_type="video", reduced_fidelity=True
+    ),
+    ImageFormat.VP9: FormatCapability(
+        format=ImageFormat.VP9, media_type="video", reduced_fidelity=True
+    ),
+    ImageFormat.RAW: FormatCapability(format=ImageFormat.RAW, media_type="image"),
+}
+
+
+def get_format(fmt: ImageFormat | str) -> FormatCapability:
+    """Look up the capability record for a format."""
+    if isinstance(fmt, str):
+        try:
+            fmt = ImageFormat(fmt.lower())
+        except ValueError as exc:
+            raise UnsupportedFormatError(f"unknown format {fmt!r}") from exc
+    if fmt not in FORMAT_REGISTRY:
+        raise UnsupportedFormatError(f"no capability record for {fmt}")
+    return FORMAT_REGISTRY[fmt]
+
+
+def list_formats() -> list[FormatCapability]:
+    """Return capability records for every registered format."""
+    return [FORMAT_REGISTRY[fmt] for fmt in ImageFormat if fmt in FORMAT_REGISTRY]

@@ -1,0 +1,174 @@
+"""An H.264-like video codec with an optional deblocking filter.
+
+The codec models the decode-time behaviours the paper relies on:
+
+* group-of-pictures structure with intra (I) frames and predicted (P) frames
+  carrying block-based residuals against the previous frame;
+* a deblocking filter that smooths block boundaries after reconstruction and
+  can be disabled for reduced-fidelity, faster decoding (Section 6.4);
+* multi-resolution encodings of the same video (full resolution plus 480p),
+  matching how serving systems natively store several renditions.
+
+Frames are internally compressed with the JPEG-like block codec for I frames
+and a residual variant for P frames, so decode cost genuinely scales with
+resolution and with the deblocking setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs import blocks as blk
+from repro.codecs.image import Image, Resolution
+from repro.codecs.jpeg import JpegCodec, JpegEncoded
+from repro.errors import CodecError
+
+
+@dataclass(frozen=True)
+class VideoFrameRef:
+    """Reference to one encoded frame inside an :class:`EncodedVideo`."""
+
+    index: int
+    is_keyframe: bool
+    payload: JpegEncoded
+
+
+@dataclass(frozen=True)
+class EncodedVideo:
+    """An encoded video: a sequence of I/P frames at a single resolution."""
+
+    width: int
+    height: int
+    frames: tuple[VideoFrameRef, ...]
+    gop_size: int
+    quality: int
+
+    @property
+    def resolution(self) -> Resolution:
+        """Frame resolution."""
+        return Resolution(width=self.width, height=self.height)
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the video."""
+        return len(self.frames)
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Total compressed size of all frames."""
+        return sum(ref.payload.compressed_bytes for ref in self.frames)
+
+
+def deblock(pixels: np.ndarray, strength: float = 0.5) -> np.ndarray:
+    """Apply a simple deblocking filter along 8-pixel block boundaries.
+
+    Averages the two pixels straddling each block edge toward each other.
+    Disabling this filter is the "reduced fidelity decoding" option.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise CodecError("deblocking strength must be in [0, 1]")
+    out = pixels.astype(np.float64)
+    height, width = out.shape[:2]
+    for edge in range(blk.BLOCK_SIZE, width, blk.BLOCK_SIZE):
+        left = out[:, edge - 1]
+        right = out[:, edge]
+        mean = (left + right) / 2.0
+        out[:, edge - 1] = left * (1 - strength) + mean * strength
+        out[:, edge] = right * (1 - strength) + mean * strength
+    for edge in range(blk.BLOCK_SIZE, height, blk.BLOCK_SIZE):
+        top = out[edge - 1, :]
+        bottom = out[edge, :]
+        mean = (top + bottom) / 2.0
+        out[edge - 1, :] = top * (1 - strength) + mean * strength
+        out[edge, :] = bottom * (1 - strength) + mean * strength
+    return np.clip(np.round(out), 0, 255).astype(np.uint8)
+
+
+class VideoCodec:
+    """Encoder/decoder for the H.264-like video format."""
+
+    def __init__(self, quality: int = 75, gop_size: int = 8) -> None:
+        if gop_size <= 0:
+            raise CodecError("gop_size must be positive")
+        self._gop_size = gop_size
+        self._quality = quality
+        self._frame_codec = JpegCodec(quality=quality)
+
+    def encode(self, frames: list[Image]) -> EncodedVideo:
+        """Encode a list of frames into an I/P-frame stream."""
+        if not frames:
+            raise CodecError("cannot encode an empty frame list")
+        width, height = frames[0].width, frames[0].height
+        refs: list[VideoFrameRef] = []
+        reference: np.ndarray | None = None
+        for index, frame in enumerate(frames):
+            if frame.width != width or frame.height != height:
+                raise CodecError("all frames must share a resolution")
+            is_keyframe = index % self._gop_size == 0 or reference is None
+            if is_keyframe:
+                payload = self._frame_codec.encode(frame)
+                reference = self._frame_codec.decode(payload).pixels
+            else:
+                residual = (
+                    frame.pixels.astype(np.int16) - reference.astype(np.int16)
+                )
+                shifted = np.clip(residual // 2 + 128, 0, 255).astype(np.uint8)
+                payload = self._frame_codec.encode(Image(pixels=shifted))
+                decoded_residual = (
+                    self._frame_codec.decode(payload).pixels.astype(np.int16) - 128
+                ) * 2
+                reference = np.clip(
+                    reference.astype(np.int16) + decoded_residual, 0, 255
+                ).astype(np.uint8)
+            refs.append(VideoFrameRef(index=index, is_keyframe=is_keyframe,
+                                      payload=payload))
+        return EncodedVideo(width=width, height=height, frames=tuple(refs),
+                            gop_size=self._gop_size, quality=self._quality)
+
+    def decode(self, video: EncodedVideo, deblocking: bool = True,
+               limit: int | None = None) -> list[Image]:
+        """Decode frames, optionally disabling the deblocking filter.
+
+        Parameters
+        ----------
+        video:
+            The encoded video.
+        deblocking:
+            When False, skip the deblocking filter (reduced-fidelity decode).
+        limit:
+            Decode only the first ``limit`` frames.
+        """
+        decoded: list[Image] = []
+        reference: np.ndarray | None = None
+        count = video.num_frames if limit is None else min(limit, video.num_frames)
+        for ref in video.frames[:count]:
+            raw = self._frame_codec.decode(ref.payload).pixels
+            if ref.is_keyframe or reference is None:
+                reconstructed = raw
+            else:
+                residual = (raw.astype(np.int16) - 128) * 2
+                reconstructed = np.clip(
+                    reference.astype(np.int16) + residual, 0, 255
+                ).astype(np.uint8)
+            reference = reconstructed
+            if deblocking:
+                reconstructed = deblock(reconstructed)
+            decoded.append(Image(pixels=reconstructed))
+        return decoded
+
+    def decode_frame(self, video: EncodedVideo, index: int,
+                     deblocking: bool = True) -> Image:
+        """Decode a single frame (decodes from its GOP's keyframe forward)."""
+        if not 0 <= index < video.num_frames:
+            raise CodecError(f"frame index {index} out of range")
+        gop_start = (index // video.gop_size) * video.gop_size
+        window = EncodedVideo(
+            width=video.width,
+            height=video.height,
+            frames=video.frames[gop_start:index + 1],
+            gop_size=video.gop_size,
+            quality=video.quality,
+        )
+        return self.decode(window, deblocking=deblocking)[-1]

@@ -1,0 +1,37 @@
+"""Smol core: plans, cost models, accuracy estimation, and the planner.
+
+This package is the paper's primary contribution: a preprocessing-aware cost
+model (Section 4), plan generation over the cross product of candidate DNNs
+and natively available input formats (Sections 3 and 5), constraint-based or
+Pareto-optimal plan selection, and the low-resolution-aware training driver
+(Section 5.3).  Execution is delegated to :mod:`repro.inference`.
+"""
+
+from repro.core.plans import Plan, PlanConstraints, PlanEstimate
+from repro.core.costmodel import (
+    CostModel,
+    SmolCostModel,
+    ExecutionOnlyCostModel,
+    SerialSumCostModel,
+)
+from repro.core.accuracy import AccuracyEstimator, AccuracyEstimate
+from repro.core.planner import PlanGenerator, PlannerFeatures
+from repro.core.training import LowResolutionTrainer, FineTuneResult
+from repro.core.smol import Smol
+
+__all__ = [
+    "Plan",
+    "PlanConstraints",
+    "PlanEstimate",
+    "CostModel",
+    "SmolCostModel",
+    "ExecutionOnlyCostModel",
+    "SerialSumCostModel",
+    "AccuracyEstimator",
+    "AccuracyEstimate",
+    "PlanGenerator",
+    "PlannerFeatures",
+    "LowResolutionTrainer",
+    "FineTuneResult",
+    "Smol",
+]

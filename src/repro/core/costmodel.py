@@ -1,0 +1,164 @@
+"""Throughput cost models for end-to-end DNN inference (Section 4).
+
+Three estimators are implemented:
+
+* :class:`ExecutionOnlyCostModel` -- prior work's estimator (BlazeIt,
+  NoScope, probabilistic predicates): end-to-end throughput equals the
+  cascade's DNN execution throughput; preprocessing is ignored (Equation 2).
+* :class:`SerialSumCostModel` -- Tahoma's estimator: preprocessing and DNN
+  execution run back-to-back, so their per-image times add (Equation 3).
+* :class:`SmolCostModel` -- the paper's corrected estimator: preprocessing is
+  pipelined with DNN execution, so end-to-end throughput is the minimum of
+  the two stage throughputs (Equation 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plans import Plan
+from repro.errors import PlanError
+from repro.inference.perfmodel import EngineConfig, PerformanceModel, StageEstimate
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """A cost model's estimate for one plan."""
+
+    plan: Plan
+    estimated_throughput: float
+    preprocessing_throughput: float
+    dnn_throughput: float
+    model_name: str
+
+    def error_against(self, measured_throughput: float) -> float:
+        """Absolute relative error versus a measured throughput."""
+        if measured_throughput <= 0:
+            raise PlanError("measured throughput must be positive")
+        return abs(self.estimated_throughput - measured_throughput) / measured_throughput
+
+
+class CostModel:
+    """Base class: computes stage throughputs, subclasses combine them."""
+
+    #: Short name used in benchmark tables.
+    name = "base"
+
+    def __init__(self, performance_model: PerformanceModel,
+                 config: EngineConfig | None = None) -> None:
+        self._perf = performance_model
+        self._config = config or EngineConfig(
+            num_producers=performance_model.instance.vcpus
+        )
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration assumed by the estimates."""
+        return self._config
+
+    def stage_estimate(self, plan: Plan) -> StageEstimate:
+        """Per-stage estimate for the plan's primary model and format."""
+        offloaded = plan.offloaded_fraction
+        if offloaded is None:
+            offloaded = self._perf.best_offload_fraction(
+                plan.primary_model, plan.input_format, self._config,
+                roi_fraction=plan.roi_fraction,
+            )
+        return self._perf.estimate(
+            plan.primary_model, plan.input_format, self._config,
+            roi_fraction=plan.roi_fraction,
+            offloaded_fraction=offloaded,
+            deblocking=plan.deblocking,
+        )
+
+    def cascade_dnn_throughput(self, plan: Plan) -> float:
+        """DNN-side throughput of a cascade (Equation 2's denominator).
+
+        Each stage ``j`` processes a fraction of the inputs given by the
+        product of upstream pass-through rates; total per-image time is the
+        sum of the stage times weighted by those fractions.
+        """
+        per_image_us = 0.0
+        reach = 1.0
+        for stage in plan.stages:
+            stage_estimate = self._perf.estimate(
+                stage.model, plan.input_format, self._config,
+                roi_fraction=plan.roi_fraction,
+                offloaded_fraction=0.0,
+                deblocking=plan.deblocking,
+            )
+            per_image_us += reach * (1e6 / stage_estimate.dnn_throughput)
+            reach *= stage.pass_through_rate
+        if per_image_us <= 0:
+            raise PlanError("cascade produced a non-positive per-image time")
+        return 1e6 / per_image_us
+
+    def preprocessing_throughput(self, plan: Plan) -> float:
+        """CPU-side preprocessing throughput for the plan's input format."""
+        return self.stage_estimate(plan).preprocessing_throughput
+
+    def estimate(self, plan: Plan) -> ThroughputEstimate:
+        """Estimate end-to-end throughput for ``plan``."""
+        raise NotImplementedError
+
+
+class ExecutionOnlyCostModel(CostModel):
+    """Prior work's estimator: end-to-end throughput = DNN throughput."""
+
+    name = "exec-only"
+
+    def estimate(self, plan: Plan) -> ThroughputEstimate:
+        dnn = self.cascade_dnn_throughput(plan)
+        preproc = self.preprocessing_throughput(plan)
+        return ThroughputEstimate(
+            plan=plan,
+            estimated_throughput=dnn,
+            preprocessing_throughput=preproc,
+            dnn_throughput=dnn,
+            model_name=self.name,
+        )
+
+
+class SerialSumCostModel(CostModel):
+    """Tahoma's estimator: per-image times of the two stages add."""
+
+    name = "serial-sum"
+
+    def estimate(self, plan: Plan) -> ThroughputEstimate:
+        dnn = self.cascade_dnn_throughput(plan)
+        preproc = self.preprocessing_throughput(plan)
+        combined = 1.0 / (1.0 / preproc + 1.0 / dnn)
+        return ThroughputEstimate(
+            plan=plan,
+            estimated_throughput=combined,
+            preprocessing_throughput=preproc,
+            dnn_throughput=dnn,
+            model_name=self.name,
+        )
+
+
+class SmolCostModel(CostModel):
+    """The paper's pipelined estimator: min of the stage throughputs."""
+
+    name = "smol"
+
+    def estimate(self, plan: Plan) -> ThroughputEstimate:
+        dnn = self.cascade_dnn_throughput(plan)
+        preproc = self.preprocessing_throughput(plan)
+        return ThroughputEstimate(
+            plan=plan,
+            estimated_throughput=min(preproc, dnn),
+            preprocessing_throughput=preproc,
+            dnn_throughput=dnn,
+            model_name=self.name,
+        )
+
+
+def all_cost_models(performance_model: PerformanceModel,
+                    config: EngineConfig | None = None) -> list[CostModel]:
+    """Instantiate the three cost models for comparison benchmarks."""
+    return [
+        SmolCostModel(performance_model, config),
+        ExecutionOnlyCostModel(performance_model, config),
+        SerialSumCostModel(performance_model, config),
+    ]

@@ -1,0 +1,168 @@
+"""Query plans: a DNN (or cascade) paired with an input format and options.
+
+A Smol plan fixes everything the runtime engine needs: which DNN(s) to run,
+which natively-available input rendition to read, how much of each image to
+decode (ROI fraction), whether to use reduced-fidelity decoding, and which
+training variant of the model to use (regular or low-resolution-augmented).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codecs.formats import InputFormatSpec
+from repro.errors import PlanError
+from repro.nn.zoo import ModelProfile
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """One stage of a model cascade.
+
+    Attributes
+    ----------
+    model:
+        The DNN executed at this stage.
+    pass_through_rate:
+        Expected fraction of inputs forwarded to the next stage (alpha in the
+        paper's Equation 2).  The final stage's rate is irrelevant.
+    """
+
+    model: ModelProfile
+    pass_through_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pass_through_rate <= 1.0:
+            raise PlanError("pass-through rate must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An executable query plan.
+
+    Attributes
+    ----------
+    stages:
+        The model cascade; a single-element tuple for non-cascaded plans.
+    input_format:
+        The input rendition the plan reads.
+    training:
+        ``"regular"`` or ``"lowres"`` -- which training variant of the model
+        to use (Section 5.3).
+    roi_fraction:
+        Fraction of each image decoded (1.0 = full decode).
+    deblocking:
+        Whether video decoding applies the deblocking filter.
+    offloaded_fraction:
+        Fraction of post-decode preprocessing placed on the accelerator; None
+        lets the engine pick (Section 6.3).
+    label:
+        Optional human-readable label for reports.
+    """
+
+    stages: tuple[CascadeStage, ...]
+    input_format: InputFormatSpec
+    training: str = "regular"
+    roi_fraction: float = 1.0
+    deblocking: bool = True
+    offloaded_fraction: float | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise PlanError("a plan needs at least one model stage")
+        if self.training not in ("regular", "lowres"):
+            raise PlanError("training must be 'regular' or 'lowres'")
+        if not 0.0 < self.roi_fraction <= 1.0:
+            raise PlanError("roi_fraction must be in (0, 1]")
+        if self.offloaded_fraction is not None and not (
+            0.0 <= self.offloaded_fraction <= 1.0
+        ):
+            raise PlanError("offloaded_fraction must be in [0, 1]")
+
+    @classmethod
+    def single(cls, model: ModelProfile, input_format: InputFormatSpec,
+               **kwargs) -> "Plan":
+        """Build a plan with a single (non-cascaded) model."""
+        return cls(stages=(CascadeStage(model=model),),
+                   input_format=input_format, **kwargs)
+
+    @classmethod
+    def cascade(cls, proxy: ModelProfile, target: ModelProfile,
+                pass_through_rate: float, input_format: InputFormatSpec,
+                **kwargs) -> "Plan":
+        """Build a two-stage cascade: a cheap proxy filtering for a target DNN."""
+        stages = (
+            CascadeStage(model=proxy, pass_through_rate=pass_through_rate),
+            CascadeStage(model=target),
+        )
+        return cls(stages=stages, input_format=input_format, **kwargs)
+
+    @property
+    def primary_model(self) -> ModelProfile:
+        """The first (cheapest / always-executed) model of the plan."""
+        return self.stages[0].model
+
+    @property
+    def is_cascade(self) -> bool:
+        """True when the plan chains more than one model."""
+        return len(self.stages) > 1
+
+    def describe(self) -> str:
+        """Human-readable plan description."""
+        models = " -> ".join(stage.model.name for stage in self.stages)
+        suffix = f" [{self.training}]" if self.training != "regular" else ""
+        return f"{models} on {self.input_format.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Cost-model output for one plan: throughput and accuracy estimates."""
+
+    plan: Plan
+    throughput: float
+    accuracy: float
+    preprocessing_throughput: float
+    dnn_throughput: float
+
+    def objectives(self) -> tuple[float, float]:
+        """(throughput, accuracy) vector for Pareto-frontier computation."""
+        return (self.throughput, self.accuracy)
+
+    @property
+    def bottleneck(self) -> str:
+        """Which stage the cost model predicts will limit throughput."""
+        if self.preprocessing_throughput <= self.dnn_throughput:
+            return "preprocessing"
+        return "dnn"
+
+
+@dataclass(frozen=True)
+class PlanConstraints:
+    """Optional constraints on plan selection (Section 3.1).
+
+    Exactly one of the two optimization modes applies:
+
+    * ``accuracy_floor`` set: maximize throughput subject to accuracy.
+    * ``throughput_floor`` set: maximize accuracy subject to throughput.
+    * neither set: Smol returns the highest-throughput plan (or the Pareto
+      set when the caller asks for it).
+    """
+
+    accuracy_floor: float | None = None
+    throughput_floor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.accuracy_floor is not None and not 0.0 <= self.accuracy_floor <= 1.0:
+            raise PlanError("accuracy_floor must be in [0, 1]")
+        if self.throughput_floor is not None and self.throughput_floor <= 0:
+            raise PlanError("throughput_floor must be positive")
+
+    def satisfied_by(self, estimate: PlanEstimate) -> bool:
+        """Whether an estimate meets every specified constraint."""
+        if self.accuracy_floor is not None and estimate.accuracy < self.accuracy_floor:
+            return False
+        if (self.throughput_floor is not None
+                and estimate.throughput < self.throughput_floor):
+            return False
+        return True

@@ -1,0 +1,126 @@
+"""Low-resolution-aware fine-tuning driver (Sections 3.1 and 5.3).
+
+Given the set of candidate DNN architectures and the natively available
+formats, Smol fine-tunes each architecture on the cross product of models and
+resolutions (one fine-tune per resolution; formats of the same resolution
+share a model).  Fine-tuning adds at most ~30% training overhead because the
+low-resolution variants start from the full-resolution weights and train for
+a fraction of the original schedule.
+
+This module drives the numpy trainer on the synthetic datasets; for the
+calibrated (paper-scale) path, the resulting accuracy surface is read from
+the calibration tables instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.model import Sequential, build_mini_resnet, evaluate_accuracy
+from repro.nn.train import Trainer, TrainingConfig, lowres_roundtrip
+
+
+@dataclass
+class FineTuneResult:
+    """Outcome of fine-tuning one (architecture, resolution) pair."""
+
+    model_name: str
+    target_short_side: int | None
+    baseline_accuracy: float
+    finetuned_accuracy: float
+    epochs: int
+
+    @property
+    def accuracy_recovered(self) -> float:
+        """Accuracy gained by low-resolution-aware training."""
+        return self.finetuned_accuracy - self.baseline_accuracy
+
+
+@dataclass
+class LowResolutionTrainer:
+    """Trains regular and low-resolution-augmented variants of a model family.
+
+    Attributes
+    ----------
+    num_classes:
+        Number of classes in the dataset.
+    input_size:
+        Square input resolution of the trainable models.
+    base_config:
+        Training hyperparameters for the full-resolution baseline; the
+        low-resolution fine-tune reuses them with fewer epochs.
+    finetune_epoch_fraction:
+        Fraction of the baseline epochs used for each fine-tune (the <=30%
+        overhead the paper quotes).
+    """
+
+    num_classes: int
+    input_size: int = 32
+    base_config: TrainingConfig = field(default_factory=TrainingConfig)
+    finetune_epoch_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.num_classes <= 1:
+            raise TrainingError("num_classes must be at least 2")
+        if not 0.0 < self.finetune_epoch_fraction <= 1.0:
+            raise TrainingError("finetune_epoch_fraction must be in (0, 1]")
+
+    def train_baseline(self, depth: int, train_images: np.ndarray,
+                       train_labels: np.ndarray, val_images: np.ndarray,
+                       val_labels: np.ndarray, seed: int = 0) -> tuple[Sequential, float]:
+        """Train the full-resolution (regular) model for one depth."""
+        model = build_mini_resnet(depth, num_classes=self.num_classes,
+                                  input_size=self.input_size, seed=seed)
+        trainer = Trainer(model, self.base_config)
+        result = trainer.fit(train_images, train_labels, val_images, val_labels)
+        accuracy = result.validation_accuracy
+        if accuracy is None:
+            accuracy = evaluate_accuracy(model, val_images, val_labels)
+        return model, accuracy
+
+    def finetune_lowres(self, model: Sequential, target_short_side: int,
+                        train_images: np.ndarray, train_labels: np.ndarray,
+                        val_images: np.ndarray, val_labels: np.ndarray,
+                        seed: int = 0) -> FineTuneResult:
+        """Fine-tune ``model`` with low-resolution augmentation.
+
+        The validation set is degraded through the same low-resolution
+        round trip to measure accuracy as it will be observed at inference
+        time on the low-resolution rendition.
+        """
+        if target_short_side <= 0:
+            raise TrainingError("target_short_side must be positive")
+        degraded_val = lowres_roundtrip(val_images, target_short_side)
+        baseline_accuracy = evaluate_accuracy(model, degraded_val, val_labels)
+        epochs = max(1, int(round(self.base_config.epochs
+                                  * self.finetune_epoch_fraction)))
+        finetune_config = TrainingConfig(
+            epochs=epochs,
+            batch_size=self.base_config.batch_size,
+            learning_rate=self.base_config.learning_rate * 0.3,
+            momentum=self.base_config.momentum,
+            weight_decay=self.base_config.weight_decay,
+            lowres_augment_size=target_short_side,
+            lowres_augment_prob=0.7,
+            flip_augment=self.base_config.flip_augment,
+            seed=seed + 1,
+        )
+        trainer = Trainer(model, finetune_config)
+        trainer.fit(train_images, train_labels)
+        finetuned_accuracy = evaluate_accuracy(model, degraded_val, val_labels)
+        return FineTuneResult(
+            model_name=model.name,
+            target_short_side=target_short_side,
+            baseline_accuracy=baseline_accuracy,
+            finetuned_accuracy=finetuned_accuracy,
+            epochs=epochs,
+        )
+
+    def training_overhead(self, num_resolutions: int) -> float:
+        """Relative extra training cost of fine-tuning ``num_resolutions`` variants."""
+        if num_resolutions < 0:
+            raise TrainingError("num_resolutions cannot be negative")
+        return num_resolutions * self.finetune_epoch_fraction

@@ -1,0 +1,37 @@
+"""Synthetic datasets standing in for the paper's eight evaluation datasets.
+
+Four image classification datasets (bike-bird, animals-10, birds-200,
+imagenet) and four video aggregation datasets (night-street, taipei,
+amsterdam, rialto).  The synthetic generators produce parametric shapes and
+textures so classes are genuinely learnable by the numpy models, and every
+dataset is stored in multiple natively-present renditions (full resolution,
+161-pixel thumbnails in PNG and JPEG) to exercise the multi-format planner.
+"""
+
+from repro.datasets.synthetic import SyntheticImageGenerator, render_class_image
+from repro.datasets.images import (
+    ImageDataset,
+    DatasetStats,
+    load_image_dataset,
+    list_image_datasets,
+)
+from repro.datasets.store import MultiResolutionStore, StoredRendition
+from repro.datasets.video import (
+    VideoDataset,
+    load_video_dataset,
+    list_video_datasets,
+)
+
+__all__ = [
+    "SyntheticImageGenerator",
+    "render_class_image",
+    "ImageDataset",
+    "DatasetStats",
+    "load_image_dataset",
+    "list_image_datasets",
+    "MultiResolutionStore",
+    "StoredRendition",
+    "VideoDataset",
+    "load_video_dataset",
+    "list_video_datasets",
+]

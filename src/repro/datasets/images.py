@@ -1,0 +1,149 @@
+"""The four image classification evaluation datasets (Table 6).
+
+Each dataset pairs the paper's statistics (class count, train/test sizes)
+with a synthetic generator scaled down to a size trainable in numpy, plus the
+set of natively-available renditions used by the planner.  ``load_image_dataset``
+returns a lightweight handle; materializing pixels or encoded renditions is
+done lazily so the planner-only benchmarks never pay generation costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codecs.formats import (
+    InputFormatSpec,
+    STANDARD_IMAGE_FORMATS,
+)
+from repro.datasets.store import MultiResolutionStore
+from repro.datasets.synthetic import SyntheticImageGenerator
+from repro.errors import DatasetError
+from repro.hardware import calibration as cal
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Published statistics of an evaluation dataset (Table 6)."""
+
+    name: str
+    num_classes: int
+    train_images: int
+    test_images: int
+
+    @property
+    def difficulty_rank(self) -> int:
+        """Rank by class count (1 = easiest)."""
+        order = sorted(cal.TABLE6_DATASETS,
+                       key=lambda n: cal.TABLE6_DATASETS[n]["classes"])
+        return order.index(self.name) + 1 if self.name in order else 0
+
+
+@dataclass
+class ImageDataset:
+    """Handle for one image classification dataset.
+
+    Attributes
+    ----------
+    stats:
+        Paper-scale statistics (Table 6).
+    synthetic_classes:
+        Number of classes the synthetic stand-in uses (capped so numpy
+        training stays tractable; proportional to the real class count).
+    synthetic_samples_per_class:
+        Training images per class generated for the functional experiments.
+    image_size:
+        Square pixel size of generated full-resolution images.
+    available_formats:
+        Natively-present renditions (full-resolution JPEG plus thumbnails).
+    """
+
+    stats: DatasetStats
+    synthetic_classes: int
+    synthetic_samples_per_class: int = 24
+    image_size: int = 64
+    available_formats: tuple[InputFormatSpec, ...] = field(
+        default_factory=lambda: STANDARD_IMAGE_FORMATS
+    )
+
+    def __post_init__(self) -> None:
+        if self.synthetic_classes < 2:
+            raise DatasetError("synthetic_classes must be at least 2")
+
+    @property
+    def name(self) -> str:
+        """Dataset name."""
+        return self.stats.name
+
+    @property
+    def num_classes(self) -> int:
+        """Paper-scale class count."""
+        return self.stats.num_classes
+
+    def generator(self, seed: int = 0) -> SyntheticImageGenerator:
+        """The synthetic image generator for this dataset."""
+        return SyntheticImageGenerator(
+            num_classes=self.synthetic_classes,
+            image_size=self.image_size,
+            seed=seed,
+        )
+
+    def training_arrays(self, samples_per_class: int | None = None,
+                        seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """Normalized NCHW train arrays for the numpy trainer."""
+        per_class = samples_per_class or self.synthetic_samples_per_class
+        return self.generator(seed).generate_array_split(per_class, split="train")
+
+    def test_arrays(self, samples_per_class: int | None = None,
+                    seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """Normalized NCHW test arrays."""
+        per_class = samples_per_class or max(
+            4, self.synthetic_samples_per_class // 3
+        )
+        return self.generator(seed).generate_array_split(per_class, split="test")
+
+    def build_store(self, images_per_class: int = 4,
+                    seed: int = 0) -> MultiResolutionStore:
+        """Encode a small sample of the dataset into every rendition."""
+        store = MultiResolutionStore(list(self.available_formats))
+        generator = self.generator(seed)
+        for class_index in range(self.synthetic_classes):
+            for sample in range(images_per_class):
+                image = generator.generate_image(class_index, 2_000_000 + sample)
+                store.ingest(image)
+        return store
+
+
+def _dataset_configs() -> dict[str, ImageDataset]:
+    configs = {}
+    synthetic_classes = {"bike-bird": 2, "animals-10": 6, "birds-200": 8,
+                         "imagenet": 10}
+    for name, stats in cal.TABLE6_DATASETS.items():
+        configs[name] = ImageDataset(
+            stats=DatasetStats(
+                name=name,
+                num_classes=stats["classes"],
+                train_images=stats["train"],
+                test_images=stats["test"],
+            ),
+            synthetic_classes=synthetic_classes[name],
+        )
+    return configs
+
+
+_DATASETS = _dataset_configs()
+
+
+def load_image_dataset(name: str) -> ImageDataset:
+    """Load an image dataset handle by name."""
+    if name not in _DATASETS:
+        raise DatasetError(
+            f"unknown image dataset {name!r}; known: {sorted(_DATASETS)}"
+        )
+    return _DATASETS[name]
+
+
+def list_image_datasets() -> list[ImageDataset]:
+    """All image datasets, easiest (fewest classes) first."""
+    return sorted(_DATASETS.values(), key=lambda d: d.num_classes)

@@ -1,0 +1,155 @@
+"""The four video aggregation datasets (night-street, taipei, amsterdam,
+rialto) as synthetic stand-ins.
+
+Each dataset is a long fixed-camera video with a per-frame ground-truth count
+of target objects (cars, people).  The synthetic generator produces a
+deterministic per-frame count process (a bursty autoregressive process whose
+mean and variance differ per dataset) and can render actual frames -- moving
+bright blobs over a static background -- for the functional codec path.  The
+aggregation experiments (Figure 9) only need the count process plus the
+specialized-NN noise model; frame rendering is used by codec and engine tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codecs.formats import (
+    InputFormatSpec,
+    VIDEO_1080P_H264,
+    VIDEO_480P_H264,
+)
+from repro.codecs.image import Image
+from repro.errors import DatasetError
+from repro.utils.rng import deterministic_rng
+
+
+@dataclass(frozen=True)
+class VideoDatasetSpec:
+    """Statistical parameters of one synthetic video dataset."""
+
+    name: str
+    num_frames: int
+    mean_count: float
+    burstiness: float      # autocorrelation of the count process in [0, 1)
+    count_cap: int
+    frame_size: int = 64   # rendered frame size for the functional path
+
+
+@dataclass
+class VideoDataset:
+    """Handle for one video aggregation dataset."""
+
+    spec: VideoDatasetSpec
+    available_formats: tuple[InputFormatSpec, ...] = field(
+        default_factory=lambda: (VIDEO_1080P_H264, VIDEO_480P_H264)
+    )
+
+    @property
+    def name(self) -> str:
+        """Dataset name."""
+        return self.spec.name
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the dataset."""
+        return self.spec.num_frames
+
+    def ground_truth_counts(self, limit: int | None = None) -> np.ndarray:
+        """Per-frame ground-truth object counts (deterministic)."""
+        frames = self.spec.num_frames if limit is None else min(limit,
+                                                                self.spec.num_frames)
+        rng = deterministic_rng("video-counts", self.spec.name)
+        counts = np.empty(frames, dtype=np.int64)
+        level = self.spec.mean_count
+        for index in range(frames):
+            level = (
+                self.spec.burstiness * level
+                + (1 - self.spec.burstiness) * self.spec.mean_count
+                + rng.normal(0.0, self.spec.mean_count * 0.45)
+            )
+            level = max(0.0, level)
+            counts[index] = min(self.spec.count_cap, int(round(
+                rng.poisson(max(level, 1e-3))
+            )))
+        return counts
+
+    def specialized_nn_predictions(self, accuracy_factor: float = 0.85,
+                                   limit: int | None = None) -> np.ndarray:
+        """Noisy per-frame counts as produced by a specialized NN.
+
+        ``accuracy_factor`` in (0, 1] controls how correlated the proxy's
+        counts are with the ground truth: the BlazeIt control-variate
+        estimator's variance reduction depends directly on this correlation.
+        """
+        if not 0.0 < accuracy_factor <= 1.0:
+            raise DatasetError("accuracy_factor must be in (0, 1]")
+        truth = self.ground_truth_counts(limit)
+        rng = deterministic_rng("video-proxy", self.spec.name, accuracy_factor)
+        noise_scale = (1.0 - accuracy_factor) * (self.spec.mean_count + 1.0)
+        noise = rng.normal(0.0, max(noise_scale, 1e-6), size=truth.shape)
+        bias = rng.normal(0.0, 0.05 * self.spec.mean_count)
+        predictions = np.clip(truth + noise + bias, 0, self.spec.count_cap)
+        return predictions
+
+    def render_frames(self, num_frames: int, seed: int = 0) -> list[Image]:
+        """Render actual frames (moving blobs) for the codec/engine tests."""
+        if num_frames <= 0:
+            raise DatasetError("num_frames must be positive")
+        counts = self.ground_truth_counts(num_frames)
+        size = self.spec.frame_size
+        rng = deterministic_rng("video-frames", self.spec.name, seed=seed)
+        background = rng.uniform(30, 80, size=(size, size, 3))
+        frames: list[Image] = []
+        ys, xs = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+        for frame_index in range(num_frames):
+            frame = background.copy()
+            for obj in range(int(counts[frame_index])):
+                obj_rng = deterministic_rng(
+                    "video-object", self.spec.name, frame_index, obj, seed=seed
+                )
+                cy, cx = obj_rng.uniform(8, size - 8, size=2)
+                radius = obj_rng.uniform(3, 7)
+                color = obj_rng.uniform(150, 255, size=3)
+                mask = ((ys - cy) ** 2 + (xs - cx) ** 2) < radius ** 2
+                frame[mask] = color
+            frames.append(Image(pixels=np.clip(frame, 0, 255).astype(np.uint8),
+                                label=int(counts[frame_index]),
+                                source_id=f"{self.spec.name}-frame{frame_index}"))
+        return frames
+
+
+_VIDEO_SPECS: dict[str, VideoDatasetSpec] = {
+    "night-street": VideoDatasetSpec(
+        name="night-street", num_frames=100_000, mean_count=2.2,
+        burstiness=0.85, count_cap=12,
+    ),
+    "taipei": VideoDatasetSpec(
+        name="taipei", num_frames=120_000, mean_count=4.5,
+        burstiness=0.9, count_cap=20,
+    ),
+    "amsterdam": VideoDatasetSpec(
+        name="amsterdam", num_frames=110_000, mean_count=1.4,
+        burstiness=0.8, count_cap=10,
+    ),
+    "rialto": VideoDatasetSpec(
+        name="rialto", num_frames=125_000, mean_count=6.0,
+        burstiness=0.92, count_cap=25,
+    ),
+}
+
+
+def load_video_dataset(name: str) -> VideoDataset:
+    """Load a video dataset handle by name."""
+    if name not in _VIDEO_SPECS:
+        raise DatasetError(
+            f"unknown video dataset {name!r}; known: {sorted(_VIDEO_SPECS)}"
+        )
+    return VideoDataset(spec=_VIDEO_SPECS[name])
+
+
+def list_video_datasets() -> list[VideoDataset]:
+    """All video datasets in a stable order."""
+    return [VideoDataset(spec=_VIDEO_SPECS[name]) for name in sorted(_VIDEO_SPECS)]

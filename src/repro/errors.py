@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CodecError(ReproError):
+    """Raised when encoding or decoding visual data fails."""
+
+
+class CorruptBitstreamError(CodecError):
+    """Raised when a compressed bitstream fails validation during decode."""
+
+
+class UnsupportedFormatError(CodecError):
+    """Raised when an operation is requested on a format that lacks it."""
+
+
+class PreprocessingError(ReproError):
+    """Raised for invalid preprocessing pipelines or operator arguments."""
+
+
+class InvalidDAGError(PreprocessingError):
+    """Raised when a preprocessing DAG is malformed (cycles, bad edges)."""
+
+
+class PlacementError(PreprocessingError):
+    """Raised when operator placement constraints cannot be satisfied."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid neural-network definitions or shape mismatches."""
+
+
+class TrainingError(ModelError):
+    """Raised when a training run is misconfigured or diverges."""
+
+
+class PlanError(ReproError):
+    """Raised when plan generation or selection fails."""
+
+
+class InfeasibleConstraintError(PlanError):
+    """Raised when no plan satisfies the user-supplied constraints."""
+
+
+class EngineError(ReproError):
+    """Raised by the runtime engine for pipeline execution failures."""
+
+
+class BufferPoolExhaustedError(EngineError):
+    """Raised when the engine's buffer pool cannot satisfy an allocation."""
+
+
+class HardwareError(ReproError):
+    """Raised for unknown devices, instances, or invalid hardware configs."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset is unknown or a requested rendition is absent."""
+
+
+class QueryError(ReproError):
+    """Raised by the analytics layer for invalid queries or failed bounds."""

@@ -1,0 +1,41 @@
+"""Hardware substrate: accelerators, CPUs, cloud instances, power, and pricing.
+
+The paper benchmarks on the AWS ``g4dn.xlarge`` instance (one NVIDIA T4 GPU and
+4 vCPU cores).  Since no GPU is available in this environment, this package
+provides calibrated analytic models of the devices the paper measures.  The
+calibration anchors (ResNet-50 throughput per GPU generation, vCPU pricing,
+power draws) come directly from the paper's Tables 1, 2 and 5 and Section 7.
+"""
+
+from repro.hardware.devices import (
+    GpuSpec,
+    CpuSpec,
+    get_gpu,
+    get_cpu,
+    list_gpus,
+    GPU_CATALOG,
+)
+from repro.hardware.instance import (
+    CloudInstance,
+    get_instance,
+    list_instances,
+    estimate_core_price,
+)
+from repro.hardware.power import PowerModel, PowerBreakdown
+from repro.hardware.clock import SimClock
+
+__all__ = [
+    "GpuSpec",
+    "CpuSpec",
+    "get_gpu",
+    "get_cpu",
+    "list_gpus",
+    "GPU_CATALOG",
+    "CloudInstance",
+    "get_instance",
+    "list_instances",
+    "estimate_core_price",
+    "PowerModel",
+    "PowerBreakdown",
+    "SimClock",
+]

@@ -1,0 +1,176 @@
+"""Device catalog: GPU accelerators and CPUs.
+
+The GPU specs are calibrated to the ResNet-50 throughputs the paper measures
+(Table 5) and expose an *effective compute rate* used by the model zoo to
+scale throughput across DNN architectures.  CPU specs capture per-core decode
+and image-processing rates plus hyperthread scaling, calibrated to the
+preprocessing throughputs in Sections 2 and 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware import calibration as cal
+
+# ResNet-50 at 224x224 requires roughly 4.1 GFLOPs per image (He et al. 2016).
+RESNET50_GFLOPS = 4.1
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """An accelerator model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"T4"``.
+    release_year:
+        Year of release; used for the hardware-trend table (Table 5).
+    resnet50_throughput:
+        Measured ResNet-50 images/second at batch 64 with an optimized
+        compiler.  This is the calibration anchor.
+    power_watts:
+        Board power under inference load.
+    inference_optimized:
+        True for accelerators marketed for inference (T4, RTX).
+    hourly_price_usd:
+        Estimated on-demand hourly price of the accelerator portion of a
+        cloud instance (Section 7's linear-interpolation estimate for the T4).
+    """
+
+    name: str
+    release_year: int
+    resnet50_throughput: float
+    power_watts: float
+    inference_optimized: bool
+    hourly_price_usd: float
+
+    @property
+    def effective_tflops(self) -> float:
+        """Effective sustained TFLOPs implied by the ResNet-50 anchor."""
+        return self.resnet50_throughput * RESNET50_GFLOPS / 1000.0
+
+    def throughput_for_gflops(self, gflops_per_image: float,
+                              utilization: float = 1.0) -> float:
+        """Estimate images/second for a DNN costing ``gflops_per_image``.
+
+        The scaling is linear in FLOPs relative to the ResNet-50 anchor with
+        an optional utilization discount for models that use the hardware
+        less efficiently (e.g. very small networks dominated by kernel-launch
+        overheads).
+        """
+        if gflops_per_image <= 0:
+            raise HardwareError("gflops_per_image must be positive")
+        if not 0 < utilization <= 1.0:
+            raise HardwareError("utilization must be in (0, 1]")
+        return (self.effective_tflops * 1000.0 / gflops_per_image) * utilization
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A host CPU model (vCPU = hyperthread, as on AWS).
+
+    Attributes
+    ----------
+    name:
+        CPU model name.
+    vcpus:
+        Number of vCPUs (hyperthreads) exposed to the instance.
+    watts_per_vcpu:
+        Power attributed to a single vCPU under load.
+    hourly_price_per_vcpu:
+        Estimated hourly price of one vCPU (Section 7's regression).
+    scaling_exponent:
+        Exponent of the sub-linear throughput scaling with vCPU count:
+        throughput(n) = per_vcpu_rate * n ** scaling_exponent.  Hyperthreads
+        share physical cores, so compute-bound preprocessing scales
+        sub-linearly (the paper notes this in Section 8.1).
+    """
+
+    name: str
+    vcpus: int
+    watts_per_vcpu: float = cal.CPU_WATTS_PER_VCPU
+    hourly_price_per_vcpu: float = cal.VCPU_HOURLY_PRICE_USD
+    scaling_exponent: float = cal.VCPU_SCALING_EXPONENT
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0:
+            raise HardwareError(f"vcpus must be positive, got {self.vcpus}")
+
+    def effective_parallelism(self, vcpus: int | None = None) -> float:
+        """Effective parallel speedup of ``vcpus`` hyperthreads over one."""
+        n = self.vcpus if vcpus is None else vcpus
+        if n <= 0:
+            raise HardwareError("vcpus must be positive")
+        return float(n) ** self.scaling_exponent
+
+    @property
+    def power_watts(self) -> float:
+        """Total CPU power attributable to this instance's vCPUs."""
+        return self.vcpus * self.watts_per_vcpu
+
+    @property
+    def hourly_price_usd(self) -> float:
+        """Total hourly price attributable to this instance's vCPUs."""
+        return self.vcpus * self.hourly_price_per_vcpu
+
+
+def _build_gpu_catalog() -> dict[str, GpuSpec]:
+    power = {"K80": 300.0, "P100": 250.0, "T4": 70.0, "V100": 300.0, "RTX": 280.0}
+    inference = {"K80": False, "P100": False, "T4": True, "V100": False, "RTX": True}
+    # Only the T4's price is estimated in the paper; scale others by relative
+    # throughput for the what-if cost analyses.
+    t4_price = cal.T4_HOURLY_PRICE_USD
+    t4_tp = cal.RESNET50_THROUGHPUT_BY_GPU["T4"]
+    catalog = {}
+    for name, throughput in cal.RESNET50_THROUGHPUT_BY_GPU.items():
+        catalog[name] = GpuSpec(
+            name=name,
+            release_year=cal.GPU_RELEASE_YEAR[name],
+            resnet50_throughput=throughput,
+            power_watts=power[name],
+            inference_optimized=inference[name],
+            hourly_price_usd=t4_price if name == "T4" else t4_price * throughput / t4_tp,
+        )
+    return catalog
+
+
+GPU_CATALOG: dict[str, GpuSpec] = _build_gpu_catalog()
+
+CPU_CATALOG: dict[str, CpuSpec] = {
+    "xeon-8259cl-4": CpuSpec(name="Intel Xeon Platinum 8259CL", vcpus=4),
+    "xeon-8259cl-8": CpuSpec(name="Intel Xeon Platinum 8259CL", vcpus=8),
+    "xeon-8259cl-16": CpuSpec(name="Intel Xeon Platinum 8259CL", vcpus=16),
+    "xeon-8259cl-32": CpuSpec(name="Intel Xeon Platinum 8259CL", vcpus=32),
+    "xeon-8259cl-64": CpuSpec(name="Intel Xeon Platinum 8259CL", vcpus=64),
+}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU by name (case-insensitive)."""
+    key = name.upper()
+    if key not in GPU_CATALOG:
+        raise HardwareError(
+            f"unknown GPU {name!r}; known GPUs: {sorted(GPU_CATALOG)}"
+        )
+    return GPU_CATALOG[key]
+
+
+def list_gpus() -> list[GpuSpec]:
+    """Return all known GPUs ordered by release year then throughput."""
+    return sorted(
+        GPU_CATALOG.values(),
+        key=lambda g: (g.release_year, g.resnet50_throughput),
+    )
+
+
+def get_cpu(vcpus: int) -> CpuSpec:
+    """Return the Xeon 8259CL CPU spec with the requested vCPU count."""
+    key = f"xeon-8259cl-{vcpus}"
+    if key in CPU_CATALOG:
+        return CPU_CATALOG[key]
+    if vcpus <= 0:
+        raise HardwareError(f"vcpus must be positive, got {vcpus}")
+    return CpuSpec(name="Intel Xeon Platinum 8259CL", vcpus=vcpus)

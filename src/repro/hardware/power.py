@@ -1,0 +1,86 @@
+"""Power modelling for end-to-end inference (Section 7).
+
+The paper's observation: on the inference-optimized T4, preprocessing needs
+roughly 2.2-2.3x the power of DNN execution for ResNet-50 (158 W of CPU versus
+70 W of GPU), and the gap widens for smaller DNNs like ResNet-18.  This module
+computes those comparisons from the device models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.devices import CpuSpec, GpuSpec
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Power required by preprocessing and DNN execution to sustain a rate.
+
+    Attributes
+    ----------
+    target_throughput:
+        The end-to-end throughput both sides must sustain (images/second).
+    preproc_watts:
+        CPU power needed for preprocessing to keep up.
+    dnn_watts:
+        Accelerator power needed for DNN execution to keep up.
+    preproc_vcpus:
+        Number of vCPUs needed for preprocessing to keep up.
+    """
+
+    target_throughput: float
+    preproc_watts: float
+    dnn_watts: float
+    preproc_vcpus: float
+
+    @property
+    def power_ratio(self) -> float:
+        """How many times more power preprocessing needs than DNN execution."""
+        if self.dnn_watts <= 0:
+            raise HardwareError("DNN power must be positive")
+        return self.preproc_watts / self.dnn_watts
+
+
+class PowerModel:
+    """Computes power breakdowns for a (CPU, GPU) pair."""
+
+    def __init__(self, cpu: CpuSpec, gpu: GpuSpec) -> None:
+        self._cpu = cpu
+        self._gpu = gpu
+
+    def vcpus_to_sustain(self, preproc_per_vcpu_im_s: float,
+                         target_throughput: float) -> float:
+        """vCPUs needed for preprocessing to sustain ``target_throughput``.
+
+        Inverts the sub-linear scaling model of :class:`CpuSpec`:
+        throughput(n) = rate * n**k  =>  n = (target / rate) ** (1/k).
+        """
+        if preproc_per_vcpu_im_s <= 0:
+            raise HardwareError("per-vCPU preprocessing rate must be positive")
+        if target_throughput <= 0:
+            raise HardwareError("target throughput must be positive")
+        ratio = target_throughput / preproc_per_vcpu_im_s
+        return ratio ** (1.0 / self._cpu.scaling_exponent)
+
+    def breakdown(self, preproc_per_vcpu_im_s: float,
+                  dnn_throughput: float) -> PowerBreakdown:
+        """Power needed on each side to sustain the DNN's full throughput."""
+        vcpus = self.vcpus_to_sustain(preproc_per_vcpu_im_s, dnn_throughput)
+        return PowerBreakdown(
+            target_throughput=dnn_throughput,
+            preproc_watts=vcpus * self._cpu.watts_per_vcpu,
+            dnn_watts=self._gpu.power_watts,
+            preproc_vcpus=vcpus,
+        )
+
+    def hourly_cost_breakdown(self, preproc_per_vcpu_im_s: float,
+                              dnn_throughput: float) -> dict[str, float]:
+        """Hourly dollar cost of each side to sustain the DNN's throughput."""
+        vcpus = self.vcpus_to_sustain(preproc_per_vcpu_im_s, dnn_throughput)
+        return {
+            "preproc_usd_per_hour": vcpus * self._cpu.hourly_price_per_vcpu,
+            "dnn_usd_per_hour": self._gpu.hourly_price_usd,
+            "preproc_vcpus": vcpus,
+        }

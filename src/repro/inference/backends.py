@@ -1,0 +1,83 @@
+"""Execution backend efficiency models (Table 1).
+
+The same ResNet-50 runs at 243 im/s under Keras, 424 im/s under PyTorch, and
+4,513 im/s under TensorRT on the T4 -- a 17x spread purely from how well the
+software uses the accelerator.  The planner and the measurement study treat
+the backend as a multiplicative efficiency factor relative to the optimized
+compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware import calibration as cal
+
+
+@dataclass(frozen=True)
+class ExecutionBackend:
+    """A DNN execution environment.
+
+    Attributes
+    ----------
+    name:
+        Backend name (``"keras"``, ``"pytorch"``, ``"tensorrt"``).
+    efficiency:
+        Throughput relative to the optimized compiler (TensorRT = 1.0).
+    optimal_batch_size:
+        Batch size at which the paper measured the backend's best throughput.
+    supports_onnx:
+        Whether the backend ingests ONNX-like graphs directly.
+    """
+
+    name: str
+    efficiency: float
+    optimal_batch_size: int
+    supports_onnx: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency <= 1.0:
+            raise HardwareError("efficiency must be in (0, 1]")
+        if self.optimal_batch_size <= 0:
+            raise HardwareError("batch size must be positive")
+
+    def batch_efficiency(self, batch_size: int) -> float:
+        """Efficiency discount for running at a non-optimal batch size.
+
+        Smaller batches underutilize the accelerator; larger batches give no
+        extra benefit but also little harm.  The discount is mild and smooth.
+        """
+        if batch_size <= 0:
+            raise HardwareError("batch size must be positive")
+        if batch_size >= self.optimal_batch_size:
+            return 1.0
+        return 0.55 + 0.45 * batch_size / self.optimal_batch_size
+
+
+_TENSORRT_THROUGHPUT = cal.RESNET50_T4_BY_BACKEND["tensorrt"]
+
+_BACKENDS: dict[str, ExecutionBackend] = {
+    name: ExecutionBackend(
+        name=name,
+        efficiency=throughput / _TENSORRT_THROUGHPUT,
+        optimal_batch_size=cal.BACKEND_OPTIMAL_BATCH[name],
+        supports_onnx=name != "keras",
+    )
+    for name, throughput in cal.RESNET50_T4_BY_BACKEND.items()
+}
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up an execution backend by name."""
+    key = name.lower()
+    if key not in _BACKENDS:
+        raise HardwareError(
+            f"unknown backend {name!r}; known: {sorted(_BACKENDS)}"
+        )
+    return _BACKENDS[key]
+
+
+def list_backends() -> list[ExecutionBackend]:
+    """All backends ordered from least to most efficient."""
+    return sorted(_BACKENDS.values(), key=lambda b: b.efficiency)

@@ -1,0 +1,107 @@
+"""Profile-based calibration of the preprocessing cost model.
+
+The shipped performance model is anchored to the paper's measured
+throughputs.  When Smol is deployed on new hardware (or when the functional
+numpy codecs themselves are the "hardware", as in this reproduction's tests),
+the preprocessing side can instead be calibrated by profiling: decode and
+preprocess a sample of real encoded images per rendition, measure the per-image
+wall time, and scale to the target core count with the CPU's parallelism
+model.  This mirrors how Smol benchmarks candidate plans cheaply before
+selecting one (Section 3.1: exhaustively benchmarking D x F is cheap compared
+to training).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.codecs.formats import InputFormatSpec
+from repro.datasets.store import MultiResolutionStore
+from repro.errors import EngineError
+from repro.hardware.devices import CpuSpec
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.preprocessing.ops import standard_pipeline_ops
+
+
+@dataclass(frozen=True)
+class FormatProfile:
+    """Measured preprocessing profile for one rendition format."""
+
+    format_name: str
+    images_profiled: int
+    per_image_seconds: float
+    decode_fraction: float
+
+    @property
+    def single_thread_throughput(self) -> float:
+        """Measured single-thread images/second."""
+        if self.per_image_seconds <= 0:
+            raise EngineError("per-image time must be positive")
+        return 1.0 / self.per_image_seconds
+
+
+class PreprocessingCalibrator:
+    """Profiles real decode + preprocessing cost per rendition format."""
+
+    def __init__(self, store: MultiResolutionStore,
+                 crop_size: int = 32, resize_short_side: int = 36) -> None:
+        if len(store) == 0:
+            raise EngineError("the store must contain at least one asset")
+        self._store = store
+        self._pipeline = PreprocessingDAG.from_ops(
+            standard_pipeline_ops(input_short_side=resize_short_side,
+                                  crop_size=crop_size)[1:]
+        )
+
+    def profile_format(self, fmt: InputFormatSpec,
+                       sample_size: int = 8) -> FormatProfile:
+        """Measure per-image decode + preprocessing time for ``fmt``."""
+        if sample_size <= 0:
+            raise EngineError("sample_size must be positive")
+        asset_ids = self._store.asset_ids()[:sample_size]
+        if not asset_ids:
+            raise EngineError("no assets available to profile")
+        decode_seconds = 0.0
+        total_seconds = 0.0
+        for asset_id in asset_ids:
+            start = time.perf_counter()
+            decoded = self._store.decode(asset_id, fmt.name)
+            after_decode = time.perf_counter()
+            self._pipeline.execute(decoded.pixels)
+            end = time.perf_counter()
+            decode_seconds += after_decode - start
+            total_seconds += end - start
+        per_image = total_seconds / len(asset_ids)
+        decode_fraction = decode_seconds / total_seconds if total_seconds else 0.0
+        return FormatProfile(
+            format_name=fmt.name,
+            images_profiled=len(asset_ids),
+            per_image_seconds=per_image,
+            decode_fraction=decode_fraction,
+        )
+
+    def profile_all(self, sample_size: int = 8) -> dict[str, FormatProfile]:
+        """Profile every rendition format the store holds."""
+        return {
+            fmt.name: self.profile_format(fmt, sample_size=sample_size)
+            for fmt in self._store.formats
+        }
+
+    def estimated_throughput(self, profile: FormatProfile, cpu: CpuSpec,
+                             vcpus: int | None = None) -> float:
+        """Scale a single-thread profile to a multi-vCPU throughput estimate."""
+        parallelism = cpu.effective_parallelism(vcpus)
+        return profile.single_thread_throughput * parallelism
+
+    def relative_costs(self, profiles: dict[str, FormatProfile]) -> dict[str, float]:
+        """Per-format cost relative to the cheapest profiled format."""
+        if not profiles:
+            raise EngineError("no profiles provided")
+        cheapest = min(p.per_image_seconds for p in profiles.values())
+        if cheapest <= 0:
+            raise EngineError("profiled times must be positive")
+        return {
+            name: profile.per_image_seconds / cheapest
+            for name, profile in profiles.items()
+        }

@@ -1,0 +1,106 @@
+"""A bounded multi-producer, multi-consumer queue.
+
+Smol overlaps CPU preprocessing with accelerator execution by connecting
+producer (preprocessing) threads to consumer (CUDA stream) threads through an
+MPMC queue; the original system uses folly's MPMCQueue.  This implementation
+provides the same interface semantics on top of a condition variable: bounded
+capacity (so producers cannot run unboundedly ahead), blocking put/get with
+optional timeouts, and a close protocol so consumers drain remaining items and
+then stop.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Generic, TypeVar
+
+from repro.errors import EngineError
+
+T = TypeVar("T")
+
+
+class QueueClosed(EngineError):
+    """Raised when putting to, or getting from, an exhausted closed queue."""
+
+
+class MpmcQueue(Generic[T]):
+    """Bounded blocking queue safe for multiple producers and consumers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise EngineError("queue capacity must be positive")
+        self._capacity = capacity
+        self._items: deque[T] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._total_put = 0
+        self._total_got = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of items the queue holds."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        with self._lock:
+            return self._closed
+
+    def put(self, item: T, timeout: float | None = None) -> None:
+        """Block until there is room, then enqueue ``item``.
+
+        Raises :class:`QueueClosed` if the queue has been closed, and
+        :class:`EngineError` on timeout.
+        """
+        with self._not_full:
+            if self._closed:
+                raise QueueClosed("cannot put to a closed queue")
+            while len(self._items) >= self._capacity:
+                if not self._not_full.wait(timeout=timeout):
+                    raise EngineError("timed out waiting to enqueue")
+                if self._closed:
+                    raise QueueClosed("queue closed while waiting to enqueue")
+            self._items.append(item)
+            self._total_put += 1
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None) -> T:
+        """Block until an item is available, then dequeue it.
+
+        Raises :class:`QueueClosed` once the queue is closed and drained, and
+        :class:`EngineError` on timeout.
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    raise QueueClosed("queue closed and drained")
+                if not self._not_empty.wait(timeout=timeout):
+                    raise EngineError("timed out waiting to dequeue")
+            item = self._items.popleft()
+            self._total_got += 1
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Mark the queue closed; waiting producers and drained consumers wake."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime put/get counters (for tests and engine statistics)."""
+        with self._lock:
+            return {
+                "put": self._total_put,
+                "got": self._total_got,
+                "depth": len(self._items),
+            }

@@ -1,0 +1,126 @@
+"""Dollar-cost and power analysis (Section 7 and Table 8).
+
+Two analyses:
+
+* the asymmetry between preprocessing and DNN execution: the vCPUs (hence
+  dollars and watts) needed to keep an accelerator fed exceed the cost of the
+  accelerator itself for modern inference-optimized GPUs;
+* the cost per million images of reaching a target accuracy with and without
+  Smol's optimizations, as the vCPU count of the instance scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.formats import FULL_JPEG, THUMB_PNG_161, InputFormatSpec
+from repro.errors import HardwareError
+from repro.hardware.instance import CloudInstance, get_instance
+from repro.hardware.power import PowerModel
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.zoo import ModelProfile, get_model_profile
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Dollar and power comparison of preprocessing vs DNN execution."""
+
+    model_name: str
+    dnn_throughput: float
+    preproc_vcpus_needed: float
+    preproc_usd_per_hour: float
+    dnn_usd_per_hour: float
+    preproc_watts: float
+    dnn_watts: float
+
+    @property
+    def cost_ratio(self) -> float:
+        """Preprocessing dollars per DNN-execution dollar."""
+        return self.preproc_usd_per_hour / self.dnn_usd_per_hour
+
+    @property
+    def power_ratio(self) -> float:
+        """Preprocessing watts per DNN-execution watt."""
+        return self.preproc_watts / self.dnn_watts
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Throughput and per-image cost at one vCPU count (Table 8 rows)."""
+
+    condition: str
+    vcpus: int
+    throughput: float
+    cents_per_million_images: float
+
+
+class CostAnalysis:
+    """Computes the Section 7 and Table 8 analyses."""
+
+    def __init__(self, instance: CloudInstance | str = "g4dn.xlarge") -> None:
+        if isinstance(instance, str):
+            instance = get_instance(instance)
+        self._instance = instance
+
+    def preprocessing_vs_execution(self, model_name: str = "resnet-50",
+                                   fmt: InputFormatSpec = FULL_JPEG) -> CostBreakdown:
+        """How much the CPU side costs to keep the accelerator busy."""
+        model = get_model_profile(model_name)
+        perf = PerformanceModel(self._instance)
+        config = EngineConfig(num_producers=self._instance.vcpus)
+        dnn_throughput = perf.dnn_model.execution_throughput(model,
+                                                             config.batch_size)
+        # Per-vCPU preprocessing rate for the format (single hyperthread).
+        preproc_4vcpu = perf.preprocessing_model.base_throughput_4vcpu(fmt)
+        per_vcpu = preproc_4vcpu / self._instance.cpu.effective_parallelism(4)
+        power_model = PowerModel(self._instance.cpu, self._instance.gpu)
+        breakdown = power_model.breakdown(per_vcpu, dnn_throughput)
+        costs = power_model.hourly_cost_breakdown(per_vcpu, dnn_throughput)
+        return CostBreakdown(
+            model_name=model.name,
+            dnn_throughput=dnn_throughput,
+            preproc_vcpus_needed=breakdown.preproc_vcpus,
+            preproc_usd_per_hour=costs["preproc_usd_per_hour"],
+            dnn_usd_per_hour=costs["dnn_usd_per_hour"],
+            preproc_watts=breakdown.preproc_watts,
+            dnn_watts=breakdown.dnn_watts,
+        )
+
+    def accuracy_target_scaling(
+        self, vcpu_counts: tuple[int, ...] = (4, 8, 16),
+        model: ModelProfile | None = None,
+    ) -> list[ScalingPoint]:
+        """Table 8: reaching 75% ImageNet accuracy with and without Smol.
+
+        The optimized condition reads 161-pixel PNG thumbnails with the
+        low-resolution-trained ResNet-50 and all engine optimizations; the
+        unoptimized condition decodes full-resolution JPEGs with a plain
+        runtime (no DAG optimization, no buffer reuse).
+        """
+        if model is None:
+            model = get_model_profile("resnet-50")
+        points: list[ScalingPoint] = []
+        for vcpus in vcpu_counts:
+            if vcpus <= 0:
+                raise HardwareError("vCPU counts must be positive")
+            instance = self._instance.with_vcpus(vcpus)
+            perf = PerformanceModel(instance)
+            optimized_config = EngineConfig(num_producers=vcpus)
+            unoptimized_config = EngineConfig(
+                num_producers=vcpus, optimize_dag=False,
+                reuse_buffers=False, pinned_memory=False,
+            )
+            optimized = perf.estimate(model, THUMB_PNG_161, optimized_config,
+                                      roi_fraction=1.0)
+            unoptimized = perf.estimate(model, FULL_JPEG, unoptimized_config)
+            for condition, estimate in (("opt", optimized), ("no-opt", unoptimized)):
+                throughput = estimate.pipelined_upper_bound
+                points.append(ScalingPoint(
+                    condition=condition,
+                    vcpus=vcpus,
+                    throughput=throughput,
+                    cents_per_million_images=instance.price_per_million_images(
+                        throughput
+                    ),
+                ))
+        return points

@@ -1,0 +1,140 @@
+"""Measurement study of end-to-end DNN inference (Section 2).
+
+The study isolates preprocessing from DNN execution on the configured
+instance, mirroring the paper's methodology: DNN execution is measured on
+synthetic (already-preprocessed) inputs, preprocessing is measured alone
+across all vCPU cores, and the two are compared per model and per backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codecs.formats import FULL_JPEG, InputFormatSpec
+from repro.hardware import calibration as cal
+from repro.hardware.devices import get_gpu, list_gpus
+from repro.hardware.instance import CloudInstance, get_instance
+from repro.inference.backends import list_backends
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.zoo import ModelProfile, get_model_profile
+
+
+@dataclass(frozen=True)
+class InferenceBreakdown:
+    """Per-image breakdown of end-to-end inference for one model (Figure 1)."""
+
+    model_name: str
+    dnn_execution_us: float
+    preprocessing_us: dict[str, float]
+
+    @property
+    def preprocessing_total_us(self) -> float:
+        """Total single-thread preprocessing time per image."""
+        return sum(self.preprocessing_us.values())
+
+    @property
+    def preprocessing_slowdown(self) -> float:
+        """How many times slower preprocessing is than DNN execution.
+
+        Computed from aggregate throughputs: preprocessing parallelized over
+        the instance's vCPUs versus DNN execution on the accelerator.
+        """
+        return self.preprocessing_total_us / self.dnn_execution_us
+
+
+@dataclass(frozen=True)
+class BackendComparison:
+    """Throughput of one model under one execution backend (Table 1)."""
+
+    backend_name: str
+    batch_size: int
+    throughput: float
+
+
+class MeasurementStudy:
+    """Reproduces the Section 2 measurements on a configured instance."""
+
+    def __init__(self, instance: CloudInstance | str = "g4dn.xlarge") -> None:
+        if isinstance(instance, str):
+            instance = get_instance(instance)
+        self._instance = instance
+        self._config = EngineConfig(num_producers=instance.vcpus)
+
+    @property
+    def instance(self) -> CloudInstance:
+        """The measured instance."""
+        return self._instance
+
+    def backend_comparison(self, model_name: str = "resnet-50") -> list[BackendComparison]:
+        """Table 1: the same model under Keras-, PyTorch- and TensorRT-like backends."""
+        model = get_model_profile(model_name)
+        rows = []
+        for backend in list_backends():
+            perf = PerformanceModel(self._instance, backend=backend.name)
+            throughput = perf.dnn_model.execution_throughput(
+                model, batch_size=backend.optimal_batch_size
+            )
+            rows.append(BackendComparison(
+                backend_name=backend.name,
+                batch_size=backend.optimal_batch_size,
+                throughput=throughput,
+            ))
+        return sorted(rows, key=lambda r: r.throughput)
+
+    def inference_breakdown(self, model_name: str,
+                            fmt: InputFormatSpec = FULL_JPEG) -> InferenceBreakdown:
+        """Figure 1: per-image stage latencies for one model on one format."""
+        model = get_model_profile(model_name)
+        perf = PerformanceModel(self._instance)
+        estimate = perf.estimate(model, fmt, self._config)
+        return InferenceBreakdown(
+            model_name=model.name,
+            dnn_execution_us=estimate.dnn_us_per_image,
+            preprocessing_us=dict(estimate.preprocessing_us_per_image),
+        )
+
+    def preprocessing_vs_execution(self, model_name: str,
+                                   fmt: InputFormatSpec = FULL_JPEG) -> dict[str, float]:
+        """Aggregate throughput comparison for one model and one format."""
+        model = get_model_profile(model_name)
+        perf = PerformanceModel(self._instance)
+        estimate = perf.estimate(model, fmt, self._config)
+        return {
+            "preprocessing_throughput": estimate.preprocessing_throughput,
+            "dnn_throughput": estimate.dnn_throughput,
+            "ratio": estimate.dnn_throughput / estimate.preprocessing_throughput,
+        }
+
+    def gpu_generation_trend(self, model_name: str = "resnet-50") -> list[dict]:
+        """Table 5: the model's throughput across GPU generations."""
+        model = get_model_profile(model_name)
+        rows = []
+        for gpu in list_gpus():
+            rows.append({
+                "gpu": gpu.name,
+                "release_year": gpu.release_year,
+                "throughput": model.throughput_on(gpu),
+            })
+        return rows
+
+    def resnet_depth_tradeoff(self) -> list[dict]:
+        """Table 2: accuracy/throughput trade-off across ResNet depths."""
+        rows = []
+        for depth in (18, 34, 50):
+            model = get_model_profile(f"resnet-{depth}")
+            rows.append({
+                "model": model.name,
+                "throughput": model.throughput_on(get_gpu("T4")),
+                "top1_accuracy": cal.RESNET_IMAGENET_TOP1[depth],
+            })
+        return rows
+
+    def mobilenet_ssd_gap(self) -> dict[str, float]:
+        """The MobileNet-SSD execution vs preprocessing gap quoted in Section 2."""
+        model = get_model_profile("mobilenet-ssd")
+        return {
+            "dnn_throughput": model.throughput_on(get_gpu("T4")),
+            "preprocessing_throughput": cal.MOBILENET_SSD_PREPROC_THROUGHPUT,
+            "ratio": (model.throughput_on(get_gpu("T4"))
+                      / cal.MOBILENET_SSD_PREPROC_THROUGHPUT),
+        }

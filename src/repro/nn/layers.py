@@ -1,0 +1,422 @@
+"""Neural-network layers with numpy forward and backward passes.
+
+The layers follow a minimal Layer protocol: ``forward`` caches what the
+backward pass needs, ``backward`` returns the gradient with respect to the
+input and accumulates parameter gradients, and ``params``/``grads`` expose
+parameter tensors to the optimizer.  Convolution uses im2col so training the
+small specialized NNs stays fast enough for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class Layer:
+    """Base class for layers: forward/backward plus parameter access."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for ``inputs`` (NCHW or NC)."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output``; returns gradient w.r.t. the input."""
+        raise NotImplementedError
+
+    def params(self) -> dict[str, np.ndarray]:
+        """Trainable parameter tensors keyed by name."""
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        """Gradients matching :meth:`params` keys."""
+        return {}
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(int(p.size) for p in self.params().values())
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        """Approximate multiply-add count for one example of ``input_shape``."""
+        return 0.0
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape (excluding batch) produced for an input of ``input_shape``."""
+        return input_shape
+
+
+def _im2col(inputs: np.ndarray, kernel: int, stride: int,
+            padding: int) -> tuple[np.ndarray, int, int]:
+    """Unfold NCHW input into columns for matrix-multiply convolution."""
+    batch, channels, height, width = inputs.shape
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ModelError(
+            f"convolution output would be empty for input {inputs.shape}"
+        )
+    padded = np.pad(
+        inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w),
+                    dtype=inputs.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            cols[:, :, ky, kx] = padded[:, :, ky:y_end:stride, kx:x_end:stride]
+    return cols.reshape(batch, channels * kernel * kernel, out_h * out_w), out_h, out_w
+
+
+def _col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
+            kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Fold columns back to the padded input shape (adjoint of _im2col)."""
+    batch, channels, height, width = input_shape
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    cols = cols.reshape(batch, channels, kernel, kernel, out_h, out_w)
+    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding),
+                      dtype=cols.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += cols[:, :, ky, kx]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Layer):
+    """2-D convolution (NCHW) with He-normal initialization."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, padding: int = 1, seed: int = 0) -> None:
+        if min(in_channels, out_channels, kernel_size, stride) <= 0 or padding < 0:
+            raise ModelError("invalid convolution hyperparameters")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = rng.normal(
+            0.0, np.sqrt(2.0 / fan_in),
+            size=(out_channels, in_channels, kernel_size, kernel_size),
+        ).astype(np.float32)
+        self.bias = np.zeros(out_channels, dtype=np.float32)
+        self.weight_grad = np.zeros_like(self.weight)
+        self.bias_grad = np.zeros_like(self.bias)
+        self._cache: tuple | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ModelError(
+                f"Conv2d expected NCHW with C={self.in_channels}, got {inputs.shape}"
+            )
+        cols, out_h, out_w = _im2col(inputs, self.kernel_size, self.stride,
+                                     self.padding)
+        weight_matrix = self.weight.reshape(self.out_channels, -1)
+        out = np.einsum("of,bfp->bop", weight_matrix, cols)
+        out += self.bias[None, :, None]
+        if training:
+            self._cache = (inputs.shape, cols)
+        return out.reshape(inputs.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before a training forward pass")
+        input_shape, cols = self._cache
+        batch = grad_output.shape[0]
+        grad_flat = grad_output.reshape(batch, self.out_channels, -1)
+        weight_matrix = self.weight.reshape(self.out_channels, -1)
+        self.weight_grad[...] = np.einsum(
+            "bop,bfp->of", grad_flat, cols
+        ).reshape(self.weight.shape) / batch
+        self.bias_grad[...] = grad_flat.sum(axis=(0, 2)) / batch
+        grad_cols = np.einsum("of,bop->bfp", weight_matrix, grad_flat)
+        return _col2im(grad_cols, input_shape, self.kernel_size, self.stride,
+                       self.padding)
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight_grad, "bias": self.bias_grad}
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        _, height, width = input_shape
+        out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return (self.out_channels, out_h, out_w)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        _, out_h, out_w = self.output_shape(input_shape)
+        per_output = self.in_channels * self.kernel_size * self.kernel_size
+        return 2.0 * per_output * self.out_channels * out_h * out_w
+
+
+class Linear(Layer):
+    """Fully connected layer."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ModelError("invalid linear layer dimensions")
+        rng = np.random.default_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = rng.normal(
+            0.0, np.sqrt(2.0 / in_features), size=(out_features, in_features)
+        ).astype(np.float32)
+        self.bias = np.zeros(out_features, dtype=np.float32)
+        self.weight_grad = np.zeros_like(self.weight)
+        self.bias_grad = np.zeros_like(self.bias)
+        self._inputs: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
+            raise ModelError(
+                f"Linear expected (N, {self.in_features}), got {inputs.shape}"
+            )
+        if training:
+            self._inputs = inputs
+        return inputs @ self.weight.T + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise ModelError("backward called before a training forward pass")
+        batch = grad_output.shape[0]
+        self.weight_grad[...] = grad_output.T @ self._inputs / batch
+        self.bias_grad[...] = grad_output.mean(axis=0)
+        return grad_output @ self.weight
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight_grad, "bias": self.bias_grad}
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (self.out_features,)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        return 2.0 * self.in_features * self.out_features
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = inputs > 0
+        return np.maximum(inputs, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ModelError("backward called before a training forward pass")
+        return grad_output * self._mask
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        return float(np.prod(input_shape))
+
+
+class BatchNorm2d(Layer):
+    """Batch normalization over NCHW activations."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9,
+                 eps: float = 1e-5) -> None:
+        if num_features <= 0:
+            raise ModelError("num_features must be positive")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = np.ones(num_features, dtype=np.float32)
+        self.beta = np.zeros(num_features, dtype=np.float32)
+        self.gamma_grad = np.zeros_like(self.gamma)
+        self.beta_grad = np.zeros_like(self.beta)
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+        self._cache: tuple | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.num_features:
+            raise ModelError(
+                f"BatchNorm2d expected NCHW with C={self.num_features}, "
+                f"got {inputs.shape}"
+            )
+        if training:
+            mean = inputs.mean(axis=(0, 2, 3))
+            var = inputs.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (inputs - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        if training:
+            self._cache = (normalized, inv_std)
+        return (
+            self.gamma[None, :, None, None] * normalized
+            + self.beta[None, :, None, None]
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before a training forward pass")
+        normalized, inv_std = self._cache
+        count = grad_output.shape[0] * grad_output.shape[2] * grad_output.shape[3]
+        self.gamma_grad[...] = (grad_output * normalized).sum(axis=(0, 2, 3)) / count
+        self.beta_grad[...] = grad_output.sum(axis=(0, 2, 3)) / count
+        grad_norm = grad_output * self.gamma[None, :, None, None]
+        mean_grad = grad_norm.mean(axis=(0, 2, 3), keepdims=True)
+        mean_grad_norm = (grad_norm * normalized).mean(axis=(0, 2, 3), keepdims=True)
+        return (
+            (grad_norm - mean_grad - normalized * mean_grad_norm)
+            * inv_std[None, :, None, None]
+        )
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.gamma_grad, "beta": self.beta_grad}
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        return 2.0 * float(np.prod(input_shape))
+
+
+class MaxPool2d(Layer):
+    """Max pooling with a square window."""
+
+    def __init__(self, kernel_size: int = 2, stride: int | None = None) -> None:
+        if kernel_size <= 0:
+            raise ModelError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._cache: tuple | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        batch, channels, height, width = inputs.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (height - k) // s + 1
+        out_w = (width - k) // s + 1
+        windows = np.empty((batch, channels, out_h, out_w, k * k),
+                           dtype=inputs.dtype)
+        for ky in range(k):
+            for kx in range(k):
+                windows[..., ky * k + kx] = inputs[
+                    :, :, ky:ky + s * out_h:s, kx:kx + s * out_w:s
+                ]
+        argmax = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+        if training:
+            self._cache = (inputs.shape, argmax)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before a training forward pass")
+        input_shape, argmax = self._cache
+        k, s = self.kernel_size, self.stride
+        grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
+        batch, channels, out_h, out_w = grad_output.shape
+        ky = argmax // k
+        kx = argmax % k
+        rows = (np.arange(out_h)[None, None, :, None] * s) + ky
+        cols = (np.arange(out_w)[None, None, None, :] * s) + kx
+        b_idx = np.arange(batch)[:, None, None, None]
+        c_idx = np.arange(channels)[None, :, None, None]
+        np.add.at(grad_input, (b_idx, c_idx, rows, cols), grad_output)
+        return grad_input
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        channels, height, width = input_shape
+        out_h = (height - self.kernel_size) // self.stride + 1
+        out_w = (width - self.kernel_size) // self.stride + 1
+        return (channels, out_h, out_w)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        return float(np.prod(input_shape))
+
+
+class GlobalAvgPool2d(Layer):
+    """Average pooling over the full spatial extent, producing (N, C)."""
+
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ModelError("GlobalAvgPool2d expects NCHW input")
+        if training:
+            self._input_shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ModelError("backward called before a training forward pass")
+        _, _, height, width = self._input_shape
+        scale = 1.0 / (height * width)
+        return np.broadcast_to(
+            grad_output[:, :, None, None] * scale, self._input_shape
+        ).copy()
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (input_shape[0],)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        return float(np.prod(input_shape))
+
+
+class Flatten(Layer):
+    """Flatten all dimensions except the batch dimension."""
+
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ModelError("backward called before a training forward pass")
+        return grad_output.reshape(self._input_shape)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy_loss(logits: np.ndarray,
+                       labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits."""
+    if logits.ndim != 2:
+        raise ModelError("logits must be (N, num_classes)")
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ModelError("labels must be a vector matching the batch size")
+    probs = softmax(logits)
+    batch = logits.shape[0]
+    clipped = np.clip(probs[np.arange(batch), labels], 1e-12, None)
+    loss = float(-np.log(clipped).mean())
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, grad

@@ -1,0 +1,197 @@
+"""ONNX-like model graph exchange.
+
+Smol accepts DNNs as ONNX computation graphs exported from the training
+framework and hands them to its execution backend.  This module provides the
+equivalent exchange format for the numpy models: a serializable graph proto
+(list of node descriptors plus parameter tensors) with export/import functions
+that round-trip :class:`repro.nn.model.Sequential` models.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.model import Sequential
+
+
+@dataclass(frozen=True)
+class NodeProto:
+    """One operator node in an exported graph."""
+
+    op_type: str
+    attributes: dict[str, float | int | str] = field(default_factory=dict)
+
+
+@dataclass
+class GraphProto:
+    """A serialized model: node list, parameters, and metadata."""
+
+    name: str
+    input_shape: tuple[int, int, int]
+    nodes: list[NodeProto]
+    initializers: dict[str, np.ndarray]
+    opset_version: int = 1
+
+    def serialize(self) -> bytes:
+        """Serialize to bytes (npz container with a structured manifest)."""
+        buffer = io.BytesIO()
+        manifest_lines = [self.name, ",".join(map(str, self.input_shape)),
+                          str(self.opset_version)]
+        for node in self.nodes:
+            attrs = ";".join(f"{k}={v}" for k, v in sorted(node.attributes.items()))
+            manifest_lines.append(f"{node.op_type}|{attrs}")
+        arrays = dict(self.initializers)
+        arrays["__manifest__"] = np.array("\n".join(manifest_lines))
+        np.savez(buffer, **arrays)
+        return buffer.getvalue()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "GraphProto":
+        """Inverse of :meth:`serialize`."""
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            manifest = str(archive["__manifest__"])
+            initializers = {
+                key: archive[key] for key in archive.files if key != "__manifest__"
+            }
+        lines = manifest.split("\n")
+        if len(lines) < 3:
+            raise ModelError("malformed graph manifest")
+        name = lines[0]
+        input_shape = tuple(int(x) for x in lines[1].split(","))
+        opset = int(lines[2])
+        nodes = []
+        for line in lines[3:]:
+            op_type, _, attr_text = line.partition("|")
+            attributes: dict[str, float | int | str] = {}
+            if attr_text:
+                for pair in attr_text.split(";"):
+                    key, _, value = pair.partition("=")
+                    attributes[key] = _parse_attr(value)
+            nodes.append(NodeProto(op_type=op_type, attributes=attributes))
+        if len(input_shape) != 3:
+            raise ModelError("input shape must have three dimensions")
+        return cls(name=name, input_shape=input_shape, nodes=nodes,
+                   initializers=initializers, opset_version=opset)
+
+
+def _parse_attr(value: str) -> float | int | str:
+    try:
+        return int(value)
+    except ValueError:
+        try:
+            return float(value)
+        except ValueError:
+            return value
+
+
+def export_graph(model: Sequential) -> GraphProto:
+    """Export a :class:`Sequential` model to a :class:`GraphProto`."""
+    nodes: list[NodeProto] = []
+    initializers: dict[str, np.ndarray] = {}
+    for index, layer in enumerate(model.layers):
+        if isinstance(layer, Conv2d):
+            nodes.append(NodeProto("Conv", {
+                "in_channels": layer.in_channels,
+                "out_channels": layer.out_channels,
+                "kernel_size": layer.kernel_size,
+                "stride": layer.stride,
+                "padding": layer.padding,
+            }))
+        elif isinstance(layer, Linear):
+            nodes.append(NodeProto("Gemm", {
+                "in_features": layer.in_features,
+                "out_features": layer.out_features,
+            }))
+        elif isinstance(layer, BatchNorm2d):
+            nodes.append(NodeProto("BatchNormalization", {
+                "num_features": layer.num_features,
+                "momentum": layer.momentum,
+                "eps": layer.eps,
+            }))
+        elif isinstance(layer, ReLU):
+            nodes.append(NodeProto("Relu"))
+        elif isinstance(layer, MaxPool2d):
+            nodes.append(NodeProto("MaxPool", {
+                "kernel_size": layer.kernel_size,
+                "stride": layer.stride,
+            }))
+        elif isinstance(layer, GlobalAvgPool2d):
+            nodes.append(NodeProto("GlobalAveragePool"))
+        elif isinstance(layer, Flatten):
+            nodes.append(NodeProto("Flatten"))
+        else:
+            raise ModelError(f"cannot export layer type {type(layer).__name__}")
+        for key, value in layer.params().items():
+            initializers[f"{index}.{key}"] = value.copy()
+        if isinstance(layer, BatchNorm2d):
+            initializers[f"{index}.running_mean"] = layer.running_mean.copy()
+            initializers[f"{index}.running_var"] = layer.running_var.copy()
+    return GraphProto(
+        name=model.name,
+        input_shape=model.input_shape,
+        nodes=nodes,
+        initializers=initializers,
+    )
+
+
+def import_graph(graph: GraphProto) -> Sequential:
+    """Rebuild a :class:`Sequential` model from a :class:`GraphProto`."""
+    layers = []
+    for index, node in enumerate(graph.nodes):
+        attrs = node.attributes
+        if node.op_type == "Conv":
+            layer = Conv2d(int(attrs["in_channels"]), int(attrs["out_channels"]),
+                           kernel_size=int(attrs["kernel_size"]),
+                           stride=int(attrs["stride"]),
+                           padding=int(attrs["padding"]))
+        elif node.op_type == "Gemm":
+            layer = Linear(int(attrs["in_features"]), int(attrs["out_features"]))
+        elif node.op_type == "BatchNormalization":
+            layer = BatchNorm2d(int(attrs["num_features"]),
+                                momentum=float(attrs["momentum"]),
+                                eps=float(attrs["eps"]))
+        elif node.op_type == "Relu":
+            layer = ReLU()
+        elif node.op_type == "MaxPool":
+            layer = MaxPool2d(kernel_size=int(attrs["kernel_size"]),
+                              stride=int(attrs["stride"]))
+        elif node.op_type == "GlobalAveragePool":
+            layer = GlobalAvgPool2d()
+        elif node.op_type == "Flatten":
+            layer = Flatten()
+        else:
+            raise ModelError(f"unknown op type {node.op_type!r}")
+        for key, value in layer.params().items():
+            saved = graph.initializers.get(f"{index}.{key}")
+            if saved is None:
+                raise ModelError(f"missing initializer {index}.{key}")
+            if saved.shape != value.shape:
+                raise ModelError(
+                    f"initializer shape mismatch for {index}.{key}: "
+                    f"{saved.shape} vs {value.shape}"
+                )
+            value[...] = saved
+        if isinstance(layer, BatchNorm2d):
+            mean = graph.initializers.get(f"{index}.running_mean")
+            var = graph.initializers.get(f"{index}.running_var")
+            if mean is not None:
+                layer.running_mean[...] = mean
+            if var is not None:
+                layer.running_var[...] = var
+        layers.append(layer)
+    model = Sequential(layers, name=graph.name,
+                       input_shape=tuple(graph.input_shape))
+    return model

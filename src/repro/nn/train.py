@@ -1,0 +1,168 @@
+"""Training loop with the paper's low-resolution augmentation (Section 5.3).
+
+Smol trains DNNs to be robust to natively low-resolution inputs by augmenting
+the training data: full-resolution inputs are downsampled to the target
+resolution and upsampled back to the network's input resolution, purposely
+introducing the same downsampling artifacts the network will see at inference
+time.  The trainer below implements plain SGD with momentum plus that
+augmentation, controlled by :class:`TrainingConfig.lowres_augment_size`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.layers import cross_entropy_loss
+from repro.nn.model import Sequential, evaluate_accuracy
+from repro.preprocessing.ops import bilinear_resize
+from repro.utils.rng import deterministic_rng
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters for a training run.
+
+    Attributes
+    ----------
+    epochs, batch_size, learning_rate, momentum, weight_decay:
+        Standard SGD hyperparameters.
+    lowres_augment_size:
+        When set, each training image is (with probability
+        ``lowres_augment_prob``) downsampled so its short side equals this
+        value and upsampled back, emulating inference on native
+        low-resolution data.
+    lowres_augment_prob:
+        Probability of applying the low-resolution augmentation per image.
+    flip_augment:
+        Apply random horizontal flips (standard augmentation).
+    seed:
+        Seed for shuffling and augmentation decisions.
+    """
+
+    epochs: int = 5
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    lowres_augment_size: int | None = None
+    lowres_augment_prob: float = 0.5
+    flip_augment: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise TrainingError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        if not 0.0 <= self.lowres_augment_prob <= 1.0:
+            raise TrainingError("lowres_augment_prob must be in [0, 1]")
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run."""
+
+    epochs_run: int
+    final_train_loss: float
+    train_losses: list[float] = field(default_factory=list)
+    validation_accuracy: float | None = None
+
+
+def lowres_roundtrip(images_nchw: np.ndarray, short_side: int) -> np.ndarray:
+    """Downsample NCHW float images to ``short_side`` and upsample back.
+
+    This is the augmentation transform: it keeps the tensor shape but injects
+    the information loss of a native low-resolution rendition.
+    """
+    if images_nchw.ndim != 4:
+        raise TrainingError("expected an NCHW batch")
+    _, _, height, width = images_nchw.shape
+    if short_side >= min(height, width):
+        return images_nchw
+    scale = short_side / min(height, width)
+    small_h = max(1, int(round(height * scale)))
+    small_w = max(1, int(round(width * scale)))
+    out = np.empty_like(images_nchw)
+    for index in range(images_nchw.shape[0]):
+        hwc = np.transpose(images_nchw[index], (1, 2, 0))
+        small = bilinear_resize(hwc, small_h, small_w)
+        restored = bilinear_resize(small, height, width)
+        out[index] = np.transpose(restored, (2, 0, 1))
+    return out
+
+
+class Trainer:
+    """SGD-with-momentum trainer for :class:`Sequential` models."""
+
+    def __init__(self, model: Sequential, config: TrainingConfig) -> None:
+        self._model = model
+        self._config = config
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def fit(self, images: np.ndarray, labels: np.ndarray,
+            val_images: np.ndarray | None = None,
+            val_labels: np.ndarray | None = None) -> TrainingResult:
+        """Train the model on NCHW float32 ``images`` with integer ``labels``."""
+        if images.ndim != 4:
+            raise TrainingError("training images must be an NCHW array")
+        if images.shape[0] != labels.shape[0]:
+            raise TrainingError("images and labels must have matching lengths")
+        if images.shape[0] < self._config.batch_size:
+            raise TrainingError("fewer training examples than the batch size")
+        rng = deterministic_rng("trainer", self._model.name,
+                                seed=self._config.seed)
+        losses: list[float] = []
+        count = images.shape[0]
+        for epoch in range(self._config.epochs):
+            order = rng.permutation(count)
+            epoch_losses: list[float] = []
+            for start in range(0, count - self._config.batch_size + 1,
+                               self._config.batch_size):
+                batch_idx = order[start:start + self._config.batch_size]
+                batch = images[batch_idx].astype(np.float32)
+                batch_labels = labels[batch_idx]
+                batch = self._augment(batch, rng)
+                logits = self._model.forward(batch, training=True)
+                loss, grad = cross_entropy_loss(logits, batch_labels)
+                self._model.backward(grad)
+                self._apply_sgd_step()
+                epoch_losses.append(loss)
+            losses.append(float(np.mean(epoch_losses)))
+        val_accuracy = None
+        if val_images is not None and val_labels is not None:
+            val_accuracy = evaluate_accuracy(self._model, val_images, val_labels)
+        return TrainingResult(
+            epochs_run=self._config.epochs,
+            final_train_loss=losses[-1],
+            train_losses=losses,
+            validation_accuracy=val_accuracy,
+        )
+
+    def _augment(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        augmented = batch
+        if self._config.flip_augment:
+            flip_mask = rng.random(batch.shape[0]) < 0.5
+            augmented = augmented.copy()
+            augmented[flip_mask] = augmented[flip_mask][..., ::-1]
+        if self._config.lowres_augment_size is not None:
+            apply_mask = rng.random(batch.shape[0]) < self._config.lowres_augment_prob
+            if apply_mask.any():
+                augmented = augmented.copy()
+                augmented[apply_mask] = lowres_roundtrip(
+                    augmented[apply_mask], self._config.lowres_augment_size
+                )
+        return augmented
+
+    def _apply_sgd_step(self) -> None:
+        config = self._config
+        for index, (_, _, param, grad) in enumerate(self._model.parameters()):
+            update = grad + config.weight_decay * param
+            velocity = self._velocity.get(index)
+            if velocity is None:
+                velocity = np.zeros_like(param)
+            velocity = config.momentum * velocity - config.learning_rate * update
+            self._velocity[index] = velocity
+            param += velocity

@@ -1,0 +1,31 @@
+"""Shared utilities: units, deterministic RNG, Pareto frontiers, tables, timing."""
+
+from repro.utils.units import (
+    us_to_s,
+    s_to_us,
+    images_per_second,
+    per_image_us,
+    megapixels,
+    Throughput,
+)
+from repro.utils.rng import deterministic_rng, stable_hash
+from repro.utils.pareto import pareto_frontier, dominates
+from repro.utils.tables import Table, format_table
+from repro.utils.timing import SimTimer, wall_timer
+
+__all__ = [
+    "us_to_s",
+    "s_to_us",
+    "images_per_second",
+    "per_image_us",
+    "megapixels",
+    "Throughput",
+    "deterministic_rng",
+    "stable_hash",
+    "pareto_frontier",
+    "dominates",
+    "Table",
+    "format_table",
+    "SimTimer",
+    "wall_timer",
+]

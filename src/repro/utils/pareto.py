@@ -1,0 +1,61 @@
+"""Pareto-frontier utilities.
+
+Smol returns either a single plan (when a constraint is given) or the Pareto
+optimal set of plans in (accuracy, throughput) space.  These helpers are
+generic over the objective extraction functions so they are reused by the
+planner, the baselines, and the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Return True if objective vector ``a`` dominates ``b`` (maximization).
+
+    ``a`` dominates ``b`` when it is at least as good in every objective and
+    strictly better in at least one.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    at_least_as_good = all(ai >= bi for ai, bi in zip(a, b))
+    strictly_better = any(ai > bi for ai, bi in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_frontier(
+    items: Iterable[T],
+    objectives: Callable[[T], Sequence[float]],
+) -> list[T]:
+    """Return the Pareto-optimal subset of ``items`` under maximization.
+
+    Ties (identical objective vectors) are kept once, preserving the first
+    occurrence, so the frontier is deterministic for a deterministic input
+    order.
+    """
+    materialized = list(items)
+    vectors = [tuple(objectives(item)) for item in materialized]
+    frontier: list[T] = []
+    seen: set[tuple[float, ...]] = set()
+    for i, (item, vec) in enumerate(zip(materialized, vectors)):
+        if vec in seen:
+            continue
+        dominated = any(
+            dominates(other, vec) for j, other in enumerate(vectors) if j != i
+        )
+        if not dominated:
+            frontier.append(item)
+            seen.add(vec)
+    return frontier
+
+
+def sort_frontier(
+    items: Sequence[T],
+    objectives: Callable[[T], Sequence[float]],
+    axis: int = 0,
+) -> list[T]:
+    """Sort frontier items by one objective axis (ascending)."""
+    return sorted(items, key=lambda item: objectives(item)[axis])

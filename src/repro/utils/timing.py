@@ -1,0 +1,55 @@
+"""Timing helpers: a simulated timer for the performance models and a wall
+clock timer for the functional (real numpy) paths."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class SimTimer:
+    """Accumulates simulated time per named stage.
+
+    The runtime engine advances this timer with modelled operation costs; the
+    measurement study then reads per-stage totals to build breakdowns such as
+    Figure 1 of the paper.
+    """
+
+    totals_us: dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, microseconds: float) -> None:
+        """Record ``microseconds`` of simulated work attributed to ``stage``."""
+        if microseconds < 0:
+            raise ValueError("cannot record negative time")
+        self.totals_us[stage] = self.totals_us.get(stage, 0.0) + microseconds
+
+    def total(self) -> float:
+        """Total simulated microseconds across all stages."""
+        return sum(self.totals_us.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Return a copy of the per-stage totals in microseconds."""
+        return dict(self.totals_us)
+
+    def reset(self) -> None:
+        """Clear all recorded stage totals."""
+        self.totals_us.clear()
+
+
+@contextmanager
+def wall_timer() -> Iterator[dict[str, float]]:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with wall_timer() as elapsed:
+    ...     do_work()
+    >>> elapsed["seconds"]  # doctest: +SKIP
+    """
+    result: dict[str, float] = {"seconds": 0.0}
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result["seconds"] = time.perf_counter() - start

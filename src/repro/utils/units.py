@@ -1,0 +1,79 @@
+"""Unit helpers used throughout the performance models.
+
+Throughputs in the paper are reported in images per second (im/s); per-stage
+latencies in microseconds per image.  Keeping the conversions in one place
+avoids the classic off-by-1e6 mistakes in cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MICROSECONDS_PER_SECOND = 1_000_000.0
+
+
+def us_to_s(microseconds: float) -> float:
+    """Convert microseconds to seconds."""
+    return microseconds / MICROSECONDS_PER_SECOND
+
+
+def s_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * MICROSECONDS_PER_SECOND
+
+
+def images_per_second(per_image_microseconds: float) -> float:
+    """Convert a per-image latency in microseconds to a throughput in im/s."""
+    if per_image_microseconds <= 0:
+        raise ValueError("per-image latency must be positive, got "
+                         f"{per_image_microseconds!r}")
+    return MICROSECONDS_PER_SECOND / per_image_microseconds
+
+
+def per_image_us(throughput_im_s: float) -> float:
+    """Convert a throughput in images/second to per-image microseconds."""
+    if throughput_im_s <= 0:
+        raise ValueError(f"throughput must be positive, got {throughput_im_s!r}")
+    return MICROSECONDS_PER_SECOND / throughput_im_s
+
+
+def megapixels(width: int, height: int) -> float:
+    """Return the size of a width x height image in megapixels."""
+    if width <= 0 or height <= 0:
+        raise ValueError(f"image dimensions must be positive, got {width}x{height}")
+    return (width * height) / 1e6
+
+
+@dataclass(frozen=True)
+class Throughput:
+    """A throughput measurement with an optional label.
+
+    Attributes
+    ----------
+    images_per_second:
+        The throughput value in images per second.
+    label:
+        Human-readable description of what was measured.
+    """
+
+    images_per_second: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.images_per_second < 0:
+            raise ValueError("throughput cannot be negative")
+
+    @property
+    def per_image_us(self) -> float:
+        """Per-image latency in microseconds implied by this throughput."""
+        return per_image_us(self.images_per_second)
+
+    def speedup_over(self, other: "Throughput") -> float:
+        """Return how many times faster this throughput is than ``other``."""
+        if other.images_per_second <= 0:
+            raise ValueError("cannot compute speedup over zero throughput")
+        return self.images_per_second / other.images_per_second
+
+    def __str__(self) -> str:
+        suffix = f" ({self.label})" if self.label else ""
+        return f"{self.images_per_second:,.0f} im/s{suffix}"

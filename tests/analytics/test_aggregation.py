@@ -1,0 +1,90 @@
+"""Tests for BlazeIt-style aggregation queries."""
+
+import pytest
+
+from repro.analytics.aggregation import AggregationEngine, AggregationQuery
+from repro.codecs.formats import VIDEO_1080P_H264, VIDEO_480P_H264
+from repro.datasets.video import load_video_dataset
+from repro.errors import QueryError
+from repro.inference.perfmodel import EngineConfig
+from repro.nn.zoo import ModelProfile
+
+
+@pytest.fixture(scope="module")
+def specialized_profile():
+    return ModelProfile(name="specialized-test", gflops=0.1,
+                        t4_throughput=60_000.0, imagenet_top1=None)
+
+
+@pytest.fixture(scope="module")
+def engine(perf_model):
+    return AggregationEngine(perf_model, EngineConfig(num_producers=4))
+
+
+class TestAggregationQueries:
+    def test_error_bound_respected(self, engine, specialized_profile):
+        dataset = load_video_dataset("night-street")
+        query = AggregationQuery(dataset=dataset, error_bound=0.05)
+        result = engine.execute(query, specialized_profile, VIDEO_480P_H264,
+                                specialized_accuracy=0.9, frame_limit=8000)
+        assert result.achieved_error <= 3 * result.error_bound
+
+    def test_tighter_bounds_cost_more_target_invocations(self, engine,
+                                                         specialized_profile):
+        dataset = load_video_dataset("taipei")
+        loose = engine.execute(
+            AggregationQuery(dataset=dataset, error_bound=0.05),
+            specialized_profile, VIDEO_480P_H264, frame_limit=8000)
+        tight = engine.execute(
+            AggregationQuery(dataset=dataset, error_bound=0.01),
+            specialized_profile, VIDEO_480P_H264, frame_limit=8000)
+        assert tight.target_invocations > loose.target_invocations
+        assert tight.total_seconds > loose.total_seconds
+
+    def test_more_accurate_specialized_nn_reduces_samples(self, engine,
+                                                          specialized_profile):
+        dataset = load_video_dataset("rialto")
+        query = AggregationQuery(dataset=dataset, error_bound=0.02)
+        weak = engine.execute(query, specialized_profile, VIDEO_480P_H264,
+                              specialized_accuracy=0.6, frame_limit=8000)
+        strong = engine.execute(query, specialized_profile, VIDEO_480P_H264,
+                                specialized_accuracy=0.95, frame_limit=8000)
+        assert strong.target_invocations < weak.target_invocations
+
+    def test_low_resolution_reduces_cheap_pass_time(self, engine,
+                                                    specialized_profile):
+        dataset = load_video_dataset("amsterdam")
+        query = AggregationQuery(dataset=dataset, error_bound=0.03)
+        full = engine.execute(query, specialized_profile, VIDEO_1080P_H264,
+                              frame_limit=8000)
+        low = engine.execute(query, specialized_profile, VIDEO_480P_H264,
+                             frame_limit=8000)
+        assert low.specialized_pass_seconds < full.specialized_pass_seconds
+
+    def test_control_variate_beats_uniform_sampling(self, perf_model,
+                                                    specialized_profile):
+        dataset = load_video_dataset("night-street")
+        query = AggregationQuery(dataset=dataset, error_bound=0.02)
+        config = EngineConfig(num_producers=4)
+        with_cv = AggregationEngine(perf_model, config,
+                                    use_control_variate=True)
+        without_cv = AggregationEngine(perf_model, config,
+                                       use_control_variate=False)
+        cv_result = with_cv.execute(query, specialized_profile, VIDEO_480P_H264,
+                                    specialized_accuracy=0.95, frame_limit=8000)
+        plain_result = without_cv.execute(query, specialized_profile,
+                                          VIDEO_480P_H264,
+                                          specialized_accuracy=0.95,
+                                          frame_limit=8000)
+        assert cv_result.target_invocations < plain_result.target_invocations
+
+    def test_invalid_query_rejected(self):
+        with pytest.raises(QueryError):
+            AggregationQuery(dataset=load_video_dataset("taipei"), error_bound=0.0)
+
+    def test_invalid_pilot_fraction_rejected(self, engine, specialized_profile):
+        query = AggregationQuery(dataset=load_video_dataset("taipei"),
+                                 error_bound=0.05)
+        with pytest.raises(QueryError):
+            engine.execute(query, specialized_profile, VIDEO_480P_H264,
+                           pilot_fraction=0.0)

@@ -1,0 +1,80 @@
+"""Tests for BlazeIt-style limit queries."""
+
+import pytest
+
+from repro.analytics.limit_queries import LimitQuery, LimitQueryEngine
+from repro.codecs.formats import VIDEO_480P_H264, VIDEO_1080P_H264
+from repro.datasets.video import load_video_dataset
+from repro.errors import QueryError
+from repro.inference.perfmodel import EngineConfig
+from repro.nn.zoo import ModelProfile
+
+
+@pytest.fixture(scope="module")
+def specialized_profile():
+    return ModelProfile(name="specialized-limit", gflops=0.1,
+                        t4_throughput=60_000.0, imagenet_top1=None)
+
+
+@pytest.fixture(scope="module")
+def engine(perf_model):
+    return LimitQueryEngine(perf_model, EngineConfig(num_producers=4))
+
+
+class TestLimitQueries:
+    def test_finds_requested_frames(self, engine, specialized_profile):
+        dataset = load_video_dataset("rialto")
+        query = LimitQuery(dataset=dataset, min_count=5, limit=20)
+        result = engine.execute(query, specialized_profile, VIDEO_480P_H264,
+                                frame_limit=6000)
+        assert result.satisfied
+        truth = dataset.ground_truth_counts(6000)
+        assert all(truth[frame] >= 5 for frame in result.found_frames)
+
+    def test_proxy_ordering_scans_fewer_frames_than_random(self, engine,
+                                                           specialized_profile):
+        dataset = load_video_dataset("taipei")
+        query = LimitQuery(dataset=dataset, min_count=10, limit=15)
+        comparison = engine.compare_with_random_scan(
+            query, specialized_profile, VIDEO_480P_H264,
+            specialized_accuracy=0.95, frame_limit=6000,
+        )
+        assert comparison["scan_reduction"] > 1.5
+        assert comparison["ordered_seconds"] < comparison["random_seconds"]
+
+    def test_more_selective_predicates_scan_more(self, engine, specialized_profile):
+        dataset = load_video_dataset("night-street")
+        easy = engine.execute(
+            LimitQuery(dataset=dataset, min_count=2, limit=10),
+            specialized_profile, VIDEO_480P_H264, frame_limit=6000)
+        hard = engine.execute(
+            LimitQuery(dataset=dataset, min_count=8, limit=10),
+            specialized_profile, VIDEO_480P_H264, frame_limit=6000)
+        assert hard.frames_scanned >= easy.frames_scanned
+
+    def test_low_resolution_reduces_cheap_pass_cost(self, engine,
+                                                    specialized_profile):
+        dataset = load_video_dataset("amsterdam")
+        query = LimitQuery(dataset=dataset, min_count=3, limit=10)
+        full = engine.execute(query, specialized_profile, VIDEO_1080P_H264,
+                              frame_limit=6000)
+        low = engine.execute(query, specialized_profile, VIDEO_480P_H264,
+                             frame_limit=6000)
+        assert low.specialized_pass_seconds < full.specialized_pass_seconds
+
+    def test_unsatisfiable_query_reports_not_satisfied(self, engine,
+                                                       specialized_profile):
+        dataset = load_video_dataset("amsterdam")
+        query = LimitQuery(dataset=dataset, min_count=dataset.spec.count_cap + 5,
+                           limit=3)
+        result = engine.execute(query, specialized_profile, VIDEO_480P_H264,
+                                frame_limit=3000)
+        assert not result.satisfied
+        assert result.frames_scanned == 3000
+
+    def test_invalid_query_rejected(self):
+        dataset = load_video_dataset("taipei")
+        with pytest.raises(QueryError):
+            LimitQuery(dataset=dataset, min_count=0, limit=5)
+        with pytest.raises(QueryError):
+            LimitQuery(dataset=dataset, min_count=2, limit=0)

@@ -1,0 +1,92 @@
+"""Tests for the sampling estimators and the control-variate reduction."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.sampling import (
+    control_variate_mean,
+    required_sample_size,
+    uniform_sample_mean,
+)
+from repro.errors import QueryError
+from repro.utils.rng import deterministic_rng
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = deterministic_rng("sampling-population")
+    truth = rng.poisson(4.0, size=50_000).astype(float)
+    proxy = truth + rng.normal(0.0, 0.8, size=truth.shape)
+    return truth, proxy
+
+
+class TestUniformSampling:
+    def test_estimate_close_to_true_mean(self, population):
+        truth, _ = population
+        result = uniform_sample_mean(truth, 5000, seed=1)
+        assert result.estimate == pytest.approx(truth.mean(), abs=0.15)
+        assert result.samples_used == 5000
+
+    def test_confidence_interval_contains_truth(self, population):
+        truth, _ = population
+        result = uniform_sample_mean(truth, 3000, seed=2)
+        assert result.within(float(truth.mean()), slack=1.5)
+
+    def test_half_width_shrinks_with_sample_size(self, population):
+        truth, _ = population
+        small = uniform_sample_mean(truth, 500, seed=3)
+        large = uniform_sample_mean(truth, 8000, seed=3)
+        assert large.half_width < small.half_width
+
+    def test_invalid_arguments_rejected(self, population):
+        truth, _ = population
+        with pytest.raises(QueryError):
+            uniform_sample_mean(truth, 0)
+        with pytest.raises(QueryError):
+            uniform_sample_mean(np.array([]), 1)
+
+
+class TestControlVariates:
+    def test_variance_reduction_with_good_proxy(self, population):
+        truth, proxy = population
+        plain = uniform_sample_mean(truth, 2000, seed=4)
+        reduced = control_variate_mean(truth, proxy, 2000, seed=4)
+        assert reduced.variance < plain.variance * 0.5
+
+    def test_estimate_remains_unbiased(self, population):
+        truth, proxy = population
+        result = control_variate_mean(truth, proxy, 4000, seed=5)
+        assert result.estimate == pytest.approx(truth.mean(), abs=0.1)
+
+    def test_uncorrelated_proxy_gives_no_benefit_but_no_harm(self, population):
+        truth, _ = population
+        rng = deterministic_rng("uncorrelated-proxy")
+        random_proxy = rng.normal(size=truth.shape)
+        plain = uniform_sample_mean(truth, 3000, seed=6)
+        cv = control_variate_mean(truth, random_proxy, 3000, seed=6)
+        assert cv.variance == pytest.approx(plain.variance, rel=0.2)
+
+    def test_shape_mismatch_rejected(self, population):
+        truth, proxy = population
+        with pytest.raises(QueryError):
+            control_variate_mean(truth, proxy[:-1], 100)
+
+
+class TestRequiredSampleSize:
+    def test_tighter_bounds_need_more_samples(self):
+        assert required_sample_size(4.0, 0.01) > required_sample_size(4.0, 0.05)
+
+    def test_lower_variance_needs_fewer_samples(self):
+        assert required_sample_size(1.0, 0.02) < required_sample_size(4.0, 0.02)
+
+    def test_population_caps_sample_size(self):
+        assert required_sample_size(100.0, 0.001, population=5000) == 5000
+
+    def test_zero_variance_needs_one_sample(self):
+        assert required_sample_size(0.0, 0.01) == 1
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(QueryError):
+            required_sample_size(1.0, 0.0)
+        with pytest.raises(QueryError):
+            required_sample_size(-1.0, 0.1)

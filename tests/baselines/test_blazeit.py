@@ -1,0 +1,44 @@
+"""Tests for the BlazeIt baseline and Smol's video runner."""
+
+import pytest
+
+from repro.baselines.blazeit import BlazeItBaseline, SmolVideoRunner
+from repro.datasets.video import load_video_dataset
+
+
+class TestVideoBaselines:
+    @pytest.mark.parametrize("dataset_name", ["night-street", "taipei"])
+    def test_smol_faster_than_blazeit_at_fixed_error(self, perf_model,
+                                                     dataset_name):
+        dataset = load_video_dataset(dataset_name)
+        error_bound = 0.03
+        blazeit = BlazeItBaseline(perf_model).run(dataset, error_bound, seed=1)
+        smol = SmolVideoRunner(perf_model).run(dataset, error_bound, seed=1)
+        assert smol.total_seconds < blazeit.total_seconds
+        # Figure 9: Smol improves query time by up to ~2.5x.
+        assert blazeit.total_seconds / smol.total_seconds < 12.0
+
+    def test_both_respect_error_bound(self, perf_model):
+        dataset = load_video_dataset("amsterdam")
+        blazeit = BlazeItBaseline(perf_model).run(dataset, 0.05, seed=2)
+        smol = SmolVideoRunner(perf_model).run(dataset, 0.05, seed=2)
+        for result in (blazeit, smol):
+            assert result.achieved_error <= 3 * result.error_bound
+
+    def test_smol_uses_fewer_or_equal_target_invocations(self, perf_model):
+        dataset = load_video_dataset("rialto")
+        blazeit = BlazeItBaseline(perf_model).run(dataset, 0.02, seed=3)
+        smol = SmolVideoRunner(perf_model).run(dataset, 0.02, seed=3)
+        # Smol's more accurate specialized NN reduces sampling variance.
+        assert smol.target_invocations <= blazeit.target_invocations
+
+    def test_low_resolution_source_of_speedup(self, perf_model):
+        dataset = load_video_dataset("taipei")
+        with_lowres = SmolVideoRunner(perf_model, use_low_resolution=True).run(
+            dataset, 0.03, seed=4
+        )
+        without_lowres = SmolVideoRunner(perf_model, use_low_resolution=False).run(
+            dataset, 0.03, seed=4
+        )
+        assert (with_lowres.specialized_pass_seconds
+                < without_lowres.specialized_pass_seconds)

@@ -1,0 +1,72 @@
+"""Tests for the DALI-like and PyTorch-loader baselines (Figure 10)."""
+
+import pytest
+
+from repro.baselines.dali import DaliLikeLoader
+from repro.baselines.pytorch_loader import PyTorchLikeLoader
+from repro.codecs.formats import FULL_JPEG
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.zoo import resnet_profile
+
+
+@pytest.fixture(scope="module")
+def loaders(perf_model):
+    return DaliLikeLoader(perf_model), PyTorchLikeLoader(perf_model)
+
+
+def _smol_cpu_preproc(perf_model, vcpus):
+    config = EngineConfig(num_producers=vcpus, optimize_dag=False)
+    return perf_model.preprocessing_model.throughput(FULL_JPEG, config)
+
+
+class TestFigure10Comparison:
+    def test_smol_cpu_preprocessing_beats_both(self, perf_model, loaders):
+        dali, pytorch = loaders
+        for vcpus in (4, 16, 32):
+            smol = _smol_cpu_preproc(perf_model, vcpus)
+            assert smol > dali.cpu_preprocessing_throughput(FULL_JPEG, vcpus)
+            assert smol > pytorch.cpu_preprocessing_throughput(FULL_JPEG, vcpus)
+
+    def test_dali_beats_pytorch_cpu_preprocessing(self, loaders):
+        dali, pytorch = loaders
+        for vcpus in (4, 16, 32):
+            assert (dali.cpu_preprocessing_throughput(FULL_JPEG, vcpus)
+                    > pytorch.cpu_preprocessing_throughput(FULL_JPEG, vcpus))
+
+    def test_pytorch_scaling_degrades_past_16_vcpus(self, loaders):
+        _, pytorch = loaders
+        gain_low = (pytorch.cpu_preprocessing_throughput(FULL_JPEG, 16)
+                    / pytorch.cpu_preprocessing_throughput(FULL_JPEG, 8))
+        gain_high = (pytorch.cpu_preprocessing_throughput(FULL_JPEG, 32)
+                     / pytorch.cpu_preprocessing_throughput(FULL_JPEG, 16))
+        assert gain_high < gain_low
+
+    def test_dali_optimized_preprocessing_wins_at_low_core_counts(self, perf_model,
+                                                                  loaders):
+        # Figure 10b: DALI's fixed CPU/GPU split gives it an edge at 4 vCPUs;
+        # Smol overtakes from 8 vCPUs.
+        dali, _ = loaders
+        config4 = EngineConfig(num_producers=4)
+        smol4 = perf_model.preprocessing_model.throughput(
+            FULL_JPEG, config4, cpu_op_fraction=0.25
+        )
+        assert dali.optimized_preprocessing_throughput(FULL_JPEG, 4) > smol4 * 0.5
+
+    def test_end_to_end_smol_beats_dali_and_pytorch(self, perf_model, loaders):
+        dali, pytorch = loaders
+        model = resnet_profile(50)
+        for vcpus in (8, 16, 32):
+            config = EngineConfig(num_producers=vcpus)
+            smol = perf_model.estimate(model, FULL_JPEG, config,
+                                       offloaded_fraction=0.5)
+            assert (smol.pipelined_upper_bound
+                    > dali.end_to_end_throughput(model, FULL_JPEG, vcpus))
+            assert (smol.pipelined_upper_bound
+                    > pytorch.end_to_end_throughput(model, FULL_JPEG, vcpus))
+
+    def test_dali_beats_pytorch_end_to_end(self, loaders):
+        dali, pytorch = loaders
+        model = resnet_profile(50)
+        for vcpus in (8, 32):
+            assert (dali.end_to_end_throughput(model, FULL_JPEG, vcpus)
+                    > pytorch.end_to_end_throughput(model, FULL_JPEG, vcpus))

@@ -1,0 +1,40 @@
+"""Tests for the naive ResNet baseline."""
+
+import pytest
+
+from repro.baselines.naive import NaiveResNetBaseline
+
+
+class TestNaiveBaseline:
+    def test_one_estimate_per_depth(self, perf_model):
+        baseline = NaiveResNetBaseline(perf_model)
+        estimates = baseline.evaluate()
+        assert len(estimates) == 3
+        assert {e.plan.primary_model.name for e in estimates} == {
+            "resnet-18", "resnet-34", "resnet-50"
+        }
+
+    def test_all_depths_preprocessing_bound(self, perf_model):
+        # Section 8.3: the naive baselines are preprocessing-bound at every
+        # depth, so DNN-side optimizations cannot help them.
+        baseline = NaiveResNetBaseline(perf_model)
+        for estimate in baseline.evaluate():
+            assert estimate.bottleneck == "preprocessing"
+
+    def test_throughput_roughly_equal_across_depths(self, perf_model):
+        baseline = NaiveResNetBaseline(perf_model)
+        throughputs = [e.throughput for e in baseline.evaluate()]
+        assert max(throughputs) / min(throughputs) < 1.1
+
+    def test_accuracy_increases_with_depth(self, perf_model):
+        baseline = NaiveResNetBaseline(perf_model, dataset_name="imagenet")
+        by_depth = {e.plan.primary_model.name: e.accuracy
+                    for e in baseline.evaluate()}
+        assert (by_depth["resnet-18"] < by_depth["resnet-34"]
+                < by_depth["resnet-50"])
+
+    def test_optimized_runtime_flag_improves_throughput(self, perf_model):
+        plain = NaiveResNetBaseline(perf_model, optimized_runtime=False)
+        optimized = NaiveResNetBaseline(perf_model, optimized_runtime=True)
+        assert (optimized.evaluate()[0].throughput
+                > plain.evaluate()[0].throughput)

@@ -1,0 +1,39 @@
+"""Tests for the Tahoma-style cascade baseline."""
+
+import pytest
+
+from repro.baselines.tahoma import TahomaBaseline
+from repro.utils.pareto import dominates
+
+
+@pytest.fixture(scope="module")
+def tahoma(perf_model):
+    return TahomaBaseline(perf_model, dataset_name="imagenet", num_specialized=4)
+
+
+class TestTahomaBaseline:
+    def test_family_size(self, tahoma):
+        assert len(tahoma.specialized_family()) == 4
+
+    def test_evaluation_count(self, tahoma):
+        # 4 specialized NNs x 5 pass-through rates.
+        assert len(tahoma.evaluate()) == 20
+
+    def test_cascades_preprocessing_bound_on_full_resolution(self, tahoma):
+        # The key observation of Section 8.3: Tahoma's cheap proxies leave
+        # the cascade bottlenecked on image preprocessing.
+        for evaluation in tahoma.evaluate():
+            assert evaluation.throughput <= evaluation.preprocessing_throughput * 1.001
+
+    def test_pareto_frontier_is_nondominated(self, tahoma):
+        frontier = tahoma.pareto_frontier()
+        vectors = [e.objectives() for e in frontier]
+        for i, vec in enumerate(vectors):
+            assert not any(dominates(other, vec)
+                           for j, other in enumerate(vectors) if j != i)
+
+    def test_serial_sum_underestimates_pipelined_throughput(self, tahoma):
+        evaluation = tahoma.evaluate()[0]
+        assert tahoma.estimate_throughput_serial_sum(evaluation) < (
+            evaluation.throughput
+        )

@@ -1,0 +1,54 @@
+"""Tests for input format specifications."""
+
+import pytest
+
+from repro.codecs.formats import (
+    FULL_JPEG,
+    THUMB_JPEG_161_Q75,
+    THUMB_PNG_161,
+    VIDEO_480P_H264,
+    get_input_format,
+    list_input_formats,
+)
+from repro.errors import UnsupportedFormatError
+
+
+class TestInputFormatSpec:
+    def test_full_jpeg_is_full_resolution(self):
+        assert FULL_JPEG.is_full_resolution
+        assert not THUMB_PNG_161.is_full_resolution
+
+    def test_thumbnail_resolution_scaled(self):
+        assert THUMB_PNG_161.resolution.short_side == 161
+
+    def test_video_flag(self):
+        assert VIDEO_480P_H264.is_video
+        assert not FULL_JPEG.is_video
+
+    def test_png_is_lossless(self):
+        assert THUMB_PNG_161.lossless
+        assert not THUMB_JPEG_161_Q75.lossless
+
+    def test_capability_lookup(self):
+        assert FULL_JPEG.capability.partial_decoding
+        assert THUMB_PNG_161.capability.early_stopping
+
+    def test_describe_mentions_codec(self):
+        assert "jpeg" in FULL_JPEG.describe()
+
+
+class TestCatalog:
+    def test_standard_image_formats(self):
+        names = {fmt.name for fmt in list_input_formats()}
+        assert names == {"full-jpeg", "161-png", "161-jpeg-q95", "161-jpeg-q75"}
+
+    def test_video_formats_optional(self):
+        names = {fmt.name for fmt in list_input_formats(include_video=True)}
+        assert "480p-h264" in names
+
+    def test_lookup_by_name(self):
+        assert get_input_format("161-png") is THUMB_PNG_161
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UnsupportedFormatError):
+            get_input_format("240p-gif")

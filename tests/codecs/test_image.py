@@ -1,0 +1,62 @@
+"""Tests for the Image container and Resolution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.image import Image, Resolution
+from repro.errors import CodecError
+
+
+class TestResolution:
+    def test_short_side(self):
+        assert Resolution(500, 375).short_side == 375
+
+    def test_scaled_to_short_side_preserves_aspect(self):
+        scaled = Resolution(500, 375).scaled_to_short_side(161)
+        assert scaled.short_side == 161
+        assert scaled.width / scaled.height == pytest.approx(500 / 375, rel=0.02)
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(CodecError):
+            Resolution(0, 10)
+
+    def test_pixels(self):
+        assert Resolution(10, 20).pixels == 200
+
+
+class TestImage:
+    def test_basic_properties(self, small_image):
+        assert small_image.width == 64
+        assert small_image.height == 48
+        assert small_image.channels == 3
+        assert small_image.resolution == Resolution(64, 48)
+
+    def test_grayscale_broadcast_to_three_channels(self):
+        gray = Image(pixels=np.zeros((8, 8), dtype=np.uint8))
+        assert gray.channels == 3
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(CodecError):
+            Image(pixels=np.zeros((8, 8, 3), dtype=np.float32))
+
+    def test_crop(self, small_image):
+        crop = small_image.crop(4, 2, 16, 8)
+        assert crop.width == 16 and crop.height == 8
+        np.testing.assert_array_equal(
+            crop.pixels, small_image.pixels[2:10, 4:20]
+        )
+
+    def test_crop_out_of_bounds_rejected(self, small_image):
+        with pytest.raises(CodecError):
+            small_image.crop(60, 0, 16, 16)
+
+    def test_mse_zero_for_identical(self, small_image):
+        assert small_image.mse(small_image.copy()) == 0.0
+
+    def test_psnr_infinite_for_identical(self, small_image):
+        assert small_image.psnr(small_image.copy()) == float("inf")
+
+    def test_mse_shape_mismatch_rejected(self, small_image):
+        other = Image(pixels=np.zeros((8, 8, 3), dtype=np.uint8))
+        with pytest.raises(CodecError):
+            small_image.mse(other)

@@ -1,0 +1,78 @@
+"""Tests for the JPEG2000-like progressive multi-resolution codec."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.progressive import ProgressiveCodec
+from repro.errors import CodecError
+
+
+@pytest.fixture(scope="module")
+def encoded_image():
+    from repro.datasets.synthetic import SyntheticImageGenerator
+
+    generator = SyntheticImageGenerator(num_classes=2, image_size=64, seed=13)
+    image = generator.generate_image(0, 0)
+    codec = ProgressiveCodec(num_levels=3, quality=90)
+    return image, codec, codec.encode(image)
+
+
+class TestProgressiveCodec:
+    def test_pyramid_structure(self, encoded_image):
+        image, _, encoded = encoded_image
+        assert encoded.num_levels == 3
+        short_sides = [r.short_side for r in encoded.level_resolutions]
+        assert short_sides == sorted(short_sides)
+        assert encoded.level_resolutions[-1].width == image.width
+
+    def test_full_decode_quality(self, encoded_image):
+        image, codec, encoded = encoded_image
+        decoded = codec.decode(encoded)
+        assert decoded.pixels.shape == image.pixels.shape
+        assert image.psnr(decoded) > 24.0
+
+    def test_partial_decode_returns_lower_resolution(self, encoded_image):
+        _, codec, encoded = encoded_image
+        base = codec.decode(encoded, max_level=0)
+        assert base.resolution == encoded.level_resolutions[0]
+        mid = codec.decode(encoded, max_level=1)
+        assert mid.resolution == encoded.level_resolutions[1]
+
+    def test_bytes_up_to_is_monotone(self, encoded_image):
+        _, _, encoded = encoded_image
+        costs = [encoded.bytes_up_to(level) for level in range(encoded.num_levels)]
+        assert costs == sorted(costs)
+        assert costs[-1] == encoded.compressed_bytes
+
+    def test_refinement_improves_fidelity(self, encoded_image):
+        image, codec, encoded = encoded_image
+        from repro.preprocessing.ops import bilinear_resize
+
+        base = codec.decode(encoded, max_level=0)
+        upsampled_base = bilinear_resize(base.pixels, image.height, image.width)
+        full = codec.decode(encoded)
+        base_error = np.abs(
+            upsampled_base.astype(float) - image.pixels.astype(float)
+        ).mean()
+        full_error = np.abs(
+            full.pixels.astype(float) - image.pixels.astype(float)
+        ).mean()
+        assert full_error < base_error
+
+    def test_decode_for_short_side_picks_cheapest_level(self, encoded_image):
+        _, codec, encoded = encoded_image
+        small = codec.decode_for_short_side(encoded, 10)
+        assert small.resolution == encoded.level_resolutions[0]
+        large = codec.decode_for_short_side(encoded, 10_000)
+        assert large.resolution == encoded.level_resolutions[-1]
+
+    def test_invalid_arguments_rejected(self, encoded_image):
+        _, codec, encoded = encoded_image
+        with pytest.raises(CodecError):
+            ProgressiveCodec(num_levels=0)
+        with pytest.raises(CodecError):
+            codec.decode(encoded, max_level=7)
+        with pytest.raises(CodecError):
+            codec.decode_for_short_side(encoded, 0)
+        with pytest.raises(CodecError):
+            encoded.bytes_up_to(9)

@@ -1,0 +1,41 @@
+"""Tests for the format capability registry (Table 4)."""
+
+import pytest
+
+from repro.codecs.image import ImageFormat
+from repro.codecs.registry import get_format, list_formats
+from repro.errors import UnsupportedFormatError
+
+
+class TestRegistry:
+    def test_jpeg_supports_partial_decoding(self):
+        assert get_format(ImageFormat.JPEG).partial_decoding
+        assert get_format("jpeg").low_fidelity_feature == "Partial decoding"
+
+    def test_png_and_webp_support_early_stopping(self):
+        assert get_format(ImageFormat.PNG).early_stopping
+        assert get_format(ImageFormat.WEBP).early_stopping
+
+    def test_video_codecs_support_reduced_fidelity(self):
+        for fmt in (ImageFormat.H264, ImageFormat.VP8, ImageFormat.VP9,
+                    ImageFormat.HEIC):
+            assert get_format(fmt).reduced_fidelity
+
+    def test_supports_roi_for_jpeg_and_png_only_among_images(self):
+        assert get_format(ImageFormat.JPEG).supports_roi()
+        assert get_format(ImageFormat.PNG).supports_roi()
+        assert not get_format(ImageFormat.H264).supports_roi()
+
+    def test_string_lookup_case_insensitive(self):
+        assert get_format("JPEG").format is ImageFormat.JPEG
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(UnsupportedFormatError):
+            get_format("tiff")
+
+    def test_table4_row_count(self):
+        # Table 4 lists six formats plus RAW in our registry.
+        names = {cap.format for cap in list_formats()}
+        assert {ImageFormat.JPEG, ImageFormat.PNG, ImageFormat.WEBP,
+                ImageFormat.HEIC, ImageFormat.H264, ImageFormat.VP8,
+                ImageFormat.VP9}.issubset(names)

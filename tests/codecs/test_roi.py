@@ -1,0 +1,76 @@
+"""Tests for ROI computation and macroblock alignment (Algorithm 1)."""
+
+import pytest
+
+from repro.codecs.image import Resolution
+from repro.codecs.roi import (
+    RegionOfInterest,
+    central_crop_roi,
+    expand_to_blocks,
+    raster_rows_required,
+)
+from repro.errors import CodecError
+
+
+class TestRegionOfInterest:
+    def test_edges_and_pixels(self):
+        roi = RegionOfInterest(10, 20, 30, 40)
+        assert roi.right == 40 and roi.bottom == 60
+        assert roi.pixels == 1200
+
+    def test_invalid_roi_rejected(self):
+        with pytest.raises(CodecError):
+            RegionOfInterest(-1, 0, 10, 10)
+        with pytest.raises(CodecError):
+            RegionOfInterest(0, 0, 0, 10)
+
+    def test_clamp_to_resolution(self):
+        roi = RegionOfInterest(90, 90, 50, 50).clamp_to(Resolution(100, 100))
+        assert roi.right <= 100 and roi.bottom <= 100
+
+    def test_contains(self):
+        outer = RegionOfInterest(0, 0, 100, 100)
+        inner = RegionOfInterest(10, 10, 20, 20)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+
+class TestCentralCropRoi:
+    def test_crop_roi_is_centered_and_covers_crop(self):
+        resolution = Resolution(500, 375)
+        roi = central_crop_roi(resolution, crop_size=224, resize_short_side=256)
+        assert roi.right <= resolution.width
+        assert roi.bottom <= resolution.height
+        # The ROI should cover most of the short dimension (224/256 of it).
+        assert roi.height / resolution.height > 0.8
+        # But should exclude a margin of the long dimension.
+        assert roi.width / resolution.width < 0.95
+
+    def test_crop_larger_than_resize_rejected(self):
+        with pytest.raises(CodecError):
+            central_crop_roi(Resolution(500, 375), crop_size=300,
+                             resize_short_side=256)
+
+
+class TestBlockAlignment:
+    def test_expansion_aligns_to_blocks(self):
+        roi = RegionOfInterest(13, 21, 30, 17)
+        aligned = expand_to_blocks(roi, Resolution(640, 480))
+        assert aligned.left % 8 == 0 and aligned.top % 8 == 0
+        assert aligned.contains(roi)
+
+    def test_expansion_clipped_to_frame(self):
+        roi = RegionOfInterest(630, 470, 20, 20)
+        aligned = expand_to_blocks(roi, Resolution(640, 480))
+        assert aligned.right <= 640 and aligned.bottom <= 480
+
+    def test_already_aligned_roi_unchanged(self):
+        roi = RegionOfInterest(16, 8, 32, 24)
+        aligned = expand_to_blocks(roi, Resolution(640, 480))
+        assert (aligned.left, aligned.top, aligned.width, aligned.height) == (
+            16, 8, 32, 24
+        )
+
+    def test_raster_rows_required(self):
+        roi = RegionOfInterest(100, 50, 10, 20)
+        assert raster_rows_required(roi) == 70

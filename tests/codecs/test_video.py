@@ -1,0 +1,103 @@
+"""Tests for the H.264-like video codec and reduced-fidelity decoding."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.image import Image
+from repro.codecs.video import VideoCodec, deblock
+from repro.errors import CodecError
+
+
+def _make_frames(count: int, size: int = 32) -> list[Image]:
+    rng = np.random.default_rng(5)
+    background = rng.integers(40, 90, size=(size, size, 3)).astype(np.float64)
+    frames = []
+    for index in range(count):
+        frame = background.copy()
+        x = (index * 3) % (size - 8)
+        frame[8:16, x:x + 8] = 220
+        frames.append(Image(pixels=frame.astype(np.uint8)))
+    return frames
+
+
+class TestVideoRoundtrip:
+    def test_decode_returns_all_frames(self):
+        frames = _make_frames(6)
+        codec = VideoCodec(quality=90, gop_size=3)
+        video = codec.encode(frames)
+        decoded = codec.decode(video)
+        assert len(decoded) == 6
+        assert video.num_frames == 6
+
+    def test_keyframe_placement_follows_gop(self):
+        codec = VideoCodec(quality=90, gop_size=3)
+        video = codec.encode(_make_frames(7))
+        keyframes = [ref.index for ref in video.frames if ref.is_keyframe]
+        assert keyframes == [0, 3, 6]
+
+    def test_reconstruction_quality_reasonable(self):
+        frames = _make_frames(5)
+        codec = VideoCodec(quality=90, gop_size=5)
+        decoded = codec.decode(codec.encode(frames), deblocking=False)
+        for original, recon in zip(frames, decoded):
+            assert original.psnr(recon) > 24.0
+
+    def test_decode_limit(self):
+        codec = VideoCodec(quality=85, gop_size=4)
+        video = codec.encode(_make_frames(8))
+        assert len(codec.decode(video, limit=3)) == 3
+
+    def test_decode_single_frame_matches_stream_decode(self):
+        codec = VideoCodec(quality=90, gop_size=3)
+        frames = _make_frames(6)
+        video = codec.encode(frames)
+        streamed = codec.decode(video, deblocking=True)
+        single = codec.decode_frame(video, 4, deblocking=True)
+        np.testing.assert_array_equal(single.pixels, streamed[4].pixels)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CodecError):
+            VideoCodec().encode([])
+
+    def test_mismatched_frame_sizes_rejected(self):
+        frames = _make_frames(2) + [
+            Image(pixels=np.zeros((16, 16, 3), dtype=np.uint8))
+        ]
+        with pytest.raises(CodecError):
+            VideoCodec().encode(frames)
+
+    def test_frame_index_out_of_range(self):
+        video = VideoCodec().encode(_make_frames(3))
+        with pytest.raises(CodecError):
+            VideoCodec().decode_frame(video, 10)
+
+
+class TestDeblocking:
+    def test_deblock_changes_block_boundaries_only_nearby(self):
+        rng = np.random.default_rng(3)
+        pixels = rng.integers(0, 255, size=(32, 32, 3)).astype(np.uint8)
+        smoothed = deblock(pixels, strength=1.0)
+        # Interior pixels away from block boundaries are untouched.
+        np.testing.assert_array_equal(smoothed[2:6, 2:6], pixels[2:6, 2:6])
+        # Boundary pixels change.
+        assert not np.array_equal(smoothed[:, 7:9], pixels[:, 7:9])
+
+    def test_deblocking_reduces_blocking_artifacts(self):
+        frames = _make_frames(4)
+        codec = VideoCodec(quality=35, gop_size=4)
+        video = codec.encode(frames)
+        with_filter = codec.decode(video, deblocking=True)
+        without_filter = codec.decode(video, deblocking=False)
+        # The deblocking filter reduces the discontinuity across the 8-pixel
+        # block boundary (averaged over all boundaries and frames).
+        def boundary_jump(images):
+            jumps = []
+            for image in images:
+                data = image.pixels.astype(np.float64)
+                jumps.append(np.abs(data[:, 7, :] - data[:, 8, :]).mean())
+            return float(np.mean(jumps))
+        assert boundary_jump(with_filter) <= boundary_jump(without_filter)
+
+    def test_invalid_strength_rejected(self):
+        with pytest.raises(CodecError):
+            deblock(np.zeros((16, 16, 3), dtype=np.uint8), strength=2.0)

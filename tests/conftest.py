@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs.formats import FULL_JPEG, THUMB_JPEG_161_Q75, THUMB_PNG_161
+from repro.codecs.image import Image
+from repro.hardware.instance import get_instance
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.zoo import get_model_profile
+from repro.utils.rng import deterministic_rng
+
+
+@pytest.fixture(scope="session")
+def g4dn_xlarge():
+    """The paper's primary evaluation instance."""
+    return get_instance("g4dn.xlarge")
+
+
+@pytest.fixture(scope="session")
+def perf_model(g4dn_xlarge):
+    """A calibrated performance model for the g4dn.xlarge."""
+    return PerformanceModel(g4dn_xlarge)
+
+
+@pytest.fixture(scope="session")
+def engine_config():
+    """Default engine configuration for the 4-vCPU instance."""
+    return EngineConfig(num_producers=4)
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    """The calibrated ResNet-50 profile."""
+    return get_model_profile("resnet-50")
+
+
+@pytest.fixture(scope="session")
+def resnet18():
+    """The calibrated ResNet-18 profile."""
+    return get_model_profile("resnet-18")
+
+
+@pytest.fixture(scope="session")
+def full_jpeg_format():
+    """Full-resolution JPEG input format."""
+    return FULL_JPEG
+
+
+@pytest.fixture(scope="session")
+def thumb_png_format():
+    """161-pixel PNG thumbnail format."""
+    return THUMB_PNG_161
+
+
+@pytest.fixture(scope="session")
+def thumb_jpeg_q75_format():
+    """161-pixel JPEG q=75 thumbnail format."""
+    return THUMB_JPEG_161_Q75
+
+
+@pytest.fixture()
+def small_image() -> Image:
+    """A deterministic 48x64 RGB test image with smooth + textured regions."""
+    rng = deterministic_rng("test-image")
+    ys, xs = np.meshgrid(np.linspace(0, 1, 48), np.linspace(0, 1, 64),
+                         indexing="ij")
+    pixels = np.stack(
+        [
+            120 + 80 * np.sin(2 * np.pi * 3 * xs),
+            60 + 120 * ys,
+            200 * (np.sqrt((xs - 0.5) ** 2 + (ys - 0.5) ** 2) < 0.3),
+        ],
+        axis=2,
+    )
+    pixels += rng.normal(0, 4, size=pixels.shape)
+    return Image(pixels=np.clip(pixels, 0, 255).astype(np.uint8), label=1,
+                 source_id="test-image")
+
+
+@pytest.fixture()
+def tiny_dataset_arrays():
+    """A tiny trainable dataset: 2 classes, 16x16 images."""
+    from repro.datasets.synthetic import SyntheticImageGenerator
+
+    generator = SyntheticImageGenerator(num_classes=2, image_size=16, seed=7)
+    train_x, train_y = generator.generate_array_split(12, split="train")
+    test_x, test_y = generator.generate_array_split(6, split="test")
+    return train_x, train_y, test_x, test_y

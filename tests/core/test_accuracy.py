@@ -1,0 +1,93 @@
+"""Tests for accuracy estimation."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.formats import (
+    FULL_JPEG,
+    THUMB_JPEG_161_Q75,
+    THUMB_JPEG_161_Q95,
+    THUMB_PNG_161,
+)
+from repro.core.accuracy import AccuracyEstimator
+from repro.errors import PlanError
+from repro.nn.zoo import resnet_profile
+
+
+class TestMeasuredAccuracy:
+    def test_measured_accuracy(self):
+        estimator = AccuracyEstimator("imagenet")
+        predictions = np.array([0, 1, 1, 0])
+        labels = np.array([0, 1, 0, 0])
+        estimate = estimator.measured(predictions, labels)
+        assert estimate.accuracy == pytest.approx(0.75)
+        assert estimate.source == "measured"
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(PlanError):
+            AccuracyEstimator("imagenet").measured(np.array([]), np.array([]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PlanError):
+            AccuracyEstimator("imagenet").measured(np.array([1]), np.array([1, 2]))
+
+
+class TestCalibratedAccuracy:
+    def test_imagenet_full_resolution_matches_table7(self):
+        estimator = AccuracyEstimator("imagenet")
+        estimate = estimator.calibrated(resnet_profile(50), FULL_JPEG)
+        assert estimate.accuracy == pytest.approx(0.7516, abs=1e-4)
+
+    def test_lowres_training_recovers_png_accuracy(self):
+        estimator = AccuracyEstimator("imagenet")
+        regular = estimator.calibrated(resnet_profile(50), THUMB_PNG_161,
+                                       training="regular").accuracy
+        lowres = estimator.calibrated(resnet_profile(50), THUMB_PNG_161,
+                                      training="lowres").accuracy
+        assert lowres > regular
+        assert lowres == pytest.approx(0.75, abs=1e-3)
+
+    def test_lossy_thumbnails_lose_accuracy(self):
+        estimator = AccuracyEstimator("imagenet")
+        png = estimator.calibrated(resnet_profile(50), THUMB_PNG_161,
+                                   training="lowres").accuracy
+        q95 = estimator.calibrated(resnet_profile(50), THUMB_JPEG_161_Q95,
+                                   training="lowres").accuracy
+        q75 = estimator.calibrated(resnet_profile(50), THUMB_JPEG_161_Q75,
+                                   training="lowres").accuracy
+        assert png > q95 > q75
+
+    def test_easy_datasets_are_insensitive_to_resolution(self):
+        imagenet = AccuracyEstimator("imagenet")
+        bike_bird = AccuracyEstimator("bike-bird")
+        drop_hard = (imagenet.calibrated(resnet_profile(50), FULL_JPEG).accuracy
+                     - imagenet.calibrated(resnet_profile(50), THUMB_JPEG_161_Q75,
+                                           training="lowres").accuracy)
+        drop_easy = (bike_bird.calibrated(resnet_profile(50), FULL_JPEG).accuracy
+                     - bike_bird.calibrated(resnet_profile(50), THUMB_JPEG_161_Q75,
+                                            training="lowres").accuracy)
+        assert drop_easy < drop_hard
+        assert bike_bird.calibrated(resnet_profile(50), FULL_JPEG).accuracy > 0.99
+
+    def test_deeper_models_more_accurate(self):
+        estimator = AccuracyEstimator("birds-200")
+        accuracies = [
+            estimator.calibrated(resnet_profile(depth), FULL_JPEG).accuracy
+            for depth in (18, 34, 50)
+        ]
+        assert accuracies == sorted(accuracies)
+
+    def test_accuracy_factor_scales_down(self):
+        estimator = AccuracyEstimator("animals-10")
+        full = estimator.calibrated(resnet_profile(50), FULL_JPEG).accuracy
+        scaled = estimator.calibrated(resnet_profile(50), FULL_JPEG,
+                                      accuracy_factor=0.8).accuracy
+        assert scaled == pytest.approx(full * 0.8, rel=1e-6)
+
+    def test_unknown_dataset_requires_explicit_parameters(self):
+        with pytest.raises(PlanError):
+            AccuracyEstimator("cityscapes")
+        custom = AccuracyEstimator("cityscapes", top_accuracy=0.8, sensitivity=0.5)
+        assert custom.calibrated(resnet_profile(50), FULL_JPEG).accuracy == (
+            pytest.approx(0.8)
+        )

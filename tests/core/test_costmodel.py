@@ -1,0 +1,100 @@
+"""Tests for the three throughput cost models (Section 4, Table 3)."""
+
+import pytest
+
+from repro.codecs.formats import FULL_JPEG, THUMB_JPEG_161_Q75, THUMB_PNG_161
+from repro.core.costmodel import (
+    ExecutionOnlyCostModel,
+    SerialSumCostModel,
+    SmolCostModel,
+    all_cost_models,
+)
+from repro.core.plans import Plan
+from repro.inference.perfmodel import EngineConfig
+from repro.inference.pipeline_sim import PipelineSimulator
+from repro.nn.zoo import get_model_profile, resnet_profile
+
+
+@pytest.fixture()
+def config():
+    return EngineConfig(num_producers=4)
+
+
+class TestCostModelFormulas:
+    def test_smol_estimate_is_min_of_stages(self, perf_model, config):
+        model = SmolCostModel(perf_model, config)
+        plan = Plan.single(resnet_profile(50), FULL_JPEG)
+        estimate = model.estimate(plan)
+        assert estimate.estimated_throughput == pytest.approx(
+            min(estimate.preprocessing_throughput, estimate.dnn_throughput)
+        )
+
+    def test_exec_only_ignores_preprocessing(self, perf_model, config):
+        model = ExecutionOnlyCostModel(perf_model, config)
+        estimate = model.estimate(Plan.single(resnet_profile(50), FULL_JPEG))
+        assert estimate.estimated_throughput == pytest.approx(
+            estimate.dnn_throughput
+        )
+        assert estimate.estimated_throughput > estimate.preprocessing_throughput
+
+    def test_serial_sum_is_harmonic_combination(self, perf_model, config):
+        model = SerialSumCostModel(perf_model, config)
+        estimate = model.estimate(Plan.single(resnet_profile(50), FULL_JPEG))
+        expected = 1.0 / (1.0 / estimate.preprocessing_throughput
+                          + 1.0 / estimate.dnn_throughput)
+        assert estimate.estimated_throughput == pytest.approx(expected)
+
+    def test_ordering_exec_only_highest_serial_sum_lowest(self, perf_model, config):
+        plan = Plan.single(resnet_profile(50), FULL_JPEG)
+        smol, exec_only, serial = all_cost_models(perf_model, config)
+        assert (exec_only.estimate(plan).estimated_throughput
+                >= smol.estimate(plan).estimated_throughput
+                >= serial.estimate(plan).estimated_throughput)
+
+    def test_cascade_throughput_accounts_for_pass_through(self, perf_model, config):
+        model = ExecutionOnlyCostModel(perf_model, config)
+        lenient = Plan.cascade(resnet_profile(18), resnet_profile(50), 0.9,
+                               THUMB_JPEG_161_Q75)
+        strict = Plan.cascade(resnet_profile(18), resnet_profile(50), 0.05,
+                              THUMB_JPEG_161_Q75)
+        assert (model.estimate(strict).estimated_throughput
+                > model.estimate(lenient).estimated_throughput)
+
+    def test_error_against_measured(self, perf_model, config):
+        model = SmolCostModel(perf_model, config)
+        estimate = model.estimate(Plan.single(resnet_profile(50), FULL_JPEG))
+        assert estimate.error_against(estimate.estimated_throughput) == 0.0
+        assert estimate.error_against(estimate.estimated_throughput * 2) == (
+            pytest.approx(0.5)
+        )
+
+
+class TestCostModelAccuracyAgainstSimulator:
+    """Reproduces the Table 3 comparison: the Smol (min) estimator tracks the
+    simulated pipelined throughput far better than prior estimators across the
+    balanced, preprocessing-bound, and DNN-bound regimes."""
+
+    @pytest.mark.parametrize("fmt,model_name", [
+        (THUMB_PNG_161, "resnet-50"),        # roughly balanced
+        (FULL_JPEG, "resnet-50"),            # preprocessing bound
+        (THUMB_JPEG_161_Q75, "resnet-101"),  # DNN bound
+    ])
+    def test_smol_model_is_most_accurate(self, perf_model, config, fmt, model_name):
+        plan = Plan.single(get_model_profile(model_name), fmt,
+                           offloaded_fraction=0.0)
+        smol, exec_only, serial = all_cost_models(perf_model, config)
+        stage = smol.stage_estimate(plan)
+        measured = PipelineSimulator(config).measured_throughput(stage, 2048)
+        smol_error = smol.estimate(plan).error_against(measured)
+        exec_error = exec_only.estimate(plan).error_against(measured)
+        serial_error = serial.estimate(plan).error_against(measured)
+        assert smol_error <= exec_error + 1e-9
+        assert smol_error <= serial_error + 1e-9
+        assert smol_error < 0.25
+
+    def test_exec_only_fails_badly_when_preprocessing_bound(self, perf_model, config):
+        plan = Plan.single(resnet_profile(50), FULL_JPEG, offloaded_fraction=0.0)
+        smol, exec_only, _ = all_cost_models(perf_model, config)
+        stage = smol.stage_estimate(plan)
+        measured = PipelineSimulator(config).measured_throughput(stage, 2048)
+        assert exec_only.estimate(plan).error_against(measured) > 1.0

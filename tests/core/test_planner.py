@@ -1,0 +1,133 @@
+"""Tests for plan generation, Pareto frontiers, and constrained selection."""
+
+import pytest
+
+from repro.codecs.formats import FULL_JPEG, list_input_formats
+from repro.core.accuracy import AccuracyEstimator
+from repro.core.costmodel import SmolCostModel
+from repro.core.planner import PlanGenerator, PlannerFeatures
+from repro.core.plans import PlanConstraints
+from repro.errors import InfeasibleConstraintError, PlanError
+from repro.inference.perfmodel import EngineConfig
+from repro.utils.pareto import dominates
+
+
+@pytest.fixture()
+def planner(perf_model):
+    cost_model = SmolCostModel(perf_model, EngineConfig(num_producers=4))
+    return PlanGenerator(cost_model, AccuracyEstimator("imagenet"))
+
+
+class TestPlanGeneration:
+    def test_cross_product_size(self, planner):
+        plans = planner.generate()
+        # 3 ResNet depths x 4 standard image formats.
+        assert len(plans) == 12
+
+    def test_lowres_training_used_for_thumbnails(self, planner):
+        plans = planner.generate()
+        for plan in plans:
+            if plan.input_format.is_full_resolution:
+                assert plan.training == "regular"
+            else:
+                assert plan.training == "lowres"
+
+    def test_roi_decoding_enabled_for_full_jpeg(self, planner):
+        plans = planner.generate()
+        full_plans = [p for p in plans if p.input_format is FULL_JPEG]
+        assert all(p.roi_fraction < 1.0 for p in full_plans)
+
+    def test_disabled_low_resolution_restricts_formats(self, perf_model):
+        cost_model = SmolCostModel(perf_model, EngineConfig(num_producers=4))
+        planner = PlanGenerator(cost_model, AccuracyEstimator("imagenet"),
+                                PlannerFeatures().without("low-resolution"))
+        plans = planner.generate()
+        assert all(p.input_format.is_full_resolution for p in plans)
+
+    def test_disabled_search_space_uses_single_model(self, perf_model):
+        cost_model = SmolCostModel(perf_model, EngineConfig(num_producers=4))
+        planner = PlanGenerator(cost_model, AccuracyEstimator("imagenet"),
+                                PlannerFeatures().without("expanded-search"))
+        models = {p.primary_model.name for p in planner.generate()}
+        assert models == {"resnet-18"}
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(PlanError):
+            PlannerFeatures().without("quantum")
+
+
+class TestScoringAndFrontier:
+    def test_frontier_has_no_dominated_plans(self, planner):
+        frontier = planner.pareto_frontier()
+        vectors = [e.objectives() for e in frontier]
+        for i, vec in enumerate(vectors):
+            assert not any(
+                dominates(other, vec) for j, other in enumerate(vectors) if j != i
+            )
+
+    def test_frontier_sorted_by_throughput(self, planner):
+        frontier = planner.pareto_frontier()
+        throughputs = [e.throughput for e in frontier]
+        assert throughputs == sorted(throughputs)
+
+    def test_frontier_includes_low_resolution_plans(self, planner):
+        frontier = planner.pareto_frontier()
+        assert any(not e.plan.input_format.is_full_resolution for e in frontier)
+
+    def test_smol_frontier_dominates_naive_at_high_accuracy(self, planner, perf_model):
+        # At ResNet-50 full-resolution accuracy, the Smol frontier offers a
+        # strictly higher-throughput plan by exploiting thumbnails.
+        frontier = planner.pareto_frontier()
+        full_res = [e for e in planner.score(planner.generate())
+                    if e.plan.input_format.is_full_resolution
+                    and e.plan.primary_model.name == "resnet-50"]
+        naive_throughput = max(e.throughput for e in full_res)
+        best_at_75 = max(
+            (e for e in frontier if e.accuracy >= 0.745), key=lambda e: e.throughput
+        )
+        assert best_at_75.throughput > naive_throughput
+
+    def test_feature_lesion_shrinks_frontier_quality(self, perf_model):
+        config = EngineConfig(num_producers=4)
+        full = PlanGenerator(SmolCostModel(perf_model, config),
+                             AccuracyEstimator("imagenet"))
+        lesioned = PlanGenerator(SmolCostModel(perf_model, config),
+                                 AccuracyEstimator("imagenet"),
+                                 PlannerFeatures().without("low-resolution"))
+        def best_throughput_at(frontier, accuracy):
+            qualifying = [e for e in frontier if e.accuracy >= accuracy]
+            return max((e.throughput for e in qualifying), default=0.0)
+        assert best_throughput_at(full.pareto_frontier(), 0.74) > (
+            best_throughput_at(lesioned.pareto_frontier(), 0.74)
+        )
+
+
+class TestConstrainedSelection:
+    def test_accuracy_floor_selects_highest_throughput(self, planner):
+        estimate = planner.select(PlanConstraints(accuracy_floor=0.74))
+        assert estimate.accuracy >= 0.74
+        scored = planner.score(planner.generate())
+        qualifying = [e for e in scored if e.accuracy >= 0.74]
+        assert estimate.throughput == pytest.approx(
+            max(e.throughput for e in qualifying)
+        )
+
+    def test_throughput_floor_selects_highest_accuracy(self, planner):
+        estimate = planner.select(PlanConstraints(throughput_floor=3000.0))
+        assert estimate.throughput >= 3000.0
+        scored = planner.score(planner.generate())
+        qualifying = [e for e in scored if e.throughput >= 3000.0]
+        assert estimate.accuracy == pytest.approx(
+            max(e.accuracy for e in qualifying)
+        )
+
+    def test_no_constraints_picks_fastest(self, planner):
+        estimate = planner.select(PlanConstraints())
+        scored = planner.score(planner.generate())
+        assert estimate.throughput == pytest.approx(
+            max(e.throughput for e in scored)
+        )
+
+    def test_infeasible_constraints_raise(self, planner):
+        with pytest.raises(InfeasibleConstraintError):
+            planner.select(PlanConstraints(accuracy_floor=0.99))

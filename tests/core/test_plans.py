@@ -1,0 +1,74 @@
+"""Tests for plans, cascades, and constraints."""
+
+import pytest
+
+from repro.codecs.formats import FULL_JPEG, THUMB_PNG_161
+from repro.core.plans import CascadeStage, Plan, PlanConstraints, PlanEstimate
+from repro.errors import PlanError
+from repro.nn.zoo import resnet_profile
+
+
+class TestPlan:
+    def test_single_plan(self):
+        plan = Plan.single(resnet_profile(50), FULL_JPEG)
+        assert not plan.is_cascade
+        assert plan.primary_model.name == "resnet-50"
+        assert "resnet-50" in plan.describe()
+
+    def test_cascade_plan(self):
+        plan = Plan.cascade(resnet_profile(18), resnet_profile(50), 0.2, FULL_JPEG)
+        assert plan.is_cascade
+        assert len(plan.stages) == 2
+        assert plan.stages[0].pass_through_rate == pytest.approx(0.2)
+
+    def test_lowres_training_label_in_description(self):
+        plan = Plan.single(resnet_profile(50), THUMB_PNG_161, training="lowres")
+        assert "lowres" in plan.describe()
+
+    def test_invalid_training_rejected(self):
+        with pytest.raises(PlanError):
+            Plan.single(resnet_profile(50), FULL_JPEG, training="quantized")
+
+    def test_invalid_roi_fraction_rejected(self):
+        with pytest.raises(PlanError):
+            Plan.single(resnet_profile(50), FULL_JPEG, roi_fraction=0.0)
+
+    def test_invalid_pass_through_rate_rejected(self):
+        with pytest.raises(PlanError):
+            CascadeStage(model=resnet_profile(50), pass_through_rate=0.0)
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(PlanError):
+            Plan(stages=(), input_format=FULL_JPEG)
+
+
+class TestPlanEstimateAndConstraints:
+    def _estimate(self, throughput, accuracy):
+        plan = Plan.single(resnet_profile(50), FULL_JPEG)
+        return PlanEstimate(plan=plan, throughput=throughput, accuracy=accuracy,
+                            preprocessing_throughput=throughput,
+                            dnn_throughput=throughput * 2)
+
+    def test_objectives_vector(self):
+        estimate = self._estimate(1000.0, 0.75)
+        assert estimate.objectives() == (1000.0, 0.75)
+        assert estimate.bottleneck == "preprocessing"
+
+    def test_accuracy_floor(self):
+        constraints = PlanConstraints(accuracy_floor=0.74)
+        assert constraints.satisfied_by(self._estimate(1000.0, 0.75))
+        assert not constraints.satisfied_by(self._estimate(1000.0, 0.70))
+
+    def test_throughput_floor(self):
+        constraints = PlanConstraints(throughput_floor=2000.0)
+        assert not constraints.satisfied_by(self._estimate(1000.0, 0.75))
+        assert constraints.satisfied_by(self._estimate(2500.0, 0.75))
+
+    def test_no_constraints_always_satisfied(self):
+        assert PlanConstraints().satisfied_by(self._estimate(1.0, 0.01))
+
+    def test_invalid_constraints_rejected(self):
+        with pytest.raises(PlanError):
+            PlanConstraints(accuracy_floor=1.5)
+        with pytest.raises(PlanError):
+            PlanConstraints(throughput_floor=-1.0)

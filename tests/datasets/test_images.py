@@ -1,0 +1,53 @@
+"""Tests for the image dataset handles (Table 6)."""
+
+import pytest
+
+from repro.datasets.images import list_image_datasets, load_image_dataset
+from repro.errors import DatasetError
+
+
+class TestImageDatasets:
+    def test_all_four_datasets_present(self):
+        names = {dataset.name for dataset in list_image_datasets()}
+        assert names == {"bike-bird", "animals-10", "birds-200", "imagenet"}
+
+    def test_table6_statistics(self):
+        imagenet = load_image_dataset("imagenet")
+        assert imagenet.stats.num_classes == 1000
+        assert imagenet.stats.train_images == 1_200_000
+        assert imagenet.stats.test_images == 50_000
+        bike_bird = load_image_dataset("bike-bird")
+        assert bike_bird.stats.num_classes == 2
+        assert bike_bird.stats.train_images == 23_000
+
+    def test_datasets_sorted_by_difficulty(self):
+        class_counts = [d.num_classes for d in list_image_datasets()]
+        assert class_counts == sorted(class_counts)
+
+    def test_difficulty_rank(self):
+        assert load_image_dataset("bike-bird").stats.difficulty_rank == 1
+        assert load_image_dataset("imagenet").stats.difficulty_rank == 4
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_image_dataset("cifar-10")
+
+    def test_available_formats_include_thumbnails(self):
+        dataset = load_image_dataset("animals-10")
+        names = {fmt.name for fmt in dataset.available_formats}
+        assert "full-jpeg" in names and "161-png" in names
+
+    def test_training_arrays_shape(self):
+        dataset = load_image_dataset("bike-bird")
+        images, labels = dataset.training_arrays(samples_per_class=3)
+        assert images.shape[0] == labels.shape[0] == 3 * dataset.synthetic_classes
+        assert images.shape[1] == 3
+
+    def test_build_store_creates_renditions(self):
+        dataset = load_image_dataset("bike-bird")
+        store = dataset.build_store(images_per_class=1)
+        assert len(store) == dataset.synthetic_classes
+        asset = store.asset_ids()[0]
+        full = store.decode(asset, "full-jpeg")
+        thumb = store.decode(asset, "161-png")
+        assert thumb.resolution.short_side <= full.resolution.short_side

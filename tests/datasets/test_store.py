@@ -1,0 +1,80 @@
+"""Tests for the multi-resolution, multi-encoding store."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.formats import (
+    FULL_JPEG,
+    THUMB_JPEG_161_Q75,
+    THUMB_PNG_161,
+    VIDEO_480P_H264,
+)
+from repro.codecs.image import Image
+from repro.codecs.roi import RegionOfInterest
+from repro.datasets.store import MultiResolutionStore
+from repro.errors import DatasetError, UnsupportedFormatError
+from repro.utils.rng import deterministic_rng
+
+
+@pytest.fixture()
+def source_image():
+    rng = deterministic_rng("store-test")
+    pixels = rng.integers(0, 255, size=(96, 128, 3)).astype(np.uint8)
+    # Smooth the noise so the codecs have realistic content to compress.
+    smoothed = (pixels.astype(np.float64) + np.roll(pixels, 1, axis=0)
+                + np.roll(pixels, 1, axis=1)) / 3.0
+    return Image(pixels=smoothed.astype(np.uint8), label=3, source_id="asset-0")
+
+
+class TestMultiResolutionStore:
+    def test_ingest_creates_every_rendition(self, source_image):
+        store = MultiResolutionStore([FULL_JPEG, THUMB_PNG_161, THUMB_JPEG_161_Q75])
+        asset_id = store.ingest(source_image)
+        for fmt in ("full-jpeg", "161-png", "161-jpeg-q75"):
+            rendition = store.rendition(asset_id, fmt)
+            assert rendition.compressed_bytes > 0
+            assert rendition.label == 3
+
+    def test_thumbnails_are_smaller_than_full(self, source_image):
+        store = MultiResolutionStore([FULL_JPEG, THUMB_JPEG_161_Q75])
+        asset_id = store.ingest(source_image)
+        assert (store.rendition(asset_id, "161-jpeg-q75").compressed_bytes
+                < store.rendition(asset_id, "full-jpeg").compressed_bytes)
+
+    def test_decode_full_and_thumbnail(self, source_image):
+        store = MultiResolutionStore([FULL_JPEG, THUMB_PNG_161])
+        asset_id = store.ingest(source_image)
+        full = store.decode(asset_id, "full-jpeg")
+        assert full.resolution == source_image.resolution
+        thumb = store.decode(asset_id, "161-png")
+        assert thumb.resolution.short_side <= 96
+
+    def test_roi_decode(self, source_image):
+        store = MultiResolutionStore([FULL_JPEG])
+        asset_id = store.ingest(source_image)
+        roi = RegionOfInterest(16, 16, 32, 32)
+        decoded = store.decode(asset_id, "full-jpeg", roi=roi)
+        assert decoded.width <= 40 and decoded.height <= 40
+
+    def test_duplicate_ingest_rejected(self, source_image):
+        store = MultiResolutionStore([FULL_JPEG])
+        store.ingest(source_image)
+        with pytest.raises(DatasetError):
+            store.ingest(source_image)
+
+    def test_unknown_rendition_rejected(self, source_image):
+        store = MultiResolutionStore([FULL_JPEG])
+        asset_id = store.ingest(source_image)
+        with pytest.raises(DatasetError):
+            store.rendition(asset_id, "161-png")
+
+    def test_video_formats_not_supported_by_image_store(self):
+        with pytest.raises(UnsupportedFormatError):
+            MultiResolutionStore([VIDEO_480P_H264])
+
+    def test_total_bytes_accounting(self, source_image):
+        store = MultiResolutionStore([FULL_JPEG])
+        store.ingest(source_image)
+        assert store.total_bytes("full-jpeg") == store.rendition(
+            "asset-0", "full-jpeg"
+        ).compressed_bytes

@@ -1,0 +1,64 @@
+"""Tests for the synthetic image generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticImageGenerator
+from repro.errors import DatasetError
+
+
+class TestSyntheticImageGenerator:
+    def test_deterministic_generation(self):
+        a = SyntheticImageGenerator(num_classes=3, image_size=24, seed=1)
+        b = SyntheticImageGenerator(num_classes=3, image_size=24, seed=1)
+        np.testing.assert_array_equal(
+            a.generate_image(1, 5).pixels, b.generate_image(1, 5).pixels
+        )
+
+    def test_different_samples_differ(self):
+        generator = SyntheticImageGenerator(num_classes=3, image_size=24)
+        first = generator.generate_image(0, 0).pixels
+        second = generator.generate_image(0, 1).pixels
+        assert not np.array_equal(first, second)
+
+    def test_label_attached(self):
+        generator = SyntheticImageGenerator(num_classes=4, image_size=16)
+        assert generator.generate_image(2, 0).label == 2
+
+    def test_classes_are_visually_distinct(self):
+        generator = SyntheticImageGenerator(num_classes=2, image_size=32, seed=2)
+        class0 = np.stack([generator.generate_image(0, i).pixels.mean(axis=(0, 1))
+                           for i in range(6)])
+        class1 = np.stack([generator.generate_image(1, i).pixels.mean(axis=(0, 1))
+                           for i in range(6)])
+        between = np.linalg.norm(class0.mean(axis=0) - class1.mean(axis=0))
+        within = class0.std(axis=0).mean() + class1.std(axis=0).mean()
+        assert between > within * 0.5
+
+    def test_split_shapes_and_balance(self):
+        generator = SyntheticImageGenerator(num_classes=3, image_size=16)
+        images, labels = generator.generate_split(4, split="train")
+        assert len(images) == 12
+        assert np.bincount(labels).tolist() == [4, 4, 4]
+
+    def test_train_and_test_splits_disjoint(self):
+        generator = SyntheticImageGenerator(num_classes=2, image_size=16)
+        train, _ = generator.generate_split(2, split="train")
+        test, _ = generator.generate_split(2, split="test")
+        assert not np.array_equal(train[0].pixels, test[0].pixels)
+
+    def test_array_split_normalized_nchw(self):
+        generator = SyntheticImageGenerator(num_classes=2, image_size=16)
+        images, labels = generator.generate_array_split(3)
+        assert images.shape == (6, 3, 16, 16)
+        assert images.dtype == np.float32
+        assert 0.0 <= images.min() and images.max() <= 1.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(DatasetError):
+            SyntheticImageGenerator(num_classes=1)
+        generator = SyntheticImageGenerator(num_classes=2)
+        with pytest.raises(DatasetError):
+            generator.generate_image(5, 0)
+        with pytest.raises(DatasetError):
+            generator.generate_split(0)

@@ -1,0 +1,59 @@
+"""Tests for the synthetic video aggregation datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.video import list_video_datasets, load_video_dataset
+from repro.errors import DatasetError
+
+
+class TestVideoDatasets:
+    def test_all_four_datasets_present(self):
+        names = {dataset.name for dataset in list_video_datasets()}
+        assert names == {"night-street", "taipei", "amsterdam", "rialto"}
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_video_dataset("jackson-hole")
+
+    def test_ground_truth_counts_deterministic(self):
+        a = load_video_dataset("taipei").ground_truth_counts(limit=500)
+        b = load_video_dataset("taipei").ground_truth_counts(limit=500)
+        np.testing.assert_array_equal(a, b)
+
+    def test_counts_nonnegative_and_capped(self):
+        dataset = load_video_dataset("rialto")
+        counts = dataset.ground_truth_counts(limit=2000)
+        assert counts.min() >= 0
+        assert counts.max() <= dataset.spec.count_cap
+
+    def test_mean_counts_differ_by_dataset(self):
+        amsterdam = load_video_dataset("amsterdam").ground_truth_counts(5000).mean()
+        rialto = load_video_dataset("rialto").ground_truth_counts(5000).mean()
+        assert rialto > amsterdam
+
+    def test_proxy_correlates_with_truth(self):
+        dataset = load_video_dataset("night-street")
+        truth = dataset.ground_truth_counts(limit=4000).astype(float)
+        good_proxy = dataset.specialized_nn_predictions(0.95, limit=4000)
+        bad_proxy = dataset.specialized_nn_predictions(0.4, limit=4000)
+        corr_good = np.corrcoef(truth, good_proxy)[0, 1]
+        corr_bad = np.corrcoef(truth, bad_proxy)[0, 1]
+        assert corr_good > corr_bad
+        assert corr_good > 0.85
+
+    def test_invalid_accuracy_factor_rejected(self):
+        with pytest.raises(DatasetError):
+            load_video_dataset("taipei").specialized_nn_predictions(0.0)
+
+    def test_render_frames(self):
+        dataset = load_video_dataset("amsterdam")
+        frames = dataset.render_frames(4)
+        assert len(frames) == 4
+        assert frames[0].width == dataset.spec.frame_size
+        counts = dataset.ground_truth_counts(4)
+        assert frames[2].label == int(counts[2])
+
+    def test_render_zero_frames_rejected(self):
+        with pytest.raises(DatasetError):
+            load_video_dataset("amsterdam").render_frames(0)

@@ -1,0 +1,61 @@
+"""Sanity checks on the calibration anchors (internal consistency)."""
+
+import pytest
+
+from repro.hardware import calibration as cal
+
+
+class TestCalibrationTables:
+    def test_resnet_depth_throughput_monotone(self):
+        assert (cal.RESNET_T4_THROUGHPUT[18] > cal.RESNET_T4_THROUGHPUT[34]
+                > cal.RESNET_T4_THROUGHPUT[50])
+
+    def test_resnet_depth_accuracy_monotone(self):
+        assert (cal.RESNET_IMAGENET_TOP1[18] < cal.RESNET_IMAGENET_TOP1[34]
+                < cal.RESNET_IMAGENET_TOP1[50])
+
+    def test_backend_ordering(self):
+        assert (cal.RESNET50_T4_BY_BACKEND["keras"]
+                < cal.RESNET50_T4_BY_BACKEND["pytorch"]
+                < cal.RESNET50_T4_BY_BACKEND["tensorrt"])
+
+    def test_gpu_generation_improvement(self):
+        assert (cal.RESNET50_THROUGHPUT_BY_GPU["T4"]
+                / cal.RESNET50_THROUGHPUT_BY_GPU["K80"]) == pytest.approx(
+            28.4, rel=0.02
+        )
+
+    def test_table3_pipelined_close_to_min(self):
+        for config in cal.TABLE3_CONFIGS.values():
+            lower = min(config["preproc"], config["dnn"])
+            assert config["pipelined"] == pytest.approx(lower, rel=0.12)
+
+    def test_table7_lowres_training_recovers_png_accuracy(self):
+        regular = cal.TABLE7_ACCURACY[("161-png", 50, "regular")]
+        lowres = cal.TABLE7_ACCURACY[("161-png", 50, "lowres")]
+        assert lowres > regular
+        # Low-resolution-aware training nearly recovers full-resolution accuracy.
+        assert lowres == pytest.approx(
+            cal.TABLE7_ACCURACY[("full", 50, "regular")], abs=0.01
+        )
+
+    def test_table7_naive_lowres_drop_is_large(self):
+        full = cal.TABLE7_ACCURACY[("full", 50, "regular")]
+        naive_low = cal.TABLE7_ACCURACY[("161-png", 50, "regular")]
+        # Section 5.3 quotes a large absolute drop when naively mixing
+        # resolutions; Table 7 shows ~4 points for PNG thumbnails.
+        assert full - naive_low > 0.03
+
+    def test_preproc_throughput_ordering_by_format(self):
+        tp = cal.PREPROC_THROUGHPUT_4VCPU
+        assert tp["full-jpeg"] < tp["161-png"] < tp["161-jpeg-q75"]
+
+    def test_table6_matches_paper_row_count(self):
+        assert set(cal.TABLE6_DATASETS) == {
+            "bike-bird", "animals-10", "birds-200", "imagenet"
+        }
+
+    def test_table8_optimized_always_cheaper(self):
+        for vcpus in (4, 8, 16):
+            assert (cal.TABLE8[("opt", vcpus)]["cents_per_million"]
+                    < cal.TABLE8[("no-opt", vcpus)]["cents_per_million"])

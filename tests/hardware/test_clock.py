@@ -1,0 +1,46 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.clock import SimClock
+
+
+class TestSimClock:
+    def test_charge_accumulates(self):
+        clock = SimClock()
+        clock.charge("cpu:0", 100.0)
+        clock.charge("cpu:0", 50.0)
+        assert clock.busy("cpu:0") == pytest.approx(150.0)
+
+    def test_pipelined_makespan_is_max(self):
+        clock = SimClock()
+        clock.charge("cpu:0", 100.0)
+        clock.charge("gpu:0", 300.0)
+        assert clock.makespan_pipelined() == pytest.approx(300.0)
+
+    def test_serial_makespan_is_sum(self):
+        clock = SimClock()
+        clock.charge("cpu:0", 100.0)
+        clock.charge("gpu:0", 300.0)
+        assert clock.makespan_serial() == pytest.approx(400.0)
+
+    def test_group_totals_by_prefix(self):
+        clock = SimClock()
+        clock.charge("cpu:0", 10.0)
+        clock.charge("cpu:1", 20.0)
+        clock.charge("gpu:0", 5.0)
+        assert clock.group_totals("cpu:") == pytest.approx(30.0)
+
+    def test_empty_clock_has_zero_makespan(self):
+        assert SimClock().makespan_pipelined() == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(HardwareError):
+            SimClock().charge("cpu:0", -1.0)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.charge("cpu:0", 10.0)
+        clock.reset()
+        assert clock.makespan_serial() == 0.0

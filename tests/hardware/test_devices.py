@@ -1,0 +1,67 @@
+"""Tests for the GPU/CPU device catalog."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.devices import GPU_CATALOG, get_cpu, get_gpu, list_gpus
+
+
+class TestGpuCatalog:
+    def test_all_paper_gpus_present(self):
+        for name in ("K80", "P100", "T4", "V100", "RTX"):
+            assert name in GPU_CATALOG
+
+    def test_t4_anchor_matches_paper(self):
+        assert get_gpu("T4").resnet50_throughput == pytest.approx(4513.0)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_gpu("t4").name == "T4"
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(HardwareError):
+            get_gpu("A100")
+
+    def test_list_sorted_by_release_year(self):
+        years = [gpu.release_year for gpu in list_gpus()]
+        assert years == sorted(years)
+
+    def test_throughput_scaling_with_flops(self):
+        t4 = get_gpu("T4")
+        # Half the FLOPs should give roughly double the throughput.
+        assert t4.throughput_for_gflops(2.05) == pytest.approx(
+            2 * t4.throughput_for_gflops(4.10), rel=1e-6
+        )
+
+    def test_throughput_for_gflops_validates(self):
+        with pytest.raises(HardwareError):
+            get_gpu("T4").throughput_for_gflops(0.0)
+        with pytest.raises(HardwareError):
+            get_gpu("T4").throughput_for_gflops(1.0, utilization=0.0)
+
+    def test_t4_is_inference_optimized(self):
+        assert get_gpu("T4").inference_optimized
+        assert not get_gpu("V100").inference_optimized
+
+
+class TestCpuSpec:
+    def test_effective_parallelism_is_sublinear(self):
+        cpu = get_cpu(4)
+        assert cpu.effective_parallelism(4) < 4
+        assert cpu.effective_parallelism(4) > 2
+
+    def test_parallelism_monotone_in_vcpus(self):
+        cpu = get_cpu(4)
+        values = [cpu.effective_parallelism(n) for n in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+        assert values[0] == pytest.approx(1.0)
+
+    def test_power_and_price_scale_with_vcpus(self):
+        assert get_cpu(8).power_watts == pytest.approx(2 * get_cpu(4).power_watts)
+        assert get_cpu(8).hourly_price_usd > get_cpu(4).hourly_price_usd
+
+    def test_nonstandard_vcpu_counts_supported(self):
+        assert get_cpu(12).vcpus == 12
+
+    def test_invalid_vcpus_rejected(self):
+        with pytest.raises(HardwareError):
+            get_cpu(0)

@@ -1,0 +1,43 @@
+"""Tests for the execution backend efficiency models (Table 1)."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.inference.backends import get_backend, list_backends
+
+
+class TestBackends:
+    def test_tensorrt_is_reference(self):
+        assert get_backend("tensorrt").efficiency == pytest.approx(1.0)
+
+    def test_keras_and_pytorch_efficiencies_match_table1(self):
+        assert get_backend("keras").efficiency == pytest.approx(243 / 4513, rel=1e-6)
+        assert get_backend("pytorch").efficiency == pytest.approx(424 / 4513,
+                                                                  rel=1e-6)
+
+    def test_backends_sorted_by_efficiency(self):
+        efficiencies = [b.efficiency for b in list_backends()]
+        assert efficiencies == sorted(efficiencies)
+        assert [b.name for b in list_backends()] == ["keras", "pytorch", "tensorrt"]
+
+    def test_optimal_batch_sizes_from_paper(self):
+        assert get_backend("keras").optimal_batch_size == 64
+        assert get_backend("pytorch").optimal_batch_size == 256
+        assert get_backend("tensorrt").optimal_batch_size == 64
+
+    def test_batch_efficiency_discount_below_optimal(self):
+        backend = get_backend("tensorrt")
+        assert backend.batch_efficiency(64) == pytest.approx(1.0)
+        assert backend.batch_efficiency(128) == pytest.approx(1.0)
+        assert backend.batch_efficiency(8) < 1.0
+
+    def test_batch_efficiency_validates(self):
+        with pytest.raises(HardwareError):
+            get_backend("tensorrt").batch_efficiency(0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(HardwareError):
+            get_backend("tensorflow-lite")
+
+    def test_lookup_case_insensitive(self):
+        assert get_backend("TensorRT").name == "tensorrt"

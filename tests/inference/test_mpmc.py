@@ -1,0 +1,88 @@
+"""Tests for the MPMC queue."""
+
+import threading
+
+import pytest
+
+from repro.errors import EngineError
+from repro.inference.mpmc import MpmcQueue, QueueClosed
+
+
+class TestBasicOperations:
+    def test_fifo_order(self):
+        queue = MpmcQueue(capacity=4)
+        for value in (1, 2, 3):
+            queue.put(value)
+        assert [queue.get(), queue.get(), queue.get()] == [1, 2, 3]
+
+    def test_capacity_enforced_with_timeout(self):
+        queue = MpmcQueue(capacity=1)
+        queue.put("a")
+        with pytest.raises(EngineError):
+            queue.put("b", timeout=0.05)
+
+    def test_get_timeout(self):
+        queue = MpmcQueue(capacity=1)
+        with pytest.raises(EngineError):
+            queue.get(timeout=0.05)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(EngineError):
+            MpmcQueue(capacity=0)
+
+    def test_stats_counters(self):
+        queue = MpmcQueue(capacity=2)
+        queue.put(1)
+        queue.put(2)
+        queue.get()
+        stats = queue.stats()
+        assert stats["put"] == 2 and stats["got"] == 1 and stats["depth"] == 1
+
+
+class TestCloseProtocol:
+    def test_put_after_close_rejected(self):
+        queue = MpmcQueue(capacity=2)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put(1)
+
+    def test_drain_then_closed(self):
+        queue = MpmcQueue(capacity=2)
+        queue.put(1)
+        queue.close()
+        assert queue.get() == 1
+        with pytest.raises(QueueClosed):
+            queue.get()
+
+
+class TestConcurrency:
+    def test_multi_producer_multi_consumer_delivers_everything(self):
+        queue = MpmcQueue(capacity=8)
+        num_items = 200
+        produced = list(range(num_items))
+        consumed: list[int] = []
+        consumed_lock = threading.Lock()
+
+        def producer(start: int) -> None:
+            for value in produced[start::4]:
+                queue.put(value)
+
+        def consumer() -> None:
+            while True:
+                try:
+                    item = queue.get(timeout=2.0)
+                except QueueClosed:
+                    return
+                with consumed_lock:
+                    consumed.append(item)
+
+        producers = [threading.Thread(target=producer, args=(i,)) for i in range(4)]
+        consumers = [threading.Thread(target=consumer) for _ in range(3)]
+        for thread in producers + consumers:
+            thread.start()
+        for thread in producers:
+            thread.join(timeout=10.0)
+        queue.close()
+        for thread in consumers:
+            thread.join(timeout=10.0)
+        assert sorted(consumed) == produced

@@ -1,0 +1,170 @@
+"""Tests for the calibrated performance model."""
+
+import pytest
+
+from repro.codecs.formats import (
+    FULL_JPEG,
+    THUMB_JPEG_161_Q75,
+    THUMB_PNG_161,
+    VIDEO_1080P_H264,
+    VIDEO_480P_H264,
+)
+from repro.errors import EngineError
+from repro.inference.perfmodel import (
+    EngineConfig,
+    PerformanceModel,
+    PreprocessingCostModel,
+)
+from repro.nn.zoo import get_model_profile
+
+
+class TestEngineConfig:
+    def test_without_disables_single_optimization(self, engine_config):
+        lesioned = engine_config.without("pinned")
+        assert not lesioned.pinned_memory
+        assert lesioned.reuse_buffers and lesioned.optimize_dag
+
+    def test_without_unknown_rejected(self, engine_config):
+        with pytest.raises(EngineError):
+            engine_config.without("simd")
+
+    def test_all_disabled(self):
+        config = EngineConfig.all_disabled(num_producers=4)
+        assert not (config.use_threading or config.reuse_buffers
+                    or config.pinned_memory or config.optimize_dag)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(EngineError):
+            EngineConfig(num_producers=0)
+        with pytest.raises(EngineError):
+            EngineConfig(batch_size=0)
+
+
+class TestPreprocessingCostModel:
+    def test_calibrated_format_throughputs(self, g4dn_xlarge, engine_config):
+        model = PreprocessingCostModel(g4dn_xlarge.cpu)
+        full = model.throughput(FULL_JPEG, engine_config)
+        png = model.throughput(THUMB_PNG_161, engine_config)
+        q75 = model.throughput(THUMB_JPEG_161_Q75, engine_config)
+        # Section 5.2 / 8.2 anchors: ~527, ~1995, ~5900 im/s on 4 vCPUs.
+        assert full == pytest.approx(527, rel=0.15)
+        assert png == pytest.approx(1995, rel=0.15)
+        assert q75 == pytest.approx(5900, rel=0.15)
+
+    def test_roi_decoding_improves_jpeg_throughput(self, g4dn_xlarge, engine_config):
+        model = PreprocessingCostModel(g4dn_xlarge.cpu)
+        full = model.throughput(FULL_JPEG, engine_config, roi_fraction=1.0)
+        partial = model.throughput(FULL_JPEG, engine_config, roi_fraction=0.6)
+        assert partial > full
+
+    def test_roi_helps_png_less_than_jpeg(self, g4dn_xlarge, engine_config):
+        model = PreprocessingCostModel(g4dn_xlarge.cpu)
+        jpeg_gain = (model.throughput(FULL_JPEG, engine_config, roi_fraction=0.5)
+                     / model.throughput(FULL_JPEG, engine_config))
+        png_gain = (model.throughput(THUMB_PNG_161, engine_config, roi_fraction=0.5)
+                    / model.throughput(THUMB_PNG_161, engine_config))
+        assert jpeg_gain > png_gain
+
+    def test_threading_off_hurts(self, g4dn_xlarge, engine_config):
+        model = PreprocessingCostModel(g4dn_xlarge.cpu)
+        without_threads = model.throughput(FULL_JPEG,
+                                           engine_config.without("threading"))
+        assert without_threads < model.throughput(FULL_JPEG, engine_config) / 2
+
+    def test_dag_optimization_matters_more_for_low_resolution(
+        self, g4dn_xlarge, engine_config
+    ):
+        model = PreprocessingCostModel(g4dn_xlarge.cpu)
+        def penalty(fmt):
+            return (model.throughput(fmt, engine_config)
+                    / model.throughput(fmt, engine_config.without("dag")))
+        assert penalty(THUMB_PNG_161) > penalty(FULL_JPEG)
+
+    def test_video_formats_scale_with_resolution(self, g4dn_xlarge, engine_config):
+        model = PreprocessingCostModel(g4dn_xlarge.cpu)
+        assert (model.throughput(VIDEO_480P_H264, engine_config)
+                > model.throughput(VIDEO_1080P_H264, engine_config))
+
+    def test_deblocking_off_speeds_video_decode(self, g4dn_xlarge, engine_config):
+        model = PreprocessingCostModel(g4dn_xlarge.cpu)
+        with_filter = model.throughput(VIDEO_480P_H264, engine_config,
+                                       deblocking=True)
+        without_filter = model.throughput(VIDEO_480P_H264, engine_config,
+                                          deblocking=False)
+        assert without_filter > with_filter
+
+    def test_invalid_roi_fraction_rejected(self, g4dn_xlarge):
+        model = PreprocessingCostModel(g4dn_xlarge.cpu)
+        with pytest.raises(EngineError):
+            model.per_image_us(FULL_JPEG, roi_fraction=0.0)
+
+
+class TestDnnCostModel:
+    def test_resnet50_execution_matches_anchor(self, perf_model):
+        throughput = perf_model.dnn_model.execution_throughput(
+            get_model_profile("resnet-50"), batch_size=64
+        )
+        assert throughput == pytest.approx(4513.0, rel=1e-3)
+
+    def test_pinned_memory_speeds_copies(self, perf_model):
+        pinned = perf_model.dnn_model.copy_us_per_image(224, pinned=True)
+        pageable = perf_model.dnn_model.copy_us_per_image(224, pinned=False)
+        assert pageable == pytest.approx(2 * pinned)
+
+    def test_offloaded_preprocessing_costs_gpu_time(self, perf_model):
+        assert perf_model.dnn_model.offloaded_preproc_us(0.0, 224) == 0.0
+        assert perf_model.dnn_model.offloaded_preproc_us(0.5, 224) > 0.0
+
+    def test_invalid_offload_fraction_rejected(self, perf_model):
+        with pytest.raises(EngineError):
+            perf_model.dnn_model.offloaded_preproc_us(1.5, 224)
+
+
+class TestPerformanceModel:
+    def test_full_resolution_resnet50_is_preprocessing_bound(
+        self, perf_model, engine_config, resnet50
+    ):
+        estimate = perf_model.estimate(resnet50, FULL_JPEG, engine_config)
+        assert estimate.bottleneck == "preprocessing"
+        assert estimate.dnn_throughput / estimate.preprocessing_throughput > 4.0
+
+    def test_resnet18_gap_is_larger_than_resnet50(
+        self, perf_model, engine_config, resnet18, resnet50
+    ):
+        est18 = perf_model.estimate(resnet18, FULL_JPEG, engine_config)
+        est50 = perf_model.estimate(resnet50, FULL_JPEG, engine_config)
+        gap18 = est18.dnn_throughput / est18.preprocessing_throughput
+        gap50 = est50.dnn_throughput / est50.preprocessing_throughput
+        assert gap18 > gap50
+
+    def test_offloading_rebalances_preprocessing_bound_plans(
+        self, perf_model, engine_config, resnet50
+    ):
+        plain = perf_model.estimate(resnet50, FULL_JPEG, engine_config,
+                                    offloaded_fraction=0.0)
+        offloaded = perf_model.estimate(resnet50, FULL_JPEG, engine_config,
+                                        offloaded_fraction=0.75)
+        assert (offloaded.preprocessing_throughput
+                > plain.preprocessing_throughput)
+        assert offloaded.dnn_throughput < plain.dnn_throughput
+
+    def test_best_offload_fraction_zero_when_dnn_bound(
+        self, perf_model, engine_config
+    ):
+        mask_rcnn = get_model_profile("mask-rcnn")
+        assert perf_model.best_offload_fraction(
+            mask_rcnn, THUMB_JPEG_161_Q75, engine_config
+        ) == 0.0
+
+    def test_best_offload_fraction_positive_when_preproc_bound(
+        self, perf_model, engine_config, resnet18
+    ):
+        assert perf_model.best_offload_fraction(
+            resnet18, FULL_JPEG, engine_config
+        ) > 0.0
+
+    def test_pipelined_upper_bound_is_min(self, perf_model, engine_config, resnet50):
+        estimate = perf_model.estimate(resnet50, FULL_JPEG, engine_config)
+        assert estimate.pipelined_upper_bound == pytest.approx(
+            min(estimate.preprocessing_throughput, estimate.dnn_throughput)
+        )

@@ -1,0 +1,70 @@
+"""Tests for the event-driven pipeline simulator."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.inference.perfmodel import EngineConfig, StageEstimate
+from repro.inference.pipeline_sim import PipelineSimulator
+
+
+def _estimate(preproc: float, dnn: float) -> StageEstimate:
+    return StageEstimate(preprocessing_throughput=preproc, dnn_throughput=dnn)
+
+
+class TestPipelineSimulator:
+    def test_throughput_below_min_bound(self):
+        config = EngineConfig(num_producers=4)
+        sim = PipelineSimulator(config)
+        estimate = _estimate(4000.0, 5000.0)
+        stats = sim.run(estimate, num_images=2048)
+        assert stats.throughput <= min(4000.0, 5000.0) * 1.02
+
+    def test_overhead_is_bounded(self):
+        config = EngineConfig(num_producers=4)
+        sim = PipelineSimulator(config)
+        for preproc, dnn in ((534.0, 4999.0), (4001.0, 4999.0), (5876.0, 1844.0),
+                             (5900.0, 4200.0)):
+            stats = sim.run(_estimate(preproc, dnn), num_images=2048)
+            bound = min(preproc, dnn)
+            overhead = 1.0 - stats.throughput / bound
+            assert 0.0 <= overhead < 0.25
+
+    def test_preproc_bound_runs_close_to_preproc_rate(self):
+        config = EngineConfig(num_producers=4)
+        stats = PipelineSimulator(config).run(_estimate(534.0, 4999.0), 2048)
+        assert stats.throughput == pytest.approx(534.0, rel=0.1)
+        assert stats.producer_utilization > 0.8
+
+    def test_dnn_bound_runs_close_to_dnn_rate(self):
+        config = EngineConfig(num_producers=4)
+        stats = PipelineSimulator(config).run(_estimate(5876.0, 1844.0), 2048)
+        assert stats.throughput == pytest.approx(1844.0, rel=0.15)
+        assert stats.consumer_utilization > 0.55
+
+    def test_deterministic(self):
+        config = EngineConfig(num_producers=4)
+        a = PipelineSimulator(config, seed=1).run(_estimate(1000.0, 1200.0), 1024)
+        b = PipelineSimulator(config, seed=1).run(_estimate(1000.0, 1200.0), 1024)
+        assert a.throughput == b.throughput
+
+    def test_more_producers_do_not_reduce_throughput(self):
+        few = EngineConfig(num_producers=2)
+        many = EngineConfig(num_producers=8)
+        estimate = _estimate(2000.0, 4000.0)
+        tp_few = PipelineSimulator(few).run(estimate, 2048).throughput
+        tp_many = PipelineSimulator(many).run(estimate, 2048).throughput
+        assert tp_many >= tp_few * 0.95
+
+    def test_measured_stage_throughputs_keys(self):
+        config = EngineConfig(num_producers=4)
+        sim = PipelineSimulator(config)
+        measured = sim.measured_stage_throughputs(_estimate(4001.0, 4999.0))
+        assert set(measured) == {"preprocessing", "dnn", "pipelined"}
+        assert measured["pipelined"] <= measured["dnn"]
+
+    def test_invalid_arguments_rejected(self):
+        config = EngineConfig(num_producers=2)
+        with pytest.raises(EngineError):
+            PipelineSimulator(config, jitter=1.5)
+        with pytest.raises(EngineError):
+            PipelineSimulator(config).run(_estimate(100.0, 100.0), num_images=0)

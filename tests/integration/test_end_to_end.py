@@ -1,0 +1,107 @@
+"""End-to-end integration: real codecs -> preprocessing -> trained model,
+executed through the threaded runtime engine."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.formats import FULL_JPEG, THUMB_JPEG_161_Q75, THUMB_PNG_161
+from repro.codecs.roi import central_crop_roi
+from repro.datasets.images import load_image_dataset
+from repro.inference.engine import SmolRuntimeEngine
+from repro.inference.perfmodel import EngineConfig
+from repro.nn.model import build_mini_resnet, evaluate_accuracy
+from repro.nn.train import Trainer, TrainingConfig
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.preprocessing.ops import (
+    CenterCropOp,
+    ChannelReorderOp,
+    ConvertDtypeOp,
+    NormalizeOp,
+    ResizeOp,
+)
+
+
+@pytest.fixture(scope="module")
+def bike_bird_setup():
+    """Train a small classifier and build an encoded multi-rendition store."""
+    dataset = load_image_dataset("bike-bird")
+    train_x, train_y = dataset.training_arrays(samples_per_class=14, seed=5)
+    test_x, test_y = dataset.test_arrays(samples_per_class=6, seed=5)
+    # The classifier consumes 32x32 crops of the 64x64 synthetic images.
+    def to_crops(batch):
+        return batch[:, :, 16:48, 16:48]
+    model = build_mini_resnet(10, num_classes=dataset.synthetic_classes,
+                              input_size=32, seed=9)
+    trainer = Trainer(model, TrainingConfig(epochs=5, batch_size=8,
+                                            learning_rate=0.08,
+                                            flip_augment=False))
+    trainer.fit(to_crops(train_x), train_y)
+    accuracy = evaluate_accuracy(model, to_crops(test_x), test_y)
+    store = dataset.build_store(images_per_class=4, seed=5)
+    return dataset, model, accuracy, store
+
+
+def _pipeline() -> PreprocessingDAG:
+    return PreprocessingDAG.from_ops([
+        ResizeOp(short_side=36),
+        CenterCropOp(size=32),
+        ConvertDtypeOp("float32"),
+        NormalizeOp(mean=(0.0, 0.0, 0.0), std=(1.0, 1.0, 1.0)),
+        ChannelReorderOp(),
+    ])
+
+
+class TestEndToEnd:
+    def test_trained_model_beats_chance(self, bike_bird_setup):
+        _, _, accuracy, _ = bike_bird_setup
+        assert accuracy > 0.7
+
+    def test_full_pipeline_from_encoded_store(self, bike_bird_setup):
+        dataset, model, _, store = bike_bird_setup
+        asset_ids = store.asset_ids()
+        engine = SmolRuntimeEngine(EngineConfig(num_producers=2, batch_size=4,
+                                                queue_capacity=2))
+        result = engine.run_functional(
+            decode_fn=lambda i: store.decode(asset_ids[i], "full-jpeg").pixels,
+            preprocessing=_pipeline(),
+            model=model,
+            num_images=len(asset_ids),
+        )
+        labels = np.array([store.rendition(a, "full-jpeg").label
+                           for a in asset_ids])
+        accuracy = float((result.predictions == labels).mean())
+        assert accuracy > 0.6
+
+    def test_thumbnail_rendition_still_classifiable(self, bike_bird_setup):
+        dataset, model, _, store = bike_bird_setup
+        asset_ids = store.asset_ids()
+        engine = SmolRuntimeEngine(EngineConfig(num_producers=2, batch_size=4,
+                                                queue_capacity=2))
+        labels = np.array([store.rendition(a, "161-png").label for a in asset_ids])
+        result = engine.run_functional(
+            decode_fn=lambda i: store.decode(asset_ids[i], "161-png").pixels,
+            preprocessing=_pipeline(),
+            model=model,
+            num_images=len(asset_ids),
+        )
+        accuracy = float((result.predictions == labels).mean())
+        # The binary task survives the thumbnail rendition (the paper's
+        # observation that easy tasks lose little accuracy at low resolution).
+        assert accuracy > 0.6
+
+    def test_roi_decode_feeds_pipeline(self, bike_bird_setup):
+        _, model, _, store = bike_bird_setup
+        asset_id = store.asset_ids()[0]
+        full = store.decode(asset_id, "full-jpeg")
+        roi = central_crop_roi(full.resolution, crop_size=32,
+                               resize_short_side=36)
+        partial = store.decode(asset_id, "full-jpeg", roi=roi)
+        assert partial.resolution.pixels <= full.resolution.pixels
+        preprocessed = _pipeline().execute(partial.pixels)
+        assert preprocessed.shape == (3, 32, 32)
+
+    def test_lossy_thumbnails_are_smallest(self, bike_bird_setup):
+        _, _, _, store = bike_bird_setup
+        assert (store.total_bytes("161-jpeg-q75")
+                < store.total_bytes("161-png")
+                < store.total_bytes("full-jpeg"))

@@ -1,0 +1,125 @@
+"""Integration tests pinning the paper's headline quantitative claims.
+
+Each test names the table/figure it checks.  The reproduction targets shapes
+and orderings (who wins, by roughly what factor) rather than exact values.
+"""
+
+import pytest
+
+from repro import Smol
+from repro.baselines.blazeit import BlazeItBaseline, SmolVideoRunner
+from repro.baselines.naive import NaiveResNetBaseline
+from repro.baselines.tahoma import TahomaBaseline
+from repro.core.planner import PlannerFeatures
+from repro.datasets.video import load_video_dataset
+from repro.measurement.study import MeasurementStudy
+from repro.inference.perfmodel import PerformanceModel
+
+
+class TestSection2Claims:
+    def test_table1_tensorrt_17x_over_keras(self, perf_model):
+        rows = {r.backend_name: r.throughput
+                for r in MeasurementStudy("g4dn.xlarge").backend_comparison()}
+        assert rows["tensorrt"] / rows["keras"] > 10.0
+
+    def test_figure1_preprocessing_is_the_bottleneck(self):
+        study = MeasurementStudy("g4dn.xlarge")
+        rn50 = study.preprocessing_vs_execution("resnet-50")
+        rn18 = study.preprocessing_vs_execution("resnet-18")
+        assert rn50["ratio"] > 4.0          # paper: 7.1x
+        assert rn18["ratio"] > 12.0         # paper: 22.9x
+        assert rn18["ratio"] > rn50["ratio"]
+
+    def test_table5_t4_is_28x_faster_than_k80(self):
+        rows = {r["gpu"]: r["throughput"]
+                for r in MeasurementStudy("g4dn.xlarge").gpu_generation_trend()}
+        assert rows["T4"] / rows["K80"] == pytest.approx(28.4, rel=0.05)
+
+
+class TestImageAnalyticsClaims:
+    @pytest.fixture(scope="class")
+    def smol(self):
+        return Smol(dataset_name="imagenet")
+
+    def test_figure4_smol_speedup_over_naive_resnet18(self, smol, perf_model):
+        """Abstract / Section 8.3: up to ~5.9x over the naive baseline at a
+        fixed accuracy (relative to ResNet-18 on full resolution)."""
+        naive = NaiveResNetBaseline(perf_model).evaluate()
+        naive_rn18 = next(e for e in naive
+                          if e.plan.primary_model.name == "resnet-18")
+        best = smol.best_plan(accuracy_floor=naive_rn18.accuracy)
+        speedup = best.throughput / naive_rn18.throughput
+        assert speedup > 3.0
+        assert speedup < 15.0
+
+    def test_figure4_smol_speedup_over_naive_resnet50(self, smol, perf_model):
+        """Section 8.3: up to ~2.2x at no accuracy loss versus ResNet-50."""
+        naive = NaiveResNetBaseline(perf_model).evaluate()
+        naive_rn50 = next(e for e in naive
+                          if e.plan.primary_model.name == "resnet-50")
+        best = smol.best_plan(accuracy_floor=naive_rn50.accuracy - 0.005)
+        assert best.throughput / naive_rn50.throughput > 1.5
+
+    def test_figure4_smol_frontier_dominates_tahoma(self, smol, perf_model):
+        """Tahoma underperforms when preprocessing bound (Section 8.3)."""
+        tahoma_frontier = TahomaBaseline(perf_model).pareto_frontier()
+        smol_frontier = smol.pareto_frontier()
+        tahoma_best_throughput = max(e.throughput for e in tahoma_frontier)
+        smol_best_at_high_acc = max(
+            e.throughput for e in smol_frontier if e.accuracy >= 0.74
+        )
+        assert smol_best_at_high_acc > tahoma_best_throughput
+
+    def test_figure5_lesion_low_resolution_hurts(self, perf_model):
+        full = Smol(dataset_name="imagenet")
+        lesioned = Smol(dataset_name="imagenet",
+                        features=PlannerFeatures().without("low-resolution"))
+        best_full = full.best_plan(accuracy_floor=0.74).throughput
+        best_lesioned = lesioned.best_plan(accuracy_floor=0.74).throughput
+        assert best_full > best_lesioned * 1.3
+
+    def test_figure6_factor_analysis_each_step_helps(self, perf_model):
+        basic = Smol(dataset_name="imagenet",
+                     features=PlannerFeatures.all_disabled())
+        with_preproc = Smol(
+            dataset_name="imagenet",
+            features=PlannerFeatures(
+                use_low_resolution=False, use_lowres_training=False,
+                use_roi_decoding=True, use_preprocessing_optimizations=True,
+                use_expanded_search_space=True,
+            ),
+        )
+        full = Smol(dataset_name="imagenet")
+        floor = 0.68
+        t_basic = basic.best_plan(accuracy_floor=floor).throughput
+        t_preproc = with_preproc.best_plan(accuracy_floor=floor).throughput
+        t_full = full.best_plan(accuracy_floor=floor).throughput
+        assert t_basic < t_preproc < t_full
+
+
+class TestSection82Claims:
+    def test_pipelining_overhead_within_20_percent(self, resnet50,
+                                                   thumb_jpeg_q75_format):
+        """Section 8.2: end-to-end is within ~16% of the min() prediction."""
+        smol = Smol(dataset_name="imagenet")
+        result = smol.engine.run_simulated(resnet50, thumb_jpeg_q75_format,
+                                           num_images=4096)
+        predicted = result.stage_estimate.pipelined_upper_bound
+        overhead = 1.0 - result.throughput / predicted
+        assert 0.0 <= overhead < 0.20
+
+
+class TestVideoAnalyticsClaims:
+    def test_figure9_smol_outperforms_blazeit_on_all_datasets(self, perf_model):
+        for name in ("night-street", "taipei", "amsterdam", "rialto"):
+            dataset = load_video_dataset(name)
+            blazeit = BlazeItBaseline(perf_model).run(dataset, 0.03, seed=7)
+            smol = SmolVideoRunner(perf_model).run(dataset, 0.03, seed=7)
+            assert smol.total_seconds < blazeit.total_seconds, name
+
+    def test_figure9_speedup_in_reported_range(self, perf_model):
+        dataset = load_video_dataset("taipei")
+        blazeit = BlazeItBaseline(perf_model).run(dataset, 0.02, seed=8)
+        smol = SmolVideoRunner(perf_model).run(dataset, 0.02, seed=8)
+        speedup = blazeit.total_seconds / smol.total_seconds
+        assert 1.2 < speedup < 15.0

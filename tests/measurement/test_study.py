@@ -1,0 +1,64 @@
+"""Tests for the Section 2 measurement study."""
+
+import pytest
+
+from repro.measurement.study import MeasurementStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return MeasurementStudy("g4dn.xlarge")
+
+
+class TestBackendComparison:
+    def test_table1_ordering_and_anchor(self, study):
+        rows = study.backend_comparison("resnet-50")
+        by_name = {row.backend_name: row.throughput for row in rows}
+        assert by_name["keras"] < by_name["pytorch"] < by_name["tensorrt"]
+        assert by_name["tensorrt"] == pytest.approx(4513.0, rel=1e-3)
+
+    def test_tensorrt_speedup_over_keras_matches_paper(self, study):
+        rows = {row.backend_name: row.throughput
+                for row in study.backend_comparison("resnet-50")}
+        assert rows["tensorrt"] / rows["keras"] == pytest.approx(18.6, rel=0.05)
+
+
+class TestInferenceBreakdown:
+    def test_decode_dominates_preprocessing(self, study):
+        breakdown = study.inference_breakdown("resnet-50")
+        assert breakdown.preprocessing_us["decode"] == max(
+            breakdown.preprocessing_us.values()
+        )
+
+    def test_preprocessing_slower_than_execution(self, study):
+        rn50 = study.inference_breakdown("resnet-50")
+        assert rn50.preprocessing_slowdown > 1.0
+
+    def test_resnet18_ratio_larger_than_resnet50(self, study):
+        rn50 = study.preprocessing_vs_execution("resnet-50")
+        rn18 = study.preprocessing_vs_execution("resnet-18")
+        assert rn18["ratio"] > rn50["ratio"]
+        # Figure 1: the paper reports 7.1x and 22.9x; our calibrated model
+        # should land in the same regime (>4x and >12x respectively).
+        assert rn50["ratio"] > 4.0
+        assert rn18["ratio"] > 12.0
+
+    def test_mobilenet_ssd_gap(self, study):
+        gap = study.mobilenet_ssd_gap()
+        assert gap["dnn_throughput"] == pytest.approx(7431.0)
+        assert gap["ratio"] > 15.0
+
+
+class TestHardwareTrends:
+    def test_gpu_generations_table5(self, study):
+        rows = {row["gpu"]: row["throughput"]
+                for row in study.gpu_generation_trend("resnet-50")}
+        assert rows["K80"] == pytest.approx(159.0, rel=0.01)
+        assert rows["RTX"] == pytest.approx(15008.0, rel=0.01)
+
+    def test_resnet_depth_tradeoff_table2(self, study):
+        rows = study.resnet_depth_tradeoff()
+        throughputs = [row["throughput"] for row in rows]
+        accuracies = [row["top1_accuracy"] for row in rows]
+        assert throughputs == sorted(throughputs, reverse=True)
+        assert accuracies == sorted(accuracies)

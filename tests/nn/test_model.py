@@ -1,0 +1,87 @@
+"""Tests for Sequential models and the mini-ResNet builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.model import Sequential, build_mini_resnet, evaluate_accuracy
+from repro.nn.layers import Linear, ReLU
+
+
+class TestSequential:
+    def test_forward_and_predict(self):
+        model = build_mini_resnet(18, num_classes=3, input_size=16)
+        inputs = np.random.default_rng(0).normal(size=(4, 3, 16, 16)).astype(
+            np.float32
+        )
+        logits = model.forward(inputs)
+        assert logits.shape == (4, 3)
+        assert model.predict(inputs).shape == (4,)
+        probs = model.predict_proba(inputs)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_state_dict_roundtrip(self):
+        model = build_mini_resnet(18, num_classes=2, input_size=16, seed=1)
+        clone = build_mini_resnet(18, num_classes=2, input_size=16, seed=2)
+        inputs = np.random.default_rng(0).normal(size=(2, 3, 16, 16)).astype(
+            np.float32
+        )
+        assert not np.allclose(model.forward(inputs), clone.forward(inputs))
+        clone.load_state_dict(model.state_dict())
+        np.testing.assert_allclose(model.forward(inputs), clone.forward(inputs))
+
+    def test_load_state_dict_shape_mismatch_rejected(self):
+        model = build_mini_resnet(18, num_classes=2, input_size=16)
+        other = build_mini_resnet(18, num_classes=3, input_size=16)
+        with pytest.raises(ModelError):
+            model.load_state_dict(other.state_dict())
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelError):
+            Sequential([])
+
+    def test_parameters_enumeration(self):
+        model = Sequential([Linear(4, 8), ReLU(), Linear(8, 2)],
+                           input_shape=(4,))
+        assert len(model.parameters()) == 4  # two weights + two biases
+        assert model.num_parameters == 4 * 8 + 8 + 8 * 2 + 2
+
+
+class TestMiniResNetFamily:
+    def test_deeper_models_have_more_parameters_and_flops(self):
+        shallow = build_mini_resnet(18, num_classes=4, input_size=16)
+        deep = build_mini_resnet(50, num_classes=4, input_size=16)
+        assert deep.num_parameters > shallow.num_parameters
+        assert deep.flops() > shallow.flops()
+
+    def test_depth_ordering_is_monotone(self):
+        flops = [
+            build_mini_resnet(depth, num_classes=4, input_size=16).flops()
+            for depth in (10, 18, 34, 50)
+        ]
+        assert flops == sorted(flops)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ModelError):
+            build_mini_resnet(0, num_classes=4)
+        with pytest.raises(ModelError):
+            build_mini_resnet(18, num_classes=1)
+        with pytest.raises(ModelError):
+            build_mini_resnet(18, num_classes=4, input_size=4)
+
+
+class TestEvaluateAccuracy:
+    def test_accuracy_bounds(self):
+        model = build_mini_resnet(18, num_classes=2, input_size=16)
+        images = np.random.default_rng(0).normal(size=(10, 3, 16, 16)).astype(
+            np.float32
+        )
+        labels = np.zeros(10, dtype=np.int64)
+        accuracy = evaluate_accuracy(model, images, labels)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_length_mismatch_rejected(self):
+        model = build_mini_resnet(18, num_classes=2, input_size=16)
+        with pytest.raises(ModelError):
+            evaluate_accuracy(model, np.zeros((3, 3, 16, 16), dtype=np.float32),
+                              np.zeros(5, dtype=np.int64))

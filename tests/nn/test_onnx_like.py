@@ -1,0 +1,56 @@
+"""Tests for the ONNX-like graph export/import."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.model import build_mini_resnet
+from repro.nn.onnx_like import GraphProto, export_graph, import_graph
+
+
+class TestGraphRoundtrip:
+    def test_export_import_preserves_predictions(self):
+        model = build_mini_resnet(18, num_classes=3, input_size=16, seed=4)
+        graph = export_graph(model)
+        rebuilt = import_graph(graph)
+        inputs = np.random.default_rng(0).normal(size=(3, 3, 16, 16)).astype(
+            np.float32
+        )
+        np.testing.assert_allclose(model.forward(inputs), rebuilt.forward(inputs),
+                                   atol=1e-5)
+
+    def test_serialize_deserialize_bytes(self):
+        model = build_mini_resnet(18, num_classes=2, input_size=16, seed=1)
+        graph = export_graph(model)
+        data = graph.serialize()
+        assert isinstance(data, bytes) and len(data) > 0
+        restored = GraphProto.deserialize(data)
+        rebuilt = import_graph(restored)
+        inputs = np.random.default_rng(1).normal(size=(2, 3, 16, 16)).astype(
+            np.float32
+        )
+        np.testing.assert_allclose(model.forward(inputs), rebuilt.forward(inputs),
+                                    atol=1e-5)
+
+    def test_node_types_exported(self):
+        model = build_mini_resnet(18, num_classes=2, input_size=16)
+        graph = export_graph(model)
+        op_types = {node.op_type for node in graph.nodes}
+        assert {"Conv", "BatchNormalization", "Relu", "MaxPool",
+                "GlobalAveragePool", "Gemm"}.issubset(op_types)
+
+    def test_missing_initializer_rejected(self):
+        model = build_mini_resnet(18, num_classes=2, input_size=16)
+        graph = export_graph(model)
+        broken = GraphProto(
+            name=graph.name,
+            input_shape=graph.input_shape,
+            nodes=graph.nodes,
+            initializers={},
+        )
+        with pytest.raises(ModelError):
+            import_graph(broken)
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(Exception):
+            GraphProto.deserialize(b"not a real archive")

@@ -1,0 +1,57 @@
+"""Tests for the specialized (proxy) NN family."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.hardware.devices import get_gpu
+from repro.nn.specialized import SpecializedNN, make_specialized_family, tiny_resnet
+
+
+class TestSpecializedFamily:
+    def test_family_size(self):
+        assert len(make_specialized_family(8)) == 8
+
+    def test_family_flops_vary(self):
+        family = make_specialized_family(8)
+        gflops = [member.gflops_224 for member in family]
+        assert min(gflops) < max(gflops)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ModelError):
+            make_specialized_family(0)
+
+    def test_throughput_capped_at_250k(self):
+        tiny = SpecializedNN(name="nano", width=4, depth=1, gflops_224=0.0005,
+                             accuracy_factor=0.5)
+        assert tiny.throughput_on(get_gpu("T4")) <= 250_000.0
+
+    def test_specialized_faster_than_resnet50(self):
+        t4 = get_gpu("T4")
+        for member in make_specialized_family(8):
+            assert member.throughput_on(t4) > 4513.0
+
+    def test_larger_members_are_slower(self):
+        family = make_specialized_family(8)
+        t4 = get_gpu("T4")
+        smallest = min(family, key=lambda m: m.gflops_224)
+        largest = max(family, key=lambda m: m.gflops_224)
+        assert smallest.throughput_on(t4) >= largest.throughput_on(t4)
+
+    def test_build_trainable_model(self):
+        member = make_specialized_family(1)[0]
+        model = member.build_trainable(num_classes=2, input_size=16)
+        assert model.name == member.name
+        assert model.num_parameters > 0
+
+    def test_tiny_resnet_descriptor(self):
+        descriptor = tiny_resnet()
+        assert descriptor.name == "tiny-resnet"
+        assert descriptor.gflops_224 < 0.1
+
+    def test_invalid_descriptor_rejected(self):
+        with pytest.raises(ModelError):
+            SpecializedNN(name="bad", width=0, depth=1, gflops_224=0.1,
+                          accuracy_factor=0.5)
+        with pytest.raises(ModelError):
+            SpecializedNN(name="bad", width=8, depth=1, gflops_224=0.1,
+                          accuracy_factor=1.5)

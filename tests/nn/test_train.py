@@ -1,0 +1,85 @@
+"""Tests for the trainer and the low-resolution augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.model import build_mini_resnet, evaluate_accuracy
+from repro.nn.train import Trainer, TrainingConfig, lowres_roundtrip
+
+
+class TestLowresRoundtrip:
+    def test_shape_preserved(self):
+        batch = np.random.default_rng(0).random((2, 3, 16, 16)).astype(np.float32)
+        out = lowres_roundtrip(batch, 8)
+        assert out.shape == batch.shape
+
+    def test_information_is_lost(self):
+        rng = np.random.default_rng(1)
+        batch = rng.random((2, 3, 16, 16)).astype(np.float32)
+        out = lowres_roundtrip(batch, 4)
+        assert not np.allclose(out, batch)
+        # Downsampling removes high-frequency content: variance shrinks.
+        assert out.var() < batch.var()
+
+    def test_noop_when_target_not_smaller(self):
+        batch = np.random.default_rng(2).random((1, 3, 8, 8)).astype(np.float32)
+        np.testing.assert_array_equal(lowres_roundtrip(batch, 16), batch)
+
+    def test_requires_nchw(self):
+        with pytest.raises(TrainingError):
+            lowres_roundtrip(np.zeros((3, 16, 16)), 8)
+
+
+class TestTrainingConfig:
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(TrainingError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(TrainingError):
+            TrainingConfig(learning_rate=-1.0)
+        with pytest.raises(TrainingError):
+            TrainingConfig(lowres_augment_prob=1.5)
+
+
+class TestTrainer:
+    def test_loss_decreases_on_learnable_data(self, tiny_dataset_arrays):
+        train_x, train_y, test_x, test_y = tiny_dataset_arrays
+        model = build_mini_resnet(10, num_classes=2, input_size=16, seed=0)
+        config = TrainingConfig(epochs=4, batch_size=8, learning_rate=0.08,
+                                flip_augment=False)
+        result = Trainer(model, config).fit(train_x, train_y, test_x, test_y)
+        assert result.epochs_run == 4
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_training_beats_chance_accuracy(self, tiny_dataset_arrays):
+        train_x, train_y, test_x, test_y = tiny_dataset_arrays
+        model = build_mini_resnet(10, num_classes=2, input_size=16, seed=3)
+        config = TrainingConfig(epochs=6, batch_size=8, learning_rate=0.08,
+                                flip_augment=False)
+        result = Trainer(model, config).fit(train_x, train_y, test_x, test_y)
+        assert result.validation_accuracy is not None
+        assert result.validation_accuracy > 0.6
+
+    def test_lowres_augmented_training_runs(self, tiny_dataset_arrays):
+        train_x, train_y, test_x, test_y = tiny_dataset_arrays
+        model = build_mini_resnet(10, num_classes=2, input_size=16, seed=5)
+        config = TrainingConfig(epochs=2, batch_size=8, learning_rate=0.05,
+                                lowres_augment_size=8, flip_augment=False)
+        result = Trainer(model, config).fit(train_x, train_y, test_x, test_y)
+        assert len(result.train_losses) == 2
+        accuracy = evaluate_accuracy(model, test_x, test_y)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_mismatched_shapes_rejected(self):
+        model = build_mini_resnet(10, num_classes=2, input_size=16)
+        trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=2))
+        with pytest.raises(TrainingError):
+            trainer.fit(np.zeros((4, 3, 16, 16), dtype=np.float32),
+                        np.zeros(3, dtype=np.int64))
+
+    def test_too_few_examples_rejected(self):
+        model = build_mini_resnet(10, num_classes=2, input_size=16)
+        trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=64))
+        with pytest.raises(TrainingError):
+            trainer.fit(np.zeros((4, 3, 16, 16), dtype=np.float32),
+                        np.zeros(4, dtype=np.int64))

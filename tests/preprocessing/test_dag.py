@@ -1,0 +1,98 @@
+"""Tests for the preprocessing DAG."""
+
+import pytest
+
+from repro.errors import InvalidDAGError
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.preprocessing.ops import (
+    CenterCropOp,
+    ChannelReorderOp,
+    NormalizeOp,
+    ResizeOp,
+    TensorSpec,
+    standard_pipeline_ops,
+)
+
+
+class TestDagConstruction:
+    def test_from_ops_builds_chain(self):
+        dag = PreprocessingDAG.from_ops(standard_pipeline_ops())
+        assert dag.num_nodes == 6
+        dag.validate()
+
+    def test_cycle_rejected(self):
+        dag = PreprocessingDAG()
+        a = dag.add_op(ResizeOp(short_side=32))
+        b = dag.add_op(CenterCropOp(size=16))
+        dag.add_edge(a, b)
+        with pytest.raises(InvalidDAGError):
+            dag.add_edge(b, a)
+
+    def test_empty_dag_invalid(self):
+        with pytest.raises(InvalidDAGError):
+            PreprocessingDAG().validate()
+
+    def test_multiple_sinks_invalid(self):
+        dag = PreprocessingDAG()
+        a = dag.add_op(ResizeOp(short_side=32))
+        dag.add_op(NormalizeOp())
+        dag.add_op(ChannelReorderOp())
+        # a has no edges to the others: 3 disconnected nodes.
+        with pytest.raises(InvalidDAGError):
+            dag.validate()
+        assert a  # keep the reference meaningful
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(InvalidDAGError):
+            PreprocessingDAG().node("missing")
+
+
+class TestDagExecution:
+    def test_execute_matches_manual_application(self, small_image):
+        ops = [ResizeOp(short_side=40), CenterCropOp(size=32), NormalizeOp(),
+               ChannelReorderOp()]
+        dag = PreprocessingDAG.from_ops(ops)
+        manual = small_image.pixels
+        for op in ops:
+            manual = op.apply(manual)
+        result = dag.execute(small_image.pixels)
+        assert result.shape == manual.shape
+        assert (result == manual).all()
+
+    def test_output_spec_propagation(self):
+        dag = PreprocessingDAG.from_ops(
+            [ResizeOp(short_side=40), CenterCropOp(size=32), NormalizeOp(),
+             ChannelReorderOp()]
+        )
+        spec = dag.output_spec(TensorSpec(height=48, width=64, channels=3))
+        assert (spec.height, spec.width, spec.channels) == (32, 32, 3)
+        assert spec.dtype == "float32"
+        assert spec.layout == "CHW"
+
+    def test_device_assignment(self):
+        dag = PreprocessingDAG.from_ops(standard_pipeline_ops())
+        nodes = dag.topological_ops()
+        dag.assign_devices({nodes[-1].node_id: "accelerator"})
+        assert dag.devices()[nodes[-1].node_id] == "accelerator"
+
+    def test_invalid_device_rejected(self):
+        dag = PreprocessingDAG.from_ops(standard_pipeline_ops())
+        node = dag.topological_ops()[0]
+        with pytest.raises(InvalidDAGError):
+            dag.assign_devices({node.node_id: "tpu"})
+
+    def test_copy_preserves_structure_and_devices(self):
+        dag = PreprocessingDAG.from_ops(standard_pipeline_ops())
+        nodes = dag.topological_ops()
+        dag.assign_devices({nodes[-1].node_id: "accelerator"})
+        clone = dag.copy()
+        assert clone.num_nodes == dag.num_nodes
+        assert [n.op.name for n in clone.topological_ops()] == [
+            n.op.name for n in dag.topological_ops()
+        ]
+        assert clone.topological_ops()[-1].device == "accelerator"
+
+    def test_describe_lists_ops(self):
+        dag = PreprocessingDAG.from_ops(standard_pipeline_ops())
+        assert "decode" in dag.describe()
+        assert "->" in dag.describe()

@@ -1,0 +1,106 @@
+"""Tests for the executable preprocessing operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PreprocessingError
+from repro.preprocessing.ops import (
+    CenterCropOp,
+    ChannelReorderOp,
+    ConvertDtypeOp,
+    DecodeOp,
+    FusedNormalizeReorderOp,
+    NormalizeOp,
+    ResizeOp,
+    TensorSpec,
+    bilinear_resize,
+    standard_pipeline_ops,
+)
+
+
+@pytest.fixture()
+def hwc_array(small_image):
+    return small_image.pixels
+
+
+SPEC = TensorSpec(height=48, width=64, channels=3)
+
+
+class TestResize:
+    def test_resize_short_side(self, hwc_array):
+        out = ResizeOp(short_side=32).apply(hwc_array)
+        assert min(out.shape[:2]) == 32
+        assert out.dtype == np.uint8
+
+    def test_output_spec_matches_apply(self, hwc_array):
+        op = ResizeOp(short_side=32)
+        spec = op.output_spec(SPEC)
+        out = op.apply(hwc_array)
+        assert (spec.height, spec.width) == out.shape[:2]
+
+    def test_bilinear_identity_when_same_size(self, hwc_array):
+        np.testing.assert_array_equal(
+            bilinear_resize(hwc_array, 48, 64), hwc_array
+        )
+
+    def test_bilinear_downscale_preserves_mean(self, hwc_array):
+        small = bilinear_resize(hwc_array, 24, 32)
+        assert abs(float(small.mean()) - float(hwc_array.mean())) < 6.0
+
+    def test_invalid_short_side(self):
+        with pytest.raises(PreprocessingError):
+            ResizeOp(short_side=0)
+
+
+class TestCropAndLayout:
+    def test_center_crop_shape(self, hwc_array):
+        out = CenterCropOp(size=32).apply(hwc_array)
+        assert out.shape == (32, 32, 3)
+
+    def test_center_crop_too_large_rejected(self, hwc_array):
+        with pytest.raises(PreprocessingError):
+            CenterCropOp(size=100).apply(hwc_array)
+
+    def test_channel_reorder_to_chw(self, hwc_array):
+        out = ChannelReorderOp().apply(hwc_array)
+        assert out.shape == (3, 48, 64)
+        np.testing.assert_array_equal(out[0], hwc_array[:, :, 0])
+
+    def test_convert_dtype(self, hwc_array):
+        out = ConvertDtypeOp("float32").apply(hwc_array)
+        assert out.dtype == np.float32
+
+
+class TestNormalize:
+    def test_normalize_produces_zeroish_mean(self, hwc_array):
+        out = NormalizeOp().apply(hwc_array)
+        assert out.dtype == np.float32
+        assert abs(float(out.mean())) < 3.0
+
+    def test_fused_matches_unfused(self, hwc_array):
+        unfused = ChannelReorderOp().apply(NormalizeOp().apply(
+            ConvertDtypeOp("float32").apply(hwc_array)))
+        fused = FusedNormalizeReorderOp().apply(hwc_array)
+        np.testing.assert_allclose(fused, unfused, atol=1e-5)
+
+    def test_fused_costs_less_than_unfused(self):
+        unfused = (ConvertDtypeOp().arithmetic_ops(SPEC)
+                   + NormalizeOp().arithmetic_ops(SPEC)
+                   + ChannelReorderOp().arithmetic_ops(SPEC))
+        assert FusedNormalizeReorderOp().arithmetic_ops(SPEC) < unfused
+
+
+class TestStandardPipeline:
+    def test_standard_pipeline_end_to_end(self, hwc_array):
+        # Use a crop smaller than the image so the standard pipeline runs.
+        ops = standard_pipeline_ops(input_short_side=40, crop_size=32)
+        result = hwc_array
+        for op in ops:
+            result = op.apply(result)
+        assert result.shape == (3, 32, 32)
+        assert result.dtype == np.float32
+
+    def test_decode_op_cost_scales_with_roi(self):
+        full = DecodeOp(roi_fraction=1.0).arithmetic_ops(SPEC)
+        partial = DecodeOp(roi_fraction=0.5).arithmetic_ops(SPEC)
+        assert partial == pytest.approx(full / 2)

@@ -1,0 +1,98 @@
+"""Property-based tests for the codec substrates."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs.image import Image, Resolution
+from repro.codecs.jpeg import JpegCodec
+from repro.codecs.png import PngCodec
+from repro.codecs.roi import RegionOfInterest, expand_to_blocks
+from repro.codecs import entropy
+
+
+def _image_strategy(min_size=8, max_size=40):
+    def build(height, width, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.integers(0, 255, size=(height, width, 3))
+        # Smooth slightly so content resembles natural images.
+        smoothed = (base + np.roll(base, 1, axis=0) + np.roll(base, 1, axis=1)) // 3
+        return Image(pixels=smoothed.astype(np.uint8))
+
+    return st.builds(
+        build,
+        height=st.integers(min_size, max_size),
+        width=st.integers(min_size, max_size),
+        seed=st.integers(0, 10_000),
+    )
+
+
+class TestPngProperties:
+    @given(image=_image_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_png_roundtrip_is_lossless(self, image):
+        codec = PngCodec(strip_rows=8)
+        decoded = codec.decode(codec.encode(image))
+        np.testing.assert_array_equal(decoded.pixels, image.pixels)
+
+    @given(image=_image_strategy(), rows=st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_png_prefix_decode_matches_full(self, image, rows):
+        codec = PngCodec(strip_rows=8)
+        encoded = codec.encode(image)
+        rows = min(rows, image.height)
+        prefix = codec.decode_rows(encoded, rows)
+        np.testing.assert_array_equal(prefix.pixels, image.pixels[:rows])
+
+
+class TestJpegProperties:
+    @given(image=_image_strategy(min_size=16, max_size=32),
+           quality=st.integers(30, 95))
+    @settings(max_examples=15, deadline=None)
+    def test_jpeg_decode_shape_and_range(self, image, quality):
+        codec = JpegCodec(quality=quality)
+        decoded = codec.decode(codec.encode(image))
+        assert decoded.pixels.shape == image.pixels.shape
+        assert decoded.pixels.dtype == np.uint8
+
+    @given(image=_image_strategy(min_size=24, max_size=32),
+           left=st.integers(0, 12), top=st.integers(0, 12),
+           width=st.integers(4, 12), height=st.integers(4, 12))
+    @settings(max_examples=15, deadline=None)
+    def test_jpeg_roi_decode_consistent_with_full(self, image, left, top, width,
+                                                  height):
+        codec = JpegCodec(quality=85)
+        encoded = codec.encode(image)
+        roi = RegionOfInterest(left, top, width, height).clamp_to(image.resolution)
+        full = codec.decode(encoded)
+        partial = codec.decode_roi(encoded, roi)
+        offset_x = roi.left % 8
+        offset_y = roi.top % 8
+        from_partial = partial.pixels[offset_y:offset_y + roi.height,
+                                      offset_x:offset_x + roi.width]
+        from_full = full.pixels[roi.top:roi.bottom, roi.left:roi.right]
+        np.testing.assert_array_equal(from_partial, from_full)
+
+
+class TestEntropyProperties:
+    @given(values=st.lists(st.integers(-300, 300), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_coefficient_coding_roundtrip(self, values):
+        coeffs = np.array(values + [0] * (64 - len(values)), dtype=np.int16)[:64]
+        payload = entropy.encode_coefficients(coeffs)
+        np.testing.assert_array_equal(
+            entropy.decode_coefficients(payload, 64), coeffs
+        )
+
+
+class TestRoiProperties:
+    @given(left=st.integers(0, 500), top=st.integers(0, 370),
+           width=st.integers(1, 200), height=st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_block_expansion_contains_and_aligns(self, left, top, width, height):
+        resolution = Resolution(512, 384)
+        roi = RegionOfInterest(left, top, width, height).clamp_to(resolution)
+        aligned = expand_to_blocks(roi, resolution)
+        assert aligned.left % 8 == 0 and aligned.top % 8 == 0
+        assert aligned.contains(roi)
+        assert aligned.right <= resolution.width
+        assert aligned.bottom <= resolution.height

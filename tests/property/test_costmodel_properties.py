@@ -1,0 +1,45 @@
+"""Property-based tests for the cost models and the pipeline simulator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.inference.perfmodel import EngineConfig, StageEstimate
+from repro.inference.pipeline_sim import PipelineSimulator
+
+throughput_strategy = st.floats(50.0, 50_000.0, allow_nan=False,
+                                allow_infinity=False)
+
+
+class TestCostModelInvariants:
+    @given(preproc=throughput_strategy, dnn=throughput_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_simulated_throughput_never_exceeds_either_stage(self, preproc, dnn):
+        estimate = StageEstimate(preprocessing_throughput=preproc,
+                                 dnn_throughput=dnn)
+        config = EngineConfig(num_producers=4)
+        stats = PipelineSimulator(config).run(estimate, num_images=512)
+        assert stats.throughput <= min(preproc, dnn) * 1.05
+
+    @given(preproc=throughput_strategy, dnn=throughput_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_simulated_overhead_is_bounded(self, preproc, dnn):
+        estimate = StageEstimate(preprocessing_throughput=preproc,
+                                 dnn_throughput=dnn)
+        config = EngineConfig(num_producers=4)
+        stats = PipelineSimulator(config).run(estimate, num_images=512)
+        assert stats.throughput >= min(preproc, dnn) * 0.6
+
+    @given(preproc=throughput_strategy, dnn=throughput_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_min_model_is_better_estimate_than_sum_or_exec_only(self, preproc, dnn):
+        estimate = StageEstimate(preprocessing_throughput=preproc,
+                                 dnn_throughput=dnn)
+        config = EngineConfig(num_producers=4)
+        measured = PipelineSimulator(config).run(estimate, num_images=512).throughput
+        min_estimate = min(preproc, dnn)
+        exec_only = dnn
+        serial_sum = 1.0 / (1.0 / preproc + 1.0 / dnn)
+        min_error = abs(min_estimate - measured)
+        assert min_error <= abs(exec_only - measured) + 1e-6
+        # The serial-sum model can occasionally be closer when overheads are
+        # large, but the min model must never be catastrophically worse.
+        assert min_error <= max(abs(serial_sum - measured), measured * 0.25) + 1e-6

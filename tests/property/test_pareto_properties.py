@@ -1,0 +1,44 @@
+"""Property-based tests for the Pareto-frontier utilities."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.pareto import dominates, pareto_frontier
+
+points_strategy = st.lists(
+    st.tuples(st.floats(0, 1000, allow_nan=False),
+              st.floats(0, 1, allow_nan=False)),
+    min_size=1, max_size=40,
+)
+
+
+class TestParetoProperties:
+    @given(points=points_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_frontier_members_are_nondominated(self, points):
+        frontier = pareto_frontier(points, lambda p: p)
+        for candidate in frontier:
+            assert not any(dominates(other, candidate) for other in points)
+
+    @given(points=points_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_every_point_dominated_by_or_on_frontier(self, points):
+        frontier = pareto_frontier(points, lambda p: p)
+        for point in points:
+            on_frontier = any(tuple(point) == tuple(f) for f in frontier)
+            dominated = any(dominates(f, point) for f in frontier)
+            assert on_frontier or dominated
+
+    @given(points=points_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_frontier_is_subset_and_idempotent(self, points):
+        frontier = pareto_frontier(points, lambda p: p)
+        assert all(point in points for point in frontier)
+        assert sorted(pareto_frontier(frontier, lambda p: p)) == sorted(frontier)
+
+    @given(points=points_strategy, scale=st.floats(0.1, 10.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_frontier_invariant_to_positive_scaling(self, points, scale):
+        frontier = pareto_frontier(points, lambda p: p)
+        scaled_frontier = pareto_frontier(points,
+                                          lambda p: (p[0] * scale, p[1] * scale))
+        assert sorted(frontier) == sorted(scaled_frontier)

@@ -1,0 +1,64 @@
+"""Property-based tests for preprocessing operators and the DAG optimizer."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.preprocessing.cost import pipeline_arithmetic_ops
+from repro.preprocessing.ops import (
+    NormalizeOp,
+    ResizeOp,
+    TensorSpec,
+    bilinear_resize,
+    standard_pipeline_ops,
+)
+from repro.preprocessing.optimizer import DagOptimizer
+
+
+class TestResizeProperties:
+    @given(height=st.integers(8, 64), width=st.integers(8, 64),
+           new_height=st.integers(4, 64), new_width=st.integers(4, 64),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_resize_output_shape_and_range(self, height, width, new_height,
+                                           new_width, seed):
+        rng = np.random.default_rng(seed)
+        array = rng.integers(0, 255, size=(height, width, 3)).astype(np.uint8)
+        out = bilinear_resize(array, new_height, new_width)
+        assert out.shape == (new_height, new_width, 3)
+        assert out.dtype == np.uint8
+        assert int(out.min()) >= int(array.min()) - 1
+        assert int(out.max()) <= int(array.max()) + 1
+
+    @given(short_side=st.integers(8, 128))
+    @settings(max_examples=30, deadline=None)
+    def test_resize_spec_short_side(self, short_side):
+        spec = TensorSpec(height=375, width=500, channels=3)
+        out = ResizeOp(short_side=short_side).output_spec(spec)
+        assert min(out.height, out.width) == short_side
+
+
+class TestNormalizeProperties:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_normalize_is_affine_invertible(self, seed):
+        rng = np.random.default_rng(seed)
+        array = rng.integers(0, 255, size=(8, 8, 3)).astype(np.uint8)
+        op = NormalizeOp()
+        normalized = op.apply(array)
+        mean = np.asarray(op.mean, dtype=np.float32)
+        std = np.asarray(op.std, dtype=np.float32)
+        restored = (normalized * std + mean) * 255.0
+        np.testing.assert_allclose(restored, array.astype(np.float32), atol=0.01)
+
+
+class TestOptimizerProperties:
+    @given(height=st.integers(64, 1080), width=st.integers(64, 1920))
+    @settings(max_examples=25, deadline=None)
+    def test_optimizer_never_increases_cost(self, height, width):
+        spec = TensorSpec(height=height, width=width, channels=3)
+        ops = standard_pipeline_ops()
+        report = DagOptimizer().optimize(ops, spec)
+        assert report.optimized_cost <= report.original_cost + 1e-6
+        assert report.optimized_cost == pipeline_arithmetic_ops(
+            report.optimized_ops, spec
+        )

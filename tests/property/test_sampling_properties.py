@@ -1,0 +1,42 @@
+"""Property-based tests for the sampling estimators."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics.sampling import (
+    control_variate_mean,
+    required_sample_size,
+    uniform_sample_mean,
+)
+
+
+class TestSamplingProperties:
+    @given(seed=st.integers(0, 500), mean=st.floats(0.5, 10.0),
+           sample_size=st.integers(200, 2000))
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_estimate_within_a_few_half_widths(self, seed, mean,
+                                                       sample_size):
+        rng = np.random.default_rng(seed)
+        values = rng.poisson(mean, size=20_000).astype(float)
+        result = uniform_sample_mean(values, sample_size, seed=seed)
+        assert abs(result.estimate - values.mean()) <= 4 * max(
+            result.half_width, 1e-9
+        )
+
+    @given(seed=st.integers(0, 500), noise=st.floats(0.05, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_control_variate_never_much_worse_than_uniform(self, seed, noise):
+        rng = np.random.default_rng(seed)
+        truth = rng.poisson(3.0, size=20_000).astype(float)
+        proxy = truth + rng.normal(0.0, noise, size=truth.shape)
+        plain = uniform_sample_mean(truth, 1500, seed=seed)
+        reduced = control_variate_mean(truth, proxy, 1500, seed=seed)
+        assert reduced.variance <= plain.variance * 1.1
+
+    @given(variance=st.floats(0.01, 100.0), target=st.floats(0.005, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_required_sample_size_monotone(self, variance, target):
+        base = required_sample_size(variance, target)
+        assert required_sample_size(variance * 2, target) >= base
+        assert required_sample_size(variance, target / 2) >= base
+        assert base >= 1

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCliParser:
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.dataset == "imagenet"
+        assert args.accuracy_floor is None
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestCliCommands:
+    def test_plan_command_prints_frontier(self, capsys):
+        assert main(["plan", "--dataset", "imagenet",
+                     "--accuracy-floor", "0.74"]) == 0
+        output = capsys.readouterr().out
+        assert "Pareto frontier" in output
+        assert "resnet-50" in output
+
+    def test_run_command_reports_throughput(self, capsys):
+        assert main(["run", "--dataset", "bike-bird", "--images", "512",
+                     "--accuracy-floor", "0.99"]) == 0
+        output = capsys.readouterr().out
+        assert "simulated:" in output
+
+    def test_measure_command(self, capsys):
+        assert main(["measure"]) == 0
+        output = capsys.readouterr().out
+        assert "tensorrt" in output
+        assert "K80" in output
+
+    def test_costs_command(self, capsys):
+        assert main(["costs"]) == 0
+        output = capsys.readouterr().out
+        assert "Cents / 1M images" in output
+
+    def test_video_command(self, capsys):
+        assert main(["video", "--dataset", "amsterdam", "--error", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert "BlazeIt" in output

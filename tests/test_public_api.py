@@ -1,0 +1,53 @@
+"""Tests for the package's public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PUBLIC_SUBPACKAGES = [
+    "repro.hardware",
+    "repro.codecs",
+    "repro.preprocessing",
+    "repro.nn",
+    "repro.inference",
+    "repro.core",
+    "repro.analytics",
+    "repro.datasets",
+    "repro.measurement",
+    "repro.baselines",
+    "repro.utils",
+    "repro.cli",
+]
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", PUBLIC_SUBPACKAGES)
+    def test_subpackages_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    @pytest.mark.parametrize("module_name", PUBLIC_SUBPACKAGES)
+    def test_subpackage_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_smol_facade_exported_at_top_level(self):
+        assert repro.Smol is importlib.import_module("repro.core.smol").Smol
+
+    def test_public_classes_have_docstrings(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{name} is missing a docstring"

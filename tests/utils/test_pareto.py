@@ -1,0 +1,44 @@
+"""Tests for Pareto-frontier utilities."""
+
+import pytest
+
+from repro.utils.pareto import dominates, pareto_frontier, sort_frontier
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((2.0, 2.0), (1.0, 1.0))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((2.0, 0.5), (1.0, 1.0))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates((2.0, 1.0), (1.0, 1.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestParetoFrontier:
+    def test_frontier_removes_dominated_points(self):
+        points = [(1, 5), (2, 4), (3, 3), (2, 2), (0.5, 4.5)]
+        frontier = pareto_frontier(points, lambda p: p)
+        assert set(frontier) == {(1, 5), (2, 4), (3, 3)}
+
+    def test_single_point_is_its_own_frontier(self):
+        assert pareto_frontier([(1, 1)], lambda p: p) == [(1, 1)]
+
+    def test_duplicates_kept_once(self):
+        frontier = pareto_frontier([(2, 2), (2, 2), (1, 1)], lambda p: p)
+        assert frontier == [(2, 2)]
+
+    def test_empty_input_gives_empty_frontier(self):
+        assert pareto_frontier([], lambda p: p) == []
+
+    def test_sort_frontier_orders_by_axis(self):
+        frontier = [(3, 3), (1, 5), (2, 4)]
+        assert sort_frontier(frontier, lambda p: p, axis=0) == [(1, 5), (2, 4), (3, 3)]

@@ -1,0 +1,47 @@
+"""Tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.utils.tables import Table, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_rendered(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "3" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_large_floats_get_thousands_separator(self):
+        text = format_table(["x"], [[4513.0]])
+        assert "4,513" in text
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table("Table 2", ["model", "throughput"])
+        table.add_row("resnet-18", 12592.0)
+        table.add_row("resnet-50", 4513.0)
+        rendered = table.render()
+        assert "resnet-18" in rendered
+        assert "12,592" in rendered
+
+    def test_add_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_unknown_column_raises(self):
+        table = Table("t", ["a"])
+        with pytest.raises(KeyError):
+            table.column("missing")

@@ -1,0 +1,32 @@
+"""Tests for the simulated timer and wall timer."""
+
+import pytest
+
+from repro.utils.timing import SimTimer, wall_timer
+
+
+class TestSimTimer:
+    def test_accumulates_per_stage(self):
+        timer = SimTimer()
+        timer.add("decode", 100.0)
+        timer.add("decode", 50.0)
+        timer.add("resize", 25.0)
+        assert timer.breakdown() == {"decode": 150.0, "resize": 25.0}
+        assert timer.total() == pytest.approx(175.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            SimTimer().add("x", -1.0)
+
+    def test_reset_clears(self):
+        timer = SimTimer()
+        timer.add("x", 10.0)
+        timer.reset()
+        assert timer.total() == 0.0
+
+
+class TestWallTimer:
+    def test_measures_positive_elapsed(self):
+        with wall_timer() as elapsed:
+            sum(range(1000))
+        assert elapsed["seconds"] >= 0.0

@@ -1,0 +1,62 @@
+"""Tests for unit conversions and the Throughput container."""
+
+import pytest
+
+from repro.utils.units import (
+    Throughput,
+    images_per_second,
+    megapixels,
+    per_image_us,
+    s_to_us,
+    us_to_s,
+)
+
+
+class TestConversions:
+    def test_us_to_s_roundtrip(self):
+        assert us_to_s(s_to_us(1.25)) == pytest.approx(1.25)
+
+    def test_images_per_second_from_latency(self):
+        assert images_per_second(1000.0) == pytest.approx(1000.0)
+
+    def test_per_image_us_from_throughput(self):
+        assert per_image_us(4513.0) == pytest.approx(221.58, rel=1e-3)
+
+    def test_per_image_and_throughput_are_inverses(self):
+        assert images_per_second(per_image_us(777.0)) == pytest.approx(777.0)
+
+    def test_images_per_second_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            images_per_second(0.0)
+
+    def test_per_image_us_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            per_image_us(-1.0)
+
+    def test_megapixels(self):
+        assert megapixels(1920, 1080) == pytest.approx(2.0736)
+
+    def test_megapixels_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            megapixels(0, 100)
+
+
+class TestThroughput:
+    def test_speedup_over(self):
+        fast = Throughput(5000.0, "fast")
+        slow = Throughput(1000.0, "slow")
+        assert fast.speedup_over(slow) == pytest.approx(5.0)
+
+    def test_per_image_us_property(self):
+        assert Throughput(2000.0).per_image_us == pytest.approx(500.0)
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            Throughput(-1.0)
+
+    def test_str_contains_label(self):
+        assert "decode" in str(Throughput(100.0, "decode"))
+
+    def test_speedup_over_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Throughput(10.0).speedup_over(Throughput(0.0))
