@@ -23,6 +23,9 @@ full system and every substrate it depends on in pure Python/numpy:
   Section 7 power/dollar cost analysis.
 * :mod:`repro.baselines` -- naive ResNets, Tahoma, BlazeIt, DALI-like and
   PyTorch-loader baselines.
+* :mod:`repro.serving` -- Smol-Serve, the online serving subsystem: typed
+  requests, adaptive micro-batching, plan-aware sessions, prediction
+  caching, and an open-loop load generator.
 
 Quickstart
 ----------
@@ -42,6 +45,12 @@ from repro.core.costmodel import (
     ExecutionOnlyCostModel,
     SerialSumCostModel,
 )
+from repro.serving import (
+    BatchPolicy,
+    InferenceRequest,
+    LoadGenerator,
+    SmolServer,
+)
 
 __all__ = [
     "__version__",
@@ -51,4 +60,8 @@ __all__ = [
     "SmolCostModel",
     "ExecutionOnlyCostModel",
     "SerialSumCostModel",
+    "SmolServer",
+    "BatchPolicy",
+    "InferenceRequest",
+    "LoadGenerator",
 ]

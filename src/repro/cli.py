@@ -2,11 +2,17 @@
 
 Subcommands:
 
-* ``plan``      -- print the Pareto frontier and the selected plan for a dataset.
-* ``run``       -- execute the selected plan in the simulated runtime.
-* ``measure``   -- print the Section 2 measurement study tables.
-* ``costs``     -- print the Section 7 / Table 8 cost analyses.
-* ``video``     -- run the BlazeIt-vs-Smol video aggregation comparison.
+* ``plan``        -- print the Pareto frontier and the selected plan for a dataset.
+* ``run``         -- execute the selected plan in the simulated runtime.
+* ``measure``     -- print the Section 2 measurement study tables.
+* ``costs``       -- print the Section 7 / Table 8 cost analyses.
+* ``video``       -- run the BlazeIt-vs-Smol video aggregation comparison.
+* ``serve-bench`` -- compare micro-batching policies on the online server.
+* ``loadtest``    -- drive the online server with open-loop traffic.
+
+Errors from the library (unknown datasets, infeasible constraints, bad
+serving parameters) exit with status 2 and a one-line message rather than a
+traceback.
 
 Examples
 --------
@@ -14,20 +20,32 @@ Examples
     python -m repro.cli run --dataset bike-bird --images 8192
     python -m repro.cli measure
     python -m repro.cli video --dataset taipei --error 0.03
+    python -m repro.cli serve-bench --mode simulated --requests 2000
+    python -m repro.cli loadtest --rate 500 --duration 2 --pattern burst
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 from repro.baselines.blazeit import BlazeItBaseline, SmolVideoRunner
 from repro.core.smol import Smol
+from repro.datasets.synthetic import SyntheticImageGenerator
 from repro.datasets.video import load_video_dataset
+from repro.errors import ReproError, ServingError
 from repro.hardware.instance import get_instance
 from repro.inference.perfmodel import PerformanceModel
 from repro.measurement.costs import CostAnalysis
 from repro.measurement.study import MeasurementStudy
+from repro.serving import (
+    BatchPolicy,
+    LoadGenerator,
+    SimulatedSession,
+    SmolServer,
+    functional_session_for_plan,
+)
 from repro.utils.tables import Table
 
 
@@ -99,6 +117,82 @@ def _cmd_video(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_session(args: argparse.Namespace):
+    """Select a plan for the dataset and wrap it in a serving session."""
+    smol = Smol(instance=args.instance, dataset_name=args.dataset)
+    estimate = (smol.best_plan(accuracy_floor=args.accuracy_floor)
+                if args.accuracy_floor is not None
+                else max(smol.pareto_frontier(), key=lambda e: e.throughput))
+    if args.mode == "functional":
+        session = functional_session_for_plan(estimate)
+    else:
+        session = SimulatedSession(estimate.plan, smol.performance_model,
+                                   config=smol.engine_config)
+        session.warmup()
+    return estimate, session
+
+
+def _image_pool(args: argparse.Namespace) -> list:
+    """A pool of (image_id, payload) pairs sized for cache-hit traffic."""
+    if args.mode != "functional":
+        return [(f"img-{i}", None) for i in range(args.pool_size)]
+    generator = SyntheticImageGenerator(num_classes=2, image_size=48,
+                                        seed=args.seed)
+    return [(f"img-{i}", generator.generate_image(i % 2, i).pixels)
+            for i in range(args.pool_size)]
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.rate <= 0:
+        raise ServingError("--rate must be positive")
+    estimate, session = _build_session(args)
+    pool = _image_pool(args)
+    duration = args.requests / args.rate
+    table = Table(
+        f"Serving latency/throughput by batching policy ({args.mode} mode)",
+        ["Policy", "Batch", "Wait (ms)", "Req/s", "p50 (ms)", "p95 (ms)",
+         "p99 (ms)"],
+    )
+    print(f"plan: {estimate.plan.describe()}")
+    for policy in (BatchPolicy.latency(), BatchPolicy.throughput()):
+        with SmolServer(session, policy=policy,
+                        cache_capacity=args.cache_capacity) as server:
+            generator = LoadGenerator(server, pool, seed=args.seed)
+            report = generator.run(rate_per_s=args.rate, duration_s=duration,
+                                   pattern="poisson")
+        table.add_row(policy.name, policy.max_batch_size,
+                      policy.max_wait_ms, round(report.throughput),
+                      round(report.latency.p50_ms, 2),
+                      round(report.latency.p95_ms, 2),
+                      round(report.latency.p99_ms, 2))
+    print(table)
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    estimate, session = _build_session(args)
+    pool = _image_pool(args)
+    policy = BatchPolicy(name="custom", max_batch_size=args.max_batch,
+                         max_wait_ms=args.max_wait_ms)
+    print(f"plan: {estimate.plan.describe()}")
+    with SmolServer(session, policy=policy,
+                    queue_capacity=args.queue_capacity,
+                    cache_capacity=args.cache_capacity) as server:
+        generator = LoadGenerator(server, pool, seed=args.seed)
+        report = generator.run(
+            rate_per_s=args.rate, duration_s=args.duration,
+            pattern=args.pattern, burst_size=args.burst_size,
+            deadline_s=(args.deadline_ms / 1000.0
+                        if args.deadline_ms is not None else None),
+            shed_on_full=args.shed,
+        )
+        stats = server.stats()
+    print(report.describe())
+    print()
+    print(stats.describe())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -130,14 +224,60 @@ def build_parser() -> argparse.ArgumentParser:
     video.add_argument("--error", type=float, default=0.03)
     video.add_argument("--seed", type=int, default=0)
     video.set_defaults(func=_cmd_video)
+
+    def add_serving_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dataset", default="imagenet")
+        sub.add_argument("--accuracy-floor", type=float, default=None)
+        sub.add_argument("--mode", choices=("simulated", "functional"),
+                         default="simulated")
+        sub.add_argument("--rate", type=float, default=2000.0,
+                         help="offered requests/second")
+        sub.add_argument("--pool-size", type=int, default=64,
+                         help="distinct images in the traffic mix")
+        sub.add_argument("--cache-capacity", type=int, default=2048)
+        sub.add_argument("--seed", type=int, default=0)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench", help="compare micro-batching policies on SmolServer"
+    )
+    add_serving_arguments(serve_bench)
+    serve_bench.add_argument("--requests", type=int, default=2000,
+                             help="approximate requests per policy")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="drive SmolServer with open-loop traffic"
+    )
+    add_serving_arguments(loadtest)
+    loadtest.add_argument("--duration", type=float, default=2.0,
+                          help="seconds of offered traffic")
+    loadtest.add_argument("--pattern", choices=("poisson", "burst"),
+                          default="poisson")
+    loadtest.add_argument("--burst-size", type=int, default=8)
+    loadtest.add_argument("--max-batch", type=int, default=32)
+    loadtest.add_argument("--max-wait-ms", type=float, default=5.0)
+    loadtest.add_argument("--queue-capacity", type=int, default=256)
+    loadtest.add_argument("--deadline-ms", type=float, default=None)
+    loadtest.add_argument("--shed", action="store_true",
+                          help="reject instead of blocking when the queue fills")
+    loadtest.set_defaults(func=_cmd_loadtest)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Library failures (unknown dataset, infeasible constraints, invalid
+    serving parameters) print a one-line error and exit with status 2,
+    matching argparse's own usage-error convention.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

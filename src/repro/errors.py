@@ -67,3 +67,11 @@ class DatasetError(ReproError):
 
 class QueryError(ReproError):
     """Raised by the analytics layer for invalid queries or failed bounds."""
+
+
+class ServingError(ReproError):
+    """Raised by the online serving layer for invalid requests or states."""
+
+
+class AdmissionError(ServingError):
+    """Raised when the serving queue rejects a request (backpressure)."""

@@ -1,0 +1,69 @@
+"""Online serving subsystem: Smol-Serve.
+
+Turns the offline batch engine into an online inference service:
+
+* :mod:`repro.serving.request` -- typed requests/responses with deadlines.
+* :mod:`repro.serving.queue` -- admission-controlled bounded request queue.
+* :mod:`repro.serving.batcher` -- adaptive micro-batching policies.
+* :mod:`repro.serving.session` -- plan-aware warmed engine sessions with
+  hot-swap when the planner changes its mind.
+* :mod:`repro.serving.cache` -- LRU prediction cache keyed on
+  (image, format, plan).
+* :mod:`repro.serving.server` -- the :class:`SmolServer` facade
+  (``submit() -> Future``, ``stats()``, ``close()``).
+* :mod:`repro.serving.loadgen` -- open-loop Poisson/burst load generation
+  with p50/p95/p99 latency reporting.
+* :mod:`repro.serving.metrics` -- latency percentile accounting.
+"""
+
+from repro.serving.batcher import BatcherStats, BatchPolicy, MicroBatcher
+from repro.serving.cache import CacheStats, LruCache, PredictionCache
+from repro.serving.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    burst_arrivals,
+    poisson_arrivals,
+)
+from repro.serving.metrics import LatencyRecorder, LatencySummary, percentile
+from repro.serving.queue import AdmissionQueue
+from repro.serving.request import InferenceRequest, InferenceResponse
+from repro.serving.server import ServerStats, SmolServer
+from repro.serving.session import (
+    BatchResult,
+    EngineSession,
+    FunctionalSession,
+    SessionManager,
+    SimulatedSession,
+    functional_session_for_plan,
+    serving_pipeline_ops,
+    simulated_session_for_format,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "BatchPolicy",
+    "BatchResult",
+    "BatcherStats",
+    "CacheStats",
+    "EngineSession",
+    "FunctionalSession",
+    "InferenceRequest",
+    "InferenceResponse",
+    "LatencyRecorder",
+    "LatencySummary",
+    "LoadGenerator",
+    "LoadReport",
+    "LruCache",
+    "MicroBatcher",
+    "PredictionCache",
+    "ServerStats",
+    "SessionManager",
+    "SimulatedSession",
+    "SmolServer",
+    "burst_arrivals",
+    "functional_session_for_plan",
+    "percentile",
+    "poisson_arrivals",
+    "serving_pipeline_ops",
+    "simulated_session_for_format",
+]

@@ -1,0 +1,145 @@
+"""Adaptive micro-batching.
+
+The accelerator wants large batches; interactive traffic wants low latency.
+The micro-batcher mediates with the classic serving policy (Clipper, and the
+dynamic batching of production serving systems): wait for the first request,
+then keep draining the queue until either ``max_batch_size`` requests are in
+hand or ``max_wait_ms`` has elapsed since the batch opened.  Under heavy load
+batches fill instantly (throughput mode); under light load the wait bound
+caps the latency a lone request pays (latency mode).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.errors import ServingError
+from repro.inference.mpmc import QueueClosed
+from repro.serving.queue import AdmissionQueue
+from repro.serving.request import monotonic
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """One (max-batch-size, max-wait) micro-batching policy.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports and benchmarks.
+    max_batch_size:
+        Hard cap on requests per micro-batch (the engine batch size).
+    max_wait_ms:
+        Longest a batch stays open after its first request arrives.
+    """
+
+    name: str
+    max_batch_size: int
+    max_wait_ms: float
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ServingError("max_batch_size must be positive")
+        if self.max_wait_ms < 0:
+            raise ServingError("max_wait_ms must be non-negative")
+
+    @classmethod
+    def latency(cls) -> "BatchPolicy":
+        """Small batches, short waits: optimize tail latency."""
+        return cls(name="latency", max_batch_size=8, max_wait_ms=2.0)
+
+    @classmethod
+    def throughput(cls) -> "BatchPolicy":
+        """Engine-sized batches, longer waits: optimize images/second."""
+        return cls(name="throughput", max_batch_size=64, max_wait_ms=25.0)
+
+
+@dataclass
+class BatcherStats:
+    """Lifetime micro-batcher counters."""
+
+    batches: int = 0
+    items: int = 0
+    full_batches: int = 0
+    timeout_batches: int = 0
+    size_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per formed batch."""
+        return self.items / self.batches if self.batches else 0.0
+
+
+class MicroBatcher(Generic[T]):
+    """Drains an :class:`AdmissionQueue` into policy-shaped micro-batches."""
+
+    def __init__(self, queue: AdmissionQueue[T], policy: BatchPolicy) -> None:
+        self._queue = queue
+        self._policy = policy
+        self._stats = BatcherStats()
+        self._lock = threading.Lock()
+
+    @property
+    def policy(self) -> BatchPolicy:
+        """The active batching policy."""
+        return self._policy
+
+    def next_batch(self, poll_timeout: float = 0.1) -> list[T] | None:
+        """Form the next micro-batch.
+
+        Blocks (in ``poll_timeout`` slices) for the first request, then fills
+        until the policy's size cap or wait bound.  Returns None once the
+        queue is closed and fully drained.
+        """
+        try:
+            first = self._queue.get(timeout=poll_timeout)
+        except QueueClosed:
+            return None
+        if first is None:
+            return []
+        batch = [first]
+        deadline = monotonic() + self._policy.max_wait_ms / 1000.0
+        filled = True
+        while len(batch) < self._policy.max_batch_size:
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                filled = False
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except QueueClosed:
+                break
+            if item is None:
+                filled = False
+                break
+            batch.append(item)
+        self._record(batch, filled and len(batch) == self._policy.max_batch_size)
+        return batch
+
+    def _record(self, batch: list[T], full: bool) -> None:
+        with self._lock:
+            self._stats.batches += 1
+            self._stats.items += len(batch)
+            if full:
+                self._stats.full_batches += 1
+            else:
+                self._stats.timeout_batches += 1
+            size = len(batch)
+            self._stats.size_histogram[size] = (
+                self._stats.size_histogram.get(size, 0) + 1
+            )
+
+    def stats(self) -> BatcherStats:
+        """Snapshot of the batcher counters."""
+        with self._lock:
+            return BatcherStats(
+                batches=self._stats.batches,
+                items=self._stats.items,
+                full_batches=self._stats.full_batches,
+                timeout_batches=self._stats.timeout_batches,
+                size_histogram=dict(self._stats.size_histogram),
+            )

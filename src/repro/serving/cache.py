@@ -1,0 +1,109 @@
+"""LRU prediction cache for the serving layer.
+
+Real visual-analytics traffic is heavily skewed -- popular images are
+requested over and over -- so the server memoizes predictions keyed on
+``(image_id, format, plan)``.  The plan is part of the key because a plan
+hot-swap changes the model and input rendition, invalidating prior answers
+for the same image without requiring an explicit flush.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+from repro.errors import ServingError
+
+V = TypeVar("V")
+
+CacheKey = tuple[str, str, str]
+"""(image_id, format_name, plan_key)"""
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LruCache(Generic[V]):
+    """Thread-safe bounded LRU map with hit/miss accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ServingError("cache capacity must be positive")
+        self._capacity = capacity
+        self._items: OrderedDict[Hashable, V] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached entries."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def get(self, key: Hashable) -> V | None:
+        """Look up ``key``, refreshing its recency; None on miss."""
+        with self._lock:
+            if key in self._items:
+                self._items.move_to_end(key)
+                self._hits += 1
+                return self._items[key]
+            self._misses += 1
+            return None
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry at capacity."""
+        with self._lock:
+            if key in self._items:
+                self._items.move_to_end(key)
+                self._items[key] = value
+                return
+            if len(self._items) >= self._capacity:
+                self._items.popitem(last=False)
+                self._evictions += 1
+            self._items[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._items.clear()
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._items),
+                capacity=self._capacity,
+            )
+
+
+class PredictionCache(LruCache[int]):
+    """LRU cache of predicted class indices keyed on (image, format, plan)."""
+
+    @staticmethod
+    def key(image_id: str, format_name: str, plan_key: str) -> CacheKey:
+        """Build the canonical cache key."""
+        return (image_id, format_name, plan_key)

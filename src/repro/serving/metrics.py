@@ -1,0 +1,98 @@
+"""Serving metrics: latency percentiles and throughput accounting.
+
+Serving systems are judged on tail latency (p95/p99), not means, so the
+recorder keeps every sample and computes order statistics on demand.  The
+sample counts involved here (thousands to low millions) make the O(n log n)
+sort on snapshot entirely acceptable and exact, which matters for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+def percentile(sorted_samples: list[float], q: float) -> float:
+    """Exact linear-interpolated percentile ``q`` in [0, 100] of sorted data."""
+    if not sorted_samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    rank = (len(sorted_samples) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(sorted_samples) - 1)
+    frac = rank - low
+    return sorted_samples[low] * (1 - frac) + sorted_samples[high] * frac
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics over a set of latency samples, in milliseconds."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """Summary for zero samples (all statistics zero)."""
+        return cls(count=0, mean_ms=0.0, p50_ms=0.0, p95_ms=0.0,
+                   p99_ms=0.0, max_ms=0.0)
+
+    @classmethod
+    def from_seconds(cls, samples: list[float]) -> "LatencySummary":
+        """Summarize latency samples given in seconds."""
+        if not samples:
+            return cls.empty()
+        ordered = sorted(s * 1000.0 for s in samples)
+        return cls(
+            count=len(ordered),
+            mean_ms=sum(ordered) / len(ordered),
+            p50_ms=percentile(ordered, 50.0),
+            p95_ms=percentile(ordered, 95.0),
+            p99_ms=percentile(ordered, 99.0),
+            max_ms=ordered[-1],
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"n={self.count} mean={self.mean_ms:.2f}ms "
+                f"p50={self.p50_ms:.2f}ms p95={self.p95_ms:.2f}ms "
+                f"p99={self.p99_ms:.2f}ms max={self.max_ms:.2f}ms")
+
+
+class LatencyRecorder:
+    """Thread-safe accumulator of latency samples (seconds in, ms out)."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Record one latency sample in seconds."""
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        with self._lock:
+            self._samples.append(seconds)
+
+    def extend(self, seconds: list[float]) -> None:
+        """Record many latency samples at once."""
+        if any(s < 0 for s in seconds):
+            raise ValueError("latency cannot be negative")
+        with self._lock:
+            self._samples.extend(seconds)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def summary(self) -> LatencySummary:
+        """Summarize everything recorded so far."""
+        with self._lock:
+            samples = list(self._samples)
+        return LatencySummary.from_seconds(samples)

@@ -1,0 +1,93 @@
+"""Admission-controlled request queue.
+
+A thin policy layer over the engine's :class:`MpmcQueue`: bounded capacity
+provides backpressure, and the admission controller decides what happens when
+the bound is hit -- block the caller (offline-style ingest) or reject the
+request immediately (online load shedding).  Rejections and arrivals are
+counted so the server can report shed rates.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Generic, TypeVar
+
+from repro.errors import AdmissionError, EngineError
+from repro.inference.mpmc import MpmcQueue, QueueClosed
+
+T = TypeVar("T")
+
+
+class AdmissionQueue(Generic[T]):
+    """Bounded MPMC queue with explicit admit/reject accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        self._queue: MpmcQueue[T] = MpmcQueue(capacity=capacity)
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._rejected = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of queued items."""
+        return self._queue.capacity
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._queue.closed
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def admit(self, item: T, block: bool = True,
+              timeout: float | None = None) -> None:
+        """Admit ``item``, applying the admission policy at capacity.
+
+        With ``block=True`` the caller waits for room (backpressure); with
+        ``block=False`` a full queue raises :class:`AdmissionError`
+        immediately (load shedding).  :class:`QueueClosed` propagates either
+        way once the queue is closed.
+        """
+        try:
+            if block:
+                self._queue.put(item, timeout=timeout)
+            else:
+                if len(self._queue) >= self._queue.capacity:
+                    raise AdmissionError(
+                        f"queue full ({self._queue.capacity} pending)"
+                    )
+                self._queue.put(item, timeout=0.0)
+        except AdmissionError:
+            with self._lock:
+                self._rejected += 1
+            raise
+        except QueueClosed:
+            raise
+        except EngineError as exc:
+            # A put timeout at capacity is a rejection too (blocked too long).
+            with self._lock:
+                self._rejected += 1
+            raise AdmissionError(str(exc)) from exc
+        with self._lock:
+            self._admitted += 1
+
+    def get(self, timeout: float | None = None) -> T | None:
+        """Dequeue one item; None on timeout, QueueClosed when drained."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except QueueClosed:
+            raise
+        except EngineError:
+            return None
+
+    def close(self) -> None:
+        """Close the underlying queue; consumers drain remaining items."""
+        self._queue.close()
+
+    def stats(self) -> dict[str, int]:
+        """Admission counters plus the underlying queue counters."""
+        with self._lock:
+            counters = {"admitted": self._admitted, "rejected": self._rejected}
+        counters.update(self._queue.stats())
+        return counters

@@ -1,0 +1,108 @@
+"""Typed inference requests and responses for the online serving path.
+
+The offline engine consumes a fixed corpus by index; the serving layer instead
+receives :class:`InferenceRequest` objects over time.  A request carries the
+identity of the image (for caching), the decoded payload (functional mode) or
+just its format (simulated mode), and an optional latency deadline the
+admission controller and batcher honor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServingError
+
+_REQUEST_COUNTER = itertools.count()
+
+
+def monotonic() -> float:
+    """The clock used for arrival times and deadlines (monotonic seconds)."""
+    return time.monotonic()
+
+
+@dataclass
+class InferenceRequest:
+    """One online inference request.
+
+    Attributes
+    ----------
+    image_id:
+        Stable identity of the input (cache key component).  Repeated ids are
+        expected under real traffic and served from the prediction cache.
+    payload:
+        Decoded HWC uint8 array for functional mode; None in simulated mode.
+    format_name:
+        Name of the input rendition the payload was decoded from (cache key
+        component, and the cost-model key in simulated mode).
+    deadline_s:
+        Optional latency budget in seconds relative to arrival.  Expired
+        requests are still answered but flagged, so callers can discard them.
+    request_id:
+        Process-unique id assigned at construction.
+    arrival_s:
+        Monotonic arrival timestamp, set at construction.
+    """
+
+    image_id: str
+    payload: np.ndarray | None = None
+    format_name: str = "full-jpeg"
+    deadline_s: float | None = None
+    request_id: int = field(default_factory=lambda: next(_REQUEST_COUNTER))
+    arrival_s: float = field(default_factory=monotonic)
+
+    def __post_init__(self) -> None:
+        if not self.image_id:
+            raise ServingError("image_id must be non-empty")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ServingError("deadline_s must be positive when set")
+        if self.payload is not None and self.payload.ndim != 3:
+            raise ServingError("payload must be a decoded HWC array")
+
+    def expired(self, now: float | None = None) -> bool:
+        """True once the request's deadline (if any) has passed."""
+        if self.deadline_s is None:
+            return False
+        return (now if now is not None else monotonic()) \
+            > self.arrival_s + self.deadline_s
+
+    def age(self, now: float | None = None) -> float:
+        """Seconds since arrival."""
+        return (now if now is not None else monotonic()) - self.arrival_s
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """The answer to one request, resolved through the submit future.
+
+    Attributes
+    ----------
+    request_id, image_id:
+        Echoed from the request.
+    prediction:
+        Predicted class index.
+    latency_s:
+        Wall-clock seconds from arrival to completion (queueing + batching +
+        execution); cache hits report their (near-zero) lookup latency.
+    batch_size:
+        Size of the micro-batch the request rode in (0 for cache hits).
+    cached:
+        True when the prediction came from the serving cache.
+    deadline_missed:
+        True when the request had a deadline and completion came after it.
+    plan_key:
+        The plan of the session that produced the prediction.
+    """
+
+    request_id: int
+    image_id: str
+    prediction: int
+    latency_s: float
+    batch_size: int = 0
+    cached: bool = False
+    deadline_missed: bool = False
+    plan_key: str = ""

@@ -1,0 +1,300 @@
+"""The SmolServer facade: an online serving loop over the batch engine.
+
+Requests enter through :meth:`SmolServer.submit`, which returns a
+:class:`concurrent.futures.Future` resolving to an
+:class:`~repro.serving.request.InferenceResponse`.  Internally a single
+serving thread drains the admission queue through the micro-batcher and
+executes each micro-batch on the live plan session:
+
+    submit() -> cache? -> AdmissionQueue -> MicroBatcher -> EngineSession
+                   |                                            |
+                hit: resolve immediately          resolve futures, fill cache
+
+Both functional sessions (real pixels, real numpy model) and simulated
+sessions (calibrated performance model) plug in unchanged, so the same load
+generator drives correctness tests and accelerator-scale latency studies.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+from repro.inference.mpmc import QueueClosed
+from repro.serving.batcher import BatcherStats, BatchPolicy, MicroBatcher
+from repro.serving.cache import CacheStats, PredictionCache
+from repro.serving.metrics import LatencyRecorder, LatencySummary
+from repro.serving.queue import AdmissionQueue
+from repro.serving.request import InferenceRequest, InferenceResponse, monotonic
+from repro.serving.session import EngineSession, SessionManager
+
+
+@dataclass(frozen=True)
+class _Pending:
+    """One admitted request waiting for its micro-batch."""
+
+    request: InferenceRequest
+    future: Future
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Snapshot of the server's lifetime counters."""
+
+    submitted: int
+    completed: int
+    executed: int
+    cache_hits: int
+    rejected: int
+    cancelled: int
+    deadline_missed: int
+    errors: int
+    plan_swaps: int
+    latency: LatencySummary
+    batcher: BatcherStats
+    cache: CacheStats | None
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"requests:   {self.submitted} submitted, {self.completed} "
+            f"completed ({self.cache_hits} cached), {self.rejected} rejected, "
+            f"{self.cancelled} cancelled",
+            f"batches:    {self.batcher.batches} "
+            f"(mean size {self.batcher.mean_batch_size:.1f}, "
+            f"{self.batcher.full_batches} full / "
+            f"{self.batcher.timeout_batches} timed out)",
+            f"latency:    {self.latency.describe()}",
+            f"deadlines:  {self.deadline_missed} missed",
+            f"plan swaps: {self.plan_swaps}",
+        ]
+        if self.cache is not None:
+            lines.append(
+                f"cache:      {self.cache.hits}/{self.cache.hits + self.cache.misses} "
+                f"hits ({self.cache.hit_rate * 100:.1f}%), "
+                f"{self.cache.size}/{self.cache.capacity} entries"
+            )
+        return "\n".join(lines)
+
+
+class SmolServer:
+    """Thread-based online inference server over a plan session.
+
+    Parameters
+    ----------
+    session:
+        The initial engine session (or a prebuilt :class:`SessionManager`).
+    policy:
+        Micro-batching policy; defaults to the latency preset.
+    queue_capacity:
+        Bound on admitted-but-unbatched requests (backpressure depth).
+    cache_capacity:
+        Prediction cache entries; 0 disables caching.
+    block_on_full:
+        Default admission behavior at capacity: block the submitter (True)
+        or shed the request with :class:`AdmissionError` (False).  Each
+        ``submit`` call may override.
+    """
+
+    def __init__(self, session: EngineSession | SessionManager,
+                 policy: BatchPolicy | None = None,
+                 queue_capacity: int = 256,
+                 cache_capacity: int = 2048,
+                 block_on_full: bool = True) -> None:
+        if isinstance(session, SessionManager):
+            self._sessions = session
+        else:
+            self._sessions = SessionManager(session)
+        self._policy = policy or BatchPolicy.latency()
+        self._queue: AdmissionQueue[_Pending] = AdmissionQueue(queue_capacity)
+        self._batcher: MicroBatcher[_Pending] = MicroBatcher(
+            self._queue, self._policy
+        )
+        self._cache = (PredictionCache(cache_capacity)
+                       if cache_capacity > 0 else None)
+        self._block_on_full = block_on_full
+        self._latency = LatencyRecorder()
+        self._counters_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._executed = 0
+        self._cache_hits = 0
+        self._deadline_missed = 0
+        self._errors = 0
+        self._cancelled = 0
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._serve_loop, name="smol-serve", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> BatchPolicy:
+        """The active micro-batching policy."""
+        return self._policy
+
+    @property
+    def sessions(self) -> SessionManager:
+        """The session manager (for plan hot-swaps)."""
+        return self._sessions
+
+    def submit(self, request: InferenceRequest,
+               block: bool | None = None) -> Future:
+        """Submit one request; the future resolves to an InferenceResponse.
+
+        Cache hits resolve before this call returns.  At queue capacity the
+        call blocks (``block=True``) or raises
+        :class:`~repro.errors.AdmissionError` (``block=False``).
+        """
+        if self._closed:
+            raise ServingError("cannot submit to a closed server")
+        with self._counters_lock:
+            self._submitted += 1
+        future: Future = Future()
+        if self._cache is not None:
+            plan_key = self._sessions.current().plan_key
+            key = PredictionCache.key(request.image_id, request.format_name,
+                                      plan_key)
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._resolve(
+                    _Pending(request, future),
+                    prediction=hit, batch_size=0, cached=True,
+                    plan_key=plan_key, modelled_seconds=0.0,
+                )
+                return future
+        should_block = self._block_on_full if block is None else block
+        self._queue.admit(_Pending(request, future), block=should_block)
+        return future
+
+    def swap_plan(self, session: EngineSession) -> None:
+        """Hot-swap the live plan session (in-flight batches finish first)."""
+        self._sessions.swap(session)
+
+    def stats(self) -> ServerStats:
+        """Snapshot of all serving counters."""
+        with self._counters_lock:
+            submitted = self._submitted
+            completed = self._completed
+            executed = self._executed
+            cache_hits = self._cache_hits
+            deadline_missed = self._deadline_missed
+            errors = self._errors
+            cancelled = self._cancelled
+        return ServerStats(
+            submitted=submitted,
+            completed=completed,
+            executed=executed,
+            cache_hits=cache_hits,
+            rejected=self._queue.stats()["rejected"],
+            cancelled=cancelled,
+            deadline_missed=deadline_missed,
+            errors=errors,
+            plan_swaps=self._sessions.swaps,
+            latency=self._latency.summary(),
+            batcher=self._batcher.stats(),
+            cache=self._cache.stats() if self._cache is not None else None,
+        )
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop accepting requests, drain the queue, and join the worker."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.close()
+        self._worker.join(timeout=timeout)
+        if self._worker.is_alive():
+            raise ServingError("serving thread did not drain in time")
+
+    def __enter__(self) -> "SmolServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Serving loop
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        while True:
+            try:
+                batch = self._batcher.next_batch()
+            except QueueClosed:  # pragma: no cover - next_batch returns None
+                return
+            if batch is None:
+                return
+            if not batch:
+                continue
+            self._execute_batch(batch)
+
+    def _execute_batch(self, batch: list[_Pending]) -> None:
+        # Transition every future to RUNNING first: once running, a client
+        # cancel() can no longer win the race against set_result below.
+        live = [item for item in batch
+                if item.future.set_running_or_notify_cancel()]
+        dropped = len(batch) - len(live)
+        if dropped:
+            with self._counters_lock:
+                self._cancelled += dropped
+        if not live:
+            return
+        batch = live
+        session = self._sessions.current()
+        try:
+            result = session.execute([item.request for item in batch])
+        except Exception as exc:
+            with self._counters_lock:
+                self._errors += len(batch)
+            for item in batch:
+                item.future.set_exception(
+                    ServingError(f"batch execution failed: {exc}")
+                )
+            return
+        for item, prediction in zip(batch, result.predictions):
+            if self._cache is not None:
+                self._cache.put(
+                    PredictionCache.key(item.request.image_id,
+                                        item.request.format_name,
+                                        session.plan_key),
+                    int(prediction),
+                )
+            self._resolve(
+                item, prediction=int(prediction), batch_size=len(batch),
+                cached=False, plan_key=session.plan_key,
+                modelled_seconds=result.modelled_seconds,
+            )
+
+    def _resolve(self, item: _Pending, prediction: int, batch_size: int,
+                 cached: bool, plan_key: str,
+                 modelled_seconds: float) -> None:
+        # Simulated sessions execute in microseconds but model accelerator
+        # service time; fold it into the reported latency so both modes
+        # produce comparable distributions.
+        latency = item.request.age(monotonic()) + modelled_seconds
+        missed = (item.request.deadline_s is not None
+                  and latency > item.request.deadline_s)
+        response = InferenceResponse(
+            request_id=item.request.request_id,
+            image_id=item.request.image_id,
+            prediction=prediction,
+            latency_s=latency,
+            batch_size=batch_size,
+            cached=cached,
+            deadline_missed=missed,
+            plan_key=plan_key,
+        )
+        self._latency.record(latency)
+        with self._counters_lock:
+            self._completed += 1
+            if cached:
+                self._cache_hits += 1
+            else:
+                self._executed += 1
+            if missed:
+                self._deadline_missed += 1
+        item.future.set_result(response)

@@ -1,0 +1,278 @@
+"""Plan-aware engine sessions.
+
+The offline path rebuilds its preprocessing pipeline and model for every run.
+Online serving cannot afford that per request, so a *session* pins everything
+a plan needs -- the preprocessing DAG, the model (functional mode) or the
+calibrated stage estimate (simulated mode) -- warmed once at construction and
+reused for every micro-batch.  When the planner picks a new plan the
+:class:`SessionManager` warms the replacement off to the side and hot-swaps
+it atomically, so in-flight batches finish on the old session and later
+batches see the new one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.codecs.formats import InputFormatSpec
+from repro.core.plans import Plan, PlanEstimate
+from repro.errors import ServingError
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.model import Sequential, build_mini_resnet
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.preprocessing.ops import (
+    CenterCropOp,
+    ChannelReorderOp,
+    ConvertDtypeOp,
+    NormalizeOp,
+    ResizeOp,
+)
+from repro.serving.request import InferenceRequest
+from repro.utils.rng import stable_hash
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The outcome of executing one micro-batch on a session.
+
+    Attributes
+    ----------
+    predictions:
+        Predicted class index per request, in request order.
+    modelled_seconds:
+        The performance model's service time for the batch (simulated mode);
+        0.0 in functional mode where wall time is the real service time.
+    """
+
+    predictions: np.ndarray
+    modelled_seconds: float = 0.0
+
+
+class EngineSession:
+    """Base class: a warmed, reusable execution context for one plan."""
+
+    def __init__(self, plan_key: str) -> None:
+        if not plan_key:
+            raise ServingError("plan_key must be non-empty")
+        self._plan_key = plan_key
+        self._warmed = False
+
+    @property
+    def plan_key(self) -> str:
+        """Stable identifier of the plan this session executes."""
+        return self._plan_key
+
+    @property
+    def warmed(self) -> bool:
+        """True once :meth:`warmup` has run."""
+        return self._warmed
+
+    def warmup(self) -> None:
+        """Pay one-time setup costs so the first real batch is not slower."""
+        self._warmed = True
+
+    def execute(self, requests: Sequence[InferenceRequest]) -> BatchResult:
+        """Run one micro-batch and return per-request predictions."""
+        raise NotImplementedError
+
+
+class FunctionalSession(EngineSession):
+    """Session running real pixels through a preprocessing DAG and model."""
+
+    def __init__(self, plan_key: str, preprocessing: PreprocessingDAG,
+                 model: Sequential) -> None:
+        super().__init__(plan_key)
+        preprocessing.validate()
+        self._preprocessing = preprocessing
+        self._model = model
+
+    @property
+    def model(self) -> Sequential:
+        """The numpy model answering requests."""
+        return self._model
+
+    @property
+    def preprocessing(self) -> PreprocessingDAG:
+        """The pinned preprocessing DAG."""
+        return self._preprocessing
+
+    def warmup(self, probe: np.ndarray | None = None) -> None:
+        """Run one dummy image end to end (JIT-analogue of engine warmup)."""
+        if probe is None:
+            probe = np.zeros((48, 48, 3), dtype=np.uint8)
+        preprocessed = self._preprocessing.execute(probe)
+        self._model.predict(preprocessed[None].astype(np.float32))
+        super().warmup()
+
+    def execute(self, requests: Sequence[InferenceRequest]) -> BatchResult:
+        if not requests:
+            raise ServingError("cannot execute an empty batch")
+        tensors = []
+        for request in requests:
+            if request.payload is None:
+                raise ServingError(
+                    f"request {request.request_id} has no payload "
+                    "(functional sessions need decoded images)"
+                )
+            tensors.append(self._preprocessing.execute(request.payload))
+        stacked = np.stack(tensors).astype(np.float32)
+        return BatchResult(predictions=self._model.predict(stacked))
+
+
+class SimulatedSession(EngineSession):
+    """Session backed by the calibrated performance model.
+
+    Predictions are deterministic pseudo-labels (stable hash of image id and
+    plan), and each batch reports the modelled service time so load tests can
+    report accelerator-scale latency figures without accelerator hardware.
+    """
+
+    def __init__(self, plan: Plan, performance_model: PerformanceModel,
+                 config: EngineConfig | None = None,
+                 num_classes: int = 1000) -> None:
+        super().__init__(plan.describe())
+        if num_classes <= 1:
+            raise ServingError("num_classes must be at least 2")
+        self._plan = plan
+        self._performance_model = performance_model
+        self._config = config or EngineConfig()
+        self._num_classes = num_classes
+        self._throughput: float | None = None
+
+    @property
+    def plan(self) -> Plan:
+        """The plan this session models."""
+        return self._plan
+
+    @property
+    def modelled_throughput(self) -> float:
+        """Pipelined images/second from the performance model (post-warmup)."""
+        if self._throughput is None:
+            raise ServingError("session not warmed")
+        return self._throughput
+
+    def warmup(self) -> None:
+        """Evaluate the stage estimate once; batches reuse it."""
+        estimate = self._performance_model.estimate(
+            self._plan.primary_model, self._plan.input_format, self._config,
+            roi_fraction=self._plan.roi_fraction,
+        )
+        self._throughput = estimate.pipelined_upper_bound
+        super().warmup()
+
+    def execute(self, requests: Sequence[InferenceRequest]) -> BatchResult:
+        if not requests:
+            raise ServingError("cannot execute an empty batch")
+        if self._throughput is None:
+            self.warmup()
+        predictions = np.array(
+            [stable_hash(request.image_id, self._plan_key) % self._num_classes
+             for request in requests],
+            dtype=np.int64,
+        )
+        return BatchResult(
+            predictions=predictions,
+            modelled_seconds=len(requests) / self._throughput,
+        )
+
+
+def serving_pipeline_ops(input_size: int = 48, crop_size: int = 32) -> list:
+    """The post-decode preprocessing chain serving sessions pin.
+
+    Decode happens at ingest (the request payload is already pixels), so the
+    session pipeline starts at resize -- mirroring production servers where
+    decode runs on the request path and tensor prep on the batch path.
+    """
+    return [
+        ResizeOp(short_side=input_size),
+        CenterCropOp(size=crop_size),
+        ConvertDtypeOp("float32"),
+        NormalizeOp(),
+        ChannelReorderOp(),
+    ]
+
+
+def functional_session_for_plan(plan: Plan | PlanEstimate,
+                                num_classes: int = 2,
+                                crop_size: int = 32,
+                                seed: int = 0) -> FunctionalSession:
+    """Build a warmed functional session executing ``plan``.
+
+    The model depth follows the plan's primary DNN (``resnet-50`` maps to the
+    depth-50 mini variant) and the crop size follows the session pipeline, so
+    deeper plans really are slower -- the property load tests exercise.
+    """
+    actual = plan.plan if isinstance(plan, PlanEstimate) else plan
+    name = actual.primary_model.name
+    try:
+        depth = int(name.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        depth = 18
+    dag = PreprocessingDAG.from_ops(
+        serving_pipeline_ops(input_size=crop_size + 16, crop_size=crop_size)
+    )
+    model = build_mini_resnet(depth, num_classes=num_classes,
+                              input_size=crop_size, seed=seed)
+    session = FunctionalSession(actual.describe(), dag, model)
+    session.warmup()
+    return session
+
+
+class SessionManager:
+    """Holds the live session and performs warm hot-swaps.
+
+    ``ensure`` is the planner-facing entry point: handed the plan key the
+    planner currently favors and a factory for the matching session, it swaps
+    only when the plan actually changed.
+    """
+
+    def __init__(self, session: EngineSession) -> None:
+        if not session.warmed:
+            session.warmup()
+        self._session = session
+        self._lock = threading.Lock()
+        self._swaps = 0
+
+    def current(self) -> EngineSession:
+        """The live session."""
+        with self._lock:
+            return self._session
+
+    @property
+    def swaps(self) -> int:
+        """How many hot-swaps have happened."""
+        with self._lock:
+            return self._swaps
+
+    def swap(self, session: EngineSession) -> EngineSession:
+        """Warm ``session`` and atomically make it live; returns the old one."""
+        if not session.warmed:
+            session.warmup()
+        with self._lock:
+            old, self._session = self._session, session
+            self._swaps += 1
+        return old
+
+    def ensure(self, plan_key: str,
+               factory: Callable[[], EngineSession]) -> bool:
+        """Swap to ``factory()`` if the live plan differs; True when swapped."""
+        with self._lock:
+            if self._session.plan_key == plan_key:
+                return False
+        self.swap(factory())
+        return True
+
+
+def simulated_session_for_format(model_profile, fmt: InputFormatSpec,
+                                 performance_model: PerformanceModel,
+                                 config: EngineConfig | None = None,
+                                 ) -> SimulatedSession:
+    """Convenience builder: a warmed simulated session for (model, format)."""
+    plan = Plan.single(model_profile, fmt)
+    session = SimulatedSession(plan, performance_model, config=config)
+    session.warmup()
+    return session

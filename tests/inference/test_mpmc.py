@@ -1,6 +1,7 @@
 """Tests for the MPMC queue."""
 
 import threading
+import time
 
 import pytest
 
@@ -53,6 +54,87 @@ class TestCloseProtocol:
         assert queue.get() == 1
         with pytest.raises(QueueClosed):
             queue.get()
+
+
+class TestBatcherEdgeCases:
+    """Edge cases the serving micro-batcher leans on."""
+
+    def test_blocked_put_wakes_on_close(self):
+        queue = MpmcQueue(capacity=1)
+        queue.put("fill")
+        outcome: dict[str, object] = {}
+
+        def blocked_producer() -> None:
+            try:
+                queue.put("blocked", timeout=5.0)
+            except QueueClosed as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=blocked_producer)
+        thread.start()
+        # Give the producer time to block on the full queue, then close.
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert isinstance(outcome.get("error"), QueueClosed)
+
+    def test_backpressure_releases_exactly_at_capacity(self):
+        queue = MpmcQueue(capacity=2)
+        queue.put(1)
+        queue.put(2)
+        # Full: a bounded producer cannot run ahead...
+        with pytest.raises(EngineError):
+            queue.put(3, timeout=0.05)
+        # ...until a consumer makes exactly one slot of room.
+        queue.get()
+        queue.put(3, timeout=0.05)
+        assert len(queue) == 2
+        with pytest.raises(EngineError):
+            queue.put(4, timeout=0.05)
+
+    def test_multi_consumer_drain_is_a_partition_in_fifo_order(self):
+        """Concurrent consumers split the stream without loss, duplication,
+        or per-consumer reordering (each consumer sees an increasing
+        subsequence of the FIFO stream)."""
+        queue = MpmcQueue(capacity=16)
+        num_items = 300
+        per_consumer: list[list[int]] = [[], [], []]
+
+        def consumer(slot: list[int]) -> None:
+            while True:
+                try:
+                    slot.append(queue.get(timeout=2.0))
+                except QueueClosed:
+                    return
+
+        threads = [threading.Thread(target=consumer, args=(slot,))
+                   for slot in per_consumer]
+        for thread in threads:
+            thread.start()
+        for value in range(num_items):
+            queue.put(value, timeout=2.0)
+        queue.close()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        drained = sorted(value for slot in per_consumer for value in slot)
+        assert drained == list(range(num_items))
+        for slot in per_consumer:
+            assert slot == sorted(slot)
+
+    def test_counters_balance_after_concurrent_drain(self):
+        queue = MpmcQueue(capacity=4)
+        for value in range(4):
+            queue.put(value)
+        queue.close()
+        while True:
+            try:
+                queue.get(timeout=0.1)
+            except QueueClosed:
+                break
+        stats = queue.stats()
+        assert stats["put"] == stats["got"] == 4
+        assert stats["depth"] == 0
 
 
 class TestConcurrency:

@@ -1,0 +1,57 @@
+"""Tests for the LRU prediction cache."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.cache import LruCache, PredictionCache
+
+
+class TestLruCache:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ServingError):
+            LruCache(capacity=0)
+
+    def test_hit_miss_accounting(self):
+        cache = LruCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")           # refresh a; b is now least recent
+        cache.put("c", 3)        # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)       # refresh, not insert: no eviction
+        cache.put("c", 3)        # evicts b, not a
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_clear_preserves_counters(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+
+class TestPredictionCache:
+    def test_key_separates_plans_and_formats(self):
+        cache = PredictionCache(capacity=8)
+        cache.put(PredictionCache.key("img", "full-jpeg", "plan-a"), 1)
+        assert cache.get(PredictionCache.key("img", "full-jpeg", "plan-b")) is None
+        assert cache.get(PredictionCache.key("img", "161-png", "plan-a")) is None
+        assert cache.get(PredictionCache.key("img", "full-jpeg", "plan-a")) == 1

@@ -1,0 +1,58 @@
+"""Tests for the admission-controlled request queue."""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.inference.mpmc import QueueClosed
+from repro.serving.queue import AdmissionQueue
+
+
+class TestAdmission:
+    def test_admit_and_get(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.admit("a")
+        queue.admit("b")
+        assert queue.get(timeout=0.1) == "a"
+        assert queue.get(timeout=0.1) == "b"
+
+    def test_nonblocking_rejects_at_capacity(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.admit("a", block=False)
+        queue.admit("b", block=False)
+        with pytest.raises(AdmissionError):
+            queue.admit("c", block=False)
+        assert queue.stats()["rejected"] == 1
+        assert queue.stats()["admitted"] == 2
+
+    def test_blocking_admit_times_out_as_rejection(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.admit("a")
+        with pytest.raises(AdmissionError):
+            queue.admit("b", block=True, timeout=0.05)
+        assert queue.stats()["rejected"] == 1
+
+    def test_get_timeout_returns_none(self):
+        queue = AdmissionQueue(capacity=1)
+        assert queue.get(timeout=0.05) is None
+
+
+class TestClose:
+    def test_admit_after_close_raises_queue_closed(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.admit("a")
+
+    def test_drain_then_queue_closed(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.admit("a")
+        queue.close()
+        assert queue.get(timeout=0.1) == "a"
+        with pytest.raises(QueueClosed):
+            queue.get(timeout=0.1)
+
+    def test_stats_include_underlying_counters(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.admit("a")
+        stats = queue.stats()
+        assert stats["put"] == 1 and stats["depth"] == 1

@@ -1,0 +1,51 @@
+"""Tests for serving requests and responses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.request import InferenceRequest, InferenceResponse
+
+
+class TestInferenceRequest:
+    def test_ids_are_unique_and_monotonic(self):
+        first = InferenceRequest(image_id="a")
+        second = InferenceRequest(image_id="b")
+        assert second.request_id > first.request_id
+
+    def test_empty_image_id_rejected(self):
+        with pytest.raises(ServingError):
+            InferenceRequest(image_id="")
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ServingError):
+            InferenceRequest(image_id="a", deadline_s=0.0)
+
+    def test_payload_must_be_hwc(self):
+        with pytest.raises(ServingError):
+            InferenceRequest(image_id="a", payload=np.zeros((4, 4)))
+        InferenceRequest(image_id="a", payload=np.zeros((4, 4, 3), np.uint8))
+
+    def test_no_deadline_never_expires(self):
+        request = InferenceRequest(image_id="a")
+        assert not request.expired(request.arrival_s + 1e9)
+
+    def test_deadline_expiry(self):
+        request = InferenceRequest(image_id="a", deadline_s=0.5)
+        assert not request.expired(request.arrival_s + 0.4)
+        assert request.expired(request.arrival_s + 0.6)
+
+    def test_age_is_relative_to_arrival(self):
+        request = InferenceRequest(image_id="a")
+        assert request.age(request.arrival_s + 2.0) == pytest.approx(2.0)
+
+
+class TestInferenceResponse:
+    def test_response_carries_identity_and_latency(self):
+        response = InferenceResponse(request_id=7, image_id="img-7",
+                                     prediction=3, latency_s=0.012,
+                                     batch_size=8, plan_key="p")
+        assert response.request_id == 7
+        assert response.prediction == 3
+        assert not response.cached
+        assert not response.deadline_missed

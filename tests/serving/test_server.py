@@ -1,0 +1,238 @@
+"""Tests for the SmolServer facade, including the end-to-end serving path."""
+
+import pytest
+
+from repro.codecs.formats import FULL_JPEG, THUMB_PNG_161
+from repro.datasets.synthetic import SyntheticImageGenerator
+from repro.errors import AdmissionError, ServingError
+from repro.inference.engine import SmolRuntimeEngine
+from repro.inference.perfmodel import EngineConfig
+from repro.nn.model import build_mini_resnet
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.serving.batcher import BatchPolicy
+from repro.serving.request import InferenceRequest
+from repro.serving.server import SmolServer
+from repro.serving.session import (
+    FunctionalSession,
+    serving_pipeline_ops,
+    simulated_session_for_format,
+)
+from repro.utils.rng import deterministic_rng
+
+POOL_SIZE = 48
+
+
+@pytest.fixture(scope="module")
+def image_pool():
+    generator = SyntheticImageGenerator(num_classes=2, image_size=40, seed=21)
+    return [(f"img-{i}", generator.generate_image(i % 2, i).pixels)
+            for i in range(POOL_SIZE)]
+
+
+def build_functional_session(plan_key: str = "serve-test",
+                             seed: int = 3) -> FunctionalSession:
+    dag = PreprocessingDAG.from_ops(serving_pipeline_ops(input_size=36,
+                                                         crop_size=32))
+    model = build_mini_resnet(18, num_classes=2, input_size=32, seed=seed)
+    session = FunctionalSession(plan_key, dag, model)
+    session.warmup()
+    return session
+
+
+class TestEndToEnd:
+    def test_thousand_requests_match_direct_engine_run(self, image_pool):
+        """Acceptance: >=1000 requests, all futures resolve, predictions match
+        a direct engine run, cache hits occur on repeated image ids."""
+        session = build_functional_session()
+
+        # Ground truth: the same pixels through the offline batch engine with
+        # the same preprocessing DAG and model.
+        engine = SmolRuntimeEngine(EngineConfig(num_producers=2, batch_size=16,
+                                                queue_capacity=2))
+        direct = engine.run_functional_batched(
+            [payload for _, payload in image_pool],
+            session.preprocessing, session.model,
+        )
+        expected = {image_id: int(prediction) for (image_id, _), prediction
+                    in zip(image_pool, direct.predictions)}
+
+        rng = deterministic_rng("serve-e2e", seed=1)
+        with SmolServer(session, policy=BatchPolicy(name="t",
+                                                    max_batch_size=16,
+                                                    max_wait_ms=2.0),
+                        queue_capacity=128, cache_capacity=256) as server:
+            responses = []
+            # Four waves of 250; waves after the first re-request seen images,
+            # so the prediction cache must start hitting.
+            for wave in range(4):
+                futures = []
+                for _ in range(250):
+                    image_id, payload = image_pool[
+                        int(rng.integers(0, len(image_pool)))
+                    ]
+                    futures.append(server.submit(InferenceRequest(
+                        image_id=image_id, payload=payload,
+                        format_name="full-jpeg",
+                    )))
+                responses.extend(f.result(timeout=60.0) for f in futures)
+            stats = server.stats()
+
+        assert len(responses) == 1000
+        for response in responses:
+            assert response.prediction == expected[response.image_id]
+        assert stats.completed == 1000
+        assert stats.cache_hits > 0
+        assert stats.cache.hit_rate > 0
+        assert stats.executed + stats.cache_hits == 1000
+        assert stats.batcher.items == stats.executed
+        assert stats.latency.count == 1000
+        assert stats.latency.p50_ms <= stats.latency.p99_ms
+
+    def test_cached_responses_are_instant_and_flagged(self, image_pool):
+        session = build_functional_session()
+        with SmolServer(session, cache_capacity=64) as server:
+            image_id, payload = image_pool[0]
+            request = InferenceRequest(image_id=image_id, payload=payload)
+            first = server.submit(request).result(timeout=30.0)
+            second = server.submit(
+                InferenceRequest(image_id=image_id, payload=payload)
+            ).result(timeout=30.0)
+        assert not first.cached
+        assert second.cached
+        assert second.prediction == first.prediction
+        assert second.batch_size == 0
+
+
+class TestServerBehavior:
+    def test_submit_after_close_rejected(self, image_pool):
+        server = SmolServer(build_functional_session())
+        server.close()
+        image_id, payload = image_pool[0]
+        with pytest.raises(ServingError):
+            server.submit(InferenceRequest(image_id=image_id, payload=payload))
+
+    def test_close_is_idempotent(self):
+        server = SmolServer(build_functional_session())
+        server.close()
+        server.close()
+
+    def test_load_shedding_at_capacity(self, image_pool):
+        session = build_functional_session()
+        with SmolServer(session, policy=BatchPolicy(name="tiny",
+                                                    max_batch_size=4,
+                                                    max_wait_ms=0.0),
+                        queue_capacity=2, cache_capacity=0,
+                        block_on_full=False) as server:
+            rejected = 0
+            futures = []
+            for index in range(60):
+                image_id, payload = image_pool[index % len(image_pool)]
+                try:
+                    futures.append(server.submit(InferenceRequest(
+                        image_id=f"shed-{index}", payload=payload,
+                    )))
+                except AdmissionError:
+                    rejected += 1
+            for future in futures:
+                future.result(timeout=60.0)
+            stats = server.stats()
+        assert rejected > 0
+        assert stats.rejected == rejected
+        assert stats.completed == 60 - rejected
+
+    def test_cancelled_future_does_not_kill_serving_thread(self, image_pool):
+        session = build_functional_session()
+        # Long wait bound so the cancel lands while the batch is still open.
+        with SmolServer(session, policy=BatchPolicy(name="slow",
+                                                    max_batch_size=64,
+                                                    max_wait_ms=200.0),
+                        cache_capacity=0) as server:
+            image_id, payload = image_pool[0]
+            doomed = server.submit(InferenceRequest(image_id="doomed",
+                                                    payload=payload))
+            assert doomed.cancel()
+            # The server must survive and keep answering later requests.
+            survivor = server.submit(
+                InferenceRequest(image_id=image_id, payload=payload)
+            ).result(timeout=30.0)
+            stats = server.stats()
+        assert survivor.prediction >= 0
+        assert stats.cancelled == 1
+        assert stats.completed == 1
+
+    def test_cache_disabled(self, image_pool):
+        session = build_functional_session()
+        with SmolServer(session, cache_capacity=0) as server:
+            image_id, payload = image_pool[0]
+            first = server.submit(
+                InferenceRequest(image_id=image_id, payload=payload)
+            ).result(timeout=30.0)
+            second = server.submit(
+                InferenceRequest(image_id=image_id, payload=payload)
+            ).result(timeout=30.0)
+            stats = server.stats()
+        assert stats.cache is None
+        assert not second.cached
+        assert second.prediction == first.prediction
+
+    def test_deadline_missed_is_flagged(self, perf_model, resnet50):
+        session = simulated_session_for_format(resnet50, FULL_JPEG, perf_model)
+        with SmolServer(session, policy=BatchPolicy(name="t", max_batch_size=4,
+                                                    max_wait_ms=0.0),
+                        cache_capacity=0) as server:
+            # The modelled per-image service time on full-res JPEG is ~1ms;
+            # a 1 microsecond deadline cannot be met.
+            response = server.submit(InferenceRequest(
+                image_id="late", deadline_s=1e-6,
+            )).result(timeout=30.0)
+            stats = server.stats()
+        assert response.deadline_missed
+        assert stats.deadline_missed == 1
+
+    def test_execution_failure_propagates_to_futures(self):
+        # A functional session handed a payload-less request fails the whole
+        # micro-batch; every affected future must carry the error.
+        session = build_functional_session()
+        with SmolServer(session, cache_capacity=0) as server:
+            future = server.submit(InferenceRequest(image_id="no-pixels"))
+            with pytest.raises(ServingError):
+                future.result(timeout=30.0)
+            stats = server.stats()
+        assert stats.errors == 1
+
+    def test_hot_swap_switches_plan_and_cache_namespace(self, image_pool):
+        first = build_functional_session("plan-a", seed=3)
+        second = build_functional_session("plan-b", seed=4)
+        image_id, payload = image_pool[0]
+        with SmolServer(first, cache_capacity=64) as server:
+            before = server.submit(
+                InferenceRequest(image_id=image_id, payload=payload)
+            ).result(timeout=30.0)
+            server.swap_plan(second)
+            after = server.submit(
+                InferenceRequest(image_id=image_id, payload=payload)
+            ).result(timeout=30.0)
+            stats = server.stats()
+        assert before.plan_key == "plan-a"
+        assert after.plan_key == "plan-b"
+        assert not after.cached      # old plan's cache entry must not leak
+        assert stats.plan_swaps == 1
+
+    def test_simulated_latency_includes_modelled_service_time(self, perf_model,
+                                                              resnet50):
+        full = simulated_session_for_format(resnet50, FULL_JPEG, perf_model)
+        thumb = simulated_session_for_format(resnet50, THUMB_PNG_161,
+                                             perf_model)
+        policy = BatchPolicy(name="one", max_batch_size=1, max_wait_ms=0.0)
+
+        def p50_of(session):
+            with SmolServer(session, policy=policy, cache_capacity=0) as server:
+                futures = [server.submit(InferenceRequest(image_id=f"i{n}"))
+                           for n in range(32)]
+                for future in futures:
+                    future.result(timeout=30.0)
+                return server.stats().latency.p50_ms
+
+        # Thumbnails are modelled much faster than full decode, and the
+        # modelled service time dominates queueing here.
+        assert p50_of(thumb) < p50_of(full)

@@ -46,3 +46,54 @@ class TestCliCommands:
         output = capsys.readouterr().out
         assert "speedup" in output
         assert "BlazeIt" in output
+
+    def test_serve_bench_command(self, capsys):
+        assert main(["serve-bench", "--mode", "simulated", "--requests", "200",
+                     "--rate", "2000"]) == 0
+        output = capsys.readouterr().out
+        assert "latency" in output and "throughput" in output
+        assert "p99 (ms)" in output
+
+    def test_loadtest_command(self, capsys):
+        assert main(["loadtest", "--mode", "simulated", "--rate", "400",
+                     "--duration", "0.2", "--pattern", "burst"]) == 0
+        output = capsys.readouterr().out
+        assert "throughput:" in output
+        assert "p95" in output
+
+
+class TestCliErrorHandling:
+    def test_unknown_dataset_exits_2_with_one_line_error(self, capsys):
+        assert main(["plan", "--dataset", "definitely-not-a-dataset"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "definitely-not-a-dataset" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_unknown_video_dataset_exits_2(self, capsys):
+        assert main(["video", "--dataset", "nope"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_infeasible_constraint_exits_2(self, capsys):
+        assert main(["run", "--dataset", "imagenet",
+                     "--accuracy-floor", "0.999"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_bad_serving_flag_value_exits_2(self, capsys):
+        assert main(["loadtest", "--mode", "simulated", "--rate", "-5",
+                     "--duration", "0.1"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_serve_bench_zero_rate_exits_2(self, capsys):
+        assert main(["serve-bench", "--mode", "simulated", "--rate", "0"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_non_numeric_flag_value_exits_2_via_argparse(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--images", "a-lot"])
+        assert excinfo.value.code == 2

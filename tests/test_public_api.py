@@ -18,6 +18,7 @@ PUBLIC_SUBPACKAGES = [
     "repro.datasets",
     "repro.measurement",
     "repro.baselines",
+    "repro.serving",
     "repro.utils",
     "repro.cli",
 ]
