@@ -6,7 +6,12 @@ replayed against the server under the two standard micro-batching policies,
 reporting achieved request rate and p50/p95/p99 latency for each.  The
 latency policy must win on p95 under light load; both must keep up with the
 offered rate.
+
+The scorecard is also recorded as ``BENCH_serving.json`` at the repo root
+so the performance trajectory is machine-trackable.
 """
+
+from pathlib import Path
 
 from benchlib import emit
 
@@ -19,11 +24,13 @@ from repro.serving import (
     SmolServer,
     simulated_session_for_format,
 )
+from repro.utils.benchio import write_bench_json
 from repro.utils.tables import Table
 
 OFFERED_RATE = 4000.0
 DURATION_S = 0.25
 POOL_SIZE = 48
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
 
 def run_policies(perf_model: PerformanceModel) -> Table:
@@ -55,6 +62,15 @@ def run_policies(perf_model: PerformanceModel) -> Table:
 def test_serving_policy_latency_throughput(benchmark, perf_model):
     table = benchmark(run_policies, perf_model)
     emit(table)
+    write_bench_json(
+        BENCH_PATH, "serving-policies",
+        [dict(zip(("policy", "max_batch_size", "max_wait_ms",
+                   "throughput_rps", "p50_ms", "p95_ms", "p99_ms",
+                   "cache_hit_pct"), row))
+         for row in table.rows],
+        meta={"offered_rate_per_s": OFFERED_RATE, "duration_s": DURATION_S,
+              "pool_size": POOL_SIZE},
+    )
     rows = dict(zip(table.column("Policy"),
                     zip(table.column("p50 (ms)"), table.column("p95 (ms)"),
                         table.column("p99 (ms)"), table.column("Req/s"))))

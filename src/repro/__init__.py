@@ -26,6 +26,10 @@ full system and every substrate it depends on in pure Python/numpy:
 * :mod:`repro.serving` -- Smol-Serve, the online serving subsystem: typed
   requests, adaptive micro-batching, plan-aware sessions, prediction
   caching, and an open-loop load generator.
+* :mod:`repro.cluster` -- Smol-Cluster, the sharded multi-worker execution
+  runtime: replica workers, shard routing, a failover dispatcher with
+  heartbeats and circuit breakers, queue-depth autoscaling, and exact
+  sharded corpus aggregation.
 
 Quickstart
 ----------
@@ -51,6 +55,17 @@ from repro.serving import (
     LoadGenerator,
     SmolServer,
 )
+from repro.cluster import (
+    AutoscalePolicy,
+    Autoscaler,
+    ClusterResult,
+    Dispatcher,
+    LabeledExample,
+    ProcessWorker,
+    SessionSpec,
+    ShardedCorpusRunner,
+    ThreadWorker,
+)
 
 __all__ = [
     "__version__",
@@ -64,4 +79,13 @@ __all__ = [
     "BatchPolicy",
     "InferenceRequest",
     "LoadGenerator",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ClusterResult",
+    "Dispatcher",
+    "LabeledExample",
+    "ProcessWorker",
+    "SessionSpec",
+    "ShardedCorpusRunner",
+    "ThreadWorker",
 ]

@@ -2,13 +2,18 @@
 
 Subcommands:
 
-* ``plan``        -- print the Pareto frontier and the selected plan for a dataset.
-* ``run``         -- execute the selected plan in the simulated runtime.
-* ``measure``     -- print the Section 2 measurement study tables.
-* ``costs``       -- print the Section 7 / Table 8 cost analyses.
-* ``video``       -- run the BlazeIt-vs-Smol video aggregation comparison.
-* ``serve-bench`` -- compare micro-batching policies on the online server.
-* ``loadtest``    -- drive the online server with open-loop traffic.
+* ``plan``          -- print the Pareto frontier and the selected plan for a dataset.
+* ``run``           -- execute the selected plan in the simulated runtime.
+* ``measure``       -- print the Section 2 measurement study tables.
+* ``costs``         -- print the Section 7 / Table 8 cost analyses.
+* ``video``         -- run the BlazeIt-vs-Smol video aggregation comparison.
+* ``serve-bench``   -- compare micro-batching policies on the online server.
+* ``loadtest``      -- drive the online server with open-loop traffic.
+* ``cluster-bench`` -- sharded multi-worker scaling study (offline + online).
+
+The serving/cluster benchmarks also record their scorecards as
+machine-readable artifacts (``BENCH_serving.json`` / ``BENCH_cluster.json``,
+see ``--bench-json``) so the performance trajectory is trackable.
 
 Errors from the library (unknown datasets, infeasible constraints, bad
 serving parameters) exit with status 2 and a one-line message rather than a
@@ -22,6 +27,7 @@ Examples
     python -m repro.cli video --dataset taipei --error 0.03
     python -m repro.cli serve-bench --mode simulated --requests 2000
     python -m repro.cli loadtest --rate 500 --duration 2 --pattern burst
+    python -m repro.cli cluster-bench --workers 1 2 4 --images 4096
 """
 
 from __future__ import annotations
@@ -31,6 +37,12 @@ import sys
 from typing import Sequence
 
 from repro.baselines.blazeit import BlazeItBaseline, SmolVideoRunner
+from repro.cluster import (
+    Dispatcher,
+    LabeledExample,
+    ShardedCorpusRunner,
+    ThreadWorker,
+)
 from repro.core.smol import Smol
 from repro.datasets.synthetic import SyntheticImageGenerator
 from repro.datasets.video import load_video_dataset
@@ -46,6 +58,7 @@ from repro.serving import (
     SmolServer,
     functional_session_for_plan,
 )
+from repro.utils.benchio import latency_metrics, write_bench_json
 from repro.utils.tables import Table
 
 
@@ -117,19 +130,32 @@ def _cmd_video(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_session(args: argparse.Namespace):
-    """Select a plan for the dataset and wrap it in a serving session."""
+def _select_estimate(args: argparse.Namespace) -> tuple[Smol, object]:
+    """The plan the serving/cluster commands execute: the constrained best
+    plan when a floor is given, else the frontier's throughput champion."""
     smol = Smol(instance=args.instance, dataset_name=args.dataset)
     estimate = (smol.best_plan(accuracy_floor=args.accuracy_floor)
                 if args.accuracy_floor is not None
                 else max(smol.pareto_frontier(), key=lambda e: e.throughput))
+    return smol, estimate
+
+
+def _make_session(args: argparse.Namespace, smol: Smol, estimate,
+                  num_classes: int | None = None):
+    """Wrap the selected plan in a warmed serving session."""
     if args.mode == "functional":
-        session = functional_session_for_plan(estimate)
-    else:
-        session = SimulatedSession(estimate.plan, smol.performance_model,
-                                   config=smol.engine_config)
-        session.warmup()
-    return estimate, session
+        return functional_session_for_plan(estimate)
+    kwargs = {} if num_classes is None else {"num_classes": num_classes}
+    session = SimulatedSession(estimate.plan, smol.performance_model,
+                               config=smol.engine_config, **kwargs)
+    session.warmup()
+    return session
+
+
+def _build_session(args: argparse.Namespace):
+    """Select a plan for the dataset and wrap it in a serving session."""
+    smol, estimate = _select_estimate(args)
+    return estimate, _make_session(args, smol, estimate)
 
 
 def _image_pool(args: argparse.Namespace) -> list:
@@ -154,6 +180,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
          "p99 (ms)"],
     )
     print(f"plan: {estimate.plan.describe()}")
+    rows = []
     for policy in (BatchPolicy.latency(), BatchPolicy.throughput()):
         with SmolServer(session, policy=policy,
                         cache_capacity=args.cache_capacity) as server:
@@ -165,7 +192,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                       round(report.latency.p50_ms, 2),
                       round(report.latency.p95_ms, 2),
                       round(report.latency.p99_ms, 2))
+        rows.append({
+            "policy": policy.name,
+            "max_batch_size": policy.max_batch_size,
+            "max_wait_ms": policy.max_wait_ms,
+            **latency_metrics(report),
+        })
     print(table)
+    written = write_bench_json(
+        args.bench_json, "serve-bench", rows,
+        meta={"mode": args.mode, "plan": estimate.plan.describe(),
+              "rate_per_s": args.rate, "requests": args.requests,
+              "seed": args.seed},
+    )
+    print(f"wrote {written}")
     return 0
 
 
@@ -190,6 +230,102 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     print(report.describe())
     print()
     print(stats.describe())
+    written = write_bench_json(
+        args.bench_json, "loadtest",
+        [{"pattern": args.pattern, "rate_per_s": args.rate,
+          "cache_hits": report.cache_hits, **latency_metrics(report)}],
+        meta={"mode": args.mode, "plan": estimate.plan.describe(),
+              "duration_s": args.duration, "seed": args.seed},
+    )
+    print(f"wrote {written}")
+    return 0
+
+
+def _cluster_worker_factory(args: argparse.Namespace, smol: Smol, estimate):
+    """A worker factory building one warmed replica per call."""
+    def factory(worker_id: str, results):
+        session = _make_session(args, smol, estimate,
+                                num_classes=args.num_classes)
+        return ThreadWorker(worker_id, session, results,
+                            service_time_scale=args.service_scale)
+    return factory
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    if args.rate <= 0:
+        raise ServingError("--rate must be positive")
+    if any(count <= 0 for count in args.workers):
+        raise ServingError("--workers counts must be positive")
+    smol, estimate = _select_estimate(args)
+    factory = _cluster_worker_factory(args, smol, estimate)
+    if args.mode == "functional":
+        # Functional replicas run real pixels through a binary model.
+        generator = SyntheticImageGenerator(num_classes=2, image_size=48,
+                                            seed=args.seed)
+        examples = [
+            LabeledExample(image_id=f"img-{i}", label=i % 2,
+                           payload=generator.generate_image(i % 2, i).pixels)
+            for i in range(args.images)
+        ]
+    else:
+        examples = [
+            LabeledExample(image_id=f"img-{i}", label=i % args.num_classes)
+            for i in range(args.images)
+        ]
+    pool = _image_pool(args)
+    print(f"plan: {estimate.plan.describe()}")
+    table = Table(
+        f"Smol-Cluster scaling ({args.mode} mode, {args.images} images, "
+        f"router {args.router})",
+        ["Workers", "Shard im/s", "Speedup", "Req/s", "p50 (ms)",
+         "p95 (ms)", "p99 (ms)"],
+    )
+    rows = []
+    baseline = None
+    for count in args.workers:
+        with Dispatcher(factory, num_workers=count,
+                        router=args.router) as dispatcher:
+            runner = ShardedCorpusRunner(
+                factory, num_workers=count, num_classes=args.num_classes,
+                batch_size=args.max_batch, router=args.router,
+                format_name=estimate.plan.input_format.name,
+            )
+            corpus = runner.run(examples, dispatcher=dispatcher)
+            with SmolServer(cluster=dispatcher,
+                            policy=BatchPolicy(name="cluster",
+                                               max_batch_size=args.max_batch,
+                                               max_wait_ms=2.0),
+                            cache_capacity=args.cache_capacity) as server:
+                generator = LoadGenerator(server, pool, seed=args.seed)
+                online = generator.run(rate_per_s=args.rate,
+                                       duration_s=args.duration,
+                                       pattern=args.pattern,
+                                       burst_size=args.burst_size)
+        if baseline is None:
+            baseline = corpus.simulated_throughput
+        speedup = (corpus.simulated_throughput / baseline
+                   if baseline > 0 else 0.0)
+        table.add_row(count, round(corpus.simulated_throughput),
+                      round(speedup, 2), round(online.throughput),
+                      round(online.latency.p50_ms, 2),
+                      round(online.latency.p95_ms, 2),
+                      round(online.latency.p99_ms, 2))
+        rows.append({
+            "workers": count,
+            "simulated_throughput": round(corpus.simulated_throughput, 2),
+            "speedup": round(speedup, 3),
+            "corpus_accuracy": round(corpus.total.accuracy, 4),
+            "pattern": args.pattern,
+            **latency_metrics(online),
+        })
+    print(table)
+    written = write_bench_json(
+        args.bench_json, "cluster-bench", rows,
+        meta={"mode": args.mode, "plan": estimate.plan.describe(),
+              "images": args.images, "router": args.router,
+              "rate_per_s": args.rate, "seed": args.seed},
+    )
+    print(f"wrote {written}")
     return 0
 
 
@@ -243,6 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_serving_arguments(serve_bench)
     serve_bench.add_argument("--requests", type=int, default=2000,
                              help="approximate requests per policy")
+    serve_bench.add_argument("--bench-json", default="BENCH_serving.json",
+                             help="where to write the machine-readable "
+                                  "scorecard")
     serve_bench.set_defaults(func=_cmd_serve_bench)
 
     loadtest = subparsers.add_parser(
@@ -260,7 +399,41 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--deadline-ms", type=float, default=None)
     loadtest.add_argument("--shed", action="store_true",
                           help="reject instead of blocking when the queue fills")
+    loadtest.add_argument("--bench-json", default="BENCH_serving.json",
+                          help="where to write the machine-readable scorecard")
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    cluster_bench = subparsers.add_parser(
+        "cluster-bench",
+        help="sharded multi-worker scaling study (offline corpus + online "
+             "traffic per worker count)",
+    )
+    add_serving_arguments(cluster_bench)
+    cluster_bench.add_argument("--workers", type=int, nargs="+",
+                               default=[1, 2, 4],
+                               help="worker counts to sweep")
+    cluster_bench.add_argument("--images", type=int, default=4096,
+                               help="offline corpus size per sweep point")
+    cluster_bench.add_argument("--num-classes", type=int, default=8,
+                               help="label/prediction arity for the "
+                                    "confusion matrix")
+    cluster_bench.add_argument("--router",
+                               choices=("round-robin", "consistent-hash"),
+                               default="round-robin")
+    cluster_bench.add_argument("--duration", type=float, default=0.25,
+                               help="seconds of online traffic per sweep "
+                                    "point")
+    cluster_bench.add_argument("--pattern", choices=("poisson", "burst"),
+                               default="poisson")
+    cluster_bench.add_argument("--burst-size", type=int, default=8)
+    cluster_bench.add_argument("--max-batch", type=int, default=32)
+    cluster_bench.add_argument("--service-scale", type=float, default=0.0,
+                               help="sleep modelled service time times this "
+                                    "factor on each replica")
+    cluster_bench.add_argument("--bench-json", default="BENCH_cluster.json",
+                               help="where to write the machine-readable "
+                                    "scorecard")
+    cluster_bench.set_defaults(func=_cmd_cluster_bench)
     return parser
 
 

@@ -1,0 +1,132 @@
+"""Queue-depth-driven autoscaling of the worker pool.
+
+The autoscaler watches the dispatcher's backlog (queued items across live
+replicas plus parked items) and keeps the mean backlog per replica inside a
+band: above ``scale_up_depth`` it adds a replica, at or below
+``scale_down_depth`` it gracefully retires one, always staying within
+``[min_workers, max_workers]`` and observing a cooldown between actions so
+one burst cannot thrash the pool.  The clock is injectable so tests can step
+through cooldowns deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Bounds and thresholds for one autoscaler.
+
+    Attributes
+    ----------
+    min_workers / max_workers:
+        Inclusive pool-size bounds.
+    scale_up_depth:
+        Mean queued items per replica above which the pool grows.
+    scale_down_depth:
+        Mean queued items per replica at or below which the pool shrinks.
+    cooldown_s:
+        Minimum seconds between two scaling actions.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 8
+    scale_up_depth: float = 4.0
+    scale_down_depth: float = 0.5
+    cooldown_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_workers <= 0:
+            raise ClusterError("min_workers must be positive")
+        if self.max_workers < self.min_workers:
+            raise ClusterError("max_workers must be >= min_workers")
+        if self.scale_down_depth >= self.scale_up_depth:
+            raise ClusterError(
+                "scale_down_depth must be below scale_up_depth"
+            )
+        if self.cooldown_s < 0:
+            raise ClusterError("cooldown_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One scaling action the autoscaler took."""
+
+    at_s: float
+    action: str  # "up" or "down"
+    pool_size: int
+    backlog: int
+
+
+class Autoscaler:
+    """Grows/shrinks a dispatcher's worker pool from its queue depths.
+
+    ``evaluate()`` performs at most one scaling action per call; the
+    dispatcher's monitor thread calls it on every health pass when attached
+    via :meth:`Dispatcher.attach_autoscaler`, and tests call it directly.
+    """
+
+    def __init__(self, dispatcher, policy: AutoscalePolicy | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._dispatcher = dispatcher
+        self._policy = policy or AutoscalePolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._last_action_at = float("-inf")
+        self._events: list[ScaleEvent] = []
+
+    @property
+    def policy(self) -> AutoscalePolicy:
+        """The active scaling policy."""
+        return self._policy
+
+    def events(self) -> list[ScaleEvent]:
+        """The scaling actions taken so far (oldest first)."""
+        with self._lock:
+            return list(self._events)
+
+    def evaluate(self) -> int:
+        """Inspect the backlog and take at most one action.
+
+        Returns +1 (grew), -1 (shrank), or 0 (no action).
+        """
+        with self._lock:
+            now = self._clock()
+            if now - self._last_action_at < self._policy.cooldown_s:
+                return 0
+            live = len(self._dispatcher.live_workers())
+            backlog = self._dispatcher.backlog()
+            if live == 0:
+                # Health monitoring owns replacing dead pools; scaling
+                # decisions need at least one live replica as a baseline.
+                if self._policy.min_workers > 0:
+                    self._dispatcher.add_worker()
+                    self._record(now, "up", backlog)
+                    return 1
+                return 0
+            per_worker = backlog / live
+            if per_worker > self._policy.scale_up_depth \
+                    and live < self._policy.max_workers:
+                self._dispatcher.add_worker()
+                self._record(now, "up", backlog)
+                return 1
+            if per_worker <= self._policy.scale_down_depth \
+                    and live > self._policy.min_workers:
+                if self._dispatcher.retire_worker() is not None:
+                    self._record(now, "down", backlog)
+                    return -1
+            return 0
+
+    def _record(self, now: float, action: str, backlog: int) -> None:
+        self._last_action_at = now
+        self._events.append(ScaleEvent(
+            at_s=now, action=action,
+            pool_size=len(self._dispatcher.live_workers()),
+            backlog=backlog,
+        ))

@@ -1,0 +1,144 @@
+"""Replica health: circuit breakers over worker failure streaks.
+
+A circuit breaker sits between the dispatcher and each replica.  While
+*closed* it passes work through; after ``failure_threshold`` consecutive
+failures it *opens* and the dispatcher routes around the replica; after
+``cooldown_s`` it becomes *half-open* and admits a single probe item whose
+outcome decides between closing again and re-opening.  The clock is
+injectable so tests can drive state transitions deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.errors import ClusterError
+
+
+class BreakerState(Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerSnapshot:
+    """Point-in-time view of one breaker (for stats and debugging)."""
+
+    state: BreakerState
+    consecutive_failures: int
+    total_failures: int
+    total_successes: int
+    opened_count: int
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_s: float = 0.25,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold <= 0:
+            raise ClusterError("failure_threshold must be positive")
+        if cooldown_s < 0:
+            raise ClusterError("cooldown_s must be non-negative")
+        self._failure_threshold = failure_threshold
+        self._cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        self._total_failures = 0
+        self._total_successes = 0
+        self._opened_count = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, applying any due open -> half-open transition."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def would_allow(self) -> bool:
+        """Non-consuming eligibility check: could :meth:`allow` succeed now?
+
+        Routing uses this to build candidate lists without claiming the
+        half-open probe slot of replicas that end up not being chosen.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            return self._state is BreakerState.CLOSED or (
+                self._state is BreakerState.HALF_OPEN
+                and not self._probe_outstanding
+            )
+
+    def allow(self) -> bool:
+        """True when the replica may receive (at least probe) work now.
+
+        A half-open circuit admits exactly one probe item; calling this
+        claims that slot, so only call it for the replica actually chosen.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN \
+                    and not self._probe_outstanding:
+                self._probe_outstanding = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """An item completed on the replica; closes a half-open circuit."""
+        with self._lock:
+            self._total_successes += 1
+            self._consecutive_failures = 0
+            self._probe_outstanding = False
+            self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        """An item failed on the replica; may open the circuit."""
+        with self._lock:
+            self._total_failures += 1
+            self._consecutive_failures += 1
+            self._probe_outstanding = False
+            if self._state is BreakerState.HALF_OPEN \
+                    or self._consecutive_failures >= self._failure_threshold:
+                if self._state is not BreakerState.OPEN:
+                    self._opened_count += 1
+                self._state = BreakerState.OPEN
+                self._opened_at = self._clock()
+
+    def trip(self) -> None:
+        """Force the circuit open (used when a worker is declared dead)."""
+        with self._lock:
+            if self._state is not BreakerState.OPEN:
+                self._opened_count += 1
+            self._state = BreakerState.OPEN
+            self._opened_at = self._clock()
+            self._probe_outstanding = False
+
+    def snapshot(self) -> BreakerSnapshot:
+        """Consistent snapshot of the breaker's counters and state."""
+        with self._lock:
+            self._maybe_half_open()
+            return BreakerSnapshot(
+                state=self._state,
+                consecutive_failures=self._consecutive_failures,
+                total_failures=self._total_failures,
+                total_successes=self._total_successes,
+                opened_count=self._opened_count,
+            )
+
+    def _maybe_half_open(self) -> None:
+        if self._state is BreakerState.OPEN \
+                and self._clock() - self._opened_at >= self._cooldown_s:
+            self._state = BreakerState.HALF_OPEN
+            self._probe_outstanding = False

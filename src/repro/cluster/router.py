@@ -1,0 +1,126 @@
+"""Shard routing: which replica gets which work.
+
+Two policies, selectable by name:
+
+* ``round-robin`` -- cycle through the eligible replicas; perfectly balanced
+  and the right default for stateless simulated replicas.
+* ``consistent-hash`` -- a hash ring with virtual nodes keyed on the
+  request/image id, so the same image lands on the same replica while it is
+  healthy (maximizing any per-replica cache locality) and only ``1/n`` of
+  keys move when a replica joins or dies.
+
+Routers are handed the *eligible* worker ids on every call; the dispatcher
+filters out dead replicas and open circuits first, so policy and health stay
+decoupled.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Sequence
+
+from repro.errors import ClusterError
+from repro.utils.rng import stable_hash
+
+ROUTER_POLICIES = ("round-robin", "consistent-hash")
+
+
+class ShardRouter:
+    """Base class: maps a routing key to one of the eligible workers."""
+
+    def add_worker(self, worker_id: str) -> None:
+        """Register a replica (no-op for stateless policies)."""
+
+    def remove_worker(self, worker_id: str) -> None:
+        """Unregister a replica (no-op for stateless policies)."""
+
+    def route(self, key: object, eligible: Sequence[str]) -> str:
+        """Pick one of ``eligible`` for ``key``; raises when none remain."""
+        raise NotImplementedError
+
+
+class RoundRobinRouter(ShardRouter):
+    """Cycle through eligible replicas in submission order."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def route(self, key: object, eligible: Sequence[str]) -> str:
+        if not eligible:
+            raise ClusterError("no eligible workers to route to")
+        with self._lock:
+            index = self._counter % len(eligible)
+            self._counter += 1
+        return eligible[index]
+
+
+class ConsistentHashRouter(ShardRouter):
+    """Hash-ring routing keyed on the request/image id.
+
+    Each worker contributes ``virtual_nodes`` points on a 64-bit ring;
+    a key routes to the first ring point at or after its own hash whose
+    worker is currently eligible.  Stable ids mean stable placement.
+    """
+
+    def __init__(self, virtual_nodes: int = 64) -> None:
+        if virtual_nodes <= 0:
+            raise ClusterError("virtual_nodes must be positive")
+        self._virtual_nodes = virtual_nodes
+        self._ring: list[tuple[int, str]] = []
+        self._points: list[int] = []
+        self._workers: set[str] = set()
+        self._lock = threading.Lock()
+
+    def add_worker(self, worker_id: str) -> None:
+        with self._lock:
+            if worker_id in self._workers:
+                return
+            self._workers.add(worker_id)
+            for i in range(self._virtual_nodes):
+                point = stable_hash("ring", worker_id, i)
+                index = bisect.bisect_left(self._points, point)
+                self._points.insert(index, point)
+                self._ring.insert(index, (point, worker_id))
+
+    def remove_worker(self, worker_id: str) -> None:
+        with self._lock:
+            if worker_id not in self._workers:
+                return
+            self._workers.discard(worker_id)
+            kept = [(p, w) for p, w in self._ring if w != worker_id]
+            self._ring = kept
+            self._points = [p for p, _ in kept]
+
+    def route(self, key: object, eligible: Sequence[str]) -> str:
+        if not eligible:
+            raise ClusterError("no eligible workers to route to")
+        eligible_set = set(eligible)
+        with self._lock:
+            ring = list(self._ring)
+        if ring:
+            start = bisect.bisect_right([p for p, _ in ring],
+                                        stable_hash("key", key))
+            for offset in range(len(ring)):
+                _, worker_id = ring[(start + offset) % len(ring)]
+                if worker_id in eligible_set:
+                    return worker_id
+        # No registered ring point is eligible (e.g. all eligible workers
+        # joined without registration); fall back to a direct hash pick so
+        # routing still succeeds deterministically.
+        ordered = sorted(eligible_set)
+        return ordered[stable_hash("fallback", key) % len(ordered)]
+
+
+def make_router(policy: str | ShardRouter) -> ShardRouter:
+    """Build a router from a policy name (or pass an instance through)."""
+    if isinstance(policy, ShardRouter):
+        return policy
+    if policy == "round-robin":
+        return RoundRobinRouter()
+    if policy == "consistent-hash":
+        return ConsistentHashRouter()
+    raise ClusterError(
+        f"unknown routing policy {policy!r}; expected one of {ROUTER_POLICIES}"
+    )

@@ -1,0 +1,338 @@
+"""Sharded offline corpus execution with exact mergeable aggregates.
+
+The offline path of the paper blasts a corpus through one engine.  The
+sharded runner partitions a labeled corpus into shards, fans the shards'
+micro-batches out across the dispatcher's replicas, and folds per-shard
+:class:`ShardAggregate` records (counts, correctness, prediction sums, and a
+full confusion matrix) into exact global results -- every statistic merges
+associatively, so the sharded totals are bit-identical to a single-process
+run over the same corpus and plan.
+
+Throughput is reported in modelled (simulated-accelerator) time: the cluster
+makespan is the largest modelled service time any single replica executed,
+which is what parallel replicas actually buy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.dispatcher import Dispatcher
+from repro.cluster.worker import Worker
+from repro.errors import ClusterError
+from repro.inference.mpmc import MpmcQueue
+from repro.serving.request import InferenceRequest
+from repro.serving.session import EngineSession
+from repro.utils.rng import stable_hash
+
+SHARD_POLICIES = ("round-robin", "consistent-hash")
+
+
+@dataclass(frozen=True)
+class LabeledExample:
+    """One corpus element: identity, ground-truth label, optional pixels."""
+
+    image_id: str
+    label: int
+    payload: np.ndarray | None = None
+
+
+@dataclass
+class ShardAggregate:
+    """Mergeable analytics aggregates for one shard (or the global total).
+
+    Attributes
+    ----------
+    shard_id:
+        The shard these numbers cover (-1 for a merged global total).
+    count / correct:
+        Examples seen and examples whose prediction matched the label.
+    prediction_sum:
+        Sum of predicted class indices (for exact mean predictions).
+    confusion:
+        ``confusion[label, prediction]`` counts, shape (num_classes,
+        num_classes).
+    modelled_seconds:
+        Total modelled service time spent on this shard's batches.
+    """
+
+    shard_id: int
+    num_classes: int
+    count: int = 0
+    correct: int = 0
+    prediction_sum: int = 0
+    modelled_seconds: float = 0.0
+    confusion: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.num_classes <= 1:
+            raise ClusterError("num_classes must be at least 2")
+        if self.confusion is None:
+            self.confusion = np.zeros(
+                (self.num_classes, self.num_classes), dtype=np.int64
+            )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of examples predicted correctly."""
+        return self.correct / self.count if self.count else 0.0
+
+    @property
+    def mean_prediction(self) -> float:
+        """Exact mean of predicted class indices."""
+        return self.prediction_sum / self.count if self.count else 0.0
+
+    def observe(self, labels: Sequence[int],
+                predictions: Sequence[int],
+                modelled_seconds: float = 0.0) -> None:
+        """Fold one executed micro-batch into the aggregate.
+
+        Labels and predictions must both lie in ``[0, num_classes)`` --
+        wrapping them silently would corrupt the confusion matrix while
+        leaving count/accuracy plausible, so a mismatch raises instead.
+        """
+        for label, prediction in zip(labels, predictions):
+            label, prediction = int(label), int(prediction)
+            if not (0 <= label < self.num_classes
+                    and 0 <= prediction < self.num_classes):
+                raise ClusterError(
+                    f"label {label} / prediction {prediction} outside the "
+                    f"aggregate's {self.num_classes}-class space; size "
+                    "num_classes to cover both the label space and the "
+                    "session's prediction space"
+                )
+            self.count += 1
+            self.prediction_sum += prediction
+            if label == prediction:
+                self.correct += 1
+            self.confusion[label, prediction] += 1
+        self.modelled_seconds += modelled_seconds
+
+    def merge(self, other: "ShardAggregate") -> "ShardAggregate":
+        """Exact associative merge of two aggregates (new object)."""
+        if other.num_classes != self.num_classes:
+            raise ClusterError("cannot merge aggregates of differing arity")
+        return ShardAggregate(
+            shard_id=-1,
+            num_classes=self.num_classes,
+            count=self.count + other.count,
+            correct=self.correct + other.correct,
+            prediction_sum=self.prediction_sum + other.prediction_sum,
+            modelled_seconds=self.modelled_seconds + other.modelled_seconds,
+            confusion=self.confusion + other.confusion,
+        )
+
+    @classmethod
+    def merge_all(cls, aggregates: Sequence["ShardAggregate"],
+                  num_classes: int) -> "ShardAggregate":
+        """Merge any number of aggregates into one global total."""
+        total = cls(shard_id=-1, num_classes=num_classes)
+        for aggregate in aggregates:
+            total = total.merge(aggregate)
+        return total
+
+
+@dataclass(frozen=True)
+class CorpusRunReport:
+    """The outcome of one (sharded or single-process) corpus run."""
+
+    total: ShardAggregate
+    shards: tuple[ShardAggregate, ...]
+    per_worker_modelled_s: dict[str, float]
+    num_workers: int
+    wall_seconds: float
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Parallel modelled completion time: the busiest replica's load."""
+        if self.per_worker_modelled_s:
+            busiest = max(self.per_worker_modelled_s.values())
+            if busiest > 0:
+                return busiest
+        return self.wall_seconds
+
+    @property
+    def simulated_throughput(self) -> float:
+        """Images per second of modelled (parallel) time."""
+        makespan = self.makespan_seconds
+        return self.total.count / makespan if makespan > 0 else 0.0
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        return "\n".join([
+            f"corpus:     {self.total.count} images over "
+            f"{len(self.shards)} shards / {self.num_workers} workers",
+            f"accuracy:   {self.total.accuracy * 100:.2f}% "
+            f"({self.total.correct} correct)",
+            f"mean pred:  {self.total.mean_prediction:.4f}",
+            f"throughput: {self.simulated_throughput:,.0f} im/s simulated "
+            f"(makespan {self.makespan_seconds:.3f}s)",
+        ])
+
+
+def assign_shards(examples: Sequence[LabeledExample], num_shards: int,
+                  policy: str = "round-robin") -> list[list[LabeledExample]]:
+    """Partition a corpus into shards.
+
+    ``round-robin`` deals examples out evenly (balanced shards);
+    ``consistent-hash`` keys on the image id (sticky shards whose membership
+    survives reordering of the corpus).
+    """
+    if num_shards <= 0:
+        raise ClusterError("num_shards must be positive")
+    if policy not in SHARD_POLICIES:
+        raise ClusterError(
+            f"unknown shard policy {policy!r}; expected one of "
+            f"{SHARD_POLICIES}"
+        )
+    shards: list[list[LabeledExample]] = [[] for _ in range(num_shards)]
+    for index, example in enumerate(examples):
+        if policy == "round-robin":
+            shard = index % num_shards
+        else:
+            shard = stable_hash("shard", example.image_id) % num_shards
+        shards[shard].append(example)
+    return shards
+
+
+class ShardedCorpusRunner:
+    """Runs a labeled corpus across a dispatcher's replica pool.
+
+    Parameters
+    ----------
+    worker_factory:
+        ``factory(worker_id, results_queue) -> Worker`` building one warmed
+        replica (all replicas must execute the same plan).
+    num_workers:
+        Replica count (also the shard count).
+    num_classes:
+        Arity of the confusion matrix; must cover both the label space and
+        the session's prediction space.
+    batch_size:
+        Examples per dispatched micro-batch.
+    shard_policy:
+        How examples map to shards (see :func:`assign_shards`).
+    format_name:
+        Input rendition recorded on the generated requests.
+    """
+
+    def __init__(self, worker_factory: Callable[[str, MpmcQueue], Worker],
+                 num_workers: int = 2, num_classes: int = 10,
+                 batch_size: int = 32,
+                 shard_policy: str = "round-robin",
+                 router: str = "round-robin",
+                 format_name: str = "full-jpeg") -> None:
+        if batch_size <= 0:
+            raise ClusterError("batch_size must be positive")
+        self._factory = worker_factory
+        self._num_workers = num_workers
+        self._num_classes = num_classes
+        self._batch_size = batch_size
+        self._shard_policy = shard_policy
+        self._router = router
+        self._format_name = format_name
+
+    def run(self, examples: Sequence[LabeledExample],
+            dispatcher: Dispatcher | None = None,
+            timeout_s: float = 60.0) -> CorpusRunReport:
+        """Shard ``examples`` across the pool and merge exact aggregates.
+
+        A ``dispatcher`` may be passed in (e.g. one a test is injecting
+        faults into); otherwise a fresh pool is built and torn down.
+        """
+        if not examples:
+            raise ClusterError("cannot run an empty corpus")
+        owned = dispatcher is None
+        if dispatcher is None:
+            dispatcher = Dispatcher(self._factory,
+                                    num_workers=self._num_workers,
+                                    router=self._router)
+        start = time.monotonic()
+        try:
+            shards = assign_shards(examples, self._num_workers,
+                                   self._shard_policy)
+            label_lookup: dict[int, list[int]] = {}
+            futures = []
+            for shard_id, shard in enumerate(shards):
+                for offset in range(0, len(shard), self._batch_size):
+                    chunk = shard[offset:offset + self._batch_size]
+                    requests = tuple(
+                        InferenceRequest(image_id=example.image_id,
+                                         payload=example.payload,
+                                         format_name=self._format_name)
+                        for example in chunk
+                    )
+                    future = dispatcher.submit(requests, shard_id=shard_id)
+                    futures.append(future)
+                    label_lookup[id(future)] = [e.label for e in chunk]
+            aggregates = [
+                ShardAggregate(shard_id=i, num_classes=self._num_classes)
+                for i in range(self._num_workers)
+            ]
+            per_worker: dict[str, float] = {}
+            for future in futures:
+                result = future.result(timeout=timeout_s)
+                labels = label_lookup[id(future)]
+                aggregates[result.shard_id].observe(
+                    labels, result.predictions.tolist(),
+                    result.modelled_seconds,
+                )
+                per_worker[result.worker_id] = (
+                    per_worker.get(result.worker_id, 0.0)
+                    + result.modelled_seconds
+                )
+        finally:
+            if owned:
+                dispatcher.close()
+        wall = time.monotonic() - start
+        total = ShardAggregate.merge_all(aggregates, self._num_classes)
+        return CorpusRunReport(
+            total=total,
+            shards=tuple(aggregates),
+            per_worker_modelled_s=per_worker,
+            num_workers=self._num_workers,
+            wall_seconds=wall,
+        )
+
+
+def run_single_process(examples: Sequence[LabeledExample],
+                       session: EngineSession, num_classes: int = 10,
+                       batch_size: int = 32,
+                       format_name: str = "full-jpeg") -> CorpusRunReport:
+    """Reference single-process run producing the same report shape.
+
+    The sharded runner's global aggregates must match this path exactly --
+    predictions depend only on (image id, plan), never on which replica
+    executed them.
+    """
+    if not examples:
+        raise ClusterError("cannot run an empty corpus")
+    if not session.warmed:
+        session.warmup()
+    aggregate = ShardAggregate(shard_id=0, num_classes=num_classes)
+    start = time.monotonic()
+    for offset in range(0, len(examples), batch_size):
+        chunk = examples[offset:offset + batch_size]
+        requests = [
+            InferenceRequest(image_id=example.image_id,
+                             payload=example.payload,
+                             format_name=format_name)
+            for example in chunk
+        ]
+        result = session.execute(requests)
+        aggregate.observe([e.label for e in chunk],
+                          [int(p) for p in result.predictions],
+                          result.modelled_seconds)
+    wall = time.monotonic() - start
+    total = ShardAggregate.merge_all([aggregate], num_classes)
+    return CorpusRunReport(
+        total=total,
+        shards=(aggregate,),
+        per_worker_modelled_s={"local": aggregate.modelled_seconds},
+        num_workers=1,
+        wall_seconds=wall,
+    )

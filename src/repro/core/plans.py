@@ -8,7 +8,7 @@ training variant of the model to use (regular or low-resolution-augmented).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.codecs.formats import InputFormatSpec
 from repro.errors import PlanError

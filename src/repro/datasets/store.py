@@ -50,7 +50,7 @@ class MultiResolutionStore:
                 self._codecs[spec.name] = PngCodec()
             else:
                 raise UnsupportedFormatError(
-                    f"the image store supports JPEG and PNG renditions, "
+                    "the image store supports JPEG and PNG renditions, "
                     f"not {spec.codec}"
                 )
         self._renditions: dict[str, dict[str, StoredRendition]] = {}

@@ -75,3 +75,15 @@ class ServingError(ReproError):
 
 class AdmissionError(ServingError):
     """Raised when the serving queue rejects a request (backpressure)."""
+
+
+class ClusterError(ReproError):
+    """Raised by the multi-worker cluster runtime for execution failures."""
+
+
+class WorkerCrashedError(ClusterError):
+    """Raised when a worker dies and its work cannot be recovered."""
+
+
+class NoHealthyWorkerError(ClusterError):
+    """Raised when no live worker with a closed circuit can accept work."""

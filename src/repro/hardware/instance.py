@@ -13,7 +13,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import HardwareError
-from repro.hardware import calibration as cal
 from repro.hardware.devices import CpuSpec, GpuSpec, get_cpu, get_gpu
 
 # On-demand hourly prices (USD) for the g4dn family (us-east-1, 2020), used

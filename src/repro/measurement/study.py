@@ -16,7 +16,7 @@ from repro.hardware.devices import get_gpu, list_gpus
 from repro.hardware.instance import CloudInstance, get_instance
 from repro.inference.backends import list_backends
 from repro.inference.perfmodel import EngineConfig, PerformanceModel
-from repro.nn.zoo import ModelProfile, get_model_profile
+from repro.nn.zoo import get_model_profile
 
 
 @dataclass(frozen=True)

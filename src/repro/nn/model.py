@@ -16,7 +16,6 @@ from repro.errors import ModelError
 from repro.nn.layers import (
     BatchNorm2d,
     Conv2d,
-    Flatten,
     GlobalAvgPool2d,
     Layer,
     Linear,

@@ -9,8 +9,8 @@ executable chains).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import networkx as nx
 import numpy as np
@@ -106,7 +106,7 @@ class PreprocessingDAG:
         sinks = [n for n in self._graph if self._graph.out_degree(n) == 0]
         if len(sources) != 1 or len(sinks) != 1:
             raise InvalidDAGError(
-                f"executable pipelines need one source and one sink, found "
+                "executable pipelines need one source and one sink, found "
                 f"{len(sources)} sources and {len(sinks)} sinks"
             )
         if self.num_nodes > 1 and not nx.is_weakly_connected(self._graph):

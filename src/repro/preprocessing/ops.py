@@ -13,7 +13,6 @@ charge calibrated per-operation costs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

@@ -19,6 +19,7 @@ Turns the offline batch engine into an online inference service:
 from repro.serving.batcher import BatcherStats, BatchPolicy, MicroBatcher
 from repro.serving.cache import CacheStats, LruCache, PredictionCache
 from repro.serving.loadgen import (
+    ArrivalTrace,
     LoadGenerator,
     LoadReport,
     burst_arrivals,
@@ -41,6 +42,7 @@ from repro.serving.session import (
 
 __all__ = [
     "AdmissionQueue",
+    "ArrivalTrace",
     "BatchPolicy",
     "BatchResult",
     "BatcherStats",

@@ -6,6 +6,13 @@ real traffic behaves and what exposes queueing delay -- a closed loop that
 waits for each response before sending the next can never build a queue.
 The report carries the standard serving scorecard: achieved throughput and
 p50/p95/p99 latency.
+
+All sampling -- arrival offsets and image choices -- goes through
+:func:`repro.utils.rng.deterministic_rng`, keyed on the full schedule
+parameters (pattern, rate, duration, seed), and is materialized up front as
+an immutable :class:`ArrivalTrace`.  Repeated benches with the same seed
+therefore replay the identical trace, and different schedule parameters
+draw from independent streams instead of silently sharing one.
 """
 
 from __future__ import annotations
@@ -53,6 +60,53 @@ def burst_arrivals(rate_per_s: float, duration_s: float,
         times.extend([now] * burst_size)
         now += period
     return times
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A fully materialized, deterministic request schedule.
+
+    Attributes
+    ----------
+    pattern, rate_per_s, duration_s, seed:
+        The schedule parameters the trace was drawn from (and the RNG key).
+    offsets:
+        Arrival times in seconds from the start of the run.
+    choices:
+        Index into the generator's image pool for each arrival.
+    """
+
+    pattern: str
+    rate_per_s: float
+    duration_s: float
+    seed: int
+    offsets: tuple[float, ...]
+    choices: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    @classmethod
+    def build(cls, pattern: str, rate_per_s: float, duration_s: float,
+              pool_size: int, seed: int = 0,
+              burst_size: int = 8) -> "ArrivalTrace":
+        """Draw one trace; identical inputs always yield identical traces."""
+        if pattern not in ("poisson", "burst"):
+            raise ServingError(f"unknown arrival pattern {pattern!r}")
+        if pool_size <= 0:
+            raise ServingError("pool_size must be positive")
+        rng = deterministic_rng("loadgen", pattern, rate_per_s, duration_s,
+                                seed=seed)
+        if pattern == "poisson":
+            offsets = poisson_arrivals(rate_per_s, duration_s, rng)
+        else:
+            offsets = burst_arrivals(rate_per_s, duration_s, burst_size)
+        choices = rng.integers(0, pool_size, size=len(offsets))
+        return cls(
+            pattern=pattern, rate_per_s=rate_per_s, duration_s=duration_s,
+            seed=seed, offsets=tuple(offsets),
+            choices=tuple(int(c) for c in choices),
+        )
 
 
 @dataclass(frozen=True)
@@ -118,6 +172,13 @@ class LoadGenerator:
         self._format_name = format_name
         self._seed = seed
 
+    def trace(self, rate_per_s: float, duration_s: float,
+              pattern: str = "poisson", burst_size: int = 8) -> ArrivalTrace:
+        """The deterministic schedule :meth:`run` would replay."""
+        return ArrivalTrace.build(pattern, rate_per_s, duration_s,
+                                  pool_size=len(self._pool), seed=self._seed,
+                                  burst_size=burst_size)
+
     def run(self, rate_per_s: float, duration_s: float,
             pattern: str = "poisson", burst_size: int = 8,
             deadline_s: float | None = None,
@@ -129,21 +190,15 @@ class LoadGenerator:
         replays a 10-second trace in one second) without changing the drawn
         arrival pattern, so tests and benchmarks stay fast.
         """
-        if pattern not in ("poisson", "burst"):
-            raise ServingError(f"unknown arrival pattern {pattern!r}")
         if time_scale <= 0:
             raise ServingError("time_scale must be positive")
-        rng = deterministic_rng("loadgen", pattern, seed=self._seed)
-        if pattern == "poisson":
-            offsets = poisson_arrivals(rate_per_s, duration_s, rng)
-        else:
-            offsets = burst_arrivals(rate_per_s, duration_s, burst_size)
-        choices = rng.integers(0, len(self._pool), size=len(offsets))
+        trace = self.trace(rate_per_s, duration_s, pattern=pattern,
+                           burst_size=burst_size)
 
         futures: list[Future] = []
         rejected = 0
         start = time.monotonic()
-        for offset, choice in zip(offsets, choices):
+        for offset, choice in zip(trace.offsets, trace.choices):
             target = start + offset * time_scale
             delay = target - time.monotonic()
             if delay > 0:
@@ -165,7 +220,7 @@ class LoadGenerator:
         elapsed = time.monotonic() - start
         return LoadReport(
             pattern=pattern,
-            offered=len(offsets),
+            offered=len(trace),
             submitted=len(futures),
             rejected=rejected,
             completed=len(responses),

@@ -13,6 +13,14 @@ executes each micro-batch on the live plan session:
 Both functional sessions (real pixels, real numpy model) and simulated
 sessions (calibrated performance model) plug in unchanged, so the same load
 generator drives correctness tests and accelerator-scale latency studies.
+
+The execution backend is pluggable: pass ``session=`` for the classic
+single-session path, or ``cluster=`` (a
+:class:`~repro.cluster.dispatcher.Dispatcher`) to fan micro-batches out
+across a replica pool.  In cluster mode the serving thread hands each
+micro-batch to the dispatcher asynchronously and keeps batching while
+replicas execute in parallel, so one slow batch no longer serializes the
+pipeline.  The server borrows the dispatcher -- the caller closes it.
 """
 
 from __future__ import annotations
@@ -86,6 +94,7 @@ class SmolServer:
     ----------
     session:
         The initial engine session (or a prebuilt :class:`SessionManager`).
+        Mutually exclusive with ``cluster``.
     policy:
         Micro-batching policy; defaults to the latency preset.
     queue_capacity:
@@ -96,14 +105,32 @@ class SmolServer:
         Default admission behavior at capacity: block the submitter (True)
         or shed the request with :class:`AdmissionError` (False).  Each
         ``submit`` call may override.
+    cluster:
+        A :class:`~repro.cluster.dispatcher.Dispatcher` to execute
+        micro-batches on instead of a local session.  The dispatcher's
+        replicas must all run the plan the server advertises
+        (``cluster.plan_key``).  The server does not close the dispatcher.
     """
 
-    def __init__(self, session: EngineSession | SessionManager,
+    def __init__(self, session: EngineSession | SessionManager | None = None,
                  policy: BatchPolicy | None = None,
                  queue_capacity: int = 256,
                  cache_capacity: int = 2048,
-                 block_on_full: bool = True) -> None:
-        if isinstance(session, SessionManager):
+                 block_on_full: bool = True,
+                 cluster=None) -> None:
+        if (session is None) == (cluster is None):
+            raise ServingError(
+                "provide exactly one of session= or cluster="
+            )
+        self._cluster = cluster
+        # The cluster's plan is immutable for the server's lifetime; cache
+        # the key so the per-submit cache lookup never touches the
+        # dispatcher's lock.
+        self._cluster_plan_key = cluster.plan_key if cluster else None
+        self._sessions: SessionManager | None
+        if session is None:
+            self._sessions = None
+        elif isinstance(session, SessionManager):
             self._sessions = session
         else:
             self._sessions = SessionManager(session)
@@ -125,6 +152,8 @@ class SmolServer:
         self._errors = 0
         self._cancelled = 0
         self._closed = False
+        self._outstanding = 0
+        self._outstanding_drained = threading.Condition(self._counters_lock)
         self._worker = threading.Thread(
             target=self._serve_loop, name="smol-serve", daemon=True
         )
@@ -140,8 +169,23 @@ class SmolServer:
 
     @property
     def sessions(self) -> SessionManager:
-        """The session manager (for plan hot-swaps)."""
+        """The session manager (for plan hot-swaps); session mode only."""
+        if self._sessions is None:
+            raise ServingError(
+                "a cluster-backed server has no session manager"
+            )
         return self._sessions
+
+    @property
+    def clustered(self) -> bool:
+        """True when micro-batches execute on a cluster dispatcher."""
+        return self._cluster is not None
+
+    def _plan_key(self) -> str:
+        """The plan key of the active backend (session or cluster)."""
+        if self._sessions is not None:
+            return self._sessions.current().plan_key
+        return self._cluster_plan_key
 
     def submit(self, request: InferenceRequest,
                block: bool | None = None) -> Future:
@@ -157,7 +201,7 @@ class SmolServer:
             self._submitted += 1
         future: Future = Future()
         if self._cache is not None:
-            plan_key = self._sessions.current().plan_key
+            plan_key = self._plan_key()
             key = PredictionCache.key(request.image_id, request.format_name,
                                       plan_key)
             hit = self._cache.get(key)
@@ -174,6 +218,11 @@ class SmolServer:
 
     def swap_plan(self, session: EngineSession) -> None:
         """Hot-swap the live plan session (in-flight batches finish first)."""
+        if self._sessions is None:
+            raise ServingError(
+                "plan swaps apply to session-backed servers; rebuild the "
+                "cluster's workers to change plans"
+            )
         self._sessions.swap(session)
 
     def stats(self) -> ServerStats:
@@ -195,14 +244,18 @@ class SmolServer:
             cancelled=cancelled,
             deadline_missed=deadline_missed,
             errors=errors,
-            plan_swaps=self._sessions.swaps,
+            plan_swaps=self._sessions.swaps if self._sessions else 0,
             latency=self._latency.summary(),
             batcher=self._batcher.stats(),
             cache=self._cache.stats() if self._cache is not None else None,
         )
 
     def close(self, timeout: float = 30.0) -> None:
-        """Stop accepting requests, drain the queue, and join the worker."""
+        """Stop accepting requests, drain the queue, and join the worker.
+
+        In cluster mode this also waits for every micro-batch already handed
+        to the dispatcher to resolve (the dispatcher itself stays open).
+        """
         if self._closed:
             return
         self._closed = True
@@ -210,6 +263,13 @@ class SmolServer:
         self._worker.join(timeout=timeout)
         if self._worker.is_alive():
             raise ServingError("serving thread did not drain in time")
+        with self._outstanding_drained:
+            if not self._outstanding_drained.wait_for(
+                lambda: self._outstanding == 0, timeout=timeout
+            ):
+                raise ServingError(
+                    "cluster batches did not resolve in time"
+                )
 
     def __enter__(self) -> "SmolServer":
         return self
@@ -244,29 +304,78 @@ class SmolServer:
         if not live:
             return
         batch = live
+        if self._cluster is not None:
+            self._dispatch_to_cluster(batch)
+            return
         session = self._sessions.current()
         try:
             result = session.execute([item.request for item in batch])
         except Exception as exc:
-            with self._counters_lock:
-                self._errors += len(batch)
-            for item in batch:
-                item.future.set_exception(
-                    ServingError(f"batch execution failed: {exc}")
-                )
+            self._fail_batch(batch, exc)
             return
-        for item, prediction in zip(batch, result.predictions):
+        self._resolve_batch(batch, result.predictions,
+                            result.modelled_seconds, session.plan_key)
+
+    def _dispatch_to_cluster(self, batch: list[_Pending]) -> None:
+        # Hand the batch to the dispatcher and return to batching; the
+        # done-callback (a dispatcher thread) resolves the futures, so
+        # replicas execute in parallel with batch formation.
+        plan_key = self._cluster_plan_key
+        with self._counters_lock:
+            self._outstanding += 1
+        try:
+            cluster_future = self._cluster.submit(
+                [item.request for item in batch]
+            )
+        except Exception as exc:
+            self._finish_outstanding()
+            self._fail_batch(batch, exc)
+            return
+        cluster_future.add_done_callback(
+            lambda done: self._on_cluster_batch(batch, plan_key, done)
+        )
+
+    def _on_cluster_batch(self, batch: list[_Pending], plan_key: str,
+                          done) -> None:
+        try:
+            error = done.exception()
+            if error is not None:
+                self._fail_batch(batch, error)
+                return
+            result = done.result()
+            self._resolve_batch(batch, result.predictions,
+                                result.modelled_seconds, plan_key)
+        finally:
+            self._finish_outstanding()
+
+    def _finish_outstanding(self) -> None:
+        with self._outstanding_drained:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._outstanding_drained.notify_all()
+
+    def _fail_batch(self, batch: list[_Pending], exc: BaseException) -> None:
+        with self._counters_lock:
+            self._errors += len(batch)
+        for item in batch:
+            item.future.set_exception(
+                ServingError(f"batch execution failed: {exc}")
+            )
+
+    def _resolve_batch(self, batch: list[_Pending], predictions,
+                       modelled_seconds: float, plan_key: str) -> None:
+        for item, prediction in zip(batch, predictions):
             if self._cache is not None:
                 self._cache.put(
                     PredictionCache.key(item.request.image_id,
                                         item.request.format_name,
-                                        session.plan_key),
+                                        plan_key),
                     int(prediction),
                 )
             self._resolve(
                 item, prediction=int(prediction), batch_size=len(batch),
-                cached=False, plan_key=session.plan_key,
-                modelled_seconds=result.modelled_seconds,
+                cached=False, plan_key=plan_key,
+                modelled_seconds=modelled_seconds,
             )
 
     def _resolve(self, item: _Pending, prediction: int, batch_size: int,

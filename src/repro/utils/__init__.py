@@ -1,5 +1,7 @@
-"""Shared utilities: units, deterministic RNG, Pareto frontiers, tables, timing."""
+"""Shared utilities: units, deterministic RNG, Pareto frontiers, tables,
+timing, and machine-readable benchmark artifacts."""
 
+from repro.utils.benchio import bench_payload, latency_metrics, write_bench_json
 from repro.utils.units import (
     us_to_s,
     s_to_us,
@@ -14,6 +16,9 @@ from repro.utils.tables import Table, format_table
 from repro.utils.timing import SimTimer, wall_timer
 
 __all__ = [
+    "bench_payload",
+    "latency_metrics",
+    "write_bench_json",
     "us_to_s",
     "s_to_us",
     "images_per_second",

@@ -1,0 +1,53 @@
+"""Machine-readable benchmark artifacts (``BENCH_*.json``).
+
+The serving and cluster benchmarks record their scorecards as small JSON
+files at a stable schema, so the performance trajectory of the repo can be
+tracked across commits by diffing artifacts instead of scraping stdout.
+Every artifact is a single object::
+
+    {"bench": <name>, "schema_version": 1, "meta": {...}, "rows": [...]}
+
+where each row is a flat dict of metric name to number/string (throughput,
+p50/p95/p99 latency, and whatever dimensions the bench sweeps).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def bench_payload(name: str, rows: list[dict],
+                  meta: dict | None = None) -> dict:
+    """Assemble the standard benchmark-artifact payload."""
+    return {
+        "bench": name,
+        "schema_version": SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "rows": [dict(row) for row in rows],
+    }
+
+
+def write_bench_json(path: str | Path, name: str, rows: list[dict],
+                     meta: dict | None = None) -> Path:
+    """Write one benchmark artifact; returns the resolved path."""
+    target = Path(path)
+    payload = bench_payload(name, rows, meta=meta)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target.resolve()
+
+
+def latency_metrics(report) -> dict:
+    """The standard scorecard columns from a serving ``LoadReport``."""
+    return {
+        "throughput_rps": round(report.throughput, 2),
+        "p50_ms": round(report.latency.p50_ms, 4),
+        "p95_ms": round(report.latency.p95_ms, 4),
+        "p99_ms": round(report.latency.p99_ms, 4),
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "deadline_missed": report.deadline_missed,
+    }

@@ -5,7 +5,7 @@ import pytest
 from repro.baselines.dali import DaliLikeLoader
 from repro.baselines.pytorch_loader import PyTorchLikeLoader
 from repro.codecs.formats import FULL_JPEG
-from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.inference.perfmodel import EngineConfig
 from repro.nn.zoo import resnet_profile
 
 

@@ -1,7 +1,5 @@
 """Tests for the naive ResNet baseline."""
 
-import pytest
-
 from repro.baselines.naive import NaiveResNetBaseline
 
 

@@ -1,0 +1,52 @@
+"""Deterministic session fakes shared by the cluster test suite."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.serving.session import BatchResult, EngineSession
+from repro.utils.rng import stable_hash
+
+
+class ScriptedSession(EngineSession):
+    """A deterministic in-test session with injectable failures.
+
+    Predictions are ``stable_hash(image_id, plan_key) % num_classes`` --
+    the same convention as :class:`SimulatedSession` -- so any two scripted
+    sessions on the same plan key agree, which is what replica failover
+    correctness relies on.
+    """
+
+    def __init__(self, plan_key: str = "test-plan", num_classes: int = 7,
+                 fail_times: int = 0,
+                 seconds_per_image: float = 1e-3) -> None:
+        super().__init__(plan_key)
+        self._num_classes = num_classes
+        self._fail_remaining = fail_times
+        self._seconds_per_image = seconds_per_image
+        self._lock = threading.Lock()
+        self.executed_batches = 0
+
+    def execute(self, requests):
+        with self._lock:
+            if self._fail_remaining > 0:
+                self._fail_remaining -= 1
+                raise RuntimeError("injected session failure")
+            self.executed_batches += 1
+        predictions = np.array(
+            [stable_hash(r.image_id, self.plan_key) % self._num_classes
+             for r in requests],
+            dtype=np.int64,
+        )
+        return BatchResult(
+            predictions=predictions,
+            modelled_seconds=len(requests) * self._seconds_per_image,
+        )
+
+
+def expected_prediction(image_id: str, plan_key: str = "test-plan",
+                        num_classes: int = 7) -> int:
+    """The prediction every healthy scripted replica must produce."""
+    return stable_hash(image_id, plan_key) % num_classes

@@ -1,0 +1,29 @@
+"""Shared fixtures for the cluster test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SessionSpec, ThreadWorker
+
+from cluster_testlib import ScriptedSession
+
+
+@pytest.fixture()
+def scripted_factory():
+    """Factory building scripted thread workers (records built sessions)."""
+    sessions: list[ScriptedSession] = []
+
+    def factory(worker_id, results):
+        session = ScriptedSession()
+        sessions.append(session)
+        return ThreadWorker(worker_id, session, results)
+
+    factory.sessions = sessions
+    return factory
+
+
+@pytest.fixture(scope="session")
+def simulated_spec():
+    """A small-arity simulated session spec shared by cluster tests."""
+    return SessionSpec(num_classes=8)

@@ -1,0 +1,81 @@
+"""Tests for SmolServer's cluster-backed submit path."""
+
+import pytest
+
+from repro.cluster import Dispatcher
+from repro.errors import ServingError
+from repro.serving import BatchPolicy, InferenceRequest, SmolServer
+
+from cluster_testlib import ScriptedSession, expected_prediction
+
+
+class TestClusterBackedServer:
+    def test_requires_exactly_one_backend(self, scripted_factory):
+        with pytest.raises(ServingError):
+            SmolServer()
+        with Dispatcher(scripted_factory, num_workers=1) as dispatcher:
+            with pytest.raises(ServingError):
+                SmolServer(session=ScriptedSession(), cluster=dispatcher)
+
+    def test_submit_resolves_through_the_cluster(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=3) as dispatcher:
+            with SmolServer(cluster=dispatcher,
+                            cache_capacity=0) as server:
+                assert server.clustered
+                futures = [server.submit(InferenceRequest(image_id=f"i-{n}"))
+                           for n in range(40)]
+                responses = [f.result(timeout=10.0) for f in futures]
+                stats = server.stats()
+        for n, response in enumerate(responses):
+            assert response.prediction == expected_prediction(f"i-{n}")
+            assert response.plan_key == "test-plan"
+        assert stats.completed == 40
+        assert stats.errors == 0
+        assert dispatcher.stats().completed >= 1
+
+    def test_cache_hits_short_circuit_the_cluster(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=2) as dispatcher:
+            with SmolServer(cluster=dispatcher,
+                            cache_capacity=64) as server:
+                first = server.submit(
+                    InferenceRequest(image_id="hot")).result(timeout=10.0)
+                # Wait until resolved, then resubmit: must hit the cache.
+                second = server.submit(
+                    InferenceRequest(image_id="hot")).result(timeout=10.0)
+                stats = server.stats()
+        assert first.prediction == second.prediction
+        assert second.cached
+        assert stats.cache_hits >= 1
+
+    def test_failover_is_invisible_to_clients(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=3,
+                        heartbeat_timeout_s=0.5) as dispatcher:
+            with SmolServer(cluster=dispatcher, cache_capacity=0,
+                            policy=BatchPolicy(name="t", max_batch_size=4,
+                                               max_wait_ms=1.0)) as server:
+                futures = [server.submit(InferenceRequest(image_id=f"i-{n}"))
+                           for n in range(120)]
+                dispatcher.worker(dispatcher.live_workers()[0]).kill()
+                responses = [f.result(timeout=15.0) for f in futures]
+        assert len(responses) == 120
+        for n, response in enumerate(responses):
+            assert response.prediction == expected_prediction(f"i-{n}")
+
+    def test_session_features_rejected_in_cluster_mode(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=1) as dispatcher:
+            with SmolServer(cluster=dispatcher) as server:
+                with pytest.raises(ServingError):
+                    server.sessions
+                with pytest.raises(ServingError):
+                    server.swap_plan(ScriptedSession())
+                assert server.stats().plan_swaps == 0
+
+    def test_close_waits_for_outstanding_cluster_batches(self,
+                                                         scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=2) as dispatcher:
+            server = SmolServer(cluster=dispatcher, cache_capacity=0)
+            futures = [server.submit(InferenceRequest(image_id=f"i-{n}"))
+                       for n in range(50)]
+            server.close()
+            # Every future resolved by the time close() returned.
+            assert all(f.done() for f in futures)

@@ -1,0 +1,219 @@
+"""Tests for the replica-aware dispatcher: routing, retries, failover."""
+
+import time
+
+import pytest
+
+from repro.cluster import BreakerState, Dispatcher, ThreadWorker
+from repro.errors import ClusterError
+from repro.serving.request import InferenceRequest
+
+from cluster_testlib import ScriptedSession, expected_prediction
+
+
+def _requests(*image_ids):
+    return [InferenceRequest(image_id=i) for i in image_ids]
+
+
+class TestDispatchBasics:
+    def test_results_match_the_plan_deterministically(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=3) as dispatcher:
+            futures = [dispatcher.submit(_requests(f"img-{i}"))
+                       for i in range(24)]
+            for i, future in enumerate(futures):
+                result = future.result(timeout=10.0)
+                assert result.predictions[0] == expected_prediction(f"img-{i}")
+                assert result.attempts == 1
+            stats = dispatcher.stats()
+        assert stats.submitted == stats.completed == 24
+        assert stats.failed == stats.retried == 0
+
+    def test_round_robin_spreads_items_over_replicas(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=3,
+                        router="round-robin") as dispatcher:
+            futures = [dispatcher.submit(_requests(f"img-{i}"))
+                       for i in range(30)]
+            owners = {future.result(timeout=10.0).worker_id
+                      for future in futures}
+        assert owners == {"worker-0", "worker-1", "worker-2"}
+
+    def test_consistent_hash_is_sticky_per_image(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=3,
+                        router="consistent-hash") as dispatcher:
+            owners = set()
+            for _ in range(6):
+                future = dispatcher.submit(_requests("img-42"))
+                owners.add(future.result(timeout=10.0).worker_id)
+        assert len(owners) == 1
+
+    def test_empty_batch_rejected(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=1) as dispatcher:
+            with pytest.raises(ClusterError):
+                dispatcher.submit([])
+
+    def test_submit_after_close_rejected(self, scripted_factory):
+        dispatcher = Dispatcher(scripted_factory, num_workers=1)
+        dispatcher.close()
+        with pytest.raises(ClusterError):
+            dispatcher.submit(_requests("img-0"))
+
+    def test_plan_key_comes_from_the_replicas(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=2) as dispatcher:
+            assert dispatcher.plan_key == "test-plan"
+
+    def test_invalid_parameters_rejected(self, scripted_factory):
+        with pytest.raises(ClusterError):
+            Dispatcher(scripted_factory, num_workers=0)
+        with pytest.raises(ClusterError):
+            Dispatcher(scripted_factory, num_workers=1, max_attempts=0)
+
+
+class TestRetriesAndCircuits:
+    def test_transient_failure_retries_on_another_replica(self):
+        def factory(worker_id, results):
+            fails = 1 if worker_id == "worker-0" else 0
+            return ThreadWorker(worker_id,
+                                ScriptedSession(fail_times=fails), results)
+
+        with Dispatcher(factory, num_workers=2, router="round-robin",
+                        max_attempts=3) as dispatcher:
+            futures = [dispatcher.submit(_requests(f"img-{i}"))
+                       for i in range(8)]
+            results = [future.result(timeout=10.0) for future in futures]
+            stats = dispatcher.stats()
+        assert all(
+            r.predictions[0] == expected_prediction(f"img-{i}")
+            for i, r in enumerate(results)
+        )
+        assert stats.retried >= 1
+        assert max(r.attempts for r in results) >= 2
+
+    def test_exhausted_attempts_fail_the_future(self):
+        def factory(worker_id, results):
+            return ThreadWorker(worker_id,
+                                ScriptedSession(fail_times=10_000), results)
+
+        with Dispatcher(factory, num_workers=2, max_attempts=2,
+                        breaker_threshold=100) as dispatcher:
+            future = dispatcher.submit(_requests("img-0"))
+            with pytest.raises(ClusterError, match="after 2 attempts"):
+                future.result(timeout=10.0)
+            assert dispatcher.stats().failed == 1
+
+    def test_failure_streak_opens_the_circuit(self):
+        def factory(worker_id, results):
+            fails = 10_000 if worker_id == "worker-0" else 0
+            return ThreadWorker(worker_id,
+                                ScriptedSession(fail_times=fails), results)
+
+        with Dispatcher(factory, num_workers=2, router="round-robin",
+                        max_attempts=4, breaker_threshold=3,
+                        breaker_cooldown_s=60.0) as dispatcher:
+            futures = [dispatcher.submit(_requests(f"img-{i}"))
+                       for i in range(20)]
+            for future in futures:
+                future.result(timeout=10.0)  # all succeed via worker-1
+            snapshot = dispatcher.stats().breakers["worker-0"]
+            assert snapshot.state is BreakerState.OPEN
+            # With the circuit open, new work routes straight to worker-1.
+            result = dispatcher.submit(_requests("probe")).result(timeout=10.0)
+            assert result.worker_id == "worker-1"
+            assert result.attempts == 1
+
+
+class TestFailover:
+    def test_killing_one_replica_completes_every_request(self,
+                                                         scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=3,
+                        heartbeat_timeout_s=0.5) as dispatcher:
+            futures = [dispatcher.submit(_requests(f"img-{i}"))
+                       for i in range(150)]
+            dispatcher.worker("worker-1").kill()
+            results = [future.result(timeout=15.0) for future in futures]
+            stats = dispatcher.stats()
+        assert len(results) == 150
+        for i, result in enumerate(results):
+            assert result.predictions[0] == expected_prediction(f"img-{i}")
+            assert result.worker_id != "worker-1" or result.attempts == 1
+        assert stats.worker_deaths == 1
+        assert stats.live_workers == 2
+        assert stats.completed == 150
+
+    def test_dead_replica_is_buried_with_its_breaker(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=2) as dispatcher:
+            dispatcher.worker("worker-0").kill()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if dispatcher.stats().worker_deaths == 1:
+                    break
+                time.sleep(0.01)
+            stats = dispatcher.stats()
+            assert stats.worker_deaths == 1
+            assert "worker-0" not in stats.breakers
+            assert dispatcher.live_workers() == ["worker-1"]
+
+    def test_work_parks_until_a_replica_appears(self, scripted_factory):
+        dispatcher = Dispatcher(scripted_factory, num_workers=2,
+                                heartbeat_timeout_s=0.2)
+        try:
+            for worker_id in list(dispatcher.live_workers()):
+                dispatcher.worker(worker_id).kill()
+            dispatcher.check_workers()
+            future = dispatcher.submit(_requests("img-7"))
+            assert dispatcher.stats().parked == 1
+            dispatcher.add_worker()
+            result = future.result(timeout=10.0)
+            assert result.predictions[0] == expected_prediction("img-7")
+        finally:
+            dispatcher.close()
+
+    def test_manual_check_workers_reports_the_dead(self, scripted_factory):
+        dispatcher = Dispatcher(scripted_factory, num_workers=2,
+                                monitor_interval_s=0,
+                                heartbeat_timeout_s=10.0)
+        try:
+            dispatcher.worker("worker-0").kill()
+            assert dispatcher.check_workers() == ["worker-0"]
+            assert dispatcher.check_workers() == []
+        finally:
+            dispatcher.close()
+
+
+class TestPoolManagement:
+    def test_add_worker_grows_the_pool(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=1) as dispatcher:
+            new_id = dispatcher.add_worker()
+            assert new_id in dispatcher.live_workers()
+            assert len(dispatcher.live_workers()) == 2
+
+    def test_retire_worker_drains_then_removes(self, scripted_factory):
+        dispatcher = Dispatcher(scripted_factory, num_workers=2,
+                                monitor_interval_s=0)
+        try:
+            retired = dispatcher.retire_worker()
+            assert retired == "worker-1"
+            assert retired not in dispatcher.live_workers()
+            dispatcher.check_workers()
+            assert len(dispatcher.live_workers()) == 1
+            # Work still completes on the survivor.
+            result = dispatcher.submit(_requests("img-0")).result(timeout=10.0)
+            assert result.worker_id == "worker-0"
+        finally:
+            dispatcher.close()
+
+    def test_last_worker_cannot_be_retired(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=1) as dispatcher:
+            assert dispatcher.retire_worker() is None
+
+    def test_queue_depths_and_backlog_shapes(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=2) as dispatcher:
+            depths = dispatcher.queue_depths()
+            assert set(depths) == {"worker-0", "worker-1"}
+            assert dispatcher.backlog() >= 0
+
+    def test_describe_mentions_key_counters(self, scripted_factory):
+        with Dispatcher(scripted_factory, num_workers=1) as dispatcher:
+            dispatcher.submit(_requests("img-0")).result(timeout=10.0)
+            text = dispatcher.stats().describe()
+        assert "submitted" in text
+        assert "live" in text

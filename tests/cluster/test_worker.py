@@ -1,0 +1,158 @@
+"""Tests for thread- and process-backed workers."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.cluster import (
+    ProcessWorker,
+    SessionSpec,
+    ThreadWorker,
+    WorkItem,
+)
+from repro.errors import ClusterError
+from repro.inference.mpmc import MpmcQueue
+from repro.serving.request import InferenceRequest
+
+from cluster_testlib import ScriptedSession, expected_prediction
+
+
+def _item(item_id: int, *image_ids: str) -> WorkItem:
+    return WorkItem(
+        item_id=item_id,
+        requests=tuple(InferenceRequest(image_id=i) for i in image_ids),
+    )
+
+
+@pytest.fixture()
+def results():
+    return MpmcQueue(256)
+
+
+class TestThreadWorker:
+    def test_executes_and_reports_outcomes(self, results):
+        worker = ThreadWorker("w0", ScriptedSession(), results)
+        worker.submit(_item(0, "img-0", "img-1"))
+        outcome = results.get(timeout=5.0)
+        assert outcome.ok
+        assert outcome.worker_id == "w0"
+        assert outcome.predictions == (
+            expected_prediction("img-0"), expected_prediction("img-1"),
+        )
+        assert outcome.modelled_seconds == pytest.approx(2e-3)
+        assert worker.pending_items() == []
+        worker.close()
+
+    def test_session_errors_become_failed_outcomes(self, results):
+        worker = ThreadWorker("w0", ScriptedSession(fail_times=1), results)
+        worker.submit(_item(0, "img-0"))
+        first = results.get(timeout=5.0)
+        assert not first.ok
+        assert "injected" in first.error
+        worker.submit(_item(1, "img-0"))
+        second = results.get(timeout=5.0)
+        assert second.ok
+        assert worker.stats().failed_items == 1
+        worker.close()
+
+    def test_kill_abandons_pending_work(self, results):
+        worker = ThreadWorker("w0", ScriptedSession(), results)
+        worker.kill()
+        assert not worker.alive
+        with pytest.raises(ClusterError):
+            worker.submit(_item(0, "img-0"))
+
+    def test_pending_items_survive_a_kill(self, results):
+        # A slow session: the worker is mid-execution when killed.
+        class SlowSession(ScriptedSession):
+            def execute(self, requests):
+                time.sleep(0.2)
+                return super().execute(requests)
+
+        worker = ThreadWorker("w0", SlowSession(), results)
+        worker.submit(_item(0, "img-0"))
+        worker.submit(_item(1, "img-1"))
+        time.sleep(0.05)  # let execution of item 0 begin
+        worker.kill()
+        pending_ids = {item.item_id for item in worker.pending_items()}
+        assert pending_ids == {0, 1}
+
+    def test_heartbeat_stays_fresh_while_idle(self, results):
+        worker = ThreadWorker("w0", ScriptedSession(), results)
+        time.sleep(0.2)
+        assert worker.heartbeat_age() < 0.15
+        worker.close()
+
+    def test_stats_count_requests(self, results):
+        worker = ThreadWorker("w0", ScriptedSession(), results)
+        worker.submit(_item(0, "a", "b", "c"))
+        results.get(timeout=5.0)
+        stats = worker.stats()
+        assert stats.executed_items == 1
+        assert stats.executed_requests == 3
+        worker.close()
+
+    def test_close_drains_queued_items(self, results):
+        worker = ThreadWorker("w0", ScriptedSession(), results)
+        for i in range(10):
+            worker.submit(_item(i, f"img-{i}"))
+        worker.close()
+        got = {results.get(timeout=1.0).item_id for _ in range(10)}
+        assert got == set(range(10))
+
+    def test_invalid_parameters_rejected(self, results):
+        with pytest.raises(ClusterError):
+            ThreadWorker("", ScriptedSession(), results)
+        with pytest.raises(ClusterError):
+            ThreadWorker("w0", ScriptedSession(), results,
+                         service_time_scale=-1.0)
+
+    def test_plan_key_exposed(self, results):
+        worker = ThreadWorker("w0", ScriptedSession(plan_key="p1"), results)
+        assert worker.plan_key == "p1"
+        worker.close()
+
+
+class TestWorkItem:
+    def test_retried_bumps_attempts(self):
+        item = _item(3, "img-0")
+        assert item.attempts == 1
+        assert item.retried().attempts == 2
+        assert item.retried().item_id == item.item_id
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process workers need the fork start method",
+)
+class TestProcessWorker:
+    def test_process_worker_matches_thread_worker(self, results,
+                                                  simulated_spec):
+        process_worker = ProcessWorker("pw", simulated_spec, results)
+        try:
+            process_worker.submit(_item(0, "img-0", "img-1"))
+            outcome = results.get(timeout=20.0)
+            assert outcome.ok
+            assert outcome.worker_id == "pw"
+            thread_results = MpmcQueue(16)
+            thread_worker = ThreadWorker("tw", simulated_spec.build(),
+                                         thread_results)
+            thread_worker.submit(_item(0, "img-0", "img-1"))
+            reference = thread_results.get(timeout=5.0)
+            assert outcome.predictions == reference.predictions
+            thread_worker.close()
+        finally:
+            process_worker.close()
+        assert not process_worker.alive
+
+    def test_kill_terminates_the_process(self, results, simulated_spec):
+        worker = ProcessWorker("pw", simulated_spec, results)
+        worker.kill()
+        deadline = time.monotonic() + 10.0
+        while worker._process.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not worker.alive
+        with pytest.raises(ClusterError):
+            worker.submit(_item(0, "img-0"))
+        worker.close()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.codecs.formats import FULL_JPEG, list_input_formats
+from repro.codecs.formats import FULL_JPEG
 from repro.core.accuracy import AccuracyEstimator
 from repro.core.costmodel import SmolCostModel
 from repro.core.planner import PlanGenerator, PlannerFeatures

@@ -12,7 +12,6 @@ from repro.codecs.formats import (
 from repro.errors import EngineError
 from repro.inference.perfmodel import (
     EngineConfig,
-    PerformanceModel,
     PreprocessingCostModel,
 )
 from repro.nn.zoo import get_model_profile

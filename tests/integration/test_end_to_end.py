@@ -4,7 +4,6 @@ executed through the threaded runtime engine."""
 import numpy as np
 import pytest
 
-from repro.codecs.formats import FULL_JPEG, THUMB_JPEG_161_Q75, THUMB_PNG_161
 from repro.codecs.roi import central_crop_roi
 from repro.datasets.images import load_image_dataset
 from repro.inference.engine import SmolRuntimeEngine

@@ -13,7 +13,6 @@ from repro.baselines.tahoma import TahomaBaseline
 from repro.core.planner import PlannerFeatures
 from repro.datasets.video import load_video_dataset
 from repro.measurement.study import MeasurementStudy
-from repro.inference.perfmodel import PerformanceModel
 
 
 class TestSection2Claims:

@@ -6,6 +6,7 @@ from repro.codecs.formats import THUMB_PNG_161
 from repro.errors import ServingError
 from repro.serving.batcher import BatchPolicy
 from repro.serving.loadgen import (
+    ArrivalTrace,
     LoadGenerator,
     burst_arrivals,
     poisson_arrivals,
@@ -46,6 +47,45 @@ class TestArrivalProcesses:
             poisson_arrivals(0.0, 1.0, rng)
         with pytest.raises(ServingError):
             burst_arrivals(100.0, 1.0, burst_size=0)
+
+
+class TestArrivalTraceDeterminism:
+    def test_same_parameters_replay_identical_traces(self):
+        first = ArrivalTrace.build("poisson", 800.0, 0.5, pool_size=16, seed=3)
+        second = ArrivalTrace.build("poisson", 800.0, 0.5, pool_size=16, seed=3)
+        assert first == second
+        assert len(first) > 0
+
+    def test_seed_changes_the_trace(self):
+        base = ArrivalTrace.build("poisson", 800.0, 0.5, pool_size=16, seed=3)
+        other = ArrivalTrace.build("poisson", 800.0, 0.5, pool_size=16, seed=4)
+        assert base.offsets != other.offsets
+
+    def test_schedule_parameters_key_independent_streams(self):
+        slow = ArrivalTrace.build("poisson", 400.0, 0.5, pool_size=16, seed=3)
+        fast = ArrivalTrace.build("poisson", 800.0, 0.5, pool_size=16, seed=3)
+        # Different rates draw from independent streams, not a shared one.
+        assert slow.offsets[:5] != fast.offsets[:5]
+
+    def test_burst_choices_are_deterministic(self):
+        first = ArrivalTrace.build("burst", 500.0, 0.2, pool_size=8, seed=9,
+                                   burst_size=4)
+        second = ArrivalTrace.build("burst", 500.0, 0.2, pool_size=8, seed=9,
+                                    burst_size=4)
+        assert first.choices == second.choices
+        assert all(0 <= c < 8 for c in first.choices)
+
+    def test_generator_trace_matches_across_instances(self, simulated_server):
+        pool = [(f"img-{i}", None) for i in range(8)]
+        one = LoadGenerator(simulated_server, pool, seed=5)
+        two = LoadGenerator(simulated_server, pool, seed=5)
+        assert one.trace(300.0, 0.5) == two.trace(300.0, 0.5)
+
+    def test_invalid_trace_parameters_rejected(self):
+        with pytest.raises(ServingError):
+            ArrivalTrace.build("sawtooth", 100.0, 0.1, pool_size=4)
+        with pytest.raises(ServingError):
+            ArrivalTrace.build("poisson", 100.0, 0.1, pool_size=0)
 
 
 @pytest.fixture()

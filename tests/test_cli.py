@@ -47,19 +47,71 @@ class TestCliCommands:
         assert "speedup" in output
         assert "BlazeIt" in output
 
-    def test_serve_bench_command(self, capsys):
+    def test_serve_bench_command(self, capsys, tmp_path):
         assert main(["serve-bench", "--mode", "simulated", "--requests", "200",
-                     "--rate", "2000"]) == 0
+                     "--rate", "2000",
+                     "--bench-json", str(tmp_path / "bench.json")]) == 0
         output = capsys.readouterr().out
         assert "latency" in output and "throughput" in output
         assert "p99 (ms)" in output
 
-    def test_loadtest_command(self, capsys):
+    def test_loadtest_command(self, capsys, tmp_path):
+        bench = tmp_path / "BENCH_serving.json"
         assert main(["loadtest", "--mode", "simulated", "--rate", "400",
-                     "--duration", "0.2", "--pattern", "burst"]) == 0
+                     "--duration", "0.2", "--pattern", "burst",
+                     "--bench-json", str(bench)]) == 0
         output = capsys.readouterr().out
         assert "throughput:" in output
         assert "p95" in output
+
+    def test_serve_bench_writes_machine_readable_scorecard(self, capsys,
+                                                           tmp_path):
+        import json
+
+        bench = tmp_path / "BENCH_serving.json"
+        assert main(["serve-bench", "--mode", "simulated", "--requests",
+                     "200", "--rate", "2000",
+                     "--bench-json", str(bench)]) == 0
+        payload = json.loads(bench.read_text())
+        assert payload["bench"] == "serve-bench"
+        assert {row["policy"] for row in payload["rows"]} == \
+            {"latency", "throughput"}
+        for row in payload["rows"]:
+            assert row["throughput_rps"] > 0
+            assert 0 <= row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+
+    def test_loadtest_writes_machine_readable_scorecard(self, capsys,
+                                                        tmp_path):
+        import json
+
+        bench = tmp_path / "BENCH_serving.json"
+        assert main(["loadtest", "--mode", "simulated", "--rate", "400",
+                     "--duration", "0.2",
+                     "--bench-json", str(bench)]) == 0
+        payload = json.loads(bench.read_text())
+        assert payload["bench"] == "loadtest"
+        (row,) = payload["rows"]
+        assert row["pattern"] == "poisson"
+        assert row["completed"] > 0
+
+    def test_cluster_bench_command(self, capsys, tmp_path):
+        import json
+
+        bench = tmp_path / "BENCH_cluster.json"
+        assert main(["cluster-bench", "--workers", "1", "2",
+                     "--images", "256", "--rate", "1000",
+                     "--duration", "0.1",
+                     "--bench-json", str(bench)]) == 0
+        output = capsys.readouterr().out
+        assert "Smol-Cluster scaling" in output
+        payload = json.loads(bench.read_text())
+        assert payload["bench"] == "cluster-bench"
+        by_workers = {row["workers"]: row for row in payload["rows"]}
+        assert set(by_workers) == {1, 2}
+        # Near-linear simulated scaling at two workers.
+        assert by_workers[2]["speedup"] >= 1.7
+        for row in payload["rows"]:
+            assert 0 <= row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
 
 
 class TestCliErrorHandling:
@@ -92,6 +144,21 @@ class TestCliErrorHandling:
         captured = capsys.readouterr()
         assert captured.err.startswith("error:")
         assert "Traceback" not in captured.err
+
+    def test_cluster_bench_functional_mode(self, capsys, tmp_path):
+        # Functional replicas need decoded payloads on the corpus examples;
+        # regression test for the payload-less functional corpus.
+        assert main(["cluster-bench", "--mode", "functional",
+                     "--workers", "1", "--images", "24", "--rate", "200",
+                     "--duration", "0.1", "--pool-size", "8",
+                     "--max-batch", "8",
+                     "--bench-json", str(tmp_path / "b.json")]) == 0
+        assert "Smol-Cluster scaling" in capsys.readouterr().out
+
+    def test_cluster_bench_bad_workers_exits_2(self, capsys, tmp_path):
+        assert main(["cluster-bench", "--workers", "0",
+                     "--bench-json", str(tmp_path / "b.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
 
     def test_non_numeric_flag_value_exits_2_via_argparse(self):
         with pytest.raises(SystemExit) as excinfo:

@@ -19,6 +19,7 @@ PUBLIC_SUBPACKAGES = [
     "repro.measurement",
     "repro.baselines",
     "repro.serving",
+    "repro.cluster",
     "repro.utils",
     "repro.cli",
 ]

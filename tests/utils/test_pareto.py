@@ -42,3 +42,47 @@ class TestParetoFrontier:
     def test_sort_frontier_orders_by_axis(self):
         frontier = [(3, 3), (1, 5), (2, 4)]
         assert sort_frontier(frontier, lambda p: p, axis=0) == [(1, 5), (2, 4), (3, 3)]
+
+
+class TestParetoFrontierEdgeCases:
+    def test_all_duplicate_points_collapse_to_one(self):
+        frontier = pareto_frontier([(1, 1)] * 5, lambda p: p)
+        assert frontier == [(1, 1)]
+
+    def test_duplicates_keep_first_occurrence_object(self):
+        first, second = {"v": (2, 2)}, {"v": (2, 2)}
+        frontier = pareto_frontier([first, second], lambda p: p["v"])
+        assert frontier == [first]
+        assert frontier[0] is first
+
+    def test_tie_on_one_axis_keeps_only_the_dominant_point(self):
+        # (2, 1) and (2, 3) tie on the first axis; (2, 3) dominates.
+        frontier = pareto_frontier([(2, 1), (2, 3)], lambda p: p)
+        assert frontier == [(2, 3)]
+
+    def test_tie_on_one_axis_keeps_true_tradeoffs(self):
+        # Ties on one axis with a tradeoff on the other keep both points.
+        points = [(2, 1), (1, 2), (2, 0.5)]
+        frontier = pareto_frontier(points, lambda p: p)
+        assert set(frontier) == {(2, 1), (1, 2)}
+
+    def test_fully_dominated_set_leaves_single_survivor(self):
+        points = [(1, 1), (2, 2), (3, 3), (4, 4)]
+        assert pareto_frontier(points, lambda p: p) == [(4, 4)]
+
+    def test_fully_dominated_chain_order_independent(self):
+        points = [(4, 4), (3, 3), (1, 1), (2, 2)]
+        assert pareto_frontier(points, lambda p: p) == [(4, 4)]
+
+    def test_single_element_input_survives_any_objectives(self):
+        assert pareto_frontier(["only"], lambda p: (0.0, -5.0)) == ["only"]
+
+    def test_single_element_duplicated_vector_three_objectives(self):
+        points = [(1, 2, 3), (1, 2, 3)]
+        assert pareto_frontier(points, lambda p: p) == [(1, 2, 3)]
+
+    def test_frontier_from_generator_input(self):
+        # Iterables are materialized once; generators are valid input.
+        frontier = pareto_frontier(iter([(1, 5), (2, 4), (0, 0)]),
+                                   lambda p: p)
+        assert set(frontier) == {(1, 5), (2, 4)}
