@@ -1,0 +1,55 @@
+"""Render a per-package coverage table (markdown) from a coverage.json.
+
+Used by CI to append a package-level breakdown to the job summary:
+
+    python .github/coverage_summary.py coverage.json >> "$GITHUB_STEP_SUMMARY"
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+
+def package_of(path: str) -> str:
+    """Map ``src/repro/<pkg>/<mod>.py`` to ``repro/<pkg>`` (top-level
+    modules map to ``repro``)."""
+    parts = path.replace("\\", "/").split("/")
+    if "repro" in parts:
+        index = parts.index("repro")
+        if index + 2 < len(parts):
+            return "/".join(parts[index:index + 2])
+        return "repro"
+    return parts[0] if parts else "?"
+
+
+def main(argv: list[str]) -> int:
+    source = argv[1] if len(argv) > 1 else "coverage.json"
+    with open(source, encoding="utf-8") as handle:
+        data = json.load(handle)
+    packages: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+    for path, info in sorted(data["files"].items()):
+        summary = info["summary"]
+        bucket = packages[package_of(path)]
+        bucket[0] += summary["covered_lines"]
+        bucket[1] += summary["num_statements"]
+    print("## Coverage by package\n")
+    print("| Package | Statements | Covered | % |")
+    print("|---|---:|---:|---:|")
+    total_covered = total_statements = 0
+    for package in sorted(packages):
+        covered, statements = packages[package]
+        total_covered += covered
+        total_statements += statements
+        percent = 100.0 * covered / statements if statements else 100.0
+        print(f"| {package} | {statements} | {covered} | {percent:.1f}% |")
+    overall = (100.0 * total_covered / total_statements
+               if total_statements else 100.0)
+    print(f"| **total** | {total_statements} | {total_covered} "
+          f"| **{overall:.1f}%** |")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,86 @@
+"""Smol-Query scaling study: sharded cheap-pass speedup vs. worker count.
+
+Not a paper figure: this benchmarks the sharded analytics query subsystem
+the repo adds on top of the paper's single-process engines.  One aggregation
+query is executed at 1/2/4/8 scan replicas; every sweep point must produce
+estimates and CI bounds **bit-identical** to the single-process engine (the
+merge-exactness contract), while the modelled cheap-pass makespan -- the
+quantity parallel replicas actually shrink -- must scale near-linearly.
+
+The sweep is recorded as ``BENCH_query.json`` at the repo root so the
+performance trajectory is machine-trackable.
+"""
+
+from pathlib import Path
+
+from benchlib import emit
+
+from repro.query import QueryEngine, QuerySpec
+from repro.utils.benchio import write_bench_json
+from repro.utils.tables import Table
+
+WORKER_COUNTS = (1, 2, 4, 8)
+FRAME_LIMIT = 6_000
+BATCH_SIZE = 128
+ERROR_BOUND = 0.05
+DATASET = "taipei"
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_query.json"
+
+
+def run_scaling() -> tuple[Table, list[dict]]:
+    engine = QueryEngine(frame_limit=FRAME_LIMIT, batch_size=BATCH_SIZE)
+    spec = QuerySpec.aggregate(DATASET, error_bound=ERROR_BOUND)
+    reference = engine.execute_single(spec)
+    table = Table(
+        f"Smol-Query scaling (aggregate on {DATASET}, "
+        f"{FRAME_LIMIT} functional frames)",
+        ["Workers", "Estimate", "CI +/-", "Makespan (s)", "Speedup",
+         "Identical"],
+    )
+    rows: list[dict] = []
+    baseline = None
+    for count in WORKER_COUNTS:
+        result = engine.execute(spec, num_workers=count)
+        identical = (
+            result.estimate == reference.estimate
+            and result.ci_half_width == reference.ci_half_width
+            and result.population_proxy_mean
+            == reference.population_proxy_mean
+        )
+        makespan = result.execution.cheap_pass_makespan_s
+        if baseline is None:
+            baseline = makespan
+        speedup = baseline / makespan if makespan > 0 else 0.0
+        table.add_row(count, round(result.estimate, 4),
+                      round(result.ci_half_width, 4), round(makespan, 3),
+                      round(speedup, 2), "yes" if identical else "NO")
+        rows.append({
+            "workers": count,
+            "estimate": result.estimate,
+            "ci_half_width": result.ci_half_width,
+            "cheap_pass_makespan_s": round(makespan, 6),
+            "cheap_pass_speedup": round(speedup, 3),
+            "bit_identical": identical,
+            "target_invocations": result.target_invocations,
+        })
+    return table, rows
+
+
+def test_query_scaling(benchmark):
+    table, rows = benchmark(run_scaling)
+    emit(table)
+    write_bench_json(
+        BENCH_PATH, "query-scaling", rows,
+        meta={"dataset": DATASET, "error_bound": ERROR_BOUND,
+              "frame_limit": FRAME_LIMIT,
+              "worker_counts": list(WORKER_COUNTS)},
+    )
+    by_workers = {row["workers"]: row for row in rows}
+    # The statistical contract: sharding must not move a single bit.
+    assert all(row["bit_identical"] for row in rows)
+    assert len({row["estimate"] for row in rows}) == 1
+    assert len({row["ci_half_width"] for row in rows}) == 1
+    # Near-linear scaling of the modelled cheap-pass makespan.
+    assert by_workers[2]["cheap_pass_speedup"] >= 1.7
+    assert by_workers[4]["cheap_pass_speedup"] >= 3.0
+    assert by_workers[8]["cheap_pass_speedup"] >= 5.0

@@ -30,6 +30,11 @@ full system and every substrate it depends on in pure Python/numpy:
   runtime: replica workers, shard routing, a failover dispatcher with
   heartbeats and circuit breakers, queue-depth autoscaling, and exact
   sharded corpus aggregation.
+* :mod:`repro.query` -- Smol-Query, the declarative analytics query
+  front-end: one ``QuerySpec`` API for aggregation/limit/cascade queries,
+  planner-chosen plans per stage, cheap passes sharded over the cluster
+  runtime, and exactly merged per-shard statistics (results bit-identical
+  to the single-process engines).
 
 Quickstart
 ----------
@@ -66,6 +71,7 @@ from repro.cluster import (
     ShardedCorpusRunner,
     ThreadWorker,
 )
+from repro.query import QueryEngine, QuerySpec
 
 __all__ = [
     "__version__",
@@ -88,4 +94,6 @@ __all__ = [
     "SessionSpec",
     "ShardedCorpusRunner",
     "ThreadWorker",
+    "QueryEngine",
+    "QuerySpec",
 ]

@@ -12,9 +12,26 @@ re-implemented so Smol can be evaluated end-to-end (Section 3.2):
 
 from repro.analytics.sampling import (
     SamplingResult,
+    adaptive_mean_estimate,
     uniform_sample_mean,
     control_variate_mean,
     required_sample_size,
+)
+from repro.analytics.stats import (
+    ExactSum,
+    MomentSketch,
+    PairedMomentSketch,
+    Z_95,
+    ci_half_width,
+    exact_mean,
+    exact_sum,
+)
+from repro.analytics.scan import (
+    ScanCosts,
+    TwoPassEngine,
+    compute_scan_costs,
+    proxy_scan_order,
+    scan_views,
 )
 from repro.analytics.aggregation import (
     AggregationQuery,
@@ -37,9 +54,22 @@ __all__ = [
     "LimitQueryResult",
     "LimitQueryEngine",
     "SamplingResult",
+    "adaptive_mean_estimate",
     "uniform_sample_mean",
     "control_variate_mean",
     "required_sample_size",
+    "ExactSum",
+    "MomentSketch",
+    "PairedMomentSketch",
+    "Z_95",
+    "ci_half_width",
+    "exact_mean",
+    "exact_sum",
+    "ScanCosts",
+    "TwoPassEngine",
+    "compute_scan_costs",
+    "proxy_scan_order",
+    "scan_views",
     "AggregationQuery",
     "AggregationResult",
     "AggregationEngine",

@@ -20,18 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.analytics.sampling import (
-    control_variate_mean,
-    required_sample_size,
-    uniform_sample_mean,
-)
+from repro.analytics.sampling import adaptive_mean_estimate
+from repro.analytics.scan import TwoPassEngine, scan_views
+from repro.analytics.stats import exact_mean
 from repro.codecs.formats import InputFormatSpec
 from repro.datasets.video import VideoDataset
 from repro.errors import QueryError
-from repro.inference.perfmodel import EngineConfig, PerformanceModel
-from repro.nn.zoo import ModelProfile, get_model_profile
+from repro.nn.zoo import ModelProfile
 
 
 @dataclass(frozen=True)
@@ -72,6 +67,8 @@ class AggregationResult:
     specialized_pass_seconds: float
     target_pass_seconds: float
     estimator_variance: float
+    ci_half_width: float = 0.0
+    proxy_population_mean: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -84,22 +81,20 @@ class AggregationResult:
         return abs(self.estimate - self.true_mean)
 
 
-class AggregationEngine:
+class AggregationEngine(TwoPassEngine):
     """Executes aggregation queries with a specialized-NN control variate."""
 
-    def __init__(self, performance_model: PerformanceModel,
-                 config: EngineConfig | None = None,
+    def __init__(self, performance_model, config=None,
                  use_control_variate: bool = True) -> None:
-        self._perf = performance_model
-        self._config = config or EngineConfig(
-            num_producers=performance_model.instance.vcpus
-        )
+        super().__init__(performance_model, config)
         self._use_control_variate = use_control_variate
 
     def execute(self, query: AggregationQuery, specialized_model: ModelProfile,
                 fmt: InputFormatSpec, specialized_accuracy: float = 0.85,
                 pilot_fraction: float = 0.02, seed: int = 0,
-                frame_limit: int = 20_000) -> AggregationResult:
+                frame_limit: int = 20_000,
+                proxy_population_mean: float | None = None,
+                ) -> AggregationResult:
         """Run ``query`` using ``specialized_model`` on rendition ``fmt``.
 
         ``specialized_accuracy`` controls how well the specialized NN's counts
@@ -107,54 +102,34 @@ class AggregationEngine:
         control-variate variance).  ``frame_limit`` bounds the synthetic
         dataset length so the functional computation stays fast; query times
         are reported for the full dataset by scaling the cheap-pass cost.
+        ``proxy_population_mean`` lets a sharded cheap pass inject its exact
+        merged mean; by default it is computed here with the same exact sum.
         """
-        if not 0.0 < pilot_fraction < 1.0:
-            raise QueryError("pilot_fraction must be in (0, 1)")
         dataset = query.dataset
-        frames_used = min(frame_limit, dataset.num_frames)
-        truth = dataset.ground_truth_counts(frames_used).astype(np.float64)
-        proxy = dataset.specialized_nn_predictions(
-            accuracy_factor=specialized_accuracy, limit=frames_used
-        )
+        truth, proxy, frames_used = scan_views(dataset, specialized_accuracy,
+                                               frame_limit)
         true_mean = float(truth.mean())
-
-        # Pilot sample to estimate the estimator variance, then size the
-        # final sample for the requested error bound.
-        pilot_size = max(30, int(pilot_fraction * frames_used))
-        pilot_size = min(pilot_size, frames_used)
-        if self._use_control_variate:
-            pilot = control_variate_mean(truth, proxy, pilot_size, seed=seed)
-        else:
-            pilot = uniform_sample_mean(truth, pilot_size, seed=seed)
-        needed = required_sample_size(pilot.variance, query.error_bound,
-                                      population=frames_used)
-        needed = max(needed, pilot_size)
-        if self._use_control_variate:
-            final = control_variate_mean(truth, proxy, needed, seed=seed + 1)
-        else:
-            final = uniform_sample_mean(truth, needed, seed=seed + 1)
-
-        # Cost model: the specialized pass touches every frame of the full
-        # dataset; the target pass touches only the sampled frames.
-        target_model = query.target_model or get_model_profile("mask-rcnn")
-        cheap_estimate = self._perf.estimate(specialized_model, fmt, self._config)
-        cheap_throughput = cheap_estimate.pipelined_upper_bound
-        target_throughput = self._perf.dnn_model.execution_throughput(
-            target_model, batch_size=self._config.batch_size
+        if proxy_population_mean is None and self._use_control_variate:
+            proxy_population_mean = exact_mean(proxy)
+        final = adaptive_mean_estimate(
+            truth, proxy, query.error_bound, pilot_fraction=pilot_fraction,
+            seed=seed, use_control_variate=self._use_control_variate,
+            proxy_population_mean=proxy_population_mean,
         )
-        # Scale the sample size measured on the truncated synthetic dataset
-        # up to the full dataset length (variance is length-invariant).
-        scale = dataset.num_frames / frames_used
-        specialized_seconds = dataset.num_frames / cheap_throughput
-        target_invocations = int(round(needed * scale))
-        target_seconds = target_invocations / target_throughput
+        # Cost model: the specialized pass touches every frame of the full
+        # dataset; the target pass touches only the sampled frames (scaled
+        # from the truncated functional scan -- variance is length-invariant).
+        costs = self.scan_costs(specialized_model, fmt, dataset, frames_used,
+                                target_model=query.target_model)
         return AggregationResult(
             query_name=dataset.name,
             estimate=final.estimate,
             true_mean=true_mean,
             error_bound=query.error_bound,
-            target_invocations=target_invocations,
-            specialized_pass_seconds=specialized_seconds,
-            target_pass_seconds=target_seconds,
+            target_invocations=costs.target_invocations(final.samples_used),
+            specialized_pass_seconds=costs.specialized_pass_seconds,
+            target_pass_seconds=costs.target_pass_seconds(final.samples_used),
             estimator_variance=final.variance,
+            ci_half_width=final.half_width,
+            proxy_population_mean=proxy_population_mean or 0.0,
         )

@@ -15,10 +15,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics.scan import TwoPassEngine
 from repro.codecs.formats import InputFormatSpec
 from repro.core.plans import Plan
 from repro.errors import QueryError
-from repro.inference.perfmodel import EngineConfig, PerformanceModel
 from repro.nn.zoo import ModelProfile
 from repro.utils.rng import deterministic_rng
 
@@ -62,15 +62,8 @@ class CascadeEvaluation:
 CASCADE_FORWARD_OVERHEAD = 1.25
 
 
-class CascadeClassifier:
+class CascadeClassifier(TwoPassEngine):
     """Evaluates specialized-NN / target-DNN cascades."""
-
-    def __init__(self, performance_model: PerformanceModel,
-                 config: EngineConfig | None = None) -> None:
-        self._perf = performance_model
-        self._config = config or EngineConfig(
-            num_producers=performance_model.instance.vcpus
-        )
 
     def simulate_accuracy(self, proxy_accuracy: float, target_accuracy: float,
                           pass_through_rate: float, num_classes: int,

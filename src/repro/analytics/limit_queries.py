@@ -16,11 +16,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics.scan import TwoPassEngine, proxy_scan_order, scan_views
 from repro.codecs.formats import InputFormatSpec
 from repro.datasets.video import VideoDataset
 from repro.errors import QueryError
-from repro.inference.perfmodel import EngineConfig, PerformanceModel
-from repro.nn.zoo import ModelProfile, get_model_profile
+from repro.nn.zoo import ModelProfile
 
 
 @dataclass(frozen=True)
@@ -61,16 +61,33 @@ class LimitQueryResult:
         return self.specialized_pass_seconds + self.target_pass_seconds
 
 
-class LimitQueryEngine:
+def verification_scan(truth: np.ndarray, scan_order: np.ndarray,
+                      min_count: int, limit: int) -> tuple[list[int], int]:
+    """Visit frames in ``scan_order``, verifying candidates with the truth.
+
+    Returns the confirmed frame indices (at most ``limit``) and the number of
+    frames scanned.  A pure function of its inputs, shared by the
+    single-process engine and the sharded query engine so both produce the
+    same frames from the same proxy array.
+    """
+    found: list[int] = []
+    scanned = 0
+    for frame_index in scan_order:
+        scanned += 1
+        # The target DNN verifies the candidate frame.
+        if truth[frame_index] >= min_count:
+            found.append(int(frame_index))
+            if len(found) >= limit:
+                break
+    return found, scanned
+
+
+class LimitQueryEngine(TwoPassEngine):
     """Executes limit queries with proxy-ordered scanning."""
 
-    def __init__(self, performance_model: PerformanceModel,
-                 config: EngineConfig | None = None,
+    def __init__(self, performance_model, config=None,
                  use_proxy_ordering: bool = True) -> None:
-        self._perf = performance_model
-        self._config = config or EngineConfig(
-            num_producers=performance_model.instance.vcpus
-        )
+        super().__init__(performance_model, config)
         self._use_proxy_ordering = use_proxy_ordering
 
     def execute(self, query: LimitQuery, specialized_model: ModelProfile,
@@ -83,45 +100,24 @@ class LimitQueryEngine:
         computation; the cheap-pass cost is reported for the full dataset.
         """
         dataset = query.dataset
-        frames_used = min(frame_limit, dataset.num_frames)
-        truth = dataset.ground_truth_counts(frames_used)
-        proxy = dataset.specialized_nn_predictions(
-            accuracy_factor=specialized_accuracy, limit=frames_used
-        )
+        truth, proxy, frames_used = scan_views(dataset, specialized_accuracy,
+                                               frame_limit)
         if self._use_proxy_ordering:
-            scan_order = np.argsort(-proxy, kind="stable")
+            scan_order = proxy_scan_order(proxy)
         else:
             scan_order = np.arange(frames_used)
-
-        found: list[int] = []
-        scanned = 0
-        for frame_index in scan_order:
-            scanned += 1
-            # The target DNN verifies the candidate frame.
-            if truth[frame_index] >= query.min_count:
-                found.append(int(frame_index))
-                if len(found) >= query.limit:
-                    break
-
-        target = target_model or get_model_profile("mask-rcnn")
-        cheap_estimate = self._perf.estimate(specialized_model, fmt, self._config)
-        cheap_throughput = cheap_estimate.pipelined_upper_bound
-        target_throughput = self._perf.dnn_model.execution_throughput(
-            target, batch_size=self._config.batch_size
-        )
-        scale = dataset.num_frames / frames_used
-        specialized_seconds = dataset.num_frames / cheap_throughput
-        target_invocations = int(round(scanned * scale)) if self._use_proxy_ordering \
-            else int(round(scanned * scale))
-        target_seconds = target_invocations / target_throughput
+        found, scanned = verification_scan(truth, scan_order,
+                                           query.min_count, query.limit)
+        costs = self.scan_costs(specialized_model, fmt, dataset, frames_used,
+                                target_model=target_model)
         return LimitQueryResult(
             query_name=dataset.name,
             requested=query.limit,
             found_frames=tuple(found),
             frames_scanned=scanned,
-            target_invocations=target_invocations,
-            specialized_pass_seconds=specialized_seconds,
-            target_pass_seconds=target_seconds,
+            target_invocations=costs.target_invocations(scanned),
+            specialized_pass_seconds=costs.specialized_pass_seconds,
+            target_pass_seconds=costs.target_pass_seconds(scanned),
         )
 
     def compare_with_random_scan(self, query: LimitQuery,

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analytics.stats import Z_95, exact_mean
 from repro.errors import QueryError
 from repro.utils.rng import deterministic_rng
 
@@ -44,9 +45,6 @@ class SamplingResult:
         return abs(self.estimate - true_mean) <= self.half_width * slack
 
 
-Z_95 = 1.96
-
-
 def uniform_sample_mean(values: np.ndarray, sample_size: int,
                         seed: int = 0) -> SamplingResult:
     """Estimate the mean of ``values`` from a uniform random sample."""
@@ -65,12 +63,19 @@ def uniform_sample_mean(values: np.ndarray, sample_size: int,
 
 
 def control_variate_mean(values: np.ndarray, proxy: np.ndarray,
-                         sample_size: int, seed: int = 0) -> SamplingResult:
+                         sample_size: int, seed: int = 0,
+                         proxy_population_mean: float | None = None,
+                         ) -> SamplingResult:
     """Estimate the mean of ``values`` using ``proxy`` as a control variate.
 
     ``proxy`` must be available for the whole population (it is cheap to
     compute); ``values`` are only observed on the sample.  The optimal control
     coefficient is estimated from the sample covariance.
+
+    ``proxy_population_mean`` is the cheap pass's product.  When omitted it is
+    computed here with an exact (correctly rounded) sum, so a sharded cheap
+    pass that merges per-shard exact sums produces the same mean -- and
+    therefore the same estimate -- bit for bit.
     """
     _validate(values, sample_size)
     if proxy.shape != values.shape:
@@ -79,7 +84,8 @@ def control_variate_mean(values: np.ndarray, proxy: np.ndarray,
     indices = rng.choice(values.shape[0], size=sample_size, replace=False)
     sample_values = values[indices].astype(np.float64)
     sample_proxy = proxy[indices].astype(np.float64)
-    proxy_population_mean = float(proxy.mean())
+    if proxy_population_mean is None:
+        proxy_population_mean = exact_mean(proxy)
     if sample_size > 2 and sample_proxy.var(ddof=1) > 1e-12:
         covariance = float(np.cov(sample_values, sample_proxy, ddof=1)[0, 1])
         coefficient = covariance / float(sample_proxy.var(ddof=1))
@@ -94,6 +100,45 @@ def control_variate_mean(values: np.ndarray, proxy: np.ndarray,
         samples_used=sample_size,
         variance=variance,
     )
+
+
+def adaptive_mean_estimate(values: np.ndarray, proxy: np.ndarray,
+                           error_bound: float, pilot_fraction: float = 0.02,
+                           seed: int = 0, use_control_variate: bool = True,
+                           proxy_population_mean: float | None = None,
+                           ) -> SamplingResult:
+    """The paper's full adaptive estimator: pilot, size, then final sample.
+
+    A pilot sample estimates the estimator variance, the final sample size is
+    chosen for the requested ``error_bound``, and the final estimate is drawn
+    with a fresh seed.  Shared by the single-process aggregation engine and
+    the sharded query engine: given the same inputs (and the same
+    ``proxy_population_mean``) the two produce bit-identical results.
+    """
+    if not 0.0 < pilot_fraction < 1.0:
+        raise QueryError("pilot_fraction must be in (0, 1)")
+    if error_bound <= 0:
+        raise QueryError("error_bound must be positive")
+    population = values.shape[0]
+    pilot_size = min(max(30, int(pilot_fraction * population)), population)
+    if use_control_variate:
+        if proxy_population_mean is None:
+            proxy_population_mean = exact_mean(proxy)
+        pilot = control_variate_mean(
+            values, proxy, pilot_size, seed=seed,
+            proxy_population_mean=proxy_population_mean,
+        )
+    else:
+        pilot = uniform_sample_mean(values, pilot_size, seed=seed)
+    needed = required_sample_size(pilot.variance, error_bound,
+                                  population=population)
+    needed = max(needed, pilot_size)
+    if use_control_variate:
+        return control_variate_mean(
+            values, proxy, needed, seed=seed + 1,
+            proxy_population_mean=proxy_population_mean,
+        )
+    return uniform_sample_mean(values, needed, seed=seed + 1)
 
 
 def required_sample_size(variance: float, target_half_width: float,

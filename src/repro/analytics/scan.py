@@ -1,0 +1,164 @@
+"""Shared scan and cost primitives for the analytics engines.
+
+All three analytics engines (aggregation, limit, cascade classification)
+follow the same two-pass shape the paper describes: a *cheap pass* runs a
+specialized NN over every frame of the chosen rendition -- its cost dominated
+by preprocessing/decode -- and an *expensive pass* runs the target DNN on a
+subset.  This module holds the pieces they previously each reimplemented:
+
+* :func:`scan_views` -- the deterministic (truth, proxy) frame views of a
+  video dataset under a frame limit;
+* :func:`proxy_scan_order` -- the stable descending-proxy visit order used by
+  limit queries;
+* :class:`ScanCosts` -- the performance-model arithmetic converting per-stage
+  throughputs into cheap-pass seconds, target-pass seconds, and full-dataset
+  scaling.
+
+The sharded query engine (:mod:`repro.query`) reuses the same primitives so
+its merged results are bit-identical to these single-process paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.formats import InputFormatSpec
+from repro.datasets.video import VideoDataset
+from repro.errors import QueryError
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.zoo import ModelProfile, get_model_profile
+
+#: The paper's default expensive target DNN for video analytics queries.
+DEFAULT_TARGET_MODEL = "mask-rcnn"
+
+
+def scan_views(dataset: VideoDataset, specialized_accuracy: float,
+               frame_limit: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """Deterministic (truth, proxy, frames_used) views of ``dataset``.
+
+    ``frame_limit`` bounds the synthetic dataset length so the functional
+    computation stays fast; callers scale reported costs back up to the full
+    dataset with :attr:`ScanCosts.scale`.
+    """
+    if frame_limit <= 0:
+        raise QueryError("frame_limit must be positive")
+    frames_used = min(frame_limit, dataset.num_frames)
+    truth = dataset.ground_truth_counts(frames_used).astype(np.float64)
+    proxy = dataset.specialized_nn_predictions(
+        accuracy_factor=specialized_accuracy, limit=frames_used
+    )
+    return truth, proxy, frames_used
+
+
+def proxy_scan_order(proxy: np.ndarray) -> np.ndarray:
+    """Stable frame visit order by descending proxy score.
+
+    The sort is stable, so ties break by frame index and the order is a pure
+    function of the proxy values -- sharded scans that reassemble the same
+    proxy array reproduce the exact single-process visit order.
+    """
+    return np.argsort(-np.asarray(proxy), kind="stable")
+
+
+@dataclass(frozen=True)
+class ScanCosts:
+    """Modelled execution costs of one two-pass scan over a video dataset.
+
+    Attributes
+    ----------
+    cheap_throughput:
+        Pipelined frames/second of the specialized-NN pass (preprocessing
+        aware -- the quantity Smol's optimizations improve).
+    target_throughput:
+        Frames/second of the expensive target DNN.
+    frames_used / total_frames:
+        Functional scan length versus the full dataset length.
+    """
+
+    cheap_throughput: float
+    target_throughput: float
+    frames_used: int
+    total_frames: int
+
+    @property
+    def scale(self) -> float:
+        """Full-dataset frames per functional frame."""
+        return self.total_frames / self.frames_used
+
+    @property
+    def specialized_pass_seconds(self) -> float:
+        """Cheap-pass time over the *full* dataset."""
+        return self.total_frames / self.cheap_throughput
+
+    @property
+    def seconds_per_scanned_frame(self) -> float:
+        """Modelled cheap-pass service time per functional frame."""
+        return 1.0 / self.cheap_throughput
+
+    def target_invocations(self, functional_count: int) -> int:
+        """Scale a functional-scan sample count to the full dataset."""
+        return int(round(functional_count * self.scale))
+
+    def target_pass_seconds(self, functional_count: int) -> float:
+        """Target-DNN time for ``functional_count`` functional samples."""
+        return self.target_invocations(functional_count) / self.target_throughput
+
+
+class TwoPassEngine:
+    """Base class for the analytics engines sharing the two-pass scan shape.
+
+    Owns the performance model and engine configuration every engine needs,
+    and exposes :meth:`scan_costs` so subclasses stop reimplementing the
+    throughput arithmetic.
+    """
+
+    def __init__(self, performance_model: PerformanceModel,
+                 config: EngineConfig | None = None) -> None:
+        self._perf = performance_model
+        self._config = config or EngineConfig(
+            num_producers=performance_model.instance.vcpus
+        )
+
+    @property
+    def performance_model(self) -> PerformanceModel:
+        """The calibrated performance model costs are charged against."""
+        return self._perf
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration assumed by the cost estimates."""
+        return self._config
+
+    def scan_costs(self, specialized_model: ModelProfile,
+                   fmt: InputFormatSpec, dataset: VideoDataset,
+                   frames_used: int,
+                   target_model: ModelProfile | None = None) -> ScanCosts:
+        """The :class:`ScanCosts` of one query's two passes."""
+        return compute_scan_costs(
+            self._perf, self._config, specialized_model, fmt, dataset,
+            frames_used, target_model=target_model,
+        )
+
+
+def compute_scan_costs(performance_model: PerformanceModel,
+                       config: EngineConfig,
+                       specialized_model: ModelProfile,
+                       fmt: InputFormatSpec,
+                       dataset: VideoDataset,
+                       frames_used: int,
+                       target_model: ModelProfile | None = None,
+                       batch_size: int | None = None) -> ScanCosts:
+    """Build the :class:`ScanCosts` for one (specialized model, format) pair."""
+    target = target_model or get_model_profile(DEFAULT_TARGET_MODEL)
+    cheap_estimate = performance_model.estimate(specialized_model, fmt, config)
+    target_throughput = performance_model.dnn_model.execution_throughput(
+        target, batch_size=batch_size or config.batch_size
+    )
+    return ScanCosts(
+        cheap_throughput=cheap_estimate.pipelined_upper_bound,
+        target_throughput=target_throughput,
+        frames_used=frames_used,
+        total_frames=dataset.num_frames,
+    )

@@ -10,10 +10,13 @@ Subcommands:
 * ``serve-bench``   -- compare micro-batching policies on the online server.
 * ``loadtest``      -- drive the online server with open-loop traffic.
 * ``cluster-bench`` -- sharded multi-worker scaling study (offline + online).
+* ``query``         -- run a declarative analytics query sharded over the
+  cluster runtime, verifying bit-identical results across worker counts.
 
-The serving/cluster benchmarks also record their scorecards as
-machine-readable artifacts (``BENCH_serving.json`` / ``BENCH_cluster.json``,
-see ``--bench-json``) so the performance trajectory is trackable.
+The serving/cluster/query benchmarks also record their scorecards as
+machine-readable artifacts (``BENCH_serving.json`` / ``BENCH_cluster.json``
+/ ``BENCH_query.json``, see ``--bench-json``) so the performance trajectory
+is trackable.
 
 Errors from the library (unknown datasets, infeasible constraints, bad
 serving parameters) exit with status 2 and a one-line message rather than a
@@ -28,6 +31,8 @@ Examples
     python -m repro.cli serve-bench --mode simulated --requests 2000
     python -m repro.cli loadtest --rate 500 --duration 2 --pattern burst
     python -m repro.cli cluster-bench --workers 1 2 4 --images 4096
+    python -m repro.cli query --kind aggregate --dataset taipei --error 0.05 \
+        --workers 1 4
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ from repro.hardware.instance import get_instance
 from repro.inference.perfmodel import PerformanceModel
 from repro.measurement.costs import CostAnalysis
 from repro.measurement.study import MeasurementStudy
+from repro.query import QueryEngine, QuerySpec
 from repro.serving import (
     BatchPolicy,
     LoadGenerator,
@@ -329,6 +335,111 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_spec(args: argparse.Namespace) -> QuerySpec:
+    """Build the declarative spec the ``query`` subcommand describes."""
+    if args.kind == "aggregate":
+        if args.error is None:
+            raise ServingError("aggregate queries need --error")
+        return QuerySpec.aggregate(
+            args.dataset, error_bound=args.error,
+            specialized_accuracy=args.specialized_accuracy,
+            accuracy_floor=args.accuracy_floor,
+        )
+    if args.kind == "limit":
+        if args.min_count is None or args.limit is None:
+            raise ServingError("limit queries need --min-count and --limit")
+        return QuerySpec.limit(
+            args.dataset, min_count=args.min_count, limit=args.limit,
+            specialized_accuracy=args.specialized_accuracy,
+            accuracy_floor=args.accuracy_floor,
+        )
+    return QuerySpec.cascade(
+        args.dataset, num_classes=args.num_classes, images=args.images,
+        specialized_accuracy=args.specialized_accuracy,
+        accuracy_floor=args.accuracy_floor,
+    )
+
+
+def _query_signature(result) -> tuple:
+    """The statistics that must be bit-identical across worker counts."""
+    if hasattr(result, "estimate"):
+        return (result.estimate, result.ci_half_width,
+                result.target_invocations, result.population_proxy_mean)
+    if hasattr(result, "found_frames"):
+        return (result.found_frames, result.frames_scanned,
+                result.target_invocations)
+    return (result.accuracy, result.accuracy_ci_half_width,
+            result.mean_prediction, result.confusion.tobytes())
+
+
+def _query_headline(result) -> str:
+    """The one-cell summary of a query result for the sweep table."""
+    if hasattr(result, "estimate"):
+        return f"{result.estimate:.4f} ± {result.ci_half_width:.4f}"
+    if hasattr(result, "found_frames"):
+        return (f"{len(result.found_frames)}/{result.spec.limit} found, "
+                f"{result.frames_scanned} scanned")
+    return (f"acc {result.accuracy * 100:.2f}% "
+            f"± {result.accuracy_ci_half_width * 100:.2f}%")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if any(count <= 0 for count in args.workers):
+        raise ServingError("--workers counts must be positive")
+    spec = _query_spec(args)
+    engine = QueryEngine(instance=args.instance,
+                         frame_limit=args.frame_limit,
+                         batch_size=args.max_batch)
+    reference = engine.execute_single(spec, seed=args.seed)
+    print(f"query: {spec.describe()}")
+    print(reference.plans.describe())
+    table = Table(
+        f"Smol-Query sweep ({spec.kind} on {spec.dataset})",
+        ["Workers", "Result (must be identical)", "Makespan (s)", "Speedup",
+         "Wall (s)"],
+    )
+    rows = []
+    baseline_makespan = None
+    expected = _query_signature(reference)
+    result = reference
+    for count in args.workers:
+        result = engine.execute(spec, num_workers=count, seed=args.seed)
+        if _query_signature(result) != expected:
+            raise ServingError(
+                f"sharded execution on {count} workers diverged from the "
+                "single-process engines -- merge exactness is broken"
+            )
+        makespan = result.execution.cheap_pass_makespan_s
+        if baseline_makespan is None:
+            baseline_makespan = makespan
+        speedup = baseline_makespan / makespan if makespan > 0 else 0.0
+        table.add_row(count, _query_headline(result), round(makespan, 3),
+                      round(speedup, 2),
+                      round(result.execution.wall_seconds, 3))
+        rows.append({
+            "workers": count,
+            "cheap_pass_makespan_s": round(makespan, 6),
+            "cheap_pass_speedup": round(speedup, 3),
+            "modelled_speedup": round(result.execution.modelled_speedup, 3),
+            "wall_seconds": round(result.execution.wall_seconds, 4),
+            "frames_scanned": result.execution.frames_scanned,
+            "headline": _query_headline(result),
+        })
+    print(table)
+    print("bit-identical across worker counts: OK")
+    print()
+    print(result.describe())
+    written = write_bench_json(
+        args.bench_json, "query", rows,
+        meta={"spec": spec.describe(),
+              "cheap_plan": reference.plans.cheap.plan.describe(),
+              "accurate_plan": reference.plans.accurate.plan.describe(),
+              "frame_limit": args.frame_limit, "seed": args.seed},
+    )
+    print(f"wrote {written}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -434,6 +545,40 @@ def build_parser() -> argparse.ArgumentParser:
                                help="where to write the machine-readable "
                                     "scorecard")
     cluster_bench.set_defaults(func=_cmd_cluster_bench)
+
+    query = subparsers.add_parser(
+        "query",
+        help="run a declarative analytics query sharded over the cluster "
+             "runtime (estimates must be bit-identical at every worker "
+             "count)",
+    )
+    query.add_argument("--kind", choices=("aggregate", "limit", "cascade"),
+                       default="aggregate")
+    query.add_argument("--dataset", default="taipei",
+                       help="video dataset (aggregate/limit) or corpus name "
+                            "(cascade)")
+    query.add_argument("--error", type=float, default=None,
+                       help="absolute error bound (required for aggregate)")
+    query.add_argument("--min-count", type=int, default=None,
+                       help="per-frame object predicate (limit)")
+    query.add_argument("--limit", type=int, default=None,
+                       help="frames to find (limit)")
+    query.add_argument("--num-classes", type=int, default=8,
+                       help="label arity (cascade)")
+    query.add_argument("--images", type=int, default=2048,
+                       help="corpus size (cascade)")
+    query.add_argument("--workers", type=int, nargs="+", default=[1, 4],
+                       help="worker counts to sweep")
+    query.add_argument("--frame-limit", type=int, default=12_000,
+                       help="functional scan length bound")
+    query.add_argument("--max-batch", type=int, default=256,
+                       help="frames per dispatched micro-batch")
+    query.add_argument("--specialized-accuracy", type=float, default=0.9)
+    query.add_argument("--accuracy-floor", type=float, default=None)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--bench-json", default="BENCH_query.json",
+                       help="where to write the machine-readable scorecard")
+    query.set_defaults(func=_cmd_query)
     return parser
 
 

@@ -45,6 +45,7 @@ from repro.cluster.runner import (
     ShardedCorpusRunner,
     assign_shards,
     run_single_process,
+    split_frame_ranges,
 )
 from repro.cluster.worker import (
     ProcessWorker,
@@ -83,6 +84,7 @@ __all__ = [
     "Worker",
     "WorkerStats",
     "assign_shards",
+    "split_frame_ranges",
     "make_router",
     "run_single_process",
 ]

@@ -21,6 +21,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.analytics.stats import Z_95, ci_half_width
 from repro.cluster.dispatcher import Dispatcher
 from repro.cluster.worker import Worker
 from repro.errors import ClusterError
@@ -85,6 +86,15 @@ class ShardAggregate:
     def mean_prediction(self) -> float:
         """Exact mean of predicted class indices."""
         return self.prediction_sum / self.count if self.count else 0.0
+
+    def accuracy_ci_half_width(self, z: float = Z_95) -> float:
+        """Normal-approximation CI half-width on the accuracy.
+
+        Derived from the exactly merged integer counts, so sharded and
+        single-process runs report bit-identical bounds.
+        """
+        accuracy = self.accuracy
+        return ci_half_width(accuracy * (1.0 - accuracy), self.count, z=z)
 
     def observe(self, labels: Sequence[int],
                 predictions: Sequence[int],
@@ -172,6 +182,29 @@ class CorpusRunReport:
             f"throughput: {self.simulated_throughput:,.0f} im/s simulated "
             f"(makespan {self.makespan_seconds:.3f}s)",
         ])
+
+
+def split_frame_ranges(num_items: int,
+                       num_shards: int) -> list[tuple[int, int]]:
+    """Split ``range(num_items)`` into ``num_shards`` contiguous half-open
+    ranges, balanced to within one item.
+
+    Contiguous ranges are the natural sharding for frame scans (each worker
+    reads one stretch of the video); with fewer items than shards the
+    trailing ranges are empty, which downstream merges must tolerate.
+    """
+    if num_shards <= 0:
+        raise ClusterError("num_shards must be positive")
+    if num_items < 0:
+        raise ClusterError("num_items cannot be negative")
+    base, extra = divmod(num_items, num_shards)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
 
 
 def assign_shards(examples: Sequence[LabeledExample], num_shards: int,

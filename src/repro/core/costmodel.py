@@ -56,6 +56,15 @@ class CostModel:
         """The engine configuration assumed by the estimates."""
         return self._config
 
+    @property
+    def performance_model(self) -> PerformanceModel:
+        """The calibrated performance model the estimates are derived from."""
+        return self._perf
+
+    def with_config(self, config: EngineConfig) -> "CostModel":
+        """A cost model of the same estimator family under ``config``."""
+        return type(self)(self._perf, config)
+
     def stage_estimate(self, plan: Plan) -> StageEstimate:
         """Per-stage estimate for the plan's primary model and format."""
         offloaded = plan.offloaded_fraction

@@ -143,9 +143,8 @@ class PlanGenerator:
         estimates: list[PlanEstimate] = []
         config = self._cost_model.config
         if not self._features.use_preprocessing_optimizations:
-            config = replace(config, optimize_dag=False)
-            cost_model = type(self._cost_model)(
-                self._cost_model._perf, config  # noqa: SLF001 - same class family
+            cost_model = self._cost_model.with_config(
+                replace(config, optimize_dag=False)
             )
         else:
             cost_model = self._cost_model

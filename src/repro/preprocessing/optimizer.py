@@ -20,6 +20,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import PreprocessingError
 from repro.preprocessing.cost import pipeline_arithmetic_ops
 from repro.preprocessing.dag import PreprocessingDAG
@@ -92,6 +94,24 @@ class DagOptimizer:
         self._enable_reordering = enable_reordering
         self._max_candidates = max_candidates
 
+    def candidates(self, ops: list[PreprocessingOp], input_spec: TensorSpec,
+                   fused: bool | None = None) -> list[list[PreprocessingOp]]:
+        """Every candidate ordering the optimizer would consider, post-prune.
+
+        Each returned sequence is guaranteed output-equivalent to ``ops``
+        (the contract the equivalence property tests enforce).  ``fused``
+        overrides the optimizer's fusion setting for this enumeration.
+        """
+        if not ops:
+            raise PreprocessingError("cannot optimize an empty pipeline")
+        reference_spec = _pipeline_output_spec(ops, input_spec)
+        kept, _ = self._prune(self._generate_candidates(ops), input_spec,
+                              reference_spec, ops)
+        apply_fusion = self._enable_fusion if fused is None else fused
+        if apply_fusion:
+            kept = [self._fuse(seq) for seq in kept]
+        return kept
+
     def optimize(self, ops: list[PreprocessingOp],
                  input_spec: TensorSpec) -> OptimizationReport:
         """Optimize an operator sequence for the given input tensor spec."""
@@ -101,7 +121,8 @@ class DagOptimizer:
         reference_spec = _pipeline_output_spec(ops, input_spec)
         candidates = self._generate_candidates(ops)
         generated = len(candidates)
-        candidates, pruned = self._prune(candidates, input_spec, reference_spec)
+        candidates, pruned = self._prune(candidates, input_spec,
+                                         reference_spec, ops)
         fused_applied = False
         if self._enable_fusion:
             fused_candidates = [self._fuse(seq) for seq in candidates]
@@ -177,10 +198,17 @@ class DagOptimizer:
     def _prune(
         self, candidates: list[list[PreprocessingOp]], input_spec: TensorSpec,
         reference_spec: TensorSpec,
+        original: list[PreprocessingOp] | None = None,
     ) -> tuple[list[list[PreprocessingOp]], int]:
         """Apply rule-based pruning; returns (kept, pruned_count)."""
         kept: list[list[PreprocessingOp]] = []
         pruned = 0
+        original_geometry = (None if original is None
+                             else self._geometric_order(original))
+        # Probe data for the value check, materialized once per prune pass
+        # and only if some candidate actually swaps geometry.
+        probe: np.ndarray | None = None
+        reference_output: np.ndarray | None = None
         for seq in candidates:
             if not self._is_valid_order(seq):
                 pruned += 1
@@ -194,11 +222,58 @@ class DagOptimizer:
             if not self._preserves_output(seq, input_spec, reference_spec):
                 pruned += 1
                 continue
+            # A geometric swap can preserve the output *spec* while changing
+            # pixel *values* (crop-then-upscale is not resize-then-crop), so
+            # swapped-geometry candidates must also pass an exact value
+            # check on a deterministic probe image.
+            if original_geometry is not None \
+                    and self._geometric_order(seq) != original_geometry:
+                if probe is None:
+                    probe = self._probe_image(input_spec)
+                    reference_output = self._run_on_probe(original, probe)
+                if reference_output is None or not np.array_equal(
+                    reference_output,
+                    self._run_on_probe(seq, probe),
+                ):
+                    pruned += 1
+                    continue
             kept.append(seq)
         if not kept:
-            # Keep at least the original-ordering candidates to stay safe.
-            kept = [candidates[0]]
+            # Fall back to the original ordering, the one sequence that is
+            # output-equivalent by construction (candidates[0] may have
+            # just been pruned for *changing* the output).
+            kept = [list(original) if original is not None
+                    else candidates[0]]
         return kept, pruned
+
+    @staticmethod
+    def _geometric_order(seq: list[PreprocessingOp]) -> list[str]:
+        """The sequence's geometric (resize/crop) operator order."""
+        return [op.name for op in seq
+                if isinstance(op, (ResizeOp, CenterCropOp))]
+
+    @staticmethod
+    def _probe_image(input_spec: TensorSpec) -> np.ndarray:
+        """A deterministic textured probe image matching ``input_spec``."""
+        rng = np.random.default_rng(20_26)
+        return rng.integers(
+            0, 256,
+            size=(input_spec.height, input_spec.width, input_spec.channels),
+        ).astype(np.uint8)
+
+    @staticmethod
+    def _run_on_probe(seq: list[PreprocessingOp],
+                      probe: np.ndarray) -> np.ndarray | None:
+        """Execute a pipeline on the probe; None when it cannot run."""
+        data = probe
+        for op in seq:
+            if isinstance(op, DecodeOp):
+                continue
+            try:
+                data = op.apply(data)
+            except PreprocessingError:
+                return None
+        return data
 
     @staticmethod
     def _preserves_output(seq: list[PreprocessingOp], input_spec: TensorSpec,
@@ -223,12 +298,15 @@ class DagOptimizer:
         # Normalization requires float data: a NormalizeOp handles its own
         # conversion, but a ConvertDtypeOp placed after NormalizeOp would be
         # a redundant cast; allow it (harmless) but require channel reorder
-        # to come after any geometric op (reordering to CHW breaks HWC crops).
+        # to come after any geometric op (reordering to CHW breaks HWC crops)
+        # and after normalization (the normalize kernel is written for HWC,
+        # so placing it downstream of the CHW reorder breaks at runtime).
         reorder_seen = False
         for op in seq:
             if isinstance(op, ChannelReorderOp):
                 reorder_seen = True
-            elif isinstance(op, (ResizeOp, CenterCropOp)) and reorder_seen:
+            elif isinstance(op, (ResizeOp, CenterCropOp, NormalizeOp)) \
+                    and reorder_seen:
                 return False
         return True
 

@@ -1,0 +1,45 @@
+"""Smol-Query: sharded statistical analytics queries on the cluster runtime.
+
+One declarative front-end (:class:`QuerySpec` + :class:`QueryEngine`) for
+the three analytics query families the paper evaluates, with the cheap
+specialized-NN pass compiled into shard tasks over the PR 2 cluster runtime
+and per-shard sufficient statistics merged exactly -- sharded results are
+bit-identical to the single-process analytics engines.
+"""
+
+from repro.query.spec import QUERY_KINDS, QuerySpec
+from repro.query.scan import (
+    ClusterScanRunner,
+    ScanReport,
+    ScanSession,
+    ShardScanStats,
+    decode_scores,
+    encode_scores,
+    frame_id,
+)
+from repro.query.engine import (
+    AggregateQueryResult,
+    CascadeQueryResult,
+    LimitQueryShardedResult,
+    QueryEngine,
+    QueryExecution,
+    QueryStagePlans,
+)
+
+__all__ = [
+    "QUERY_KINDS",
+    "QuerySpec",
+    "ClusterScanRunner",
+    "ScanReport",
+    "ScanSession",
+    "ShardScanStats",
+    "decode_scores",
+    "encode_scores",
+    "frame_id",
+    "AggregateQueryResult",
+    "CascadeQueryResult",
+    "LimitQueryShardedResult",
+    "QueryEngine",
+    "QueryExecution",
+    "QueryStagePlans",
+]

@@ -1,0 +1,294 @@
+"""The sharded cheap-pass scan: plan-warmed scan sessions over the cluster.
+
+The cost of every analytics query in the paper is dominated by the cheap
+pass -- running a specialized NN over *every* frame of the chosen rendition.
+This module compiles that pass into shard tasks executed on the PR 2 cluster
+runtime:
+
+* :class:`ScanSession` is a plan-warmed
+  :class:`~repro.serving.session.EngineSession` that serves per-frame
+  specialized-NN outputs for one (dataset, plan) pair.  Frame scores are
+  float64; they travel through the cluster's integer ``predictions`` channel
+  as IEEE-754 bit patterns (a lossless reinterpretation), so sharding cannot
+  perturb a single bit of any score.
+* :class:`ClusterScanRunner` splits the frame range into contiguous shards
+  (:func:`repro.cluster.runner.split_frame_ranges`), fans micro-batches out
+  through a :class:`~repro.cluster.dispatcher.Dispatcher`, reassembles the
+  frame-indexed score array, and folds per-shard :class:`ShardScanStats`
+  whose exact sums merge into totals bit-identical to a single-process scan.
+
+Throughput is reported in modelled time: each shard's batches are charged
+``frames / cheap_throughput`` seconds, and the parallel makespan is the
+busiest replica's modelled load -- the quantity ``BENCH_query.json`` tracks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analytics.scan import ScanCosts
+from repro.analytics.stats import MomentSketch
+from repro.cluster.dispatcher import Dispatcher
+from repro.cluster.runner import split_frame_ranges
+from repro.cluster.worker import ThreadWorker, Worker
+from repro.datasets.video import VideoDataset
+from repro.errors import QueryError
+from repro.inference.mpmc import MpmcQueue
+from repro.serving.request import InferenceRequest
+from repro.serving.session import BatchResult, EngineSession
+
+
+def encode_scores(scores: np.ndarray) -> np.ndarray:
+    """Reinterpret float64 scores as int64 bit patterns (lossless)."""
+    return np.ascontiguousarray(scores, dtype=np.float64).view(np.int64)
+
+
+def decode_scores(bits: np.ndarray | Sequence[int]) -> np.ndarray:
+    """Reinterpret int64 bit patterns back into float64 scores."""
+    return np.asarray(bits, dtype=np.int64).view(np.float64)
+
+
+def frame_id(dataset_name: str, index: int) -> str:
+    """The request image id naming one frame of a dataset."""
+    return f"{dataset_name}:{index}"
+
+
+class ScanSession(EngineSession):
+    """A plan-warmed session serving specialized-NN scores per frame.
+
+    Warmup materializes the deterministic per-frame score table for the
+    session's (dataset, accuracy) pair -- the analogue of loading the
+    specialized NN and pinning the decode pipeline -- so shard batches are
+    pure lookups.  ``execute`` returns the scores for the requested frames
+    as bit patterns (see :func:`encode_scores`) plus the modelled cheap-pass
+    service time of the batch.
+    """
+
+    def __init__(self, dataset: VideoDataset, specialized_accuracy: float,
+                 frames_used: int, seconds_per_frame: float,
+                 plan_key: str) -> None:
+        super().__init__(plan_key)
+        if frames_used <= 0:
+            raise QueryError("frames_used must be positive")
+        if seconds_per_frame <= 0:
+            raise QueryError("seconds_per_frame must be positive")
+        self._dataset = dataset
+        self._specialized_accuracy = specialized_accuracy
+        self._frames_used = frames_used
+        self._seconds_per_frame = seconds_per_frame
+        self._bits: np.ndarray | None = None
+
+    def warmup(self) -> None:
+        """Materialize the per-frame specialized-NN score table."""
+        scores = self._dataset.specialized_nn_predictions(
+            accuracy_factor=self._specialized_accuracy,
+            limit=self._frames_used,
+        )
+        self._bits = encode_scores(scores)
+        super().warmup()
+
+    def execute(self, requests: Sequence[InferenceRequest]) -> BatchResult:
+        if not requests:
+            raise QueryError("cannot execute an empty scan batch")
+        if self._bits is None:
+            self.warmup()
+        indices = np.empty(len(requests), dtype=np.int64)
+        for position, request in enumerate(requests):
+            try:
+                indices[position] = int(request.image_id.rsplit(":", 1)[1])
+            except (IndexError, ValueError) as exc:
+                raise QueryError(
+                    f"malformed frame id {request.image_id!r}; expected "
+                    "'<dataset>:<index>'"
+                ) from exc
+        if indices.min() < 0 or indices.max() >= self._frames_used:
+            raise QueryError(
+                f"frame index outside the warmed range [0, {self._frames_used})"
+            )
+        return BatchResult(
+            predictions=self._bits[indices],
+            modelled_seconds=len(requests) * self._seconds_per_frame,
+        )
+
+
+@dataclass
+class ShardScanStats:
+    """Mergeable sufficient statistics of one scan shard.
+
+    ``scores`` is an exact :class:`~repro.analytics.stats.MomentSketch`, so
+    merged totals (population mean, variance, CI half-widths) are
+    bit-identical to a single-process scan no matter how frames were
+    sharded -- including empty and size-1 shards.
+    """
+
+    shard_id: int
+    frames: int = 0
+    scores: MomentSketch = field(default_factory=MomentSketch)
+    modelled_seconds: float = 0.0
+
+    def observe(self, scores: np.ndarray, modelled_seconds: float) -> None:
+        """Fold one executed shard batch into the statistics."""
+        self.frames += int(np.asarray(scores).size)
+        self.scores.observe_array(scores)
+        self.modelled_seconds += modelled_seconds
+
+    def merge(self, other: "ShardScanStats") -> "ShardScanStats":
+        """Exact associative merge (returns a new object, shard_id=-1)."""
+        return ShardScanStats(
+            shard_id=-1,
+            frames=self.frames + other.frames,
+            scores=self.scores.merge(other.scores),
+            modelled_seconds=self.modelled_seconds + other.modelled_seconds,
+        )
+
+    @classmethod
+    def merge_all(
+        cls, shards: Sequence["ShardScanStats"]
+    ) -> "ShardScanStats":
+        """Merge any number of shard statistics into one total."""
+        total = cls(shard_id=-1)
+        for shard in shards:
+            total = total.merge(shard)
+        return total
+
+
+@dataclass(frozen=True)
+class ScanReport:
+    """Outcome of one (sharded or single-replica) cheap-pass scan."""
+
+    scores: np.ndarray
+    total: ShardScanStats
+    shards: tuple[ShardScanStats, ...]
+    per_worker_modelled_s: dict[str, float]
+    num_workers: int
+    frames_used: int
+    wall_seconds: float
+
+    @property
+    def population_mean(self) -> float:
+        """Exact specialized-NN population mean over the scanned frames."""
+        return self.total.scores.mean
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Parallel modelled completion time: the busiest replica's load."""
+        if self.per_worker_modelled_s:
+            busiest = max(self.per_worker_modelled_s.values())
+            if busiest > 0:
+                return busiest
+        return self.total.modelled_seconds
+
+    @property
+    def modelled_throughput(self) -> float:
+        """Frames per second of modelled (parallel) scan time."""
+        makespan = self.makespan_seconds
+        return self.frames_used / makespan if makespan > 0 else 0.0
+
+
+class ClusterScanRunner:
+    """Runs the cheap pass of one query sharded across a replica pool.
+
+    Parameters
+    ----------
+    dataset / specialized_accuracy:
+        What the specialized NN scans.
+    costs:
+        The planner-derived :class:`~repro.analytics.scan.ScanCosts` of the
+        chosen (model, rendition) plan; fixes the per-frame service time.
+    plan_key:
+        Plan identity every replica warms (shown by the dispatcher).
+    num_workers / batch_size / router:
+        Pool size (= shard count), frames per micro-batch, routing policy.
+    """
+
+    def __init__(self, dataset: VideoDataset, specialized_accuracy: float,
+                 costs: ScanCosts, plan_key: str, num_workers: int = 2,
+                 batch_size: int = 256,
+                 router: str = "round-robin") -> None:
+        if num_workers <= 0:
+            raise QueryError("num_workers must be positive")
+        if batch_size <= 0:
+            raise QueryError("batch_size must be positive")
+        self._dataset = dataset
+        self._specialized_accuracy = specialized_accuracy
+        self._costs = costs
+        self._plan_key = plan_key
+        self._num_workers = num_workers
+        self._batch_size = batch_size
+        self._router = router
+
+    def session(self) -> ScanSession:
+        """One plan-warmed scan session (one per replica)."""
+        return ScanSession(
+            dataset=self._dataset,
+            specialized_accuracy=self._specialized_accuracy,
+            frames_used=self._costs.frames_used,
+            seconds_per_frame=self._costs.seconds_per_scanned_frame,
+            plan_key=self._plan_key,
+        )
+
+    def worker_factory(self) -> Callable[[str, MpmcQueue], Worker]:
+        """A dispatcher-compatible factory building warmed scan replicas."""
+        def factory(worker_id: str, results: MpmcQueue) -> Worker:
+            return ThreadWorker(worker_id, self.session(), results)
+        return factory
+
+    def run(self, dispatcher: Dispatcher | None = None,
+            timeout_s: float = 60.0) -> ScanReport:
+        """Scan every frame, sharded; returns the reassembled scores.
+
+        A ``dispatcher`` may be injected (tests, reuse across worker
+        counts); otherwise a fresh pool is built and torn down.
+        """
+        frames_used = self._costs.frames_used
+        owned = dispatcher is None
+        if dispatcher is None:
+            dispatcher = Dispatcher(self.worker_factory(),
+                                    num_workers=self._num_workers,
+                                    router=self._router)
+        start = time.monotonic()
+        scores = np.empty(frames_used, dtype=np.float64)
+        shards = [ShardScanStats(shard_id=i)
+                  for i in range(self._num_workers)]
+        per_worker: dict[str, float] = {}
+        try:
+            ranges = split_frame_ranges(frames_used, self._num_workers)
+            submissions = []
+            for shard_id, (lo, hi) in enumerate(ranges):
+                for offset in range(lo, hi, self._batch_size):
+                    end = min(offset + self._batch_size, hi)
+                    requests = tuple(
+                        InferenceRequest(
+                            image_id=frame_id(self._dataset.name, index)
+                        )
+                        for index in range(offset, end)
+                    )
+                    future = dispatcher.submit(requests, shard_id=shard_id)
+                    submissions.append((offset, end, future))
+            for offset, end, future in submissions:
+                result = future.result(timeout=timeout_s)
+                batch_scores = decode_scores(result.predictions)
+                scores[offset:end] = batch_scores
+                shards[result.shard_id].observe(batch_scores,
+                                                result.modelled_seconds)
+                per_worker[result.worker_id] = (
+                    per_worker.get(result.worker_id, 0.0)
+                    + result.modelled_seconds
+                )
+        finally:
+            if owned:
+                dispatcher.close()
+        wall = time.monotonic() - start
+        return ScanReport(
+            scores=scores,
+            total=ShardScanStats.merge_all(shards),
+            shards=tuple(shards),
+            per_worker_modelled_s=per_worker,
+            num_workers=self._num_workers,
+            frames_used=frames_used,
+            wall_seconds=wall,
+        )

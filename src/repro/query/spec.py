@@ -1,0 +1,138 @@
+"""The declarative query API of Smol-Query.
+
+One :class:`QuerySpec` describes any of the three analytics query families
+the paper evaluates -- BlazeIt-style aggregation, BlazeIt-style limit
+queries, and Tahoma-style cascade classification -- in a single declarative
+form the :class:`~repro.query.engine.QueryEngine` can plan and execute.
+The spec carries *what* is asked (dataset, bounds, limits), never *how* it
+runs: renditions and models come from the core planner, and the shard count
+comes from the execution call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+
+#: The query families Smol-Query answers.
+QUERY_KINDS = ("aggregate", "limit", "cascade")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A declarative analytics query.
+
+    Use the :meth:`aggregate`, :meth:`limit`, and :meth:`cascade`
+    constructors rather than filling fields by hand; they validate the
+    per-kind requirements.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`QUERY_KINDS`.
+    dataset:
+        Video dataset name (aggregate/limit) or corpus name (cascade).
+    error_bound:
+        Requested absolute error on the mean (aggregate only).
+    min_count / limit:
+        Predicate and result count (limit only).
+    num_classes / images:
+        Label arity and corpus size (cascade only).
+    specialized_accuracy:
+        How well the specialized NN's outputs correlate with ground truth.
+    pilot_fraction:
+        Pilot sample fraction for adaptive sampling (aggregate only).
+    accuracy_floor:
+        Planner constraint: minimum acceptable plan accuracy (optional).
+    """
+
+    kind: str
+    dataset: str
+    error_bound: float | None = None
+    min_count: int | None = None
+    limit: int | None = None
+    num_classes: int | None = None
+    images: int | None = None
+    specialized_accuracy: float = 0.9
+    pilot_fraction: float = 0.02
+    accuracy_floor: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise QueryError(
+                f"unknown query kind {self.kind!r}; expected one of "
+                f"{QUERY_KINDS}"
+            )
+        if not self.dataset:
+            raise QueryError("dataset must be non-empty")
+        if not 0.0 < self.specialized_accuracy <= 1.0:
+            raise QueryError("specialized_accuracy must be in (0, 1]")
+        if not 0.0 < self.pilot_fraction < 1.0:
+            raise QueryError("pilot_fraction must be in (0, 1)")
+        if self.accuracy_floor is not None \
+                and not 0.0 <= self.accuracy_floor <= 1.0:
+            raise QueryError("accuracy_floor must be in [0, 1]")
+        if self.kind == "aggregate":
+            if self.error_bound is None or self.error_bound <= 0:
+                raise QueryError(
+                    "aggregate queries need a positive error_bound"
+                )
+        elif self.kind == "limit":
+            if self.min_count is None or self.min_count < 1:
+                raise QueryError("limit queries need min_count >= 1")
+            if self.limit is None or self.limit < 1:
+                raise QueryError("limit queries need limit >= 1")
+        else:  # cascade
+            if self.num_classes is None or self.num_classes < 2:
+                raise QueryError("cascade queries need num_classes >= 2")
+            if self.images is None or self.images < 1:
+                raise QueryError("cascade queries need images >= 1")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def aggregate(cls, dataset: str, error_bound: float,
+                  specialized_accuracy: float = 0.9,
+                  pilot_fraction: float = 0.02,
+                  accuracy_floor: float | None = None) -> "QuerySpec":
+        """Mean object count per frame, to within ``error_bound``."""
+        return cls(kind="aggregate", dataset=dataset, error_bound=error_bound,
+                   specialized_accuracy=specialized_accuracy,
+                   pilot_fraction=pilot_fraction,
+                   accuracy_floor=accuracy_floor)
+
+    @classmethod
+    def cascade(cls, dataset: str, num_classes: int, images: int,
+                specialized_accuracy: float = 0.9,
+                accuracy_floor: float | None = None) -> "QuerySpec":
+        """Classify ``images`` corpus images into ``num_classes`` labels
+        with a specialized-NN / target-DNN cascade."""
+        return cls(kind="cascade", dataset=dataset, num_classes=num_classes,
+                   images=images, specialized_accuracy=specialized_accuracy,
+                   accuracy_floor=accuracy_floor)
+
+    def describe(self) -> str:
+        """One-line human-readable form of the query."""
+        if self.kind == "aggregate":
+            detail = f"error_bound={self.error_bound}"
+        elif self.kind == "limit":
+            detail = f"min_count={self.min_count}, limit={self.limit}"
+        else:
+            detail = f"num_classes={self.num_classes}, images={self.images}"
+        return f"{self.kind}({self.dataset}, {detail})"
+
+
+def _limit_constructor(cls, dataset: str, min_count: int, limit: int,
+                       specialized_accuracy: float = 0.9,
+                       accuracy_floor: float | None = None) -> QuerySpec:
+    """Find ``limit`` frames containing at least ``min_count`` objects."""
+    return cls(kind="limit", dataset=dataset, min_count=min_count,
+               limit=limit, specialized_accuracy=specialized_accuracy,
+               accuracy_floor=accuracy_floor)
+
+
+# Attached after class creation: a ``limit`` classmethod in the class body
+# would shadow the ``limit`` *field* and become its dataclass default.
+QuerySpec.limit = classmethod(_limit_constructor)  # type: ignore[assignment]

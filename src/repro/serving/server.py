@@ -14,6 +14,12 @@ Both functional sessions (real pixels, real numpy model) and simulated
 sessions (calibrated performance model) plug in unchanged, so the same load
 generator drives correctness tests and accelerator-scale latency studies.
 
+Besides point lookups, the server answers whole-corpus analytics queries
+online: :meth:`SmolServer.query` accepts a declarative
+:class:`~repro.query.spec.QuerySpec` (aggregation, limit, cascade) and
+executes it on a dedicated pool of plan-warmed scan replicas without
+blocking the serving loop.
+
 The execution backend is pluggable: pass ``session=`` for the classic
 single-session path, or ``cluster=`` (a
 :class:`~repro.cluster.dispatcher.Dispatcher`) to fan micro-batches out
@@ -63,6 +69,7 @@ class ServerStats:
     latency: LatencySummary
     batcher: BatcherStats
     cache: CacheStats | None
+    queries: int = 0
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""
@@ -84,6 +91,8 @@ class ServerStats:
                 f"hits ({self.cache.hit_rate * 100:.1f}%), "
                 f"{self.cache.size}/{self.cache.capacity} entries"
             )
+        if self.queries:
+            lines.append(f"queries:    {self.queries} analytics queries")
         return "\n".join(lines)
 
 
@@ -151,6 +160,8 @@ class SmolServer:
         self._deadline_missed = 0
         self._errors = 0
         self._cancelled = 0
+        self._queries = 0
+        self._query_engine = None
         self._closed = False
         self._outstanding = 0
         self._outstanding_drained = threading.Condition(self._counters_lock)
@@ -216,6 +227,66 @@ class SmolServer:
         self._queue.admit(_Pending(request, future), block=should_block)
         return future
 
+    def query(self, spec, num_workers: int = 1, seed: int = 0,
+              engine=None) -> Future:
+        """Answer one analytics query online; resolves to its result.
+
+        ``spec`` is a :class:`~repro.query.spec.QuerySpec` and the future
+        resolves to the matching result type of
+        :class:`~repro.query.engine.QueryEngine`.  The query runs on its own
+        daemon thread against a dedicated pool of ``num_workers`` plan-warmed
+        scan replicas -- analytics scans need scan sessions, not the serving
+        plan's classification replicas, so the server's own backend keeps
+        serving point requests untouched while the query executes.
+
+        Pass ``engine`` (a prebuilt :class:`QueryEngine`) to control frame
+        limits and batch sizes; one default engine is built lazily and
+        reused across queries otherwise.
+        """
+        if self._closed:
+            raise ServingError("cannot query a closed server")
+        if engine is None:
+            with self._counters_lock:
+                engine = self._query_engine
+            if engine is None:
+                # Build outside the lock: engine construction is slow and
+                # _counters_lock sits on the request hot path.  First
+                # finished build wins; a concurrent loser is discarded.
+                # Cost queries against the same modelled hardware as the
+                # serving session when it exposes one (simulated sessions
+                # do); otherwise fall back to the engine default.
+                from repro.query.engine import QueryEngine
+
+                performance_model = None
+                if self._sessions is not None:
+                    performance_model = getattr(
+                        self._sessions.current(), "performance_model", None
+                    )
+                built = QueryEngine(performance_model=performance_model)
+                with self._counters_lock:
+                    if self._query_engine is None:
+                        self._query_engine = built
+                    engine = self._query_engine
+        future: Future = Future()
+
+        def run() -> None:
+            if not future.set_running_or_notify_cancel():
+                return
+            try:
+                result = engine.execute(spec, num_workers=num_workers,
+                                        seed=seed)
+            except Exception as exc:
+                future.set_exception(
+                    ServingError(f"analytics query failed: {exc}")
+                )
+                return
+            with self._counters_lock:
+                self._queries += 1
+            future.set_result(result)
+
+        threading.Thread(target=run, name="smol-query", daemon=True).start()
+        return future
+
     def swap_plan(self, session: EngineSession) -> None:
         """Hot-swap the live plan session (in-flight batches finish first)."""
         if self._sessions is None:
@@ -235,6 +306,7 @@ class SmolServer:
             deadline_missed = self._deadline_missed
             errors = self._errors
             cancelled = self._cancelled
+            queries = self._queries
         return ServerStats(
             submitted=submitted,
             completed=completed,
@@ -248,6 +320,7 @@ class SmolServer:
             latency=self._latency.summary(),
             batcher=self._batcher.stats(),
             cache=self._cache.stats() if self._cache is not None else None,
+            queries=queries,
         )
 
     def close(self, timeout: float = 30.0) -> None:

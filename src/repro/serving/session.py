@@ -149,6 +149,11 @@ class SimulatedSession(EngineSession):
         return self._plan
 
     @property
+    def performance_model(self) -> PerformanceModel:
+        """The calibrated performance model this session charges against."""
+        return self._performance_model
+
+    @property
     def modelled_throughput(self) -> float:
         """Pipelined images/second from the performance model (post-warmup)."""
         if self._throughput is None:

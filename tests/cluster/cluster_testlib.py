@@ -1,13 +1,53 @@
-"""Deterministic session fakes shared by the cluster test suite."""
+"""Deterministic session fakes and waits shared by the cluster test suite."""
 
 from __future__ import annotations
 
 import threading
+import time
+from typing import Callable
 
 import numpy as np
 
 from repro.serving.session import BatchResult, EngineSession
 from repro.utils.rng import stable_hash
+
+
+def wait_until(predicate: Callable[[], bool], timeout: float = 5.0,
+               interval: float = 0.002, message: str = "condition") -> None:
+    """Condition-based wait replacing fixed ``time.sleep`` synchronization.
+
+    Returns as soon as ``predicate()`` holds; fails the test with a
+    descriptive error after ``timeout`` seconds.  Generous timeouts with
+    early exit make these waits immune to scheduler jitter, where a fixed
+    sleep is either flaky (too short) or slow (too long).
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out after {timeout}s waiting for {message}")
+
+
+class GatedSession(EngineSession):
+    """A session whose ``execute`` blocks until the test releases it.
+
+    Gives kill/pending-item tests real synchronization points (events)
+    instead of sleep-tuned races: ``started`` is set when a batch enters
+    execution, and the batch does not finish until ``release`` is set.
+    """
+
+    def __init__(self, plan_key: str = "gated-plan") -> None:
+        super().__init__(plan_key)
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def execute(self, requests):
+        self.started.set()
+        if not self.release.wait(timeout=30.0):
+            raise RuntimeError("GatedSession was never released")
+        predictions = np.zeros(len(requests), dtype=np.int64)
+        return BatchResult(predictions=predictions, modelled_seconds=0.0)
 
 
 class ScriptedSession(EngineSession):

@@ -7,7 +7,6 @@ import pytest
 
 from repro.cluster import (
     ProcessWorker,
-    SessionSpec,
     ThreadWorker,
     WorkItem,
 )
@@ -15,7 +14,12 @@ from repro.errors import ClusterError
 from repro.inference.mpmc import MpmcQueue
 from repro.serving.request import InferenceRequest
 
-from cluster_testlib import ScriptedSession, expected_prediction
+from cluster_testlib import (
+    GatedSession,
+    ScriptedSession,
+    expected_prediction,
+    wait_until,
+)
 
 
 def _item(item_id: int, *image_ids: str) -> WorkItem:
@@ -64,24 +68,29 @@ class TestThreadWorker:
             worker.submit(_item(0, "img-0"))
 
     def test_pending_items_survive_a_kill(self, results):
-        # A slow session: the worker is mid-execution when killed.
-        class SlowSession(ScriptedSession):
-            def execute(self, requests):
-                time.sleep(0.2)
-                return super().execute(requests)
-
-        worker = ThreadWorker("w0", SlowSession(), results)
+        # An event-gated session: the worker is provably mid-execution of
+        # item 0 when killed, with item 1 still queued behind it.
+        session = GatedSession()
+        worker = ThreadWorker("w0", session, results)
         worker.submit(_item(0, "img-0"))
         worker.submit(_item(1, "img-1"))
-        time.sleep(0.05)  # let execution of item 0 begin
+        assert session.started.wait(timeout=5.0)  # item 0 is executing
         worker.kill()
         pending_ids = {item.item_id for item in worker.pending_items()}
         assert pending_ids == {0, 1}
+        session.release.set()  # unblock the abandoned execution thread
 
     def test_heartbeat_stays_fresh_while_idle(self, results):
         worker = ThreadWorker("w0", ScriptedSession(), results)
-        time.sleep(0.2)
-        assert worker.heartbeat_age() < 0.15
+        # The polling loop must keep publishing heartbeats while idle.
+        # Against a *fixed* reference instant the reported age shrinks every
+        # time the heartbeat advances, so waiting for it to drop below the
+        # first observation proves liveness without sleep-tuned thresholds.
+        reference = time.monotonic() + 60.0
+        first = worker.heartbeat_age(now=reference)
+        wait_until(lambda: worker.heartbeat_age(now=reference) < first,
+                   message="an idle heartbeat refresh")
+        assert worker.alive
         worker.close()
 
     def test_stats_count_requests(self, results):
@@ -149,9 +158,8 @@ class TestProcessWorker:
     def test_kill_terminates_the_process(self, results, simulated_spec):
         worker = ProcessWorker("pw", simulated_spec, results)
         worker.kill()
-        deadline = time.monotonic() + 10.0
-        while worker._process.is_alive() and time.monotonic() < deadline:
-            time.sleep(0.01)
+        # join() blocks on the OS-level process exit -- an event, not a poll.
+        worker._process.join(timeout=10.0)
         assert not worker.alive
         with pytest.raises(ClusterError):
             worker.submit(_item(0, "img-0"))

@@ -1,7 +1,6 @@
 """Tests for the MPMC queue."""
 
 import threading
-import time
 
 import pytest
 
@@ -63,8 +62,10 @@ class TestBatcherEdgeCases:
         queue = MpmcQueue(capacity=1)
         queue.put("fill")
         outcome: dict[str, object] = {}
+        entering_put = threading.Event()
 
         def blocked_producer() -> None:
+            entering_put.set()
             try:
                 queue.put("blocked", timeout=5.0)
             except QueueClosed as exc:
@@ -72,8 +73,11 @@ class TestBatcherEdgeCases:
 
         thread = threading.Thread(target=blocked_producer)
         thread.start()
-        # Give the producer time to block on the full queue, then close.
-        time.sleep(0.05)
+        # Either interleaving of close() with the put is correct -- a put
+        # blocked on a full queue must wake with QueueClosed, and a put
+        # arriving after close raises QueueClosed immediately -- so an
+        # event at the put boundary replaces the old sleep-tuned race.
+        assert entering_put.wait(timeout=5.0)
         queue.close()
         thread.join(timeout=5.0)
         assert not thread.is_alive()

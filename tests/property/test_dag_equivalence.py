@@ -1,0 +1,124 @@
+"""Property-based equivalence tests for the preprocessing DAG optimizer.
+
+For seeded random images and random legal operator chains, *every* plan the
+optimizer emits must produce output identical to the naive ordering, and
+fused plans must match their unfused counterparts exactly.  Without these
+properties the optimizer could silently change what tensor the DNN sees --
+a correctness bug no throughput number would reveal.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.preprocessing.ops import (
+    CenterCropOp,
+    ChannelReorderOp,
+    ConvertDtypeOp,
+    NormalizeOp,
+    ResizeOp,
+    TensorSpec,
+)
+from repro.preprocessing.optimizer import DagOptimizer
+
+
+@st.composite
+def legal_chain(draw):
+    """A random legal op chain plus a random input image that fits it.
+
+    The chain follows the canonical decode-free serving order (resize, crop,
+    convert, normalize, reorder) with each stage optionally present; the
+    crop is sized to fit the (possibly resized) image.  Includes the
+    crop-size == resize-short-side case, where a spec-preserving geometric
+    swap is possible but value-unsafe.
+    """
+    height = draw(st.integers(16, 48))
+    width = draw(st.integers(16, 48))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 256, size=(height, width, 3)).astype(np.uint8)
+
+    ops = []
+    short_side = None
+    if draw(st.booleans()):
+        short_side = draw(st.integers(8, 32))
+        ops.append(ResizeOp(short_side=short_side))
+    max_crop = short_side if short_side is not None else min(height, width)
+    if draw(st.booleans()):
+        ops.append(CenterCropOp(size=draw(st.integers(4, max_crop))))
+    if draw(st.booleans()):
+        ops.append(ConvertDtypeOp("float32"))
+    if draw(st.booleans()):
+        ops.append(NormalizeOp())
+    if draw(st.booleans()):
+        ops.append(ChannelReorderOp())
+    if not ops:
+        ops.append(NormalizeOp())
+    return ops, image
+
+
+def naive_output(ops, image):
+    out = image
+    for op in ops:
+        out = op.apply(out)
+    return out
+
+
+class TestEveryEmittedPlanIsEquivalent:
+    @given(chain=legal_chain())
+    @settings(max_examples=60, deadline=None)
+    def test_unfused_candidates_match_naive_ordering_exactly(self, chain):
+        ops, image = chain
+        spec = TensorSpec(height=image.shape[0], width=image.shape[1],
+                          channels=3)
+        reference = naive_output(ops, image)
+        for candidate in DagOptimizer().candidates(ops, spec, fused=False):
+            out = PreprocessingDAG.from_ops(candidate).execute(image)
+            assert out.shape == reference.shape
+            assert out.dtype == reference.dtype
+            assert np.array_equal(out, reference), (
+                f"candidate {[op.name for op in candidate]} diverged from "
+                f"naive {[op.name for op in ops]}"
+            )
+
+    @given(chain=legal_chain())
+    @settings(max_examples=60, deadline=None)
+    def test_fused_candidates_match_unfused_exactly(self, chain):
+        ops, image = chain
+        spec = TensorSpec(height=image.shape[0], width=image.shape[1],
+                          channels=3)
+        reference = naive_output(ops, image)
+        for candidate in DagOptimizer().candidates(ops, spec, fused=True):
+            out = PreprocessingDAG.from_ops(candidate).execute(image)
+            assert np.array_equal(out, reference), (
+                f"fused candidate {[op.name for op in candidate]} diverged "
+                f"from naive {[op.name for op in ops]}"
+            )
+
+    @given(chain=legal_chain())
+    @settings(max_examples=60, deadline=None)
+    def test_selected_plan_matches_naive_ordering(self, chain):
+        ops, image = chain
+        spec = TensorSpec(height=image.shape[0], width=image.shape[1],
+                          channels=3)
+        report = DagOptimizer().optimize(ops, spec)
+        optimized = report.optimized_dag().execute(image)
+        assert np.array_equal(optimized, naive_output(ops, image))
+
+    def test_spec_preserving_geometric_swap_is_rejected(self):
+        # resize(16) -> crop(16) and crop(16) -> resize(16) have identical
+        # output specs on a square input but different pixel values; the
+        # optimizer must not emit the swapped order.
+        ops = [ResizeOp(short_side=16), CenterCropOp(size=16)]
+        spec = TensorSpec(height=32, width=32, channels=3)
+        for candidate in DagOptimizer().candidates(ops, spec):
+            names = [op.name for op in candidate]
+            assert names.index("resize") < names.index("crop")
+
+    def test_standard_pipeline_optimization_still_fuses(self):
+        from repro.preprocessing.ops import standard_pipeline_ops
+
+        spec = TensorSpec(height=375, width=500, channels=3)
+        report = DagOptimizer().optimize(standard_pipeline_ops(), spec)
+        assert report.applied_fusion
+        assert report.optimized_cost < report.original_cost

@@ -1,0 +1,133 @@
+"""Tests for the QueryEngine: planning, sharded execution, exact merging."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import QueryEngine, QuerySpec
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(frame_limit=2500, batch_size=128)
+
+
+def aggregate_signature(result):
+    return (result.estimate, result.ci_half_width, result.target_invocations,
+            result.population_proxy_mean, result.estimator_variance)
+
+
+class TestPlanning:
+    def test_stage_plans_come_from_the_pareto_frontier(self, engine):
+        plans = engine.stage_plans(QuerySpec.aggregate("taipei",
+                                                       error_bound=0.05))
+        assert plans.cheap.throughput >= plans.accurate.throughput
+        assert plans.accurate.accuracy >= plans.cheap.accuracy
+        # The cheap pass picks the low-resolution rendition the paper's
+        # optimizations unlock.
+        assert not plans.cheap.plan.input_format.is_full_resolution
+
+    def test_accuracy_floor_constrains_the_cheap_pass(self, engine):
+        floored = engine.stage_plans(QuerySpec.aggregate(
+            "taipei", error_bound=0.05, accuracy_floor=0.94))
+        assert floored.cheap.accuracy >= 0.94
+
+    def test_cascade_plans_use_image_formats(self, engine):
+        plans = engine.stage_plans(QuerySpec.cascade(
+            "animals-10", num_classes=10, images=128))
+        assert not plans.cheap.plan.input_format.is_video
+
+
+class TestAggregateQueries:
+    def test_sharded_estimates_bit_identical_across_worker_counts(self,
+                                                                  engine):
+        spec = QuerySpec.aggregate("night-street", error_bound=0.05)
+        reference = engine.execute_single(spec)
+        for workers in (1, 2, 4):
+            result = engine.execute(spec, num_workers=workers)
+            assert aggregate_signature(result) == aggregate_signature(
+                reference
+            ), f"{workers}-worker execution diverged from single-process"
+
+    def test_error_bound_roughly_respected(self, engine):
+        result = engine.execute(
+            QuerySpec.aggregate("amsterdam", error_bound=0.05),
+            num_workers=2,
+        )
+        assert result.achieved_error <= 3 * 0.05
+
+    def test_makespan_speedup_with_more_workers(self, engine):
+        spec = QuerySpec.aggregate("taipei", error_bound=0.05)
+        one = engine.execute(spec, num_workers=1)
+        four = engine.execute(spec, num_workers=4)
+        speedup = (one.execution.cheap_pass_makespan_s
+                   / four.execution.cheap_pass_makespan_s)
+        assert speedup >= 3.0
+        assert four.execution.modelled_speedup >= 3.0
+
+    def test_describe_mentions_the_estimate(self, engine):
+        result = engine.execute(
+            QuerySpec.aggregate("taipei", error_bound=0.05), num_workers=2)
+        text = result.describe()
+        assert "estimate" in text and "workers" in text
+
+
+class TestLimitQueries:
+    def test_sharded_results_match_single_process(self, engine):
+        spec = QuerySpec.limit("rialto", min_count=5, limit=15)
+        reference = engine.execute_single(spec)
+        for workers in (1, 3):
+            result = engine.execute(spec, num_workers=workers)
+            assert result.found_frames == reference.found_frames
+            assert result.frames_scanned == reference.frames_scanned
+            assert result.target_invocations == reference.target_invocations
+
+    def test_found_frames_satisfy_the_predicate(self, engine):
+        from repro.datasets.video import load_video_dataset
+
+        spec = QuerySpec.limit("rialto", min_count=5, limit=15)
+        result = engine.execute(spec, num_workers=2)
+        assert result.satisfied
+        truth = load_video_dataset("rialto").ground_truth_counts(2500)
+        assert all(truth[frame] >= 5 for frame in result.found_frames)
+
+
+class TestCascadeQueries:
+    def test_sharded_confusion_matrix_matches_single_process(self, engine):
+        spec = QuerySpec.cascade("animals-10", num_classes=10, images=640)
+        reference = engine.execute_single(spec)
+        for workers in (1, 4):
+            result = engine.execute(spec, num_workers=workers)
+            assert result.accuracy == reference.accuracy
+            assert result.accuracy_ci_half_width == \
+                reference.accuracy_ci_half_width
+            assert result.mean_prediction == reference.mean_prediction
+            assert (result.confusion == reference.confusion).all()
+
+    def test_cascade_evaluation_is_populated(self, engine):
+        result = engine.execute(
+            QuerySpec.cascade("animals-10", num_classes=10, images=256),
+            num_workers=2,
+        )
+        assert result.cascade_throughput > 0
+        assert 0 < result.cascade_accuracy <= 1
+        assert result.confusion.shape == (10, 10)
+
+
+class TestValidation:
+    def test_invalid_worker_count_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute(QuerySpec.aggregate("taipei", error_bound=0.05),
+                           num_workers=0)
+
+    def test_invalid_engine_parameters_rejected(self):
+        with pytest.raises(QueryError):
+            QueryEngine(frame_limit=0)
+        with pytest.raises(QueryError):
+            QueryEngine(batch_size=0)
+
+    def test_unknown_video_dataset_surfaces(self, engine):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            engine.execute(QuerySpec.aggregate("nonexistent",
+                                               error_bound=0.05))

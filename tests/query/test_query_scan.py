@@ -1,0 +1,145 @@
+"""Tests for the sharded cheap-pass scan machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.scan import compute_scan_costs
+from repro.datasets.video import load_video_dataset
+from repro.errors import QueryError
+from repro.hardware.instance import get_instance
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.zoo import get_model_profile
+from repro.codecs.formats import VIDEO_480P_H264
+from repro.query.scan import (
+    ClusterScanRunner,
+    ScanSession,
+    ShardScanStats,
+    decode_scores,
+    encode_scores,
+    frame_id,
+)
+from repro.serving.request import InferenceRequest
+
+
+@pytest.fixture(scope="module")
+def scan_setup():
+    perf = PerformanceModel(get_instance("g4dn.xlarge"))
+    dataset = load_video_dataset("amsterdam")
+    costs = compute_scan_costs(
+        perf, EngineConfig(num_producers=4),
+        get_model_profile("resnet-18"), VIDEO_480P_H264, dataset,
+        frames_used=1200,
+    )
+    return dataset, costs
+
+
+class TestScoreTransport:
+    def test_encode_decode_roundtrip_is_lossless(self):
+        rng = np.random.default_rng(3)
+        scores = rng.normal(2.5, 3.0, size=257)
+        decoded = decode_scores(encode_scores(scores))
+        assert decoded.dtype == np.float64
+        assert (decoded == scores).all()
+
+    def test_roundtrip_survives_python_int_tuples(self):
+        # The cluster worker converts predictions to a tuple of Python ints;
+        # the bit patterns must survive that representation too.
+        scores = np.array([0.0, -1.5, 3.75e300, 5e-324])
+        as_ints = tuple(int(b) for b in encode_scores(scores))
+        assert (decode_scores(as_ints) == scores).all()
+
+
+class TestScanSession:
+    def test_serves_the_deterministic_score_table(self, scan_setup):
+        dataset, costs = scan_setup
+        session = ScanSession(dataset, specialized_accuracy=0.9,
+                              frames_used=costs.frames_used,
+                              seconds_per_frame=costs.seconds_per_scanned_frame,
+                              plan_key="scan:test")
+        session.warmup()
+        requests = [InferenceRequest(image_id=frame_id(dataset.name, i))
+                    for i in (0, 17, 1199)]
+        result = session.execute(requests)
+        expected = dataset.specialized_nn_predictions(accuracy_factor=0.9,
+                                                      limit=1200)
+        assert (decode_scores(result.predictions)
+                == expected[[0, 17, 1199]]).all()
+        assert result.modelled_seconds == pytest.approx(
+            3 * costs.seconds_per_scanned_frame
+        )
+
+    def test_out_of_range_frame_rejected(self, scan_setup):
+        dataset, costs = scan_setup
+        session = ScanSession(dataset, 0.9, costs.frames_used,
+                              costs.seconds_per_scanned_frame, "scan:test")
+        with pytest.raises(QueryError):
+            session.execute([InferenceRequest(
+                image_id=frame_id(dataset.name, 1200))])
+
+    def test_malformed_frame_id_rejected(self, scan_setup):
+        dataset, costs = scan_setup
+        session = ScanSession(dataset, 0.9, costs.frames_used,
+                              costs.seconds_per_scanned_frame, "scan:test")
+        with pytest.raises(QueryError):
+            session.execute([InferenceRequest(image_id="no-index")])
+
+    def test_empty_batch_rejected(self, scan_setup):
+        dataset, costs = scan_setup
+        session = ScanSession(dataset, 0.9, costs.frames_used,
+                              costs.seconds_per_scanned_frame, "scan:test")
+        with pytest.raises(QueryError):
+            session.execute([])
+
+
+class TestClusterScanRunner:
+    def test_reassembled_scores_match_the_local_scan(self, scan_setup):
+        dataset, costs = scan_setup
+        runner = ClusterScanRunner(dataset, specialized_accuracy=0.9,
+                                   costs=costs, plan_key="scan:test",
+                                   num_workers=3, batch_size=128)
+        report = runner.run()
+        expected = dataset.specialized_nn_predictions(accuracy_factor=0.9,
+                                                      limit=costs.frames_used)
+        assert (report.scores == expected).all()
+        assert report.total.frames == costs.frames_used
+        assert report.num_workers == 3
+
+    def test_population_mean_is_shard_count_invariant(self, scan_setup):
+        dataset, costs = scan_setup
+        means = set()
+        for workers in (1, 2, 4):
+            runner = ClusterScanRunner(dataset, 0.9, costs, "scan:test",
+                                       num_workers=workers, batch_size=97)
+            means.add(runner.run().population_mean)
+        assert len(means) == 1, (
+            f"population mean diverged across worker counts: {means}"
+        )
+
+    def test_makespan_shrinks_with_more_workers(self, scan_setup):
+        dataset, costs = scan_setup
+        one = ClusterScanRunner(dataset, 0.9, costs, "scan:test",
+                                num_workers=1, batch_size=128).run()
+        four = ClusterScanRunner(dataset, 0.9, costs, "scan:test",
+                                 num_workers=4, batch_size=128).run()
+        assert four.makespan_seconds < one.makespan_seconds
+        assert one.total.modelled_seconds == pytest.approx(
+            four.total.modelled_seconds
+        )
+
+    def test_invalid_parameters_rejected(self, scan_setup):
+        dataset, costs = scan_setup
+        with pytest.raises(QueryError):
+            ClusterScanRunner(dataset, 0.9, costs, "k", num_workers=0)
+        with pytest.raises(QueryError):
+            ClusterScanRunner(dataset, 0.9, costs, "k", batch_size=0)
+
+
+class TestShardScanStats:
+    def test_merge_tolerates_empty_shards(self):
+        full = ShardScanStats(shard_id=0)
+        full.observe(np.array([1.0, 2.0, 3.0]), modelled_seconds=0.5)
+        empty = ShardScanStats(shard_id=1)
+        merged = ShardScanStats.merge_all([full, empty])
+        assert merged.frames == 3
+        assert merged.scores.mean == full.scores.mean
+        assert merged.modelled_seconds == 0.5

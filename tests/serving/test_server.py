@@ -236,3 +236,60 @@ class TestServerBehavior:
         # Thumbnails are modelled much faster than full decode, and the
         # modelled service time dominates queueing here.
         assert p50_of(thumb) < p50_of(full)
+
+
+class TestOnlineAnalyticsQueries:
+    def test_query_resolves_to_the_engine_result(self):
+        from repro.query import QueryEngine, QuerySpec
+
+        engine = QueryEngine(frame_limit=1500, batch_size=128)
+        spec = QuerySpec.aggregate("amsterdam", error_bound=0.05)
+        reference = engine.execute_single(spec)
+        session = build_functional_session()
+        with SmolServer(session, cache_capacity=0) as server:
+            result = server.query(spec, num_workers=2,
+                                  engine=engine).result(timeout=60.0)
+            stats = server.stats()
+        assert result.estimate == reference.estimate
+        assert result.ci_half_width == reference.ci_half_width
+        assert stats.queries == 1
+        assert "queries" in stats.describe()
+
+    def test_query_failure_surfaces_as_serving_error(self):
+        from repro.query import QueryEngine, QuerySpec
+
+        engine = QueryEngine(frame_limit=1500, batch_size=128)
+        spec = QuerySpec.aggregate("not-a-dataset", error_bound=0.05)
+        session = build_functional_session()
+        with SmolServer(session, cache_capacity=0) as server:
+            future = server.query(spec, engine=engine)
+            with pytest.raises(ServingError):
+                future.result(timeout=60.0)
+            assert server.stats().queries == 0
+
+    def test_query_after_close_rejected(self):
+        from repro.query import QuerySpec
+
+        server = SmolServer(build_functional_session(), cache_capacity=0)
+        server.close()
+        with pytest.raises(ServingError):
+            server.query(QuerySpec.aggregate("taipei", error_bound=0.05))
+
+    def test_point_requests_keep_serving_while_a_query_runs(self, image_pool):
+        from repro.query import QueryEngine, QuerySpec
+
+        engine = QueryEngine(frame_limit=2000, batch_size=64)
+        session = build_functional_session()
+        with SmolServer(session, cache_capacity=0) as server:
+            query_future = server.query(
+                QuerySpec.aggregate("taipei", error_bound=0.05),
+                num_workers=2, engine=engine,
+            )
+            responses = [
+                server.submit(InferenceRequest(image_id=image_id,
+                                               payload=payload))
+                for image_id, payload in image_pool[:16]
+            ]
+            for future in responses:
+                assert future.result(timeout=30.0).prediction in (0, 1)
+            assert query_future.result(timeout=60.0).estimate > 0

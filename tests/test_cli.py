@@ -164,3 +164,58 @@ class TestCliErrorHandling:
         with pytest.raises(SystemExit) as excinfo:
             main(["run", "--images", "a-lot"])
         assert excinfo.value.code == 2
+
+
+class TestQueryCommand:
+    def test_aggregate_query_sweep_is_bit_identical(self, capsys, tmp_path):
+        import json
+
+        bench = tmp_path / "BENCH_query.json"
+        assert main(["query", "--kind", "aggregate", "--dataset", "taipei",
+                     "--error", "0.05", "--workers", "1", "2",
+                     "--frame-limit", "2000", "--max-batch", "128",
+                     "--bench-json", str(bench)]) == 0
+        output = capsys.readouterr().out
+        assert "bit-identical across worker counts: OK" in output
+        assert "Smol-Query sweep" in output
+        payload = json.loads(bench.read_text())
+        assert payload["bench"] == "query"
+        assert [row["workers"] for row in payload["rows"]] == [1, 2]
+        assert len({row["headline"] for row in payload["rows"]}) == 1
+        by_workers = {row["workers"]: row for row in payload["rows"]}
+        assert by_workers[2]["cheap_pass_speedup"] > 1.5
+
+    def test_limit_query_command(self, capsys, tmp_path):
+        assert main(["query", "--kind", "limit", "--dataset", "rialto",
+                     "--min-count", "5", "--limit", "5",
+                     "--workers", "1", "2", "--frame-limit", "2000",
+                     "--bench-json", str(tmp_path / "b.json")]) == 0
+        assert "found" in capsys.readouterr().out
+
+    def test_cascade_query_command(self, capsys, tmp_path):
+        assert main(["query", "--kind", "cascade", "--dataset", "animals-10",
+                     "--num-classes", "10", "--images", "256",
+                     "--workers", "1", "2",
+                     "--bench-json", str(tmp_path / "b.json")]) == 0
+        assert "cascade" in capsys.readouterr().out
+
+    def test_limit_query_missing_flags_exits_2(self, capsys, tmp_path):
+        assert main(["query", "--kind", "limit", "--dataset", "rialto",
+                     "--bench-json", str(tmp_path / "b.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_aggregate_missing_error_bound_exits_2(self, capsys, tmp_path):
+        assert main(["query", "--kind", "aggregate", "--dataset", "taipei",
+                     "--bench-json", str(tmp_path / "b.json")]) == 2
+        assert "--error" in capsys.readouterr().err
+
+    def test_unknown_video_dataset_exits_2(self, capsys, tmp_path):
+        assert main(["query", "--kind", "aggregate", "--dataset", "nope",
+                     "--error", "0.05",
+                     "--bench-json", str(tmp_path / "b.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_bad_worker_count_exits_2(self, capsys, tmp_path):
+        assert main(["query", "--workers", "0", "--error", "0.05",
+                     "--bench-json", str(tmp_path / "b.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
