@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in the documentation.
+
+Scans README.md and every Markdown file under docs/ for links and image
+references, and verifies that each *intra-repo* target exists on disk
+(anchors and external URLs are skipped; a path's existence is checked
+relative to the file containing the link, or to the repo root for
+absolute-style ``/`` links).  Exits non-zero listing every dead link.
+
+Run locally with:  python .github/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links/images: [text](target) / ![alt](target); reference
+# definitions: [label]: target
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("**/*.md"))
+    return [path for path in files if path.exists()]
+
+
+def targets_in(text: str) -> list[str]:
+    return _INLINE.findall(text) + _REFERENCE.findall(text)
+
+
+def check_file(path: Path) -> list[str]:
+    dead: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for raw in targets_in(text):
+        target = raw.split("#", 1)[0]
+        if not target:            # pure in-page anchor
+            continue
+        if raw.startswith(_EXTERNAL):
+            continue
+        if target.startswith("/"):
+            resolved = REPO_ROOT / target.lstrip("/")
+        else:
+            resolved = path.parent / target
+        if not resolved.exists():
+            dead.append(f"{path.relative_to(REPO_ROOT)}: {raw}")
+    return dead
+
+
+def main() -> int:
+    files = doc_files()
+    dead: list[str] = []
+    for path in files:
+        dead += check_file(path)
+    if dead:
+        print(f"dead intra-repo links ({len(dead)}):")
+        for entry in dead:
+            print(f"  {entry}")
+        return 1
+    print(f"checked {len(files)} files, all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

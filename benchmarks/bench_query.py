@@ -7,28 +7,52 @@ estimates and CI bounds **bit-identical** to the single-process engine (the
 merge-exactness contract), while the modelled cheap-pass makespan -- the
 quantity parallel replicas actually shrink -- must scale near-linearly.
 
+The sweep runs against a rendition/score store in a temp directory, the
+configuration the ``query`` CLI reaches with ``--store-root``.  Without a
+store every replica materializes its own full score table -- ``O(frames x
+8 bytes x workers)`` resident -- which silently assumed the corpus fits in
+memory per shard.  With the store, replicas *stream* the table through the
+store's chunk reader: per-replica memory is bounded by the chunk size
+(``CHUNK_FRAMES x 8 bytes`` per in-flight chunk plus the shared LRU
+budget), independent of the corpus length, and the sweep's later points
+are warm cache hits of the first.
+
 The sweep is recorded as ``BENCH_query.json`` at the repo root so the
 performance trajectory is machine-trackable.
 """
 
+import shutil
+import tempfile
 from pathlib import Path
 
 from benchlib import emit
 
 from repro.query import QueryEngine, QuerySpec
+from repro.store import RenditionStore
 from repro.utils.benchio import write_bench_json
 from repro.utils.tables import Table
 
 WORKER_COUNTS = (1, 2, 4, 8)
 FRAME_LIMIT = 6_000
 BATCH_SIZE = 128
+CHUNK_FRAMES = 1024
 ERROR_BOUND = 0.05
 DATASET = "taipei"
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_query.json"
 
 
 def run_scaling() -> tuple[Table, list[dict]]:
-    engine = QueryEngine(frame_limit=FRAME_LIMIT, batch_size=BATCH_SIZE)
+    store_root = tempfile.mkdtemp(prefix="smol-query-bench-")
+    try:
+        return _run_scaling(store_root)
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
+
+def _run_scaling(store_root: str) -> tuple[Table, list[dict]]:
+    store = RenditionStore(store_root, chunk_frames=CHUNK_FRAMES)
+    engine = QueryEngine(frame_limit=FRAME_LIMIT, batch_size=BATCH_SIZE,
+                         store=store)
     spec = QuerySpec.aggregate(DATASET, error_bound=ERROR_BOUND)
     reference = engine.execute_single(spec)
     table = Table(
@@ -54,6 +78,7 @@ def run_scaling() -> tuple[Table, list[dict]]:
         table.add_row(count, round(result.estimate, 4),
                       round(result.ci_half_width, 4), round(makespan, 3),
                       round(speedup, 2), "yes" if identical else "NO")
+        store_stats = store.stats()
         rows.append({
             "workers": count,
             "estimate": result.estimate,
@@ -62,6 +87,8 @@ def run_scaling() -> tuple[Table, list[dict]]:
             "cheap_pass_speedup": round(speedup, 3),
             "bit_identical": identical,
             "target_invocations": result.target_invocations,
+            "store_warm_hits": store_stats.read_through_hits,
+            "store_misses": store_stats.read_through_misses,
         })
     return table, rows
 
@@ -84,3 +111,8 @@ def test_query_scaling(benchmark):
     assert by_workers[2]["cheap_pass_speedup"] >= 1.7
     assert by_workers[4]["cheap_pass_speedup"] >= 3.0
     assert by_workers[8]["cheap_pass_speedup"] >= 5.0
+    # The store turns later sweep points into cache hits: only the very
+    # first replica computes the score table; every other replica across
+    # the whole sweep streams the persisted chunks.
+    assert by_workers[8]["store_misses"] == 1
+    assert by_workers[8]["store_warm_hits"] == sum(WORKER_COUNTS) - 1

@@ -35,6 +35,11 @@ full system and every substrate it depends on in pure Python/numpy:
   planner-chosen plans per stage, cheap passes sharded over the cluster
   runtime, and exactly merged per-shard statistics (results bit-identical
   to the single-process engines).
+* :mod:`repro.store` -- Smol-Store, the persistent rendition & score
+  store: content-addressed chunked storage with an in-memory LRU tier, an
+  atomic versioned manifest with fingerprint invalidation, read/write-
+  through scan sessions, and cache-aware plan costing for materialized
+  renditions.
 
 Quickstart
 ----------
@@ -72,6 +77,7 @@ from repro.cluster import (
     ThreadWorker,
 )
 from repro.query import QueryEngine, QuerySpec
+from repro.store import RenditionStore, ScoreKey, StoreCatalog
 
 __all__ = [
     "__version__",
@@ -96,4 +102,7 @@ __all__ = [
     "ThreadWorker",
     "QueryEngine",
     "QuerySpec",
+    "RenditionStore",
+    "ScoreKey",
+    "StoreCatalog",
 ]

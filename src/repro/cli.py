@@ -12,6 +12,8 @@ Subcommands:
 * ``cluster-bench`` -- sharded multi-worker scaling study (offline + online).
 * ``query``         -- run a declarative analytics query sharded over the
   cluster runtime, verifying bit-identical results across worker counts.
+* ``store``         -- inspect (``stats``), garbage-collect (``gc``), or
+  pre-materialize (``warm``) the persistent rendition & score store.
 
 The serving/cluster/query benchmarks also record their scorecards as
 machine-readable artifacts (``BENCH_serving.json`` / ``BENCH_cluster.json``
@@ -33,6 +35,10 @@ Examples
     python -m repro.cli cluster-bench --workers 1 2 4 --images 4096
     python -m repro.cli query --kind aggregate --dataset taipei --error 0.05 \
         --workers 1 4
+    python -m repro.cli store warm --root .smol-store --dataset taipei
+    python -m repro.cli query --kind aggregate --dataset taipei --error 0.05 \
+        --store-root .smol-store      # warm cache hit, streamed shards
+    python -m repro.cli store stats --root .smol-store
 """
 
 from __future__ import annotations
@@ -383,13 +389,23 @@ def _query_headline(result) -> str:
             f"± {result.accuracy_ci_half_width * 100:.2f}%")
 
 
+def _open_store(root: str | None):
+    """A RenditionStore handle for ``root``, or None when no root given."""
+    if root is None:
+        return None
+    from repro.store import RenditionStore
+
+    return RenditionStore(root)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     if any(count <= 0 for count in args.workers):
         raise ServingError("--workers counts must be positive")
     spec = _query_spec(args)
     engine = QueryEngine(instance=args.instance,
                          frame_limit=args.frame_limit,
-                         batch_size=args.max_batch)
+                         batch_size=args.max_batch,
+                         store=_open_store(args.store_root))
     reference = engine.execute_single(spec, seed=args.seed)
     print(f"query: {spec.describe()}")
     print(reference.plans.describe())
@@ -437,6 +453,50 @@ def _cmd_query(args: argparse.Namespace) -> int:
               "frame_limit": args.frame_limit, "seed": args.seed},
     )
     print(f"wrote {written}")
+    if engine.store is not None:
+        print()
+        print(engine.store.stats().describe())
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import StoreError
+    from repro.store import RenditionStore
+
+    if args.action in ("stats", "gc") and not Path(args.root).exists():
+        # Opening a store creates it; inspecting a mistyped path must not
+        # silently conjure an empty store and report all-zero stats.
+        raise StoreError(
+            f"no store at {args.root!r} ('store warm' creates one)"
+        )
+    store = RenditionStore(args.root)
+    if args.action == "stats":
+        print(f"store: {store.root}")
+        print(store.stats().describe())
+        return 0
+    if args.action == "gc":
+        report = store.gc()
+        print(f"gc: removed {report.removed_objects} unreferenced objects "
+              f"({report.freed_bytes / 1e6:.2f} MB freed), "
+              f"{report.live_objects} live")
+        return 0
+    # warm: plan the spec, persist its cheap-pass score table, and
+    # materialize a decoded rendition sample so later plans price it
+    # cache-aware.
+    engine = QueryEngine(instance=args.instance,
+                         frame_limit=args.frames, store=store)
+    spec = QuerySpec.aggregate(
+        args.dataset, error_bound=args.error,
+        specialized_accuracy=args.specialized_accuracy,
+    )
+    plans = engine.warm(spec, rendition_frames=args.rendition_frames)
+    print(f"warmed {args.dataset}: cheap pass "
+          f"{plans.cheap.plan.describe()} over {args.frames} frames"
+          + (f", {args.rendition_frames} rendition frames materialized"
+             if args.rendition_frames else ""))
+    print(store.stats().describe())
     return 0
 
 
@@ -578,7 +638,34 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--bench-json", default="BENCH_query.json",
                        help="where to write the machine-readable scorecard")
+    query.add_argument("--store-root", default=None,
+                       help="rendition/score store directory; when given, "
+                            "the cheap pass reads/writes the store and "
+                            "shards stream score chunks, bounding "
+                            "per-worker memory by the store's chunk size "
+                            "(default 2048 frames x 8 bytes) instead of "
+                            "the full frame range")
     query.set_defaults(func=_cmd_query)
+
+    store = subparsers.add_parser(
+        "store",
+        help="inspect, garbage-collect, or warm the persistent "
+             "rendition & score store",
+    )
+    store.add_argument("action", choices=("stats", "gc", "warm"))
+    store.add_argument("--root", default=".smol-store",
+                       help="store directory (default: .smol-store)")
+    store.add_argument("--dataset", default="taipei",
+                       help="video dataset to warm")
+    store.add_argument("--frames", type=int, default=12_000,
+                       help="functional scan length to warm")
+    store.add_argument("--error", type=float, default=0.05,
+                       help="error bound of the planned warm query")
+    store.add_argument("--specialized-accuracy", type=float, default=0.9)
+    store.add_argument("--rendition-frames", type=int, default=64,
+                       help="decoded rendition frames to materialize "
+                            "(0 disables; enables cache-aware planning)")
+    store.set_defaults(func=_cmd_store)
     return parser
 
 

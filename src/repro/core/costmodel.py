@@ -39,17 +39,28 @@ class ThroughputEstimate:
 
 
 class CostModel:
-    """Base class: computes stage throughputs, subclasses combine them."""
+    """Base class: computes stage throughputs, subclasses combine them.
+
+    ``catalog`` makes the costing *cache-aware*: any object with a
+    ``decode_discount(format_name) -> float`` method (e.g.
+    :class:`repro.store.catalog.StoreCatalog`) reporting which renditions
+    are already materialized on disk.  For those formats the decode stage
+    collapses to a chunk read, so preprocessing throughput is multiplied by
+    the catalog's discount factor and already-materialized plans price
+    accordingly cheaper.
+    """
 
     #: Short name used in benchmark tables.
     name = "base"
 
     def __init__(self, performance_model: PerformanceModel,
-                 config: EngineConfig | None = None) -> None:
+                 config: EngineConfig | None = None,
+                 catalog=None) -> None:
         self._perf = performance_model
         self._config = config or EngineConfig(
             num_producers=performance_model.instance.vcpus
         )
+        self._catalog = catalog
 
     @property
     def config(self) -> EngineConfig:
@@ -61,9 +72,18 @@ class CostModel:
         """The calibrated performance model the estimates are derived from."""
         return self._perf
 
+    @property
+    def catalog(self):
+        """The materialized-rendition catalog, or None (cold costing)."""
+        return self._catalog
+
     def with_config(self, config: EngineConfig) -> "CostModel":
         """A cost model of the same estimator family under ``config``."""
-        return type(self)(self._perf, config)
+        return type(self)(self._perf, config, catalog=self._catalog)
+
+    def with_catalog(self, catalog) -> "CostModel":
+        """A cost model of the same family pricing against ``catalog``."""
+        return type(self)(self._perf, self._config, catalog=catalog)
 
     def stage_estimate(self, plan: Plan) -> StageEstimate:
         """Per-stage estimate for the plan's primary model and format."""
@@ -103,8 +123,17 @@ class CostModel:
         return 1e6 / per_image_us
 
     def preprocessing_throughput(self, plan: Plan) -> float:
-        """CPU-side preprocessing throughput for the plan's input format."""
-        return self.stage_estimate(plan).preprocessing_throughput
+        """CPU-side preprocessing throughput for the plan's input format.
+
+        When a catalog reports the plan's rendition as materialized, the
+        cold estimate is scaled by the catalog's decode discount.
+        """
+        throughput = self.stage_estimate(plan).preprocessing_throughput
+        if self._catalog is not None:
+            throughput *= self._catalog.decode_discount(
+                plan.input_format.name
+            )
+        return throughput
 
     def estimate(self, plan: Plan) -> ThroughputEstimate:
         """Estimate end-to-end throughput for ``plan``."""

@@ -9,6 +9,11 @@ under a constraint.
 Feature flags (:class:`PlannerFeatures`) switch the paper's optimizations on
 and off so the lesion and factor analyses (Figures 5-8) can be reproduced by
 toggling exactly one knob at a time.
+
+Planning is optionally *cache-aware*: given a materialized-rendition catalog
+(``catalog=``, typically ``RenditionStore.catalog()``), the cost model
+discounts decode for renditions the store already holds decoded, so repeat
+queries are steered toward plans that are cache hits.
 """
 
 from __future__ import annotations
@@ -84,7 +89,10 @@ class PlanGenerator:
     """Enumerates and scores plans over models x input formats."""
 
     def __init__(self, cost_model: CostModel, accuracy: AccuracyEstimator,
-                 features: PlannerFeatures | None = None) -> None:
+                 features: PlannerFeatures | None = None,
+                 catalog=None) -> None:
+        if catalog is not None:
+            cost_model = cost_model.with_catalog(catalog)
         self._cost_model = cost_model
         self._accuracy = accuracy
         self._features = features or PlannerFeatures()
@@ -93,6 +101,18 @@ class PlanGenerator:
     def features(self) -> PlannerFeatures:
         """The active optimization feature flags."""
         return self._features
+
+    @property
+    def catalog(self):
+        """The materialized-rendition catalog plans are priced against.
+
+        None means cold costing; otherwise an object with
+        ``decode_discount(format_name)`` (see
+        :class:`repro.store.catalog.StoreCatalog`) that discounts decode
+        cost for renditions the store has already materialized, steering
+        the frontier toward already-cached plans.
+        """
+        return self._cost_model.catalog
 
     def candidate_models(self) -> list[ModelProfile]:
         """Candidate DNNs under the active search-space setting."""
@@ -205,8 +225,14 @@ class PlanGenerator:
 def default_planner(cost_model: CostModel | None = None,
                     dataset_name: str = "imagenet",
                     features: PlannerFeatures | None = None,
-                    performance_model=None) -> PlanGenerator:
-    """Convenience constructor wiring a Smol cost model to a planner."""
+                    performance_model=None,
+                    catalog=None) -> PlanGenerator:
+    """Convenience constructor wiring a Smol cost model to a planner.
+
+    Pass ``catalog`` (e.g. ``RenditionStore.catalog()``) for cache-aware
+    costing: plans whose rendition is already materialized in the store are
+    priced with decode collapsed to a chunk read.
+    """
     if cost_model is None:
         if performance_model is None:
             raise PlanError("provide either a cost model or a performance model")
@@ -215,4 +241,5 @@ def default_planner(cost_model: CostModel | None = None,
         cost_model=cost_model,
         accuracy=AccuracyEstimator(dataset_name),
         features=features,
+        catalog=catalog,
     )

@@ -87,3 +87,12 @@ class WorkerCrashedError(ClusterError):
 
 class NoHealthyWorkerError(ClusterError):
     """Raised when no live worker with a closed circuit can accept work."""
+
+
+class StoreError(ReproError):
+    """Raised by the persistent rendition/score store for invalid requests."""
+
+
+class StoreCorruptionError(StoreError):
+    """Raised when on-disk store state fails validation (torn manifest,
+    content-address mismatch, undecodable chunk)."""

@@ -223,6 +223,12 @@ class QueryEngine:
         Functional scan length bound for video queries.
     batch_size:
         Frames (or images) per dispatched micro-batch.
+    store:
+        Optional :class:`~repro.store.store.RenditionStore`.  Cheap passes
+        then read/write score tables through the store (repeat queries are
+        cache hits, shard replicas stream chunks instead of holding full
+        tables) and the planner prices plans cache-aware: renditions the
+        store has materialized get their decode cost discounted.
     """
 
     def __init__(self, instance: CloudInstance | str = "g4dn.xlarge",
@@ -230,7 +236,8 @@ class QueryEngine:
                  config: EngineConfig | None = None,
                  features: PlannerFeatures | None = None,
                  frame_limit: int = 20_000,
-                 batch_size: int = 256) -> None:
+                 batch_size: int = 256,
+                 store=None) -> None:
         if performance_model is None:
             if isinstance(instance, str):
                 instance = get_instance(instance)
@@ -246,6 +253,7 @@ class QueryEngine:
         self._features = features or PlannerFeatures()
         self._frame_limit = frame_limit
         self._batch_size = batch_size
+        self._store = store
 
     @property
     def performance_model(self) -> PerformanceModel:
@@ -256,6 +264,11 @@ class QueryEngine:
     def config(self) -> EngineConfig:
         """The engine configuration used for every stage estimate."""
         return self._config
+
+    @property
+    def store(self):
+        """The attached rendition/score store, or None."""
+        return self._store
 
     # ------------------------------------------------------------------
     # Planning
@@ -268,10 +281,18 @@ class QueryEngine:
             accuracy = AccuracyEstimator(spec.dataset,
                                          top_accuracy=VIDEO_TOP_ACCURACY,
                                          sensitivity=VIDEO_SENSITIVITY)
+        catalog = None
+        if self._store is not None:
+            from repro.query.scan import scan_store_fingerprint
+
+            catalog = self._store.catalog(
+                item=spec.dataset, fingerprint=scan_store_fingerprint()
+            )
         return PlanGenerator(
             cost_model=SmolCostModel(self._perf, self._config),
             accuracy=accuracy,
             features=self._features,
+            catalog=catalog,
         )
 
     def stage_plans(self, spec: QuerySpec) -> QueryStagePlans:
@@ -298,6 +319,54 @@ class QueryEngine:
             cheap = max(frontier, key=lambda e: e.throughput)
         accurate = max(frontier, key=lambda e: e.accuracy)
         return QueryStagePlans(cheap=cheap, accurate=accurate)
+
+    def warm(self, spec: QuerySpec,
+             rendition_frames: int = 0) -> QueryStagePlans:
+        """Pre-materialize the attached store for ``spec``'s cheap pass.
+
+        Plans the query (cold pricing), then writes the cheap-pass score
+        table through the store so the next :meth:`execute` of the same
+        spec is a pure cache hit, and optionally materializes
+        ``rendition_frames`` decoded frames of the chosen rendition --
+        after which the planner prices that rendition cache-aware.
+
+        Only aggregate/limit specs scan frames; warming a cascade spec is
+        an error.  Requires a store.
+        """
+        if self._store is None:
+            raise QueryError("warm() needs a store (pass store= to the "
+                             "engine)")
+        if spec.kind == "cascade":
+            raise QueryError("cascade specs have no frame scan to warm")
+        from repro.store.store import RenditionKey
+
+        plans = self.stage_plans(spec)
+        dataset = load_video_dataset(spec.dataset)
+        costs = self._scan_costs(dataset, plans)
+        rendition = plans.cheap.plan.input_format.name
+        if rendition_frames > 0:
+            from repro.query.scan import scan_store_fingerprint
+
+            frames = dataset.render_frames(
+                min(rendition_frames, dataset.num_frames)
+            )
+            self._store.put_rendition(
+                RenditionKey(dataset.name, rendition),
+                np.stack([frame.pixels for frame in frames]),
+                fingerprint=scan_store_fingerprint(),
+            )
+        runner = ClusterScanRunner(
+            dataset=dataset,
+            specialized_accuracy=spec.specialized_accuracy,
+            costs=costs,
+            plan_key=f"scan:{plans.cheap.plan.describe()}",
+            num_workers=1,
+            batch_size=self._batch_size,
+            store=self._store,
+            rendition=rendition,
+        )
+        runner.session().warmup()
+        return plans
 
     # ------------------------------------------------------------------
     # Execution
@@ -326,6 +395,8 @@ class QueryEngine:
             num_workers=num_workers,
             batch_size=self._batch_size,
             router=router,
+            store=self._store,
+            rendition=plans.cheap.plan.input_format.name,
         )
         report = runner.run()
         truth = dataset.ground_truth_counts(costs.frames_used).astype(

@@ -20,6 +20,13 @@ runtime:
 Throughput is reported in modelled time: each shard's batches are charged
 ``frames / cheap_throughput`` seconds, and the parallel makespan is the
 busiest replica's modelled load -- the quantity ``BENCH_query.json`` tracks.
+
+When a :class:`~repro.store.store.RenditionStore` is attached, replicas
+read/write the score table through the store instead of recomputing it per
+session, and batches stream the table chunk by chunk -- bounding per-replica
+memory by the chunk size rather than the corpus size.  The store's chunk
+codec is lossless, so store-served (warm) results stay bit-identical to
+cold recomputation at every worker count.
 """
 
 from __future__ import annotations
@@ -57,6 +64,23 @@ def frame_id(dataset_name: str, index: int) -> str:
     return f"{dataset_name}:{index}"
 
 
+#: Logical model name score tables are stored under in the rendition store.
+SCAN_MODEL_NAME = "specialized-nn"
+
+#: Version of the specialized-NN scoring implementation.  Bump this when
+#: :meth:`repro.datasets.video.VideoDataset.specialized_nn_predictions`
+#: (or anything else that changes stored score values) changes semantics:
+#: every persisted score table and rendition is then invalidated at once.
+SCAN_SCORE_VERSION = 1
+
+
+def scan_store_fingerprint() -> str:
+    """The store fingerprint the integrated scan path versions entries under."""
+    from repro.store.store import fingerprint_of
+
+    return fingerprint_of(SCAN_MODEL_NAME, SCAN_SCORE_VERSION)
+
+
 class ScanSession(EngineSession):
     """A plan-warmed session serving specialized-NN scores per frame.
 
@@ -66,11 +90,22 @@ class ScanSession(EngineSession):
     pure lookups.  ``execute`` returns the scores for the requested frames
     as bit patterns (see :func:`encode_scores`) plus the modelled cheap-pass
     service time of the batch.
+
+    With a ``store`` (a :class:`~repro.store.store.RenditionStore`), warmup
+    becomes a read-through: a warm store serves the table from disk (no
+    recomputation), a cold store computes it once and writes it through for
+    every later session -- including sessions in other processes.  Shard
+    batches then *stream* through the store's chunk reader: each batch
+    decodes only the chunks covering its frame range, so per-replica memory
+    is bounded by ``O(chunk_frames x 8 bytes)`` per in-flight chunk (plus
+    the store's shared LRU budget), not ``O(frames_used)``.  The store's
+    chunk codec is lossless, so warm scores are bit-identical to cold ones.
     """
 
     def __init__(self, dataset: VideoDataset, specialized_accuracy: float,
                  frames_used: int, seconds_per_frame: float,
-                 plan_key: str) -> None:
+                 plan_key: str, store=None, rendition: str = "",
+                 store_fingerprint: str | None = None) -> None:
         super().__init__(plan_key)
         if frames_used <= 0:
             raise QueryError("frames_used must be positive")
@@ -80,21 +115,48 @@ class ScanSession(EngineSession):
         self._specialized_accuracy = specialized_accuracy
         self._frames_used = frames_used
         self._seconds_per_frame = seconds_per_frame
+        self._store = store
+        self._rendition = rendition or "unknown"
+        self._store_fingerprint = store_fingerprint
         self._bits: np.ndarray | None = None
+        self._reader = None
 
-    def warmup(self) -> None:
-        """Materialize the per-frame specialized-NN score table."""
-        scores = self._dataset.specialized_nn_predictions(
+    @property
+    def reader(self):
+        """The store chunk reader batches stream from (None without store)."""
+        return self._reader
+
+    def _compute_scores(self) -> np.ndarray:
+        return self._dataset.specialized_nn_predictions(
             accuracy_factor=self._specialized_accuracy,
             limit=self._frames_used,
         )
-        self._bits = encode_scores(scores)
+
+    def warmup(self) -> None:
+        """Materialize (or open) the per-frame specialized-NN score table."""
+        if self._store is not None:
+            from repro.store.store import ScoreKey
+
+            key = ScoreKey.for_scan(
+                dataset=self._dataset.name, model=SCAN_MODEL_NAME,
+                rendition=self._rendition,
+                accuracy=self._specialized_accuracy,
+                frames=self._frames_used,
+            )
+            fingerprint = self._store_fingerprint
+            if fingerprint is None:
+                fingerprint = scan_store_fingerprint()
+            self._reader = self._store.scores_or_compute(
+                key, self._compute_scores, fingerprint=fingerprint,
+            )
+        else:
+            self._bits = encode_scores(self._compute_scores())
         super().warmup()
 
     def execute(self, requests: Sequence[InferenceRequest]) -> BatchResult:
         if not requests:
             raise QueryError("cannot execute an empty scan batch")
-        if self._bits is None:
+        if self._bits is None and self._reader is None:
             self.warmup()
         indices = np.empty(len(requests), dtype=np.int64)
         for position, request in enumerate(requests):
@@ -109,8 +171,12 @@ class ScanSession(EngineSession):
             raise QueryError(
                 f"frame index outside the warmed range [0, {self._frames_used})"
             )
+        if self._reader is not None:
+            bits = encode_scores(self._reader.gather(indices))
+        else:
+            bits = self._bits[indices]
         return BatchResult(
-            predictions=self._bits[indices],
+            predictions=bits,
             modelled_seconds=len(requests) * self._seconds_per_frame,
         )
 
@@ -203,12 +269,23 @@ class ClusterScanRunner:
         Plan identity every replica warms (shown by the dispatcher).
     num_workers / batch_size / router:
         Pool size (= shard count), frames per micro-batch, routing policy.
+    store / rendition / store_fingerprint:
+        Optional :class:`~repro.store.store.RenditionStore` every replica
+        reads/writes through (shared handle -- the store is thread-safe):
+        the first replica to warm a cold store computes and persists the
+        score table, every other replica (and every later run) streams it
+        chunk by chunk.  ``rendition`` names the plan's input format in the
+        store key; ``store_fingerprint`` versions the entries (defaults
+        to :func:`scan_store_fingerprint`, so bumping
+        :data:`SCAN_SCORE_VERSION` invalidates every stored table).
     """
 
     def __init__(self, dataset: VideoDataset, specialized_accuracy: float,
                  costs: ScanCosts, plan_key: str, num_workers: int = 2,
                  batch_size: int = 256,
-                 router: str = "round-robin") -> None:
+                 router: str = "round-robin", store=None,
+                 rendition: str = "",
+                 store_fingerprint: str | None = None) -> None:
         if num_workers <= 0:
             raise QueryError("num_workers must be positive")
         if batch_size <= 0:
@@ -220,6 +297,9 @@ class ClusterScanRunner:
         self._num_workers = num_workers
         self._batch_size = batch_size
         self._router = router
+        self._store = store
+        self._rendition = rendition
+        self._store_fingerprint = store_fingerprint
 
     def session(self) -> ScanSession:
         """One plan-warmed scan session (one per replica)."""
@@ -229,6 +309,9 @@ class ClusterScanRunner:
             frames_used=self._costs.frames_used,
             seconds_per_frame=self._costs.seconds_per_scanned_frame,
             plan_key=self._plan_key,
+            store=self._store,
+            rendition=self._rendition,
+            store_fingerprint=self._store_fingerprint,
         )
 
     def worker_factory(self) -> Callable[[str, MpmcQueue], Worker]:

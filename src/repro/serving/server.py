@@ -119,6 +119,12 @@ class SmolServer:
         micro-batches on instead of a local session.  The dispatcher's
         replicas must all run the plan the server advertises
         (``cluster.plan_key``).  The server does not close the dispatcher.
+    store:
+        Optional :class:`~repro.store.store.RenditionStore`.  Analytics
+        queries answered via :meth:`query` then warm their scan sessions
+        from the store (repeat queries hit persisted score tables instead
+        of rescanning) and are planned cache-aware against the store's
+        materialized renditions.
     """
 
     def __init__(self, session: EngineSession | SessionManager | None = None,
@@ -126,7 +132,7 @@ class SmolServer:
                  queue_capacity: int = 256,
                  cache_capacity: int = 2048,
                  block_on_full: bool = True,
-                 cluster=None) -> None:
+                 cluster=None, store=None) -> None:
         if (session is None) == (cluster is None):
             raise ServingError(
                 "provide exactly one of session= or cluster="
@@ -161,6 +167,7 @@ class SmolServer:
         self._errors = 0
         self._cancelled = 0
         self._queries = 0
+        self._store = store
         self._query_engine = None
         self._closed = False
         self._outstanding = 0
@@ -262,7 +269,8 @@ class SmolServer:
                     performance_model = getattr(
                         self._sessions.current(), "performance_model", None
                     )
-                built = QueryEngine(performance_model=performance_model)
+                built = QueryEngine(performance_model=performance_model,
+                                    store=self._store)
                 with self._counters_lock:
                     if self._query_engine is None:
                         self._query_engine = built

@@ -1,0 +1,122 @@
+"""Byte-budgeted in-memory LRU tier in front of the on-disk store.
+
+The serving layer's :class:`~repro.serving.cache.LruCache` bounds entry
+*count*; decoded chunks vary wildly in size (a score chunk is a few KiB, a
+rendition chunk can be megabytes), so the store's tier bounds total *bytes*
+instead.  Eviction order is strict least-recently-used: ``get`` refreshes
+recency, ``put`` evicts from the cold end until the new entry fits.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.errors import StoreError
+
+
+@dataclass(frozen=True)
+class ChunkCacheStats:
+    """Counters of the in-memory chunk tier."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    bytes_used: int
+    bytes_budget: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of chunk lookups served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ByteLruCache:
+    """Thread-safe LRU map bounded by the total byte size of its values.
+
+    ``sizeof`` maps a cached value to its byte cost (defaults to
+    ``value.nbytes``, the numpy convention).  A value larger than the whole
+    budget is simply never cached -- lookups fall through to the backing
+    store instead of thrashing every other entry out.
+    """
+
+    def __init__(self, bytes_budget: int,
+                 sizeof: Callable[[object], int] | None = None) -> None:
+        if bytes_budget <= 0:
+            raise StoreError("cache byte budget must be positive")
+        self._budget = bytes_budget
+        self._sizeof = sizeof or (lambda value: int(value.nbytes))
+        self._items: OrderedDict[Hashable, tuple[object, int]] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def bytes_budget(self) -> int:
+        """Maximum total bytes of cached values."""
+        return self._budget
+
+    @property
+    def bytes_used(self) -> int:
+        """Current total bytes of cached values."""
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def get(self, key: Hashable):
+        """Look up ``key``, refreshing its recency; None on miss."""
+        with self._lock:
+            if key in self._items:
+                self._items.move_to_end(key)
+                self._hits += 1
+                return self._items[key][0]
+            self._misses += 1
+            return None
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert ``key``, evicting least-recently-used entries to fit."""
+        size = self._sizeof(value)
+        with self._lock:
+            if key in self._items:
+                _, old_size = self._items.pop(key)
+                self._bytes -= old_size
+            if size > self._budget:
+                return
+            while self._bytes + size > self._budget and self._items:
+                _, (_, evicted_size) = self._items.popitem(last=False)
+                self._bytes -= evicted_size
+                self._evictions += 1
+            self._items[key] = (value, size)
+            self._bytes += size
+
+    def keys(self) -> list[Hashable]:
+        """Cached keys from least to most recently used."""
+        with self._lock:
+            return list(self._items)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._items.clear()
+            self._bytes = 0
+
+    def stats(self) -> ChunkCacheStats:
+        """Snapshot of the tier's counters."""
+        with self._lock:
+            return ChunkCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._items),
+                bytes_used=self._bytes,
+                bytes_budget=self._budget,
+            )

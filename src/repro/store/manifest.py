@@ -1,0 +1,148 @@
+"""The store's atomic, versioned manifest.
+
+The manifest is the single source of truth for what the store contains: a
+JSON document mapping logical entry keys (``scores/...``, ``rendition/...``)
+to the content-addressed objects holding their chunks, plus the fingerprint
+each entry was computed under.  Two properties make it safe:
+
+* **Atomic updates.**  Every save writes a writer-unique temporary file in
+  the same directory and then ``os.replace``\\ s it over ``manifest.json``.
+  The rename is atomic on POSIX, so a crash at any point leaves either the
+  old or the new manifest -- never a torn one.  A leftover temp file from
+  a crashed writer is ignored on load and reaped by the store's GC once
+  provably stale.
+* **Versioned invalidation.**  Each entry records the ``fingerprint`` of the
+  computation that produced it (preprocessing-DAG spec, model identity,
+  codec parameters).  A reader presents its own fingerprint; a mismatch is a
+  miss, so changing a DAG or model silently invalidates every stale entry
+  without a coordinated flush.  ``schema_version`` guards the manifest
+  layout itself the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import StoreCorruptionError
+
+SCHEMA_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class ManifestEntry:
+    """One logical array stored as a sequence of content-addressed chunks.
+
+    Attributes
+    ----------
+    kind:
+        ``"scores"`` or ``"rendition"``.
+    fingerprint:
+        Version tag of the producing computation; compared on every read.
+    objects:
+        Content hashes of the entry's chunks, in order.
+    chunk_lengths:
+        Leading-axis length of each chunk (frames per chunk), so a reader
+        can map a frame range onto chunk indices without decoding anything.
+    dtype / shape_suffix:
+        Array dtype string and the per-frame shape (everything after the
+        leading frame axis).
+    meta:
+        Free-form producer metadata (dataset, model, rendition parameters).
+    """
+
+    kind: str
+    fingerprint: str
+    objects: list[str]
+    chunk_lengths: list[int]
+    dtype: str
+    shape_suffix: list[int] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def length(self) -> int:
+        """Total leading-axis length across all chunks."""
+        return sum(self.chunk_lengths)
+
+
+class Manifest:
+    """In-memory view of the manifest with atomic persistence."""
+
+    def __init__(self, entries: dict[str, ManifestEntry] | None = None,
+                 sequence: int = 0) -> None:
+        self.entries: dict[str, ManifestEntry] = dict(entries or {})
+        self.sequence = sequence
+
+    @classmethod
+    def load(cls, directory: Path) -> "Manifest":
+        """Load the manifest from ``directory`` (empty if absent).
+
+        Leftover temporary files from crashed saves are ignored: their
+        rename never happened, so their contents were never committed.
+        (They are reaped by the store's GC once provably stale -- load
+        must not delete them, because another live writer's in-flight
+        temp file looks identical to a crashed one.)
+        """
+        path = directory / MANIFEST_NAME
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreCorruptionError(
+                f"manifest at {path} is unreadable: {exc}"
+            ) from exc
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            raise StoreCorruptionError(
+                f"manifest schema {payload.get('schema_version')!r} is not "
+                f"the supported version {SCHEMA_VERSION}"
+            )
+        entries = {}
+        for key, raw in payload.get("entries", {}).items():
+            try:
+                entries[key] = ManifestEntry(**raw)
+            except TypeError as exc:
+                raise StoreCorruptionError(
+                    f"manifest entry {key!r} is malformed: {exc}"
+                ) from exc
+        return cls(entries=entries, sequence=int(payload.get("sequence", 0)))
+
+    def save(self, directory: Path) -> None:
+        """Persist atomically: write a sibling temp file, then rename.
+
+        The temp name is unique per writer (pid + thread id), so
+        concurrent saves from different handles or processes never
+        clobber each other's in-flight file; the final ``os.replace``
+        serializes them (last rename wins, both manifests are intact).
+        """
+        self.sequence += 1
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "sequence": self.sequence,
+            "entries": {key: asdict(entry)
+                        for key, entry in sorted(self.entries.items())},
+        }
+        path = directory / MANIFEST_NAME
+        tmp = directory / (f"{MANIFEST_NAME}.{os.getpid()}"
+                           f"-{threading.get_ident()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, path)
+
+    def get(self, key: str, fingerprint: str) -> ManifestEntry | None:
+        """The entry for ``key`` iff it matches ``fingerprint``; else None."""
+        entry = self.entries.get(key)
+        if entry is None or entry.fingerprint != fingerprint:
+            return None
+        return entry
+
+    def referenced_objects(self) -> set[str]:
+        """Content hashes referenced by any live entry."""
+        refs: set[str] = set()
+        for entry in self.entries.values():
+            refs.update(entry.objects)
+        return refs

@@ -1,0 +1,640 @@
+"""Smol-Store: the persistent, content-addressed rendition and score store.
+
+The paper's central measurement is that preprocessing -- decode + resize --
+dominates end-to-end cost, which makes decoded low-resolution renditions and
+the per-frame scores computed from them first-class, *reusable* artifacts.
+:class:`RenditionStore` persists both so repeat queries become cache hits:
+
+* **Renditions** -- decoded low-resolution pixel arrays, chunked along the
+  frame axis and losslessly compressed with the chunk codec
+  (:mod:`repro.codecs.chunked`).
+* **Scores** -- per-item model outputs keyed by
+  ``(item, model, rendition-spec)`` (:class:`ScoreKey`), stored the same
+  chunked way so shard scans can stream a frame range without loading the
+  whole table.
+
+On-disk layout (all under one ``root`` directory)::
+
+    root/
+      manifest.json           # atomic (write-then-rename), versioned
+      objects/<aa>/<sha256>   # content-addressed chunk payloads
+
+Chunks are content-addressed: an object's filename is the SHA-256 of its
+encoded payload, so concurrent writers that race on the same deterministic
+computation write identical bytes to identical names -- last rename wins and
+nothing is corrupted.  The manifest maps logical keys to chunk hashes and
+records the *fingerprint* (DAG spec, model identity) each entry was computed
+under; a fingerprint mismatch is a miss, which is how a changed
+preprocessing DAG or retrained model invalidates stale entries without a
+flush (see :mod:`repro.store.manifest`).
+
+An in-memory byte-budgeted LRU tier (:class:`~repro.store.lru.ByteLruCache`)
+fronts the disk objects, so hot chunks decode once per process.  The memory
+bound of a store-backed reader is ``O(chunk_frames x itemsize)`` per
+in-flight chunk plus the shared LRU budget -- *not* ``O(total frames)``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+import numpy as np
+
+from repro.codecs.chunked import decode_array, encode_array
+from repro.errors import StoreCorruptionError, StoreError
+from repro.store.lru import ByteLruCache, ChunkCacheStats
+from repro.store.manifest import Manifest, ManifestEntry
+
+DEFAULT_CHUNK_FRAMES = 2048
+DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+#: A ``.tmp`` file this old is a crashed writer's leftover, not an
+#: in-flight write (writers hold their temp files for milliseconds); GC
+#: reaps only temps past this age so it never races a live rename.
+TMP_REAP_SECONDS = 60.0
+
+
+def fingerprint_of(*parts: object) -> str:
+    """A short stable fingerprint of the given computation identifiers.
+
+    Feed it everything that, when changed, must invalidate stored results:
+    the preprocessing-DAG description, the model name/variant, codec
+    parameters.  Readers and writers must derive fingerprints from the same
+    parts.
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def dag_fingerprint(dag) -> str:
+    """Fingerprint of a preprocessing DAG's executable spec.
+
+    Uses the DAG's operator sequence and device placement (its
+    ``describe()`` string plus per-op public attributes), so any spec change
+    -- op order, parameters, placement -- produces a new fingerprint and
+    invalidates renditions and scores computed under the old one.
+    """
+    parts: list[object] = [dag.describe()]
+    for node in dag.topological_ops():
+        parts.append(sorted(
+            (k, repr(v)) for k, v in vars(node.op).items()
+            if not k.startswith("_")
+        ))
+    return fingerprint_of(*parts)
+
+
+@dataclass(frozen=True)
+class ScoreKey:
+    """Identity of one stored score table: (item, model, rendition-spec).
+
+    ``item`` is the corpus the scores cover (a dataset name), ``model`` the
+    scoring network, ``rendition`` the input format the model read, and
+    ``params`` any scoring parameters that change the values (e.g. the
+    specialized NN's accuracy factor and the frame count).
+    """
+
+    item: str
+    model: str
+    rendition: str
+    params: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def for_scan(cls, dataset: str, model: str, rendition: str,
+                 accuracy: float, frames: int) -> "ScoreKey":
+        """The key of one cheap-pass scan's score table."""
+        return cls(item=dataset, model=model, rendition=rendition,
+                   params=(("accuracy", repr(float(accuracy))),
+                           ("frames", str(int(frames)))))
+
+    def key(self) -> str:
+        """The manifest key string."""
+        suffix = "/".join(f"{name}={value}" for name, value in self.params)
+        base = f"scores/{self.item}/{self.model}/{self.rendition}"
+        return f"{base}/{suffix}" if suffix else base
+
+
+@dataclass(frozen=True)
+class RenditionKey:
+    """Identity of one stored decoded rendition: (item, rendition-spec)."""
+
+    item: str
+    rendition: str
+
+    def key(self) -> str:
+        """The manifest key string."""
+        return f"rendition/{self.item}/{self.rendition}"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Snapshot of the store's contents and traffic."""
+
+    score_entries: int
+    rendition_entries: int
+    objects: int
+    disk_bytes: int
+    read_through_hits: int
+    read_through_misses: int
+    chunk_cache: ChunkCacheStats
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (the ``store stats`` CLI)."""
+        total = self.read_through_hits + self.read_through_misses
+        hit_rate = self.read_through_hits / total if total else 0.0
+        return "\n".join([
+            f"entries:      {self.score_entries} score tables, "
+            f"{self.rendition_entries} renditions",
+            f"objects:      {self.objects} chunks, "
+            f"{self.disk_bytes / 1e6:.2f} MB on disk",
+            f"read-through: {self.read_through_hits}/{total} warm "
+            f"({hit_rate * 100:.1f}%)",
+            f"chunk cache:  {self.chunk_cache.entries} chunks, "
+            f"{self.chunk_cache.bytes_used / 1e6:.2f}/"
+            f"{self.chunk_cache.bytes_budget / 1e6:.0f} MB, "
+            f"{self.chunk_cache.hit_rate * 100:.1f}% hits",
+        ])
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """Outcome of one garbage-collection pass."""
+
+    removed_objects: int
+    freed_bytes: int
+    live_objects: int
+
+
+class ChunkedReader:
+    """Streaming view over one stored entry's chunks.
+
+    Reads decode only the chunks covering the requested frame range, through
+    the store's shared LRU tier, so a shard scan over a huge table holds at
+    most a few chunks in memory (``chunk_frames x row nbytes`` each) instead
+    of the whole array.
+    """
+
+    def __init__(self, store: "RenditionStore", entry: ManifestEntry) -> None:
+        self._store = store
+        self._entry = entry
+        starts = np.cumsum([0] + list(entry.chunk_lengths))
+        self._starts = starts          # chunk i covers [starts[i], starts[i+1])
+        self._length = int(starts[-1])
+
+    @property
+    def length(self) -> int:
+        """Total leading-axis length (frames)."""
+        return self._length
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the stored array."""
+        return np.dtype(self._entry.dtype)
+
+    def _chunk(self, index: int) -> np.ndarray:
+        return self._store._load_chunk(self._entry, index)
+
+    def read(self, lo: int, hi: int) -> np.ndarray:
+        """The rows in ``[lo, hi)``, decoded chunk by chunk."""
+        if not 0 <= lo <= hi <= self._length:
+            raise StoreError(
+                f"range [{lo}, {hi}) outside stored length {self._length}"
+            )
+        if lo == hi:
+            shape = (0, *self._entry.shape_suffix)
+            return np.empty(shape, dtype=self.dtype)
+        first = int(np.searchsorted(self._starts, lo, side="right")) - 1
+        last = int(np.searchsorted(self._starts, hi, side="left"))
+        parts = []
+        for index in range(first, last):
+            chunk = self._chunk(index)
+            start = int(self._starts[index])
+            begin = max(lo - start, 0)
+            end = min(hi - start, chunk.shape[0])
+            parts.append(chunk[begin:end])
+        if len(parts) == 1:
+            return parts[0].copy()
+        return np.concatenate(parts, axis=0)
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """The rows at ``indices`` (any order), decoded chunk by chunk."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return np.empty((0, *self._entry.shape_suffix), dtype=self.dtype)
+        if idx.min() < 0 or idx.max() >= self._length:
+            raise StoreError(
+                f"index outside the stored range [0, {self._length})"
+            )
+        out = np.empty((idx.size, *self._entry.shape_suffix),
+                       dtype=self.dtype)
+        owner = np.searchsorted(self._starts, idx, side="right") - 1
+        for chunk_index in np.unique(owner):
+            mask = owner == chunk_index
+            chunk = self._chunk(int(chunk_index))
+            out[mask] = chunk[idx[mask] - int(self._starts[chunk_index])]
+        return out
+
+    def read_all(self) -> np.ndarray:
+        """The whole array (convenience; defeats the streaming bound)."""
+        return self.read(0, self._length)
+
+
+class RenditionStore:
+    """Persistent content-addressed store for renditions and score tables.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the manifest and object files; created on demand.
+    chunk_frames:
+        Leading-axis rows per chunk.  This fixes the streaming memory bound:
+        a reader touches one chunk (``chunk_frames`` rows) at a time.
+    cache_bytes:
+        Budget of the in-memory decoded-chunk LRU tier.
+    compression_level:
+        zlib level for chunk bodies (see :mod:`repro.codecs.chunked`).
+
+    The store is safe for concurrent use from multiple threads: manifest
+    mutations serialize on an internal lock, object writes are
+    write-to-temp-then-rename, and identical content always lands at the
+    same content-addressed name, so racing writers are idempotent.
+    """
+
+    def __init__(self, root: str | Path,
+                 chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 compression_level: int = 1) -> None:
+        if chunk_frames <= 0:
+            raise StoreError("chunk_frames must be positive")
+        self._root = Path(root)
+        self._objects = self._root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._chunk_frames = chunk_frames
+        self._level = compression_level
+        self._lock = threading.RLock()
+        self._manifest = Manifest.load(self._root)
+        self._cache = ByteLruCache(cache_bytes)
+        self._read_through_hits = 0
+        self._read_through_misses = 0
+
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    @property
+    def chunk_frames(self) -> int:
+        """Rows per chunk (the streaming granularity)."""
+        return self._chunk_frames
+
+    # ------------------------------------------------------------------
+    # Object layer (content-addressed chunks)
+    # ------------------------------------------------------------------
+    def _object_path(self, digest: str) -> Path:
+        return self._objects / digest[:2] / digest
+
+    def _write_object(self, payload: bytes) -> str:
+        digest = hashlib.sha256(payload).hexdigest()
+        path = self._object_path(digest)
+        if path.exists():
+            try:
+                # Refresh the mtime: GC's age guard treats young objects
+                # as possibly-uncommitted, so a re-put of content that
+                # already exists (e.g. after an invalidation) must look
+                # young again or a concurrent GC could sweep it between
+                # this dedupe and the manifest commit.
+                os.utime(path)
+                return digest
+            except OSError:
+                pass  # reaped concurrently; fall through and rewrite
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}"
+                             f"-{threading.get_ident()}")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+        return digest
+
+    def _load_chunk(self, entry: ManifestEntry, index: int) -> np.ndarray:
+        digest = entry.objects[index]
+        cached = self._cache.get(digest)
+        if cached is not None:
+            return cached
+        path = self._object_path(digest)
+        try:
+            payload = path.read_bytes()
+        except OSError as exc:
+            raise StoreCorruptionError(
+                f"chunk object {digest} is missing from {self._objects}"
+            ) from exc
+        if hashlib.sha256(payload).hexdigest() != digest:
+            raise StoreCorruptionError(
+                f"chunk object {digest} fails its content address"
+            )
+        array = decode_array(payload)
+        self._cache.put(digest, array)
+        return array
+
+    # ------------------------------------------------------------------
+    # Entry layer (put / get / read-through)
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _manifest_lock(self):
+        """Serialize manifest read-modify-write across handles & processes.
+
+        The in-process ``RLock`` serializes this handle's threads; the
+        ``flock`` on a sibling lockfile serializes *other* handles and
+        processes on the same root, so two concurrent puts merge instead
+        of the later ``os.replace`` dropping the earlier writer's entry.
+        (On platforms without ``fcntl`` only the in-process lock applies.)
+        """
+        with self._lock:
+            if fcntl is None:  # pragma: no cover - non-POSIX fallback
+                yield
+                return
+            with open(self._root / "manifest.lock", "w") as lockfile:
+                fcntl.flock(lockfile, fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(lockfile, fcntl.LOCK_UN)
+
+    def _put_entry(self, key: str, kind: str, array: np.ndarray,
+                   fingerprint: str, meta: dict | None = None) -> None:
+        arr = np.asarray(array)
+        if arr.ndim < 1:
+            raise StoreError("stored arrays need at least a frame axis")
+        arr = np.ascontiguousarray(arr)
+        objects: list[str] = []
+        chunk_lengths: list[int] = []
+        for offset in range(0, arr.shape[0], self._chunk_frames):
+            chunk = arr[offset:offset + self._chunk_frames]
+            objects.append(
+                self._write_object(encode_array(chunk, self._level))
+            )
+            chunk_lengths.append(int(chunk.shape[0]))
+        entry = ManifestEntry(
+            kind=kind, fingerprint=fingerprint, objects=objects,
+            chunk_lengths=chunk_lengths, dtype=arr.dtype.str,
+            shape_suffix=list(arr.shape[1:]), meta=dict(meta or {}),
+        )
+        with self._manifest_lock():
+            # Reload before mutating so entries committed by other store
+            # handles on the same root are merged, not clobbered (the
+            # lock makes reload-modify-save atomic across processes).
+            self._manifest = Manifest.load(self._root)
+            self._manifest.entries[key] = entry
+            self._manifest.save(self._root)
+
+    def _open_entry(self, key: str, kind: str,
+                    fingerprint: str) -> ChunkedReader | None:
+        with self._lock:
+            entry = self._manifest.get(key, fingerprint)
+            if entry is None:
+                # Reload once on a miss: another handle or process may
+                # have committed the entry since this handle last read
+                # the manifest (e.g. `store warm` ran while a server with
+                # a long-lived handle was up).  A miss is about to
+                # trigger an expensive recompute, so the reload is free
+                # by comparison.
+                self._manifest = Manifest.load(self._root)
+                entry = self._manifest.get(key, fingerprint)
+        if entry is None or entry.kind != kind:
+            return None
+        return ChunkedReader(self, entry)
+
+    # -- scores --------------------------------------------------------
+    def put_scores(self, key: ScoreKey, scores: np.ndarray,
+                   fingerprint: str = "") -> None:
+        """Write-through one score table (chunked, lossless)."""
+        self._put_entry(key.key(), "scores", np.asarray(scores), fingerprint,
+                        meta={"item": key.item, "model": key.model,
+                              "rendition": key.rendition})
+
+    def open_scores(self, key: ScoreKey,
+                    fingerprint: str = "") -> ChunkedReader | None:
+        """A streaming reader over a stored score table; None on miss."""
+        return self._open_entry(key.key(), "scores", fingerprint)
+
+    def get_scores(self, key: ScoreKey,
+                   fingerprint: str = "") -> np.ndarray | None:
+        """The full score table; None on miss (prefer :meth:`open_scores`)."""
+        reader = self.open_scores(key, fingerprint)
+        return None if reader is None else reader.read_all()
+
+    def scores_or_compute(self, key: ScoreKey,
+                          compute: Callable[[], np.ndarray],
+                          fingerprint: str = "") -> ChunkedReader:
+        """Read-through: open the stored table or compute-and-store it.
+
+        ``compute`` runs at most once per miss; concurrent misses on the
+        same key may each compute, but the results are deterministic and
+        content-addressed, so the duplicate writes are idempotent.
+        """
+        reader = self.open_scores(key, fingerprint)
+        if reader is not None:
+            with self._lock:
+                self._read_through_hits += 1
+            return reader
+        with self._lock:
+            self._read_through_misses += 1
+        self.put_scores(key, compute(), fingerprint)
+        reader = self.open_scores(key, fingerprint)
+        if reader is None:  # pragma: no cover - write-then-open cannot miss
+            raise StoreError(f"entry {key.key()!r} vanished after write")
+        return reader
+
+    # -- renditions ----------------------------------------------------
+    def put_rendition(self, key: RenditionKey, frames: np.ndarray,
+                      fingerprint: str = "") -> None:
+        """Write-through one decoded rendition (frames on the leading axis)."""
+        self._put_entry(key.key(), "rendition", np.asarray(frames),
+                        fingerprint,
+                        meta={"item": key.item, "rendition": key.rendition})
+
+    def open_rendition(self, key: RenditionKey,
+                       fingerprint: str = "") -> ChunkedReader | None:
+        """A streaming reader over a stored rendition; None on miss."""
+        return self._open_entry(key.key(), "rendition", fingerprint)
+
+    def rendition_materialized(self, rendition: str,
+                               item: str | None = None,
+                               fingerprint: str | None = None) -> bool:
+        """True when a decoded rendition with this spec is stored.
+
+        ``item`` restricts the check to one dataset; without it, any stored
+        rendition of the spec counts (the planner-facing question).
+        ``fingerprint`` (when not None) additionally requires the entry to
+        match that version -- a rendition invalidated by a DAG or model
+        change must not count as materialized, or the planner would price
+        a discount the read path cannot deliver.
+        """
+        def match() -> bool:
+            for entry in self._manifest.entries.values():
+                if entry.kind != "rendition":
+                    continue
+                if entry.meta.get("rendition") != rendition:
+                    continue
+                if item is not None and entry.meta.get("item") != item:
+                    continue
+                if fingerprint is not None \
+                        and entry.fingerprint != fingerprint:
+                    continue
+                return True
+            return False
+
+        with self._lock:
+            if match():
+                return True
+            # Reload once on a miss (see _open_entry): another process may
+            # have materialized the rendition since this handle last read
+            # the manifest.
+            self._manifest = Manifest.load(self._root)
+            return match()
+
+    def materialized_renditions(self, item: str | None = None,
+                                fingerprint: str | None = None) -> set[str]:
+        """Rendition spec names with at least one stored decoded copy."""
+        with self._lock:
+            self._manifest = Manifest.load(self._root)
+            return {
+                entry.meta.get("rendition", "")
+                for entry in self._manifest.entries.values()
+                if entry.kind == "rendition"
+                and (item is None or entry.meta.get("item") == item)
+                and (fingerprint is None
+                     or entry.fingerprint == fingerprint)
+            }
+
+    def catalog(self, item: str | None = None,
+                fingerprint: str | None = None):
+        """A planner-facing :class:`~repro.store.catalog.StoreCatalog`."""
+        from repro.store.catalog import StoreCatalog
+
+        return StoreCatalog(self, item=item, fingerprint=fingerprint)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def invalidate(self, prefix: str = "") -> int:
+        """Drop every entry whose key starts with ``prefix``; returns count.
+
+        Dropping the entries leaves their chunk objects unreferenced; run
+        :meth:`gc` afterwards to reclaim the disk space.
+        """
+        with self._manifest_lock():
+            self._manifest = Manifest.load(self._root)
+            doomed = [key for key in self._manifest.entries
+                      if key.startswith(prefix)]
+            for key in doomed:
+                del self._manifest.entries[key]
+            if doomed:
+                self._manifest.save(self._root)
+        return len(doomed)
+
+    def gc(self, min_age_seconds: float = TMP_REAP_SECONDS) -> GcReport:
+        """Remove object files no manifest entry references.
+
+        The manifest is reloaded from disk first, so entries committed by
+        other store handles (or processes) on the same root are counted as
+        live -- GC never deletes data a committed manifest references.
+
+        ``min_age_seconds`` guards against racing in-flight writers: a
+        concurrent ``put`` renames its chunk objects into place *before*
+        committing the manifest entry that references them, so a young
+        unreferenced object (and likewise a young ``.tmp`` file) may
+        belong to a write still in progress and is left alone.  The
+        default (:data:`TMP_REAP_SECONDS`) is far above any real write's
+        window; pass ``0.0`` only when no other writer can be active
+        (tests, single-process demos) to reclaim immediately.
+        """
+        now = time.time()
+        removed = 0
+        freed = 0
+        live = 0
+
+        def stale(path: Path) -> bool:
+            return now - path.stat().st_mtime > min_age_seconds
+
+        # Hold the cross-process manifest lock for the whole sweep: no
+        # writer can commit a manifest entry mid-GC, so the referenced
+        # set cannot go stale between snapshot and unlink.  (A writer's
+        # pre-commit object writes/utimes can still interleave -- the
+        # age guard covers those.)
+        with self._manifest_lock():
+            self._manifest = Manifest.load(self._root)
+            referenced = self._manifest.referenced_objects()
+            temps = [path
+                     for path in (list(self._objects.glob("*/*"))
+                                  + [p for p in self._root.iterdir()
+                                     if p.is_file()])
+                     if ".tmp" in path.name]
+            for path in temps:
+                try:
+                    if stale(path):
+                        path.unlink()
+                except OSError:
+                    pass  # already renamed or reaped by its writer
+            for path in self._objects.glob("*/*"):
+                if ".tmp" in path.name:
+                    continue
+                if path.name in referenced:
+                    live += 1
+                    continue
+                try:
+                    if not stale(path):
+                        # Possibly an in-flight put's uncommitted chunk
+                        # (fresh writes and re-put dedupes both refresh
+                        # the mtime).
+                        continue
+                    size = path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    continue  # committed or reaped concurrently
+                freed += size
+                removed += 1
+        return GcReport(removed_objects=removed, freed_bytes=freed,
+                        live_objects=live)
+
+    def stats(self) -> StoreStats:
+        """Snapshot of entries, disk usage, and cache traffic.
+
+        Entry counts reflect the on-disk manifest (reloaded here, so
+        entries committed by other handles are visible); in-flight or
+        crashed writers' ``.tmp`` files are not counted as objects --
+        they are uncommitted, the same view :meth:`gc` takes.
+        """
+        with self._lock:
+            self._manifest = Manifest.load(self._root)
+            scores = sum(1 for e in self._manifest.entries.values()
+                         if e.kind == "scores")
+            renditions = sum(1 for e in self._manifest.entries.values()
+                             if e.kind == "rendition")
+            hits = self._read_through_hits
+            misses = self._read_through_misses
+        objects = 0
+        disk = 0
+        for path in self._objects.glob("*/*"):
+            if ".tmp" in path.name:
+                continue
+            objects += 1
+            disk += path.stat().st_size
+        return StoreStats(
+            score_entries=scores,
+            rendition_entries=renditions,
+            objects=objects,
+            disk_bytes=disk,
+            read_through_hits=hits,
+            read_through_misses=misses,
+            chunk_cache=self._cache.stats(),
+        )

@@ -255,6 +255,25 @@ class TestOnlineAnalyticsQueries:
         assert stats.queries == 1
         assert "queries" in stats.describe()
 
+    def test_query_warms_from_an_attached_store(self, tmp_path):
+        from repro.query import QuerySpec
+        from repro.store import RenditionStore
+
+        store = RenditionStore(tmp_path / "store", chunk_frames=500)
+        spec = QuerySpec.aggregate("amsterdam", error_bound=0.05)
+        session = build_functional_session()
+        with SmolServer(session, cache_capacity=0, store=store) as server:
+            first = server.query(spec, num_workers=2).result(timeout=60.0)
+            second = server.query(spec, num_workers=1).result(timeout=60.0)
+        # The server's lazily-built engine writes through the store on the
+        # first query; the second is a warm hit -- and answers match.
+        assert second.estimate == first.estimate
+        assert second.ci_half_width == first.ci_half_width
+        stats = store.stats()
+        assert stats.score_entries == 1
+        assert stats.read_through_misses == 1
+        assert stats.read_through_hits >= 1
+
     def test_query_failure_surfaces_as_serving_error(self):
         from repro.query import QueryEngine, QuerySpec
 

@@ -1,0 +1,72 @@
+"""Tests for the store's byte-budgeted LRU tier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.store.lru import ByteLruCache
+
+
+def _arr(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=np.uint8)
+
+
+def test_rejects_non_positive_budget():
+    with pytest.raises(StoreError):
+        ByteLruCache(0)
+
+
+def test_evicts_in_least_recently_used_order():
+    cache = ByteLruCache(30)
+    cache.put("a", _arr(10))
+    cache.put("b", _arr(10))
+    cache.put("c", _arr(10))
+    # Touch "a" so "b" becomes the coldest entry.
+    assert cache.get("a") is not None
+    cache.put("d", _arr(10))
+    assert cache.keys() == ["c", "a", "d"]
+    assert cache.get("b") is None
+    stats = cache.stats()
+    assert stats.evictions == 1
+    assert stats.bytes_used == 30
+
+
+def test_eviction_frees_enough_bytes_for_large_entries():
+    cache = ByteLruCache(30)
+    for key in "abc":
+        cache.put(key, _arr(10))
+    cache.put("big", _arr(25))
+    # All three 10-byte entries must go to fit the 25-byte one.
+    assert cache.keys() == ["big"]
+    assert cache.stats().evictions == 3
+
+
+def test_value_larger_than_budget_is_not_cached():
+    cache = ByteLruCache(20)
+    cache.put("a", _arr(10))
+    cache.put("huge", _arr(100))
+    # The oversized value is skipped and existing entries survive.
+    assert cache.get("huge") is None
+    assert cache.get("a") is not None
+    assert cache.stats().evictions == 0
+
+
+def test_put_replaces_and_reaccounts_bytes():
+    cache = ByteLruCache(30)
+    cache.put("a", _arr(10))
+    cache.put("a", _arr(20))
+    assert cache.stats().bytes_used == 20
+    assert len(cache) == 1
+
+
+def test_hit_rate_and_clear():
+    cache = ByteLruCache(30)
+    cache.put("a", _arr(1))
+    cache.get("a")
+    cache.get("missing")
+    assert cache.stats().hit_rate == 0.5
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats().bytes_used == 0
+    # Counters survive a clear.
+    assert cache.stats().hits == 1

@@ -1,0 +1,129 @@
+"""Store integration with the sharded cheap-pass scan and the query engine.
+
+The contract: attaching a store must never change an answer -- cold
+(computed) and warm (store-served) scans are bit-identical, at every worker
+count, and identical to the storeless path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.scan import ScanCosts
+from repro.datasets.video import load_video_dataset
+from repro.query import QueryEngine, QuerySpec
+from repro.query.scan import ClusterScanRunner
+from repro.store import RenditionStore
+
+FRAMES = 3000
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_video_dataset("amsterdam")
+
+
+def make_runner(dataset, store, num_workers: int = 1) -> ClusterScanRunner:
+    costs = ScanCosts(cheap_throughput=4_000.0, target_throughput=40.0,
+                      frames_used=FRAMES, total_frames=dataset.num_frames)
+    return ClusterScanRunner(
+        dataset=dataset, specialized_accuracy=0.9, costs=costs,
+        plan_key="test-scan", num_workers=num_workers, batch_size=256,
+        store=store, rendition="480p-h264",
+    )
+
+
+def test_cold_and_warm_sessions_are_bit_identical(tmp_path, dataset):
+    root = tmp_path / "store"
+    cold = make_runner(dataset, RenditionStore(root, chunk_frames=500))
+    cold_session = cold.session()
+    cold_session.warmup()
+    cold_scores = cold_session.reader.read_all()
+    # A fresh handle (empty LRU) must stream identical bits from disk.
+    warm = make_runner(dataset, RenditionStore(root, chunk_frames=500))
+    warm_session = warm.session()
+    warm_session.warmup()
+    warm_scores = warm_session.reader.read_all()
+    assert warm_scores.view(np.int64).tobytes() == \
+        cold_scores.view(np.int64).tobytes()
+    # And both match the storeless computation exactly.
+    direct = dataset.specialized_nn_predictions(accuracy_factor=0.9,
+                                                limit=FRAMES)
+    assert cold_scores.view(np.int64).tobytes() == \
+        direct.view(np.int64).tobytes()
+
+
+def test_sharded_scan_with_store_matches_storeless(tmp_path, dataset):
+    store = RenditionStore(tmp_path / "store", chunk_frames=500)
+    storeless = make_runner(dataset, None, num_workers=3)
+    with_store = make_runner(dataset, store, num_workers=3)
+    report_a = storeless.run()
+    report_b = with_store.run()
+    assert report_a.scores.tobytes() == report_b.scores.tobytes()
+    assert report_a.population_mean == report_b.population_mean
+    assert report_a.total.modelled_seconds == report_b.total.modelled_seconds
+    # The three replicas share one store: one computes, two stream.
+    stats = store.stats()
+    assert stats.read_through_misses == 1
+    assert stats.read_through_hits == 2
+
+
+def test_query_engine_with_store_matches_reference(tmp_path):
+    spec = QuerySpec.aggregate("amsterdam", error_bound=0.06)
+    reference = QueryEngine(frame_limit=FRAMES).execute_single(spec)
+    store = RenditionStore(tmp_path / "store", chunk_frames=500)
+    engine = QueryEngine(frame_limit=FRAMES, store=store)
+    for workers in (1, 2):
+        result = engine.execute(spec, num_workers=workers)
+        assert result.estimate == reference.estimate
+        assert result.ci_half_width == reference.ci_half_width
+        assert result.population_proxy_mean == \
+            reference.population_proxy_mean
+
+
+def test_warm_materializes_scores_and_rendition(tmp_path):
+    spec = QuerySpec.limit("amsterdam", min_count=3, limit=5)
+    store = RenditionStore(tmp_path / "store", chunk_frames=500)
+    engine = QueryEngine(frame_limit=FRAMES, store=store)
+    plans = engine.warm(spec, rendition_frames=8)
+    stats = store.stats()
+    assert stats.score_entries == 1
+    assert stats.rendition_entries == 1
+    rendition = plans.cheap.plan.input_format.name
+    assert store.rendition_materialized(rendition, item="amsterdam")
+    # The warmed table is a cache hit for the sharded execution.
+    engine.execute(spec, num_workers=2)
+    assert store.stats().read_through_misses == 1
+
+
+def test_scan_score_version_bump_invalidates_stored_tables(tmp_path,
+                                                           dataset):
+    from repro.query import scan as scan_module
+
+    store = RenditionStore(tmp_path / "store", chunk_frames=500)
+    session = make_runner(dataset, store).session()
+    session.warmup()
+    assert store.stats().read_through_misses == 1
+    # Same version: a later session is a pure hit.
+    make_runner(dataset, store).session().warmup()
+    assert store.stats().read_through_hits == 1
+    # Bumping the scoring version changes the default fingerprint, so the
+    # stored table is stale and gets recomputed -- no flush needed.
+    old_version = scan_module.SCAN_SCORE_VERSION
+    scan_module.SCAN_SCORE_VERSION = old_version + 1
+    try:
+        make_runner(dataset, store).session().warmup()
+    finally:
+        scan_module.SCAN_SCORE_VERSION = old_version
+    assert store.stats().read_through_misses == 2
+
+
+def test_warm_requires_store_and_scannable_spec(tmp_path):
+    from repro.errors import QueryError
+
+    spec = QuerySpec.aggregate("amsterdam", error_bound=0.06)
+    with pytest.raises(QueryError):
+        QueryEngine(frame_limit=FRAMES).warm(spec)
+    store = RenditionStore(tmp_path / "store")
+    cascade = QuerySpec.cascade("animals-10", num_classes=10, images=64)
+    with pytest.raises(QueryError):
+        QueryEngine(frame_limit=FRAMES, store=store).warm(cascade)

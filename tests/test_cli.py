@@ -219,3 +219,49 @@ class TestQueryCommand:
         assert main(["query", "--workers", "0", "--error", "0.05",
                      "--bench-json", str(tmp_path / "b.json")]) == 2
         assert capsys.readouterr().err.startswith("error:")
+
+    def test_store_warm_query_stats_gc_roundtrip(self, capsys, tmp_path):
+        root = str(tmp_path / "store")
+        # warm: plans the spec, persists the score table, materializes a
+        # rendition sample.
+        assert main(["store", "warm", "--root", root, "--dataset", "taipei",
+                     "--frames", "2000", "--rendition-frames", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "warmed taipei" in output
+        assert "1 score tables, 1 renditions" in output
+        # A warmed store makes the query sweep a pure cache hit and streams
+        # shards through the chunk reader.
+        assert main(["query", "--kind", "aggregate", "--dataset", "taipei",
+                     "--error", "0.05", "--workers", "1", "2",
+                     "--frame-limit", "2000", "--store-root", root,
+                     "--bench-json", str(tmp_path / "b.json")]) == 0
+        output = capsys.readouterr().out
+        assert "bit-identical across worker counts: OK" in output
+        assert "read-through:" in output
+        # stats + gc close the loop.
+        assert main(["store", "stats", "--root", root]) == 0
+        assert "score tables" in capsys.readouterr().out
+        assert main(["store", "gc", "--root", root]) == 0
+        assert "gc:" in capsys.readouterr().out
+
+    def test_store_warm_without_rendition_frames(self, capsys, tmp_path):
+        root = str(tmp_path / "store")
+        assert main(["store", "warm", "--root", root, "--dataset",
+                     "amsterdam", "--frames", "1500",
+                     "--rendition-frames", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "warmed amsterdam" in output
+        assert "0 renditions" in output
+
+    def test_store_warm_unknown_dataset_exits_2(self, capsys, tmp_path):
+        assert main(["store", "warm", "--root", str(tmp_path / "s"),
+                     "--dataset", "nope"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_store_stats_on_missing_root_exits_2(self, capsys, tmp_path):
+        missing = tmp_path / "typo-dir"
+        for action in ("stats", "gc"):
+            assert main(["store", action, "--root", str(missing)]) == 2
+            assert "no store at" in capsys.readouterr().err
+        # The mistyped path must not have been conjured into being.
+        assert not missing.exists()

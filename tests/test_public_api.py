@@ -20,9 +20,18 @@ PUBLIC_SUBPACKAGES = [
     "repro.baselines",
     "repro.serving",
     "repro.cluster",
+    "repro.query",
+    "repro.store",
     "repro.utils",
     "repro.cli",
 ]
+
+
+def test_every_subpackage_has_a_module_docstring():
+    """Each ``src/repro/*/__init__.py`` must state the package's role."""
+    for module_name in PUBLIC_SUBPACKAGES:
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
 
 
 class TestPublicApi:
