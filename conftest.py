@@ -1,7 +1,9 @@
 """Repository-root pytest configuration.
 
 Makes the ``src`` layout importable even when the package has not been
-installed (offline environments without a working editable install).
+installed (offline environments without a working editable install), and
+registers the ``--update-golden`` flag used by the golden plan-trace
+regression tests (``tests/core/test_golden_plans.py``).
 """
 
 import sys
@@ -13,3 +15,12 @@ if str(_SRC) not in sys.path:
         import repro  # noqa: F401
     except ImportError:
         sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    """Register ``--update-golden``: rewrite golden snapshots instead of
+    comparing against them (run the golden tests, review the diff, commit)."""
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite golden plan-trace snapshots instead of asserting",
+    )

@@ -40,6 +40,12 @@ full system and every substrate it depends on in pure Python/numpy:
   atomic versioned manifest with fingerprint invalidation, read/write-
   through scan sessions, and cache-aware plan costing for materialized
   renditions.
+* :mod:`repro.adapt` -- Smol-Adapt, online cost-feedback replanning:
+  runtime stage-cost telemetry from serving, cluster, and scan execution,
+  an EWMA/quantile-guarded online calibrator feeding the cost model, a
+  hysteresis drift detector, and a replanner that hot-swaps the chosen
+  plan into live servers and in-flight shard scans without changing any
+  query result.
 
 Quickstart
 ----------
@@ -78,6 +84,13 @@ from repro.cluster import (
 )
 from repro.query import QueryEngine, QuerySpec
 from repro.store import RenditionStore, ScoreKey, StoreCatalog
+from repro.adapt import (
+    AdaptiveController,
+    DriftDetector,
+    OnlineCalibrator,
+    Replanner,
+    TelemetryCollector,
+)
 
 __all__ = [
     "__version__",
@@ -105,4 +118,9 @@ __all__ = [
     "RenditionStore",
     "ScoreKey",
     "StoreCatalog",
+    "AdaptiveController",
+    "DriftDetector",
+    "OnlineCalibrator",
+    "Replanner",
+    "TelemetryCollector",
 ]

@@ -1,0 +1,115 @@
+"""Drift detection with hysteresis over calibrated cost scales.
+
+A scale of 1.0 means a stage costs what the model predicted.  The detector
+watches every key's scale relative to the last *acknowledged* state (the
+scales in force when the current plan was chosen) and reports drift only
+when some key's relative deviation exceeds ``threshold`` for ``hysteresis``
+consecutive updates -- one noisy window must not trigger a replan, and
+neither must the small persistent wobble below the threshold.
+
+After a replan the controller calls :meth:`acknowledge` with the scales the
+new plan was priced under; deviation is measured against that reference from
+then on, which is what prevents swap-back thrash: the world looking exactly
+like it did at swap time is, by definition, not drift.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.adapt.calibrator import ObservationKey
+from repro.errors import AdaptError
+
+
+@dataclass(frozen=True)
+class DriftSnapshot:
+    """Diagnostic state of the detector after an update."""
+
+    drifted: bool
+    streak: int
+    max_deviation: float
+    worst_key: ObservationKey | None
+
+
+class DriftDetector:
+    """Hysteresis-guarded detector over per-key throughput scales.
+
+    Parameters
+    ----------
+    threshold:
+        Relative deviation (``max(scale/ref, ref/scale)``) a key must
+        exceed to count as drifting; must be > 1.
+    hysteresis:
+        Consecutive drifting updates required before :meth:`update`
+        reports drift.
+    """
+
+    def __init__(self, threshold: float = 1.5, hysteresis: int = 2) -> None:
+        if threshold <= 1.0:
+            raise AdaptError("threshold must exceed 1.0")
+        if hysteresis < 1:
+            raise AdaptError("hysteresis must be at least 1")
+        self._threshold = threshold
+        self._hysteresis = hysteresis
+        self._lock = threading.Lock()
+        self._reference: dict[ObservationKey, float] = {}
+        self._streak = 0
+        self._last = DriftSnapshot(drifted=False, streak=0,
+                                   max_deviation=1.0, worst_key=None)
+
+    @property
+    def threshold(self) -> float:
+        """The relative-deviation threshold."""
+        return self._threshold
+
+    @property
+    def hysteresis(self) -> int:
+        """Consecutive drifting updates required to report drift."""
+        return self._hysteresis
+
+    def update(self, scales: dict[ObservationKey, float]) -> bool:
+        """Fold one round of calibrated scales in; True when drift holds.
+
+        Unacknowledged keys are compared against 1.0 (the calibrated
+        model); non-positive scales are ignored (the calibrator's bounds
+        make them impossible, but the detector must not divide by zero on
+        adversarial input).
+        """
+        worst_key: ObservationKey | None = None
+        max_deviation = 1.0
+        with self._lock:
+            for key, scale in scales.items():
+                if scale <= 0.0:
+                    continue
+                reference = self._reference.get(key, 1.0)
+                if reference <= 0.0:
+                    continue
+                deviation = max(scale / reference, reference / scale)
+                if deviation > max_deviation:
+                    max_deviation = deviation
+                    worst_key = key
+            if max_deviation > self._threshold:
+                self._streak += 1
+            else:
+                self._streak = 0
+            drifted = self._streak >= self._hysteresis
+            self._last = DriftSnapshot(
+                drifted=drifted, streak=self._streak,
+                max_deviation=max_deviation, worst_key=worst_key,
+            )
+            return drifted
+
+    def acknowledge(self, scales: dict[ObservationKey, float]) -> None:
+        """Reset the reference to ``scales`` (a replan absorbed them)."""
+        with self._lock:
+            self._reference = {key: scale for key, scale in scales.items()
+                               if scale > 0.0}
+            self._streak = 0
+            self._last = DriftSnapshot(drifted=False, streak=0,
+                                       max_deviation=1.0, worst_key=None)
+
+    def snapshot(self) -> DriftSnapshot:
+        """The state computed by the most recent :meth:`update`."""
+        with self._lock:
+            return self._last

@@ -1,0 +1,193 @@
+"""Drift injection: sessions whose true costs can change at runtime.
+
+The adaptive loop is only testable (and benchmarkable) against a world
+whose costs actually move.  :class:`DriftEnvironment` is that world: a
+thread-safe registry of per-format decode multipliers (decode got slower:
+storage contention, cache eviction, a remote tier) and warm materialized
+renditions (decode bypassable: the store holds decoded chunks).
+
+:class:`DriftableSession` is a :class:`~repro.serving.session
+.SimulatedSession` that charges and reports the *environment's* stage
+costs instead of the calibrated model's.  Telemetry therefore observes the
+injected drift, the calibrator folds it into scales, and the replanner
+reacts -- the full loop, deterministically, with no wall-clock dependence.
+
+Also here: :func:`plan_baselines` / :func:`register_plan_baselines`, which
+derive the calibrator's modelled reference costs from exactly the stage
+estimate sessions report against, so a drift-free system calibrates to
+scales of exactly 1.0.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.adapt.calibrator import ObservationKey, OnlineCalibrator
+from repro.core.plans import Plan, PlanEstimate
+from repro.errors import AdaptError
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.serving.session import SimulatedSession, session_stage_estimate
+from repro.store.catalog import MATERIALIZED_DECODE_FRACTION
+
+
+class DriftEnvironment:
+    """The "real world" cost state drift scenarios mutate at runtime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._decode_multipliers: dict[str, float] = {}
+        self._materialized: set[str] = set()
+
+    def set_decode_multiplier(self, format_name: str, factor: float) -> None:
+        """Decode for ``format_name`` now costs ``factor`` times the model."""
+        if factor <= 0:
+            raise AdaptError("decode multiplier must be positive")
+        with self._lock:
+            self._decode_multipliers[format_name] = factor
+
+    def decode_multiplier(self, format_name: str) -> float:
+        """The current decode cost multiplier (1.0 = as modelled)."""
+        with self._lock:
+            return self._decode_multipliers.get(format_name, 1.0)
+
+    def materialize(self, format_name: str) -> None:
+        """A decoded rendition of ``format_name`` is now warm."""
+        with self._lock:
+            self._materialized.add(format_name)
+
+    def is_materialized(self, format_name: str) -> bool:
+        """Whether a warm decoded rendition of ``format_name`` exists."""
+        with self._lock:
+            return format_name in self._materialized
+
+    def stage_seconds(self, format_name: str, base: dict[str, float],
+                      warm_read: bool = False) -> dict[str, float]:
+        """True per-image stage costs for ``base`` under this environment.
+
+        ``base`` is the calibrated estimate's per-image breakdown (see
+        :meth:`~repro.inference.perfmodel.StageEstimate
+        .observed_stage_seconds`).  A ``warm_read`` executor streams the
+        materialized rendition, paying the chunk-read residual instead of
+        decode (and therefore ignoring any decode drift) -- reported under
+        the distinct ``read`` stage key, so warm-read telemetry can never
+        contaminate the format's cold-decode calibration.  A cold executor
+        pays decode times the injected multiplier.
+        """
+        decode = base.get("decode", 0.0)
+        out = dict(base)
+        if warm_read:
+            if not self.is_materialized(format_name):
+                raise AdaptError(
+                    f"no materialized rendition of {format_name!r} to read"
+                )
+            out.pop("decode", None)
+            out["read"] = decode * MATERIALIZED_DECODE_FRACTION
+        else:
+            out["decode"] = decode * self.decode_multiplier(format_name)
+        return out
+
+    def service_seconds_per_image(self, format_name: str,
+                                  base: dict[str, float],
+                                  warm_read: bool = False) -> float:
+        """Pipelined per-image service time under this environment.
+
+        Preprocessing (decode or chunk read, plus ops) and inference
+        overlap, so the bottleneck stage sets the pace -- the
+        execution-side mirror of the cost model's ``min()`` of stage
+        throughputs.
+        """
+        stages = self.stage_seconds(format_name, base, warm_read=warm_read)
+        preprocessing = (stages.get("decode", 0.0)
+                         + stages.get("read", 0.0)
+                         + stages.get("preprocess", 0.0))
+        return max(preprocessing, stages.get("inference", 0.0))
+
+
+class DriftableSession(SimulatedSession):
+    """A simulated session charging the environment's costs, not the model's.
+
+    ``warm_read=True`` builds an executor that streams the materialized
+    rendition of its plan's format (valid only after the environment
+    materialized it) -- the execution mode the replanner switches to when
+    the store catalog says decode is bypassable.
+    """
+
+    def __init__(self, plan: Plan, performance_model: PerformanceModel,
+                 environment: DriftEnvironment,
+                 config: EngineConfig | None = None,
+                 num_classes: int = 1000,
+                 warm_read: bool = False) -> None:
+        super().__init__(plan, performance_model, config=config,
+                         num_classes=num_classes)
+        if warm_read and not environment.is_materialized(
+                plan.input_format.name):
+            raise AdaptError(
+                f"no materialized rendition of {plan.input_format.name!r}; "
+                "materialize it in the environment first"
+            )
+        self._environment = environment
+        self._warm_read = warm_read
+
+    @property
+    def environment(self) -> DriftEnvironment:
+        """The cost environment this session executes in."""
+        return self._environment
+
+    @property
+    def warm_read(self) -> bool:
+        """True when the session streams a materialized rendition."""
+        return self._warm_read
+
+    def batch_costs(self, batch_size: int) -> tuple[float, dict[str, float]]:
+        """True modelled (service seconds, stage seconds) for one batch."""
+        base = self._stage_seconds
+        fmt = self.format_name
+        per_image = self._environment.service_seconds_per_image(
+            fmt, base, warm_read=self._warm_read
+        )
+        stages = self._environment.stage_seconds(fmt, base,
+                                                 warm_read=self._warm_read)
+        return (
+            per_image * batch_size,
+            {stage: seconds * batch_size
+             for stage, seconds in stages.items()},
+        )
+
+
+def plan_baselines(performance_model: PerformanceModel, plan: Plan,
+                   config: EngineConfig) -> dict[ObservationKey, float]:
+    """Calibration baselines for one plan's telemetry keys.
+
+    Derived from :func:`~repro.serving.session.session_stage_estimate` --
+    the exact estimate simulated sessions report observations against --
+    so the observed/modelled ratio of an undrifted system is exactly 1.0.
+    """
+    estimate = session_stage_estimate(performance_model, plan, config)
+    stage_seconds = estimate.observed_stage_seconds()
+    fmt = plan.input_format.name
+    model = plan.primary_model.name
+    return {
+        ObservationKey("decode", fmt): stage_seconds["decode"],
+        ObservationKey("preprocess", fmt): stage_seconds["preprocess"],
+        ObservationKey("inference", model): stage_seconds["inference"],
+    }
+
+
+def register_plan_baselines(calibrator: OnlineCalibrator,
+                            performance_model: PerformanceModel,
+                            plans, config: EngineConfig) -> int:
+    """Register baselines for every plan in ``plans``; returns key count.
+
+    ``plans`` may contain :class:`~repro.core.plans.Plan` or
+    :class:`~repro.core.plans.PlanEstimate` items.  Register every
+    *candidate* plan the replanner may choose, not just the live one, so
+    observations keep calibrating across swaps.
+    """
+    registered = 0
+    for item in plans:
+        plan = item.plan if isinstance(item, PlanEstimate) else item
+        for key, seconds in plan_baselines(performance_model, plan,
+                                           config).items():
+            calibrator.set_baseline(key, seconds)
+            registered += 1
+    return registered

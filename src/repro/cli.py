@@ -14,6 +14,10 @@ Subcommands:
   cluster runtime, verifying bit-identical results across worker counts.
 * ``store``         -- inspect (``stats``), garbage-collect (``gc``), or
   pre-materialize (``warm``) the persistent rendition & score store.
+* ``adapt``         -- run the online cost-feedback replanning demo: a
+  frozen-plan run and an adaptive run through the same mid-run decode
+  slowdown, reporting throughput recovery (and, for the scan scenario,
+  verifying results stay bit-identical across the hot-swap).
 
 The serving/cluster/query benchmarks also record their scorecards as
 machine-readable artifacts (``BENCH_serving.json`` / ``BENCH_cluster.json``
@@ -39,6 +43,8 @@ Examples
     python -m repro.cli query --kind aggregate --dataset taipei --error 0.05 \
         --store-root .smol-store      # warm cache hit, streamed shards
     python -m repro.cli store stats --root .smol-store
+    python -m repro.cli adapt --scenario serving --drift-factor 4
+    python -m repro.cli adapt --scenario scan --frames 2400 --segments 6
 """
 
 from __future__ import annotations
@@ -500,6 +506,93 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _adapt_scenario_reports(args: argparse.Namespace):
+    """Run the frozen and adaptive variants of the selected scenario."""
+    from repro.adapt import (
+        ScanDriftConfig,
+        ServingDriftConfig,
+        run_scan_drift_scenario,
+        run_serving_drift_scenario,
+    )
+
+    if args.dataset is None:
+        # Per-scenario default: serving plans an image dataset, the scan
+        # scenario streams a video dataset.
+        args.dataset = "imagenet" if args.scenario == "serving" else "taipei"
+    if args.scenario == "serving":
+        config = ServingDriftConfig(
+            dataset=args.dataset, instance=args.instance,
+            waves=args.waves, wave_requests=args.wave_requests,
+            drift_wave=args.drift_wave, drift_factor=args.drift_factor,
+            materialize_format=args.materialize_format,
+            threshold=args.threshold, hysteresis=args.hysteresis,
+            min_improvement=args.min_improvement,
+        )
+        runner = run_serving_drift_scenario
+    else:
+        config = ScanDriftConfig(
+            dataset=args.dataset,
+            instance=args.instance,
+            frames=args.frames, segments=args.segments,
+            drift_segment=args.drift_segment,
+            drift_factor=args.drift_factor,
+            materialize=not args.no_materialize,
+            workers=args.adapt_workers, batch_size=args.max_batch,
+            threshold=args.threshold, hysteresis=args.hysteresis,
+            min_improvement=args.min_improvement, seed=args.seed,
+        )
+        runner = run_scan_drift_scenario
+    return config, runner(False, config), runner(True, config)
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    config, frozen, adaptive = _adapt_scenario_reports(args)
+    phase_name = "Wave" if args.scenario == "serving" else "Segment"
+    table = Table(
+        f"Smol-Adapt {args.scenario} drift recovery "
+        f"({args.drift_factor:g}x decode slowdown at {phase_name.lower()} "
+        f"{frozen.drift_phase})",
+        [phase_name, "Frozen (im/s)", "Adaptive (im/s)", "Decision", "Plan"],
+    )
+    for frozen_phase, adaptive_phase in zip(frozen.phases, adaptive.phases):
+        table.add_row(
+            frozen_phase.index,
+            round(frozen_phase.throughput),
+            round(adaptive_phase.throughput),
+            adaptive_phase.decision or "-",
+            adaptive_phase.plan_key,
+        )
+    print(table)
+    print(f"frozen:    {frozen.recovery * 100:6.1f}% of pre-drift throughput")
+    print(f"adaptive:  {adaptive.recovery * 100:6.1f}% of pre-drift "
+          f"throughput ({adaptive.swaps} hot-swap(s), "
+          f"{adaptive.replans} replans)")
+    meta = {"scenario": args.scenario, "drift_factor": args.drift_factor,
+            "seed": args.seed}
+    if args.scenario == "scan":
+        from repro.adapt import scan_identity
+
+        identity = scan_identity(frozen, adaptive)
+        identical = all(identity.values())
+        meta.update(identity)
+        print("results bit-identical across the hot-swap: "
+              + ("OK" if identical else "BROKEN"))
+        if not identical:
+            raise ServingError(
+                "adaptive scan diverged from the frozen-plan run -- "
+                "replan safety is broken"
+            )
+    # ScenarioReport.scorecard_row is the single source of the row
+    # schema, shared with benchmarks/bench_adapt.py (which sweeps both
+    # scenarios); the CLI regenerates the selected scenario's rows.
+    rows = [report.scorecard_row(args.scenario)
+            for report in (frozen, adaptive)]
+    written = write_bench_json(args.bench_json, "adapt-drift-recovery",
+                               rows, meta=meta)
+    print(f"wrote {written}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -666,6 +759,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="decoded rendition frames to materialize "
                             "(0 disables; enables cache-aware planning)")
     store.set_defaults(func=_cmd_store)
+
+    adapt = subparsers.add_parser(
+        "adapt",
+        help="online cost-feedback replanning demo: frozen vs adaptive "
+             "through the same mid-run decode slowdown",
+    )
+    adapt.add_argument("--scenario", choices=("serving", "scan"),
+                       default="serving")
+    adapt.add_argument("--dataset", default=None,
+                       help="image dataset (serving; default imagenet) or "
+                            "video dataset (scan; default taipei)")
+    adapt.add_argument("--drift-factor", type=float, default=4.0,
+                       help="decode slowdown injected mid-run")
+    adapt.add_argument("--threshold", type=float, default=1.5,
+                       help="drift detector deviation threshold (>1)")
+    adapt.add_argument("--hysteresis", type=int, default=2,
+                       help="consecutive drifting updates before a replan")
+    adapt.add_argument("--min-improvement", type=float, default=0.1,
+                       help="relative gain required to accept a swap")
+    adapt.add_argument("--waves", type=int, default=6,
+                       help="serving: request waves to run")
+    adapt.add_argument("--wave-requests", type=int, default=256,
+                       help="serving: requests per wave")
+    adapt.add_argument("--drift-wave", type=int, default=2,
+                       help="serving: wave at which decode drifts")
+    adapt.add_argument("--materialize-format", default="161-jpeg-q95",
+                       help="serving: rendition that becomes warm at the "
+                            "drift wave ('' disables)")
+    adapt.add_argument("--frames", type=int, default=3000,
+                       help="scan: functional frames to stream")
+    adapt.add_argument("--segments", type=int, default=6,
+                       help="scan: stream segments (replan points)")
+    adapt.add_argument("--drift-segment", type=int, default=2,
+                       help="scan: segment at which decode drifts")
+    adapt.add_argument("--no-materialize", action="store_true",
+                       help="scan: do not warm the scanned rendition at "
+                            "the drift segment")
+    adapt.add_argument("--workers", dest="adapt_workers", type=int,
+                       default=2, help="scan: shard replicas")
+    adapt.add_argument("--max-batch", type=int, default=256,
+                       help="scan: frames per dispatched micro-batch")
+    adapt.add_argument("--seed", type=int, default=0)
+    adapt.add_argument("--bench-json", default="BENCH_adapt.json",
+                       help="where to write the machine-readable scorecard")
+    adapt.set_defaults(func=_cmd_adapt)
     return parser
 
 

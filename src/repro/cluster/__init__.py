@@ -52,6 +52,7 @@ from repro.cluster.worker import (
     SessionSpec,
     ThreadWorker,
     Worker,
+    WorkerCostReport,
     WorkerStats,
     WorkItem,
     WorkOutcome,
@@ -82,6 +83,7 @@ __all__ = [
     "WorkItem",
     "WorkOutcome",
     "Worker",
+    "WorkerCostReport",
     "WorkerStats",
     "assign_shards",
     "split_frame_ranges",

@@ -153,6 +153,7 @@ class Dispatcher:
         self._worker_deaths = 0
         self._closed = False
         self._autoscaler = None
+        self._telemetry = None
         for _ in range(num_workers):
             self.add_worker()
         self._collector = threading.Thread(
@@ -187,6 +188,39 @@ class Dispatcher:
     def attach_autoscaler(self, autoscaler) -> None:
         """Let the monitor thread drive ``autoscaler.evaluate()``."""
         self._autoscaler = autoscaler
+
+    def attach_telemetry(self, sink) -> None:
+        """Forward worker cost reports to ``sink`` on every heartbeat pass.
+
+        ``sink`` is duck-typed with ``record_worker_report(report,
+        source="cluster")`` (see
+        :class:`~repro.adapt.telemetry.TelemetryCollector`).  Each
+        :meth:`check_workers` pass -- the same cadence that watches
+        heartbeats -- drains every live replica's accumulated per-stage
+        costs (:meth:`~repro.cluster.worker.Worker.take_cost_report`) into
+        the sink, so observed cluster costs reach the adaptive replanning
+        loop without a second reporting channel.
+        """
+        self._telemetry = sink
+
+    def _flush_cost_reports(self) -> None:
+        if self._telemetry is None:
+            return
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            try:
+                report = worker.take_cost_report()
+            except Exception:
+                continue
+            if report is None:
+                continue
+            try:
+                self._telemetry.record_worker_report(report, source="cluster")
+            except Exception:
+                # Telemetry is advisory: a sink bug must not take the
+                # health monitor down with it.
+                continue
 
     def add_worker(self) -> str:
         """Grow the pool by one replica; returns its worker id."""
@@ -451,6 +485,7 @@ class Dispatcher:
                 self._retried += 1
             self._dispatch(retried, exclude={worker.worker_id})
         self._drain_parked()
+        self._flush_cost_reports()
         return [worker.worker_id for worker in dead]
 
     def _drain_parked(self) -> None:
@@ -520,6 +555,9 @@ class Dispatcher:
         except NoHealthyWorkerError:
             pass  # the stuck futures are failed below
         finally:
+            # One last flush so costs observed since the final heartbeat
+            # pass still reach the telemetry sink.
+            self._flush_cost_reports()
             self._monitor_stop.set()
             if self._monitor is not None:
                 self._monitor.join(timeout=5.0)

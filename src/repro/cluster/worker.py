@@ -25,7 +25,7 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -73,7 +73,9 @@ class WorkOutcome:
 
     Either ``predictions`` is set (success) or ``error`` is set (the session
     raised); crashed workers report nothing at all -- that silence is what
-    the heartbeat monitor detects.
+    the heartbeat monitor detects.  ``stage_seconds`` carries the session's
+    per-stage cost breakdown (picklable key/value pairs) when the session
+    reports one, feeding the worker's cost report.
     """
 
     item_id: int
@@ -83,6 +85,7 @@ class WorkOutcome:
     predictions: tuple[int, ...] = ()
     modelled_seconds: float = 0.0
     error: str | None = None
+    stage_seconds: tuple[tuple[str, float], ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -98,6 +101,80 @@ class WorkerStats:
     executed_requests: int = 0
     failed_items: int = 0
     modelled_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkerCostReport:
+    """Observed per-stage costs of one replica since its last report.
+
+    Produced by :meth:`Worker.take_cost_report` and forwarded to a
+    telemetry sink by the dispatcher's heartbeat monitor
+    (:meth:`repro.cluster.dispatcher.Dispatcher.attach_telemetry`), so the
+    adaptive replanning loop sees what every replica actually paid per
+    stage -- not what the calibrated model predicted.
+
+    Attributes
+    ----------
+    worker_id / plan_key:
+        Which replica observed the costs, executing which plan.
+    format_name / model_name:
+        Telemetry subjects: decode/preprocess observations are keyed by
+        the input format, inference observations by the model ("" when
+        the session does not expose them).
+    images:
+        Requests executed since the last report (the largest per-stage
+        count).
+    stage_seconds:
+        Total per-stage resource seconds consumed since the last report.
+    stage_images:
+        Images that actually passed through each stage.  Kept per stage
+        because a mid-window plan/pace hot-swap changes which stages a
+        batch pays (decode vs chunk read): dividing a stage's seconds by
+        the window's *total* images would dilute its per-image cost and
+        mis-calibrate the drift loop.
+    """
+
+    worker_id: str
+    plan_key: str
+    format_name: str
+    model_name: str
+    images: int
+    stage_seconds: dict[str, float]
+    stage_images: dict[str, int] = field(default_factory=dict)
+
+    def images_for(self, stage: str) -> int:
+        """Images that paid ``stage`` (falls back to the window total)."""
+        return self.stage_images.get(stage, self.images)
+
+
+class _CostAccumulator:
+    """Thread-safe per-stage cost accumulation shared by worker types.
+
+    Both the image count and the seconds accumulate *per stage key*, so a
+    report window spanning a hot-swap (some batches paying ``decode``,
+    later ones paying ``read``) still yields exact per-image costs for
+    every stage.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, list] = {}
+
+    def add(self, images: int,
+            stage_seconds: tuple[tuple[str, float], ...]) -> None:
+        if not stage_seconds:
+            return
+        with self._lock:
+            for stage, seconds in stage_seconds:
+                entry = self._stages.setdefault(stage, [0, 0.0])
+                entry[0] += images
+                entry[1] += seconds
+
+    def take(self) -> tuple[dict[str, int], dict[str, float]]:
+        with self._lock:
+            stages, self._stages = self._stages, {}
+        return ({stage: entry[0] for stage, entry in stages.items()},
+                {stage: entry[1] for stage, entry in stages.items()})
 
 
 class Worker:
@@ -143,6 +220,14 @@ class Worker:
         """Items accepted but not completed (recovered on crash)."""
         raise NotImplementedError
 
+    def take_cost_report(self) -> WorkerCostReport | None:
+        """Per-stage costs since the last report; None when unsupported.
+
+        Called by the dispatcher's heartbeat monitor; taking resets the
+        accumulation, so each report is a delta.
+        """
+        return None
+
     def kill(self) -> None:
         """Crash the worker: stop abruptly, abandoning in-flight work."""
         raise NotImplementedError
@@ -187,6 +272,7 @@ class ThreadWorker(Worker):
         self._pending: dict[int, WorkItem] = {}
         self._pending_lock = threading.Lock()
         self._stats = WorkerStats()
+        self._costs = _CostAccumulator()
         self._heartbeat = time.monotonic()
         self._busy = False
         self._killed = False
@@ -238,6 +324,20 @@ class ThreadWorker(Worker):
     def pending_items(self) -> list[WorkItem]:
         with self._pending_lock:
             return sorted(self._pending.values(), key=lambda i: i.item_id)
+
+    def take_cost_report(self) -> WorkerCostReport | None:
+        stage_images, stage_seconds = self._costs.take()
+        if not stage_seconds:
+            return None
+        return WorkerCostReport(
+            worker_id=self._worker_id,
+            plan_key=self._session.plan_key,
+            format_name=getattr(self._session, "format_name", ""),
+            model_name=getattr(self._session, "model_name", ""),
+            images=max(stage_images.values()),
+            stage_seconds=stage_seconds,
+            stage_images=stage_images,
+        )
 
     def kill(self) -> None:
         self._killed = True
@@ -295,12 +395,17 @@ class ThreadWorker(Worker):
         else:
             if self._service_time_scale > 0 and result.modelled_seconds > 0:
                 time.sleep(result.modelled_seconds * self._service_time_scale)
+            stage_seconds = tuple(sorted(
+                (result.stage_seconds or {}).items()
+            ))
             outcome = WorkOutcome(
                 item_id=item.item_id, worker_id=self._worker_id,
                 shard_id=item.shard_id, attempts=item.attempts,
                 predictions=tuple(int(p) for p in result.predictions),
                 modelled_seconds=result.modelled_seconds,
+                stage_seconds=stage_seconds,
             )
+            self._costs.add(len(item.requests), stage_seconds)
         if self._killed:
             return
         with self._pending_lock:
@@ -369,6 +474,9 @@ def _process_worker_main(spec: SessionSpec, inbox, outbox) -> None:
                 shard_id=item.shard_id, attempts=item.attempts,
                 predictions=tuple(int(p) for p in result.predictions),
                 modelled_seconds=result.modelled_seconds,
+                stage_seconds=tuple(sorted(
+                    (result.stage_seconds or {}).items()
+                )),
             )
         except Exception as exc:
             outcome = WorkOutcome(
@@ -399,6 +507,7 @@ class ProcessWorker(Worker):
         self._outbox = context.Queue()
         self._pending: dict[int, WorkItem] = {}
         self._pending_lock = threading.Lock()
+        self._costs = _CostAccumulator()
         self._heartbeat = time.monotonic()
         self._killed = False
         self._closed = False
@@ -444,6 +553,20 @@ class ProcessWorker(Worker):
         with self._pending_lock:
             return sorted(self._pending.values(), key=lambda i: i.item_id)
 
+    def take_cost_report(self) -> WorkerCostReport | None:
+        stage_images, stage_seconds = self._costs.take()
+        if not stage_seconds:
+            return None
+        return WorkerCostReport(
+            worker_id=self._worker_id,
+            plan_key=self.plan_key,
+            format_name=self._spec.format_name,
+            model_name=self._spec.model_name,
+            images=max(stage_images.values()),
+            stage_seconds=stage_seconds,
+            stage_images=stage_images,
+        )
+
     def kill(self) -> None:
         self._killed = True
         self._process.terminate()
@@ -473,7 +596,12 @@ class ProcessWorker(Worker):
                 return
             outcome = replace(outcome, worker_id=self._worker_id)
             with self._pending_lock:
-                self._pending.pop(outcome.item_id, None)
+                item = self._pending.pop(outcome.item_id, None)
+            if outcome.ok and item is not None:
+                # item can be None after a kill/recover race; folding its
+                # seconds in with zero images would skew the per-image
+                # cost report, so the raced delta is dropped instead.
+                self._costs.add(len(item.requests), outcome.stage_seconds)
             while not self._killed:
                 try:
                     self._results.put(outcome, timeout=1.0)

@@ -48,6 +48,18 @@ class CostModel:
     collapses to a chunk read, so preprocessing throughput is multiplied by
     the catalog's discount factor and already-materialized plans price
     accordingly cheaper.
+
+    ``observations`` makes the costing *feedback-aware*: any object with
+    ``preprocessing_scale(format_name, decoding=True) -> float`` and
+    ``dnn_scale(model_name) -> float`` methods (e.g.
+    :class:`repro.adapt.calibrator.ObservedCosts`) reporting how measured
+    runtime stage costs compare to the calibrated model.  The scales are
+    throughput multipliers (1.0 = the model was right; 0.25 = the stage
+    runs 4x slower than modelled), so replanning under drift prices every
+    candidate against the world as observed, not as calibrated.  When a
+    catalog discount applies (decode bypassed by a materialized rendition),
+    only the non-decode share of the observations is charged
+    (``decoding=False``).
     """
 
     #: Short name used in benchmark tables.
@@ -55,12 +67,13 @@ class CostModel:
 
     def __init__(self, performance_model: PerformanceModel,
                  config: EngineConfig | None = None,
-                 catalog=None) -> None:
+                 catalog=None, observations=None) -> None:
         self._perf = performance_model
         self._config = config or EngineConfig(
             num_producers=performance_model.instance.vcpus
         )
         self._catalog = catalog
+        self._observations = observations
 
     @property
     def config(self) -> EngineConfig:
@@ -77,13 +90,25 @@ class CostModel:
         """The materialized-rendition catalog, or None (cold costing)."""
         return self._catalog
 
+    @property
+    def observations(self):
+        """The observed runtime cost scales, or None (calibrated costing)."""
+        return self._observations
+
     def with_config(self, config: EngineConfig) -> "CostModel":
         """A cost model of the same estimator family under ``config``."""
-        return type(self)(self._perf, config, catalog=self._catalog)
+        return type(self)(self._perf, config, catalog=self._catalog,
+                          observations=self._observations)
 
     def with_catalog(self, catalog) -> "CostModel":
         """A cost model of the same family pricing against ``catalog``."""
-        return type(self)(self._perf, self._config, catalog=catalog)
+        return type(self)(self._perf, self._config, catalog=catalog,
+                          observations=self._observations)
+
+    def with_observations(self, observations) -> "CostModel":
+        """A cost model of the same family pricing with observed scales."""
+        return type(self)(self._perf, self._config, catalog=self._catalog,
+                          observations=observations)
 
     def stage_estimate(self, plan: Plan) -> StageEstimate:
         """Per-stage estimate for the plan's primary model and format."""
@@ -116,7 +141,12 @@ class CostModel:
                 offloaded_fraction=0.0,
                 deblocking=plan.deblocking,
             )
-            per_image_us += reach * (1e6 / stage_estimate.dnn_throughput)
+            dnn_throughput = stage_estimate.dnn_throughput
+            if self._observations is not None:
+                dnn_throughput *= self._observations.dnn_scale(
+                    stage.model.name
+                )
+            per_image_us += reach * (1e6 / dnn_throughput)
             reach *= stage.pass_through_rate
         if per_image_us <= 0:
             raise PlanError("cascade produced a non-positive per-image time")
@@ -126,12 +156,31 @@ class CostModel:
         """CPU-side preprocessing throughput for the plan's input format.
 
         When a catalog reports the plan's rendition as materialized, the
-        cold estimate is scaled by the catalog's decode discount.
+        cold estimate is scaled by the catalog's decode discount.  When
+        runtime observations are attached, the result is further scaled by
+        the observed-vs-modelled preprocessing ratio for the format --
+        excluding the decode share whenever the catalog discount already
+        bypasses decode (reading a materialized rendition does not pay an
+        observed decode slowdown).
         """
         throughput = self.stage_estimate(plan).preprocessing_throughput
+        decoding = True
         if self._catalog is not None:
-            throughput *= self._catalog.decode_discount(
-                plan.input_format.name
+            format_name = plan.input_format.name
+            discount = self._catalog.decode_discount(format_name)
+            throughput *= discount
+            # Prefer the catalog's explicit materialization bit (see
+            # StoreCatalog.is_materialized); fall back to inferring it
+            # from the discount for minimal duck-typed catalogs.
+            is_materialized = getattr(self._catalog, "is_materialized",
+                                      None)
+            if is_materialized is not None:
+                decoding = not is_materialized(format_name)
+            else:
+                decoding = discount == 1.0
+        if self._observations is not None:
+            throughput *= self._observations.preprocessing_scale(
+                plan.input_format.name, decoding=decoding
             )
         return throughput
 

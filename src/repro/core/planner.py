@@ -90,9 +90,11 @@ class PlanGenerator:
 
     def __init__(self, cost_model: CostModel, accuracy: AccuracyEstimator,
                  features: PlannerFeatures | None = None,
-                 catalog=None) -> None:
+                 catalog=None, observations=None) -> None:
         if catalog is not None:
             cost_model = cost_model.with_catalog(catalog)
+        if observations is not None:
+            cost_model = cost_model.with_observations(observations)
         self._cost_model = cost_model
         self._accuracy = accuracy
         self._features = features or PlannerFeatures()
@@ -113,6 +115,19 @@ class PlanGenerator:
         the frontier toward already-cached plans.
         """
         return self._cost_model.catalog
+
+    @property
+    def observations(self):
+        """The observed runtime cost scales plans are priced with.
+
+        None means calibrated-only costing; otherwise an object with
+        ``preprocessing_scale(format_name, decoding=True)`` and
+        ``dnn_scale(model_name)`` (see
+        :class:`repro.adapt.calibrator.ObservedCosts`) folding measured
+        stage costs back into every candidate's throughput estimate, so
+        replanning under drift reflects the live system.
+        """
+        return self._cost_model.observations
 
     def candidate_models(self) -> list[ModelProfile]:
         """Candidate DNNs under the active search-space setting."""
@@ -226,12 +241,15 @@ def default_planner(cost_model: CostModel | None = None,
                     dataset_name: str = "imagenet",
                     features: PlannerFeatures | None = None,
                     performance_model=None,
-                    catalog=None) -> PlanGenerator:
+                    catalog=None, observations=None) -> PlanGenerator:
     """Convenience constructor wiring a Smol cost model to a planner.
 
     Pass ``catalog`` (e.g. ``RenditionStore.catalog()``) for cache-aware
     costing: plans whose rendition is already materialized in the store are
-    priced with decode collapsed to a chunk read.
+    priced with decode collapsed to a chunk read.  Pass ``observations``
+    (e.g. ``OnlineCalibrator.observed_costs()``) for feedback-aware
+    costing: candidates are priced against measured runtime stage costs
+    instead of the calibrated constants alone.
     """
     if cost_model is None:
         if performance_model is None:
@@ -242,4 +260,5 @@ def default_planner(cost_model: CostModel | None = None,
         accuracy=AccuracyEstimator(dataset_name),
         features=features,
         catalog=catalog,
+        observations=observations,
     )

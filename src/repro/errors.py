@@ -96,3 +96,7 @@ class StoreError(ReproError):
 class StoreCorruptionError(StoreError):
     """Raised when on-disk store state fails validation (torn manifest,
     content-address mismatch, undecodable chunk)."""
+
+
+class AdaptError(ReproError):
+    """Raised by the online adaptation layer for invalid configurations."""

@@ -133,6 +133,29 @@ class StageEstimate:
         """The min() of the two stage throughputs (Smol's cost model)."""
         return min(self.preprocessing_throughput, self.dnn_throughput)
 
+    def observed_stage_seconds(self) -> dict[str, float]:
+        """Aggregate per-image seconds by coarse runtime stage.
+
+        This is the shape runtime telemetry reports in (see
+        :mod:`repro.adapt.telemetry`): ``decode`` and ``preprocess``
+        partition the aggregate CPU-side per-image time (``1 /
+        preprocessing_throughput``) by the calibrated stage shares, and
+        ``inference`` is the accelerator-side per-image time.  Sessions
+        that report these exact values produce observed/modelled cost
+        ratios of exactly 1.0, so a drift-free system calibrates to the
+        identity.
+        """
+        preprocess_per_image = 1.0 / self.preprocessing_throughput
+        total_us = sum(self.preprocessing_us_per_image.values())
+        decode_share = (self.preprocessing_us_per_image.get("decode", 0.0)
+                        / total_us if total_us > 0 else 0.0)
+        decode = preprocess_per_image * decode_share
+        return {
+            "decode": decode,
+            "preprocess": preprocess_per_image - decode,
+            "inference": 1.0 / self.dnn_throughput,
+        }
+
 
 class PreprocessingCostModel:
     """CPU preprocessing cost model calibrated to Section 2 / 5.2."""

@@ -10,6 +10,7 @@ bit-identical to the single-process analytics engines.
 from repro.query.spec import QUERY_KINDS, QuerySpec
 from repro.query.scan import (
     ClusterScanRunner,
+    ScanPace,
     ScanReport,
     ScanSession,
     ShardScanStats,
@@ -30,6 +31,7 @@ __all__ = [
     "QUERY_KINDS",
     "QuerySpec",
     "ClusterScanRunner",
+    "ScanPace",
     "ScanReport",
     "ScanSession",
     "ShardScanStats",

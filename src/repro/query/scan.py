@@ -31,6 +31,7 @@ cold recomputation at every worker count.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -81,6 +82,67 @@ def scan_store_fingerprint() -> str:
     return fingerprint_of(SCAN_MODEL_NAME, SCAN_SCORE_VERSION)
 
 
+class ScanPace:
+    """Hot-swappable execution costs shared by in-flight scan sessions.
+
+    The *scores* a scan produces depend only on (dataset, accuracy,
+    frames); the plan only fixes what each scanned frame costs.  A pace
+    object makes that cost a first-class, swappable runtime value: every
+    replica's :class:`ScanSession` reads it per batch, and the adaptive
+    replanner (:mod:`repro.adapt`) swaps in a new plan's costs mid-stream
+    -- e.g. when a rendition becomes warm in the store or decode drifts --
+    without perturbing a single score bit.
+
+    Attributes swap atomically as a triple, so a batch never charges one
+    plan's total with another plan's stage split.
+    """
+
+    def __init__(self, seconds_per_frame: float, plan_key: str,
+                 stage_split: dict[str, float] | None = None) -> None:
+        if seconds_per_frame <= 0:
+            raise QueryError("seconds_per_frame must be positive")
+        self._lock = threading.Lock()
+        self._seconds_per_frame = seconds_per_frame
+        self._plan_key = plan_key
+        self._stage_split = dict(stage_split or {})
+        self._swaps = 0
+
+    @property
+    def seconds_per_frame(self) -> float:
+        """Current modelled service seconds per scanned frame."""
+        with self._lock:
+            return self._seconds_per_frame
+
+    @property
+    def plan_key(self) -> str:
+        """The plan whose costs the pace currently charges."""
+        with self._lock:
+            return self._plan_key
+
+    @property
+    def swaps(self) -> int:
+        """How many times the pace has been hot-swapped."""
+        with self._lock:
+            return self._swaps
+
+    def snapshot(self) -> tuple[float, dict[str, float], str]:
+        """Atomic (seconds_per_frame, stage_split, plan_key) triple."""
+        with self._lock:
+            return (self._seconds_per_frame, dict(self._stage_split),
+                    self._plan_key)
+
+    def swap(self, seconds_per_frame: float, plan_key: str,
+             stage_split: dict[str, float] | None = None) -> None:
+        """Atomically swap in a new plan's per-frame costs."""
+        if seconds_per_frame <= 0:
+            raise QueryError("seconds_per_frame must be positive")
+        with self._lock:
+            self._seconds_per_frame = seconds_per_frame
+            self._plan_key = plan_key
+            self._stage_split = dict(stage_split or {})
+            self._swaps += 1
+
+
 class ScanSession(EngineSession):
     """A plan-warmed session serving specialized-NN scores per frame.
 
@@ -105,7 +167,9 @@ class ScanSession(EngineSession):
     def __init__(self, dataset: VideoDataset, specialized_accuracy: float,
                  frames_used: int, seconds_per_frame: float,
                  plan_key: str, store=None, rendition: str = "",
-                 store_fingerprint: str | None = None) -> None:
+                 store_fingerprint: str | None = None,
+                 pace: ScanPace | None = None,
+                 model_name: str = SCAN_MODEL_NAME) -> None:
         super().__init__(plan_key)
         if frames_used <= 0:
             raise QueryError("frames_used must be positive")
@@ -118,6 +182,8 @@ class ScanSession(EngineSession):
         self._store = store
         self._rendition = rendition or "unknown"
         self._store_fingerprint = store_fingerprint
+        self._pace = pace
+        self._model_name = model_name
         self._bits: np.ndarray | None = None
         self._reader = None
 
@@ -125,6 +191,21 @@ class ScanSession(EngineSession):
     def reader(self):
         """The store chunk reader batches stream from (None without store)."""
         return self._reader
+
+    @property
+    def format_name(self) -> str:
+        """The scanned rendition (telemetry subject for decode costs)."""
+        return self._rendition
+
+    @property
+    def model_name(self) -> str:
+        """The scanning model (telemetry subject for inference costs)."""
+        return self._model_name
+
+    @property
+    def pace(self) -> ScanPace | None:
+        """The hot-swappable cost source, or None (fixed per-frame cost)."""
+        return self._pace
 
     def _compute_scores(self) -> np.ndarray:
         return self._dataset.specialized_nn_predictions(
@@ -175,9 +256,17 @@ class ScanSession(EngineSession):
             bits = encode_scores(self._reader.gather(indices))
         else:
             bits = self._bits[indices]
+        if self._pace is not None:
+            seconds_per_frame, stage_split, _ = self._pace.snapshot()
+            stage_seconds = {stage: per_frame * len(requests)
+                             for stage, per_frame in stage_split.items()}
+        else:
+            seconds_per_frame = self._seconds_per_frame
+            stage_seconds = None
         return BatchResult(
             predictions=bits,
-            modelled_seconds=len(requests) * self._seconds_per_frame,
+            modelled_seconds=len(requests) * seconds_per_frame,
+            stage_seconds=stage_seconds,
         )
 
 
@@ -278,6 +367,12 @@ class ClusterScanRunner:
         store key; ``store_fingerprint`` versions the entries (defaults
         to :func:`scan_store_fingerprint`, so bumping
         :data:`SCAN_SCORE_VERSION` invalidates every stored table).
+    pace:
+        Optional shared :class:`ScanPace`.  Every replica then charges the
+        pace's current per-frame cost instead of the fixed planner cost,
+        and reports the pace's per-stage split with each batch -- the hook
+        the adaptive replanner uses to hot-swap costs into an in-flight
+        shard stream (scores are unaffected by construction).
     """
 
     def __init__(self, dataset: VideoDataset, specialized_accuracy: float,
@@ -285,7 +380,8 @@ class ClusterScanRunner:
                  batch_size: int = 256,
                  router: str = "round-robin", store=None,
                  rendition: str = "",
-                 store_fingerprint: str | None = None) -> None:
+                 store_fingerprint: str | None = None,
+                 pace: ScanPace | None = None) -> None:
         if num_workers <= 0:
             raise QueryError("num_workers must be positive")
         if batch_size <= 0:
@@ -300,6 +396,7 @@ class ClusterScanRunner:
         self._store = store
         self._rendition = rendition
         self._store_fingerprint = store_fingerprint
+        self._pace = pace
 
     def session(self) -> ScanSession:
         """One plan-warmed scan session (one per replica)."""
@@ -312,6 +409,7 @@ class ClusterScanRunner:
             store=self._store,
             rendition=self._rendition,
             store_fingerprint=self._store_fingerprint,
+            pace=self._pace,
         )
 
     def worker_factory(self) -> Callable[[str, MpmcQueue], Worker]:
@@ -321,29 +419,45 @@ class ClusterScanRunner:
         return factory
 
     def run(self, dispatcher: Dispatcher | None = None,
-            timeout_s: float = 60.0) -> ScanReport:
-        """Scan every frame, sharded; returns the reassembled scores.
+            timeout_s: float = 60.0,
+            frame_range: tuple[int, int] | None = None) -> ScanReport:
+        """Scan a frame range, sharded; returns the reassembled scores.
 
         A ``dispatcher`` may be injected (tests, reuse across worker
         counts); otherwise a fresh pool is built and torn down.
+
+        ``frame_range`` (default: the full ``[0, frames_used)``) scans one
+        contiguous segment, which is how a replan-safe query streams: the
+        driver runs the scan as a sequence of segments, and between
+        segments the adaptive controller may hot-swap the shared
+        :class:`ScanPace`.  Concatenated segment scores are bit-identical
+        to one full-range scan (scores are pure per-frame lookups), and
+        segment :class:`ShardScanStats` merge exactly into the full-run
+        totals.
         """
         frames_used = self._costs.frames_used
+        lo, hi = frame_range if frame_range is not None else (0, frames_used)
+        if not 0 <= lo < hi <= frames_used:
+            raise QueryError(
+                f"frame_range [{lo}, {hi}) outside [0, {frames_used})"
+            )
         owned = dispatcher is None
         if dispatcher is None:
             dispatcher = Dispatcher(self.worker_factory(),
                                     num_workers=self._num_workers,
                                     router=self._router)
         start = time.monotonic()
-        scores = np.empty(frames_used, dtype=np.float64)
+        scores = np.empty(hi - lo, dtype=np.float64)
         shards = [ShardScanStats(shard_id=i)
                   for i in range(self._num_workers)]
         per_worker: dict[str, float] = {}
         try:
-            ranges = split_frame_ranges(frames_used, self._num_workers)
+            ranges = split_frame_ranges(hi - lo, self._num_workers)
             submissions = []
-            for shard_id, (lo, hi) in enumerate(ranges):
-                for offset in range(lo, hi, self._batch_size):
-                    end = min(offset + self._batch_size, hi)
+            for shard_id, (shard_lo, shard_hi) in enumerate(ranges):
+                for offset in range(lo + shard_lo, lo + shard_hi,
+                                    self._batch_size):
+                    end = min(offset + self._batch_size, lo + shard_hi)
                     requests = tuple(
                         InferenceRequest(
                             image_id=frame_id(self._dataset.name, index)
@@ -355,7 +469,7 @@ class ClusterScanRunner:
             for offset, end, future in submissions:
                 result = future.result(timeout=timeout_s)
                 batch_scores = decode_scores(result.predictions)
-                scores[offset:end] = batch_scores
+                scores[offset - lo:end - lo] = batch_scores
                 shards[result.shard_id].observe(batch_scores,
                                                 result.modelled_seconds)
                 per_worker[result.worker_id] = (
@@ -372,6 +486,6 @@ class ClusterScanRunner:
             shards=tuple(shards),
             per_worker_modelled_s=per_worker,
             num_workers=self._num_workers,
-            frames_used=frames_used,
+            frames_used=hi - lo,
             wall_seconds=wall,
         )

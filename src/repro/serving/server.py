@@ -125,6 +125,12 @@ class SmolServer:
         from the store (repeat queries hit persisted score tables instead
         of rescanning) and are planned cache-aware against the store's
         materialized renditions.
+    telemetry:
+        Optional :class:`~repro.adapt.telemetry.TelemetryCollector`.  Every
+        executed micro-batch (session mode) is then reported with its
+        per-stage costs, feeding the adaptive replanning loop
+        (:mod:`repro.adapt`).  In cluster mode the dispatcher reports
+        worker costs itself (``Dispatcher.attach_telemetry``).
     """
 
     def __init__(self, session: EngineSession | SessionManager | None = None,
@@ -132,7 +138,7 @@ class SmolServer:
                  queue_capacity: int = 256,
                  cache_capacity: int = 2048,
                  block_on_full: bool = True,
-                 cluster=None, store=None) -> None:
+                 cluster=None, store=None, telemetry=None) -> None:
         if (session is None) == (cluster is None):
             raise ServingError(
                 "provide exactly one of session= or cluster="
@@ -168,6 +174,7 @@ class SmolServer:
         self._cancelled = 0
         self._queries = 0
         self._store = store
+        self._telemetry = telemetry
         self._query_engine = None
         self._closed = False
         self._outstanding = 0
@@ -184,6 +191,11 @@ class SmolServer:
     def policy(self) -> BatchPolicy:
         """The active micro-batching policy."""
         return self._policy
+
+    @property
+    def telemetry(self):
+        """The attached runtime telemetry collector, or None."""
+        return self._telemetry
 
     @property
     def sessions(self) -> SessionManager:
@@ -394,6 +406,16 @@ class SmolServer:
         except Exception as exc:
             self._fail_batch(batch, exc)
             return
+        if self._telemetry is not None:
+            # Record before resolving so a client that awaited this batch
+            # observes its telemetry too.  Telemetry is advisory: a
+            # collector bug must not take the serving loop (and every
+            # pending future) down with it.
+            try:
+                self._telemetry.record_session_batch(session, result,
+                                                     source="serving")
+            except Exception:
+                pass
         self._resolve_batch(batch, result.predictions,
                             result.modelled_seconds, session.plan_key)
 

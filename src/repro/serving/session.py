@@ -46,10 +46,17 @@ class BatchResult:
     modelled_seconds:
         The performance model's service time for the batch (simulated mode);
         0.0 in functional mode where wall time is the real service time.
+    stage_seconds:
+        Optional per-stage resource seconds the batch consumed (keys such
+        as ``decode`` / ``preprocess`` / ``inference``).  Sessions that
+        know their stage breakdown fill this so runtime telemetry
+        (:mod:`repro.adapt.telemetry`) can calibrate observed stage costs;
+        None when the session cannot attribute cost to stages.
     """
 
     predictions: np.ndarray
     modelled_seconds: float = 0.0
+    stage_seconds: dict[str, float] | None = None
 
 
 class EngineSession:
@@ -123,12 +130,29 @@ class FunctionalSession(EngineSession):
         return BatchResult(predictions=self._model.predict(stacked))
 
 
+def session_stage_estimate(performance_model: PerformanceModel, plan: Plan,
+                           config: EngineConfig):
+    """The stage estimate a simulated session charges batches against.
+
+    Factored out so the adaptive layer (:mod:`repro.adapt`) can register
+    calibration baselines from exactly the estimate the session reports
+    observations against -- a drift-free session then calibrates to
+    observed/modelled ratios of exactly 1.0.
+    """
+    return performance_model.estimate(
+        plan.primary_model, plan.input_format, config,
+        roi_fraction=plan.roi_fraction,
+    )
+
+
 class SimulatedSession(EngineSession):
     """Session backed by the calibrated performance model.
 
     Predictions are deterministic pseudo-labels (stable hash of image id and
     plan), and each batch reports the modelled service time so load tests can
     report accelerator-scale latency figures without accelerator hardware.
+    Batches also report per-stage resource seconds (decode / preprocess /
+    inference) so runtime telemetry can calibrate observed stage costs.
     """
 
     def __init__(self, plan: Plan, performance_model: PerformanceModel,
@@ -142,6 +166,7 @@ class SimulatedSession(EngineSession):
         self._config = config or EngineConfig()
         self._num_classes = num_classes
         self._throughput: float | None = None
+        self._stage_seconds: dict[str, float] = {}
 
     @property
     def plan(self) -> Plan:
@@ -149,9 +174,24 @@ class SimulatedSession(EngineSession):
         return self._plan
 
     @property
+    def format_name(self) -> str:
+        """Input-format name of the plan (telemetry subject for decode)."""
+        return self._plan.input_format.name
+
+    @property
+    def model_name(self) -> str:
+        """Primary-model name of the plan (telemetry subject for inference)."""
+        return self._plan.primary_model.name
+
+    @property
     def performance_model(self) -> PerformanceModel:
         """The calibrated performance model this session charges against."""
         return self._performance_model
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration the session is priced under."""
+        return self._config
 
     @property
     def modelled_throughput(self) -> float:
@@ -162,12 +202,20 @@ class SimulatedSession(EngineSession):
 
     def warmup(self) -> None:
         """Evaluate the stage estimate once; batches reuse it."""
-        estimate = self._performance_model.estimate(
-            self._plan.primary_model, self._plan.input_format, self._config,
-            roi_fraction=self._plan.roi_fraction,
+        estimate = session_stage_estimate(
+            self._performance_model, self._plan, self._config
         )
         self._throughput = estimate.pipelined_upper_bound
+        self._stage_seconds = estimate.observed_stage_seconds()
         super().warmup()
+
+    def batch_costs(self, batch_size: int) -> tuple[float, dict[str, float]]:
+        """Modelled (service seconds, per-stage seconds) for one batch."""
+        return (
+            batch_size / self._throughput,
+            {stage: seconds * batch_size
+             for stage, seconds in self._stage_seconds.items()},
+        )
 
     def execute(self, requests: Sequence[InferenceRequest]) -> BatchResult:
         if not requests:
@@ -179,9 +227,11 @@ class SimulatedSession(EngineSession):
              for request in requests],
             dtype=np.int64,
         )
+        modelled_seconds, stage_seconds = self.batch_costs(len(requests))
         return BatchResult(
             predictions=predictions,
-            modelled_seconds=len(requests) / self._throughput,
+            modelled_seconds=modelled_seconds,
+            stage_seconds=stage_seconds,
         )
 
 

@@ -34,6 +34,7 @@ from repro.store.store import (
     RenditionKey,
     RenditionStore,
     ScoreKey,
+    StoreEvent,
     StoreStats,
     dag_fingerprint,
     fingerprint_of,
@@ -51,6 +52,7 @@ __all__ = [
     "RenditionStore",
     "ScoreKey",
     "StoreCatalog",
+    "StoreEvent",
     "StoreStats",
     "dag_fingerprint",
     "fingerprint_of",

@@ -96,6 +96,29 @@ def dag_fingerprint(dag) -> str:
 
 
 @dataclass(frozen=True)
+class StoreEvent:
+    """One observable change to the store's catalog state.
+
+    Delivered to :meth:`RenditionStore.subscribe` listeners whenever an
+    entry lands (``kind`` ``"rendition"`` / ``"scores"``) or entries are
+    dropped (``kind`` ``"invalidate"``).  The adaptive replanning loop
+    (:mod:`repro.adapt`) listens for these to notice *catalog drift* -- a
+    rendition becoming warm mid-query changes which plan is cheapest even
+    though no measured cost moved.
+
+    Attributes
+    ----------
+    kind:
+        ``"rendition"``, ``"scores"``, or ``"invalidate"``.
+    key:
+        The manifest key written (or the invalidated prefix).
+    """
+
+    kind: str
+    key: str
+
+
+@dataclass(frozen=True)
 class ScoreKey:
     """Identity of one stored score table: (item, model, rendition-spec).
 
@@ -287,6 +310,7 @@ class RenditionStore:
         self._cache = ByteLruCache(cache_bytes)
         self._read_through_hits = 0
         self._read_through_misses = 0
+        self._listeners: list = []
 
     @property
     def root(self) -> Path:
@@ -395,6 +419,7 @@ class RenditionStore:
             self._manifest = Manifest.load(self._root)
             self._manifest.entries[key] = entry
             self._manifest.save(self._root)
+        self._notify(StoreEvent(kind=kind, key=key))
 
     def _open_entry(self, key: str, kind: str,
                     fingerprint: str) -> ChunkedReader | None:
@@ -524,6 +549,39 @@ class RenditionStore:
         return StoreCatalog(self, item=item, fingerprint=fingerprint)
 
     # ------------------------------------------------------------------
+    # Change notification
+    # ------------------------------------------------------------------
+    def subscribe(self, listener) -> None:
+        """Register ``listener(event: StoreEvent)`` for catalog changes.
+
+        Fired after an entry commits (``put_scores`` / ``put_rendition``,
+        including read-through computes) and after :meth:`invalidate`
+        drops entries -- the moments a cache-aware plan's relative price
+        changes.  Listeners run on the writing thread, outside the
+        manifest lock; exceptions are swallowed (notification is advisory,
+        persistence is not allowed to fail because a subscriber did).
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify(self, event: StoreEvent) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(event)
+            except Exception:
+                continue
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def invalidate(self, prefix: str = "") -> int:
@@ -540,6 +598,8 @@ class RenditionStore:
                 del self._manifest.entries[key]
             if doomed:
                 self._manifest.save(self._root)
+        if doomed:
+            self._notify(StoreEvent(kind="invalidate", key=prefix))
         return len(doomed)
 
     def gc(self, min_age_seconds: float = TMP_REAP_SECONDS) -> GcReport:

@@ -1,0 +1,143 @@
+"""Tests for the runtime telemetry collector."""
+
+import numpy as np
+import pytest
+
+from repro.adapt.telemetry import StageObservation, TelemetryCollector
+from repro.cluster.worker import WorkerCostReport
+from repro.codecs.formats import THUMB_JPEG_161_Q75
+from repro.core.plans import Plan
+from repro.errors import AdaptError
+from repro.hardware.instance import get_instance
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.zoo import resnet_profile
+from repro.serving.request import InferenceRequest
+from repro.serving.session import SimulatedSession
+
+
+def observation(**overrides) -> StageObservation:
+    base = dict(stage="decode", subject="161-jpeg-q75", images=8,
+                seconds=0.004, source="test")
+    base.update(overrides)
+    return StageObservation(**base)
+
+
+class TestRecordValidation:
+    def test_valid_observation_is_buffered(self):
+        collector = TelemetryCollector()
+        assert collector.record(observation())
+        assert collector.pending() == 1
+        assert collector.counters().recorded == 1
+
+    @pytest.mark.parametrize("bad", [
+        dict(stage="telepathy"),
+        dict(subject=""),
+        dict(images=0),
+        dict(images=-3),
+        dict(seconds=float("nan")),
+        dict(seconds=float("inf")),
+        dict(seconds=-0.1),
+    ])
+    def test_malformed_observations_are_dropped(self, bad):
+        collector = TelemetryCollector()
+        assert not collector.record(observation(**bad))
+        assert collector.pending() == 0
+        assert collector.counters().dropped == 1
+
+    def test_zero_seconds_is_valid(self):
+        # A stage can legitimately cost ~nothing (cache hit); the
+        # calibrator's bounds handle it.
+        assert TelemetryCollector().record(observation(seconds=0.0))
+
+    def test_capacity_bounds_the_buffer(self):
+        collector = TelemetryCollector(capacity=4)
+        for _ in range(10):
+            collector.record(observation())
+        assert collector.pending() == 4
+        assert collector.counters().recorded == 10
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(AdaptError):
+            TelemetryCollector(capacity=0)
+
+
+class TestDrain:
+    def test_drain_empties_and_preserves_order(self):
+        collector = TelemetryCollector()
+        first = observation(seconds=0.001)
+        second = observation(seconds=0.002)
+        collector.record(first)
+        collector.record(second)
+        assert collector.drain() == [first, second]
+        assert collector.pending() == 0
+        assert collector.drain() == []
+
+
+class TestSessionBatchRecording:
+    def test_simulated_session_batch_yields_stage_observations(self):
+        instance = get_instance("g4dn.xlarge")
+        session = SimulatedSession(
+            Plan.single(resnet_profile(18), THUMB_JPEG_161_Q75),
+            PerformanceModel(instance),
+            config=EngineConfig(num_producers=instance.vcpus),
+        )
+        session.warmup()
+        result = session.execute(
+            [InferenceRequest(image_id=f"img-{i}") for i in range(6)]
+        )
+        collector = TelemetryCollector()
+        collector.record_session_batch(session, result)
+        drained = collector.drain()
+        by_stage = {obs.stage: obs for obs in drained}
+        assert set(by_stage) == {"decode", "preprocess", "inference"}
+        assert by_stage["decode"].subject == "161-jpeg-q75"
+        assert by_stage["preprocess"].subject == "161-jpeg-q75"
+        assert by_stage["inference"].subject == "resnet-18"
+        assert all(obs.images == 6 for obs in drained)
+        counters = collector.counters()
+        assert counters.batches == 1
+        assert counters.images == 6
+        assert counters.modelled_seconds == result.modelled_seconds
+
+    def test_stage_free_sessions_count_throughput_only(self):
+        class Bare:
+            pass
+
+        class BareResult:
+            predictions = np.zeros(3, dtype=np.int64)
+            modelled_seconds = 0.5
+            stage_seconds = None
+
+        collector = TelemetryCollector()
+        collector.record_session_batch(Bare(), BareResult())
+        assert collector.pending() == 0
+        assert collector.counters().images == 3
+
+
+class TestWorkerReportRecording:
+    def test_worker_report_maps_subjects_per_stage(self):
+        report = WorkerCostReport(
+            worker_id="worker-0", plan_key="p",
+            format_name="480p-h264", model_name="specialized-nn",
+            images=100,
+            stage_seconds={"decode": 0.2, "preprocess": 0.05,
+                           "inference": 0.01},
+        )
+        collector = TelemetryCollector()
+        collector.record_worker_report(report)
+        by_stage = {obs.stage: obs for obs in collector.drain()}
+        assert by_stage["decode"].subject == "480p-h264"
+        assert by_stage["inference"].subject == "specialized-nn"
+        assert by_stage["decode"].source == "cluster"
+
+    def test_report_without_model_name_drops_inference_only(self):
+        report = WorkerCostReport(
+            worker_id="worker-0", plan_key="p",
+            format_name="480p-h264", model_name="",
+            images=10, stage_seconds={"decode": 0.1, "inference": 0.2},
+        )
+        collector = TelemetryCollector()
+        collector.record_worker_report(report)
+        drained = collector.drain()
+        assert [obs.stage for obs in drained] == ["decode"]
+        assert collector.counters().dropped == 1

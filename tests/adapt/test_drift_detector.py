@@ -1,0 +1,80 @@
+"""Tests for the hysteresis drift detector."""
+
+import pytest
+
+from repro.adapt.calibrator import ObservationKey
+from repro.adapt.drift import DriftDetector
+from repro.errors import AdaptError
+
+KEY = ObservationKey("decode", "161-jpeg-q75")
+OTHER = ObservationKey("inference", "resnet-18")
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        dict(threshold=1.0), dict(threshold=0.5), dict(hysteresis=0),
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(AdaptError):
+            DriftDetector(**kwargs)
+
+
+class TestDetection:
+    def test_quiet_scales_never_drift(self):
+        detector = DriftDetector(threshold=1.5, hysteresis=1)
+        for _ in range(10):
+            assert not detector.update({KEY: 1.0, OTHER: 1.1})
+        assert detector.snapshot().streak == 0
+
+    def test_slowdown_and_speedup_both_count(self):
+        slow = DriftDetector(threshold=1.5, hysteresis=1)
+        assert slow.update({KEY: 0.25})
+        fast = DriftDetector(threshold=1.5, hysteresis=1)
+        assert fast.update({KEY: 4.0})
+
+    def test_hysteresis_requires_consecutive_updates(self):
+        detector = DriftDetector(threshold=1.5, hysteresis=3)
+        assert not detector.update({KEY: 0.25})
+        assert not detector.update({KEY: 0.25})
+        assert detector.update({KEY: 0.25})
+        assert detector.snapshot().streak == 3
+
+    def test_streak_resets_on_a_quiet_update(self):
+        detector = DriftDetector(threshold=1.5, hysteresis=2)
+        assert not detector.update({KEY: 0.25})
+        assert not detector.update({KEY: 1.0})   # quiet: streak resets
+        assert not detector.update({KEY: 0.25})  # streak back to 1
+        assert detector.update({KEY: 0.25})
+
+    def test_exactly_at_threshold_is_not_drift(self):
+        detector = DriftDetector(threshold=1.5, hysteresis=1)
+        assert not detector.update({KEY: 1.0 / 1.5})
+
+    def test_snapshot_names_the_worst_key(self):
+        detector = DriftDetector(threshold=1.5, hysteresis=1)
+        detector.update({KEY: 0.25, OTHER: 0.8})
+        snapshot = detector.snapshot()
+        assert snapshot.worst_key == KEY
+        assert snapshot.max_deviation == pytest.approx(4.0)
+
+    def test_non_positive_scales_are_ignored(self):
+        detector = DriftDetector(threshold=1.5, hysteresis=1)
+        assert not detector.update({KEY: 0.0, OTHER: -2.0})
+
+
+class TestAcknowledge:
+    def test_acknowledged_world_is_the_new_reference(self):
+        detector = DriftDetector(threshold=1.5, hysteresis=1)
+        assert detector.update({KEY: 0.25})
+        detector.acknowledge({KEY: 0.25})
+        # Same world again: by definition not drift.
+        assert not detector.update({KEY: 0.25})
+        # Recovering back to 1.0 IS drift relative to the acknowledged
+        # 0.25 world.
+        assert detector.update({KEY: 1.0})
+
+    def test_acknowledge_resets_the_streak(self):
+        detector = DriftDetector(threshold=1.5, hysteresis=2)
+        detector.update({KEY: 0.25})
+        detector.acknowledge({KEY: 0.25})
+        assert detector.snapshot().streak == 0

@@ -35,7 +35,21 @@ class TestParetoProperties:
         assert all(point in points for point in frontier)
         assert sorted(pareto_frontier(frontier, lambda p: p)) == sorted(frontier)
 
-    @given(points=points_strategy, scale=st.floats(0.1, 10.0, allow_nan=False))
+    # Scaling invariance only holds when the scaling itself is exact:
+    # power-of-two factors multiply normal doubles without rounding, and
+    # keeping coordinates away from the subnormal range prevents underflow
+    # from merging distinct values (hypothesis found (0.0, 5e-324) * 0.5
+    # collapsing a frontier point to zero).
+    scalable_points_strategy = st.lists(
+        st.tuples(
+            st.one_of(st.just(0.0), st.floats(1e-9, 1000, allow_nan=False)),
+            st.one_of(st.just(0.0), st.floats(1e-9, 1.0, allow_nan=False)),
+        ),
+        min_size=1, max_size=40,
+    )
+
+    @given(points=scalable_points_strategy,
+           scale=st.sampled_from([0.25, 0.5, 2.0, 4.0]))
     @settings(max_examples=50, deadline=None)
     def test_frontier_invariant_to_positive_scaling(self, points, scale):
         frontier = pareto_frontier(points, lambda p: p)

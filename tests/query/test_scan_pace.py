@@ -1,0 +1,130 @@
+"""Tests for replan-safe chunk streaming: ScanPace + segmented scans."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.scan import compute_scan_costs
+from repro.codecs.formats import VIDEO_480P_H264
+from repro.datasets.video import load_video_dataset
+from repro.errors import QueryError
+from repro.hardware.instance import get_instance
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.zoo import get_model_profile
+from repro.query.scan import (
+    ClusterScanRunner,
+    ScanPace,
+    ScanSession,
+    ShardScanStats,
+    frame_id,
+)
+from repro.serving.request import InferenceRequest
+
+
+@pytest.fixture(scope="module")
+def scan_setup():
+    perf = PerformanceModel(get_instance("g4dn.xlarge"))
+    dataset = load_video_dataset("amsterdam")
+    costs = compute_scan_costs(
+        perf, EngineConfig(num_producers=4),
+        get_model_profile("resnet-18"), VIDEO_480P_H264, dataset,
+        frames_used=1000,
+    )
+    return dataset, costs
+
+
+def make_runner(dataset, costs, pace=None, num_workers=2,
+                batch_size=128) -> ClusterScanRunner:
+    return ClusterScanRunner(
+        dataset=dataset, specialized_accuracy=0.9, costs=costs,
+        plan_key="scan:test", num_workers=num_workers,
+        batch_size=batch_size, pace=pace,
+    )
+
+
+class TestScanPace:
+    def test_non_positive_seconds_rejected(self):
+        with pytest.raises(QueryError):
+            ScanPace(0.0, "plan")
+        pace = ScanPace(1e-3, "plan")
+        with pytest.raises(QueryError):
+            pace.swap(-1.0, "plan")
+
+    def test_swap_is_atomic_and_counted(self):
+        pace = ScanPace(1e-3, "old", stage_split={"decode": 8e-4})
+        pace.swap(5e-4, "new", stage_split={"decode": 1e-4})
+        seconds, split, plan_key = pace.snapshot()
+        assert (seconds, plan_key) == (5e-4, "new")
+        assert split == {"decode": 1e-4}
+        assert pace.swaps == 1
+
+    def test_session_charges_the_current_pace(self, scan_setup):
+        dataset, costs = scan_setup
+        pace = ScanPace(1e-3, "scan:test",
+                        stage_split={"decode": 8e-4, "inference": 2e-4})
+        session = ScanSession(
+            dataset, specialized_accuracy=0.9,
+            frames_used=costs.frames_used,
+            seconds_per_frame=costs.seconds_per_scanned_frame,
+            plan_key="scan:test", pace=pace,
+        )
+        session.warmup()
+        requests = [InferenceRequest(image_id=frame_id(dataset.name, i))
+                    for i in range(10)]
+        before = session.execute(requests)
+        assert before.modelled_seconds == pytest.approx(10 * 1e-3)
+        assert before.stage_seconds == pytest.approx(
+            {"decode": 10 * 8e-4, "inference": 10 * 2e-4}
+        )
+        pace.swap(2e-4, "scan:swapped", stage_split={"decode": 1e-4})
+        after = session.execute(requests)
+        assert after.modelled_seconds == pytest.approx(10 * 2e-4)
+        # The swap changed only costs: scores are bit-identical.
+        assert (after.predictions == before.predictions).all()
+
+    def test_session_exposes_telemetry_subjects(self, scan_setup):
+        dataset, costs = scan_setup
+        session = ScanSession(
+            dataset, specialized_accuracy=0.9,
+            frames_used=costs.frames_used,
+            seconds_per_frame=costs.seconds_per_scanned_frame,
+            plan_key="scan:test", rendition="480p-h264",
+        )
+        assert session.format_name == "480p-h264"
+        assert session.model_name == "specialized-nn"
+
+
+class TestSegmentedRuns:
+    def test_segments_concatenate_to_the_full_scan(self, scan_setup):
+        dataset, costs = scan_setup
+        full = make_runner(dataset, costs).run()
+        segmented = make_runner(dataset, costs)
+        bounds = [(0, 300), (300, 301), (301, 1000)]
+        reports = [segmented.run(frame_range=rng) for rng in bounds]
+        stitched = np.concatenate([report.scores for report in reports])
+        assert np.array_equal(stitched, full.scores)
+        merged = ShardScanStats.merge_all(
+            [report.total for report in reports]
+        )
+        assert merged.frames == full.total.frames
+        assert merged.scores.mean == full.total.scores.mean
+
+    def test_mid_stream_pace_swap_keeps_scores_identical(self, scan_setup):
+        dataset, costs = scan_setup
+        baseline = make_runner(dataset, costs).run()
+        pace = ScanPace(costs.seconds_per_scanned_frame, "scan:test")
+        runner = make_runner(dataset, costs, pace=pace)
+        first = runner.run(frame_range=(0, 500))
+        pace.swap(costs.seconds_per_scanned_frame / 4, "scan:swapped")
+        second = runner.run(frame_range=(500, 1000))
+        stitched = np.concatenate([first.scores, second.scores])
+        assert np.array_equal(stitched, baseline.scores)
+        # The swap really changed the charged costs.
+        assert second.total.modelled_seconds == pytest.approx(
+            first.total.modelled_seconds / 4
+        )
+
+    @pytest.mark.parametrize("bad", [(-1, 10), (0, 0), (10, 5), (0, 1001)])
+    def test_invalid_frame_ranges_rejected(self, scan_setup, bad):
+        dataset, costs = scan_setup
+        with pytest.raises(QueryError):
+            make_runner(dataset, costs).run(frame_range=bad)

@@ -1,0 +1,86 @@
+"""Tests for store change notification (catalog-change triggers)."""
+
+import numpy as np
+import pytest
+
+from repro.store.store import (
+    RenditionKey,
+    RenditionStore,
+    ScoreKey,
+    StoreEvent,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return RenditionStore(tmp_path / "store")
+
+
+def rendition_key() -> RenditionKey:
+    return RenditionKey("taipei", "480p-h264")
+
+
+def score_key() -> ScoreKey:
+    return ScoreKey.for_scan(dataset="taipei", model="specialized-nn",
+                             rendition="480p-h264", accuracy=0.9,
+                             frames=100)
+
+
+class TestSubscribe:
+    def test_put_rendition_fires_a_rendition_event(self, store):
+        events: list[StoreEvent] = []
+        store.subscribe(events.append)
+        store.put_rendition(rendition_key(),
+                            np.zeros((2, 4, 4, 3), dtype=np.uint8))
+        assert [event.kind for event in events] == ["rendition"]
+        assert events[0].key == rendition_key().key()
+
+    def test_put_scores_fires_a_scores_event(self, store):
+        events: list[StoreEvent] = []
+        store.subscribe(events.append)
+        store.put_scores(score_key(), np.arange(10, dtype=np.float64))
+        assert [event.kind for event in events] == ["scores"]
+
+    def test_read_through_compute_fires_but_warm_hit_does_not(self, store):
+        events: list[StoreEvent] = []
+        store.subscribe(events.append)
+        store.scores_or_compute(score_key(),
+                                lambda: np.arange(10, dtype=np.float64))
+        assert len(events) == 1  # the miss computed and wrote
+        store.scores_or_compute(score_key(),
+                                lambda: np.arange(10, dtype=np.float64))
+        assert len(events) == 1  # the hit changed nothing
+
+    def test_invalidate_fires_only_when_entries_dropped(self, store):
+        events: list[StoreEvent] = []
+        store.put_scores(score_key(), np.arange(10, dtype=np.float64))
+        store.subscribe(events.append)
+        assert store.invalidate("no-such-prefix") == 0
+        assert events == []
+        assert store.invalidate("") == 1
+        assert [event.kind for event in events] == ["invalidate"]
+
+    def test_unsubscribe_stops_delivery(self, store):
+        events: list[StoreEvent] = []
+        store.subscribe(events.append)
+        store.unsubscribe(events.append)
+        store.put_rendition(rendition_key(),
+                            np.zeros((2, 4, 4, 3), dtype=np.uint8))
+        assert events == []
+
+    def test_unsubscribing_an_unknown_listener_is_a_noop(self, store):
+        store.unsubscribe(lambda event: None)  # must not raise
+
+    def test_listener_errors_do_not_break_writes_or_other_listeners(
+            self, store):
+        delivered: list[StoreEvent] = []
+
+        def exploding(event):
+            raise RuntimeError("listener bug")
+
+        store.subscribe(exploding)
+        store.subscribe(delivered.append)
+        store.put_rendition(rendition_key(),
+                            np.zeros((2, 4, 4, 3), dtype=np.uint8))
+        assert len(delivered) == 1
+        assert store.open_rendition(rendition_key()) is not None

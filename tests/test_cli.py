@@ -265,3 +265,83 @@ class TestQueryCommand:
             assert "no store at" in capsys.readouterr().err
         # The mistyped path must not have been conjured into being.
         assert not missing.exists()
+
+    def test_query_non_positive_frame_limit_exits_2(self, capsys, tmp_path):
+        assert main(["query", "--kind", "aggregate", "--dataset", "taipei",
+                     "--error", "0.05", "--frame-limit", "0",
+                     "--bench-json", str(tmp_path / "b.json")]) == 2
+        assert "frame_limit" in capsys.readouterr().err
+
+    def test_query_non_positive_batch_exits_2(self, capsys, tmp_path):
+        assert main(["query", "--kind", "aggregate", "--dataset", "taipei",
+                     "--error", "0.05", "--max-batch", "0",
+                     "--bench-json", str(tmp_path / "b.json")]) == 2
+        assert "batch_size" in capsys.readouterr().err
+
+    def test_query_bad_specialized_accuracy_exits_2(self, capsys, tmp_path):
+        assert main(["query", "--kind", "aggregate", "--dataset", "taipei",
+                     "--error", "0.05", "--specialized-accuracy", "1.5",
+                     "--bench-json", str(tmp_path / "b.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestAdaptCli:
+    def test_serving_scenario_reports_recovery_and_scorecard(self, capsys,
+                                                             tmp_path):
+        bench = tmp_path / "BENCH_adapt.json"
+        assert main(["adapt", "--scenario", "serving", "--waves", "4",
+                     "--wave-requests", "64", "--drift-wave", "1",
+                     "--hysteresis", "1",
+                     "--bench-json", str(bench)]) == 0
+        output = capsys.readouterr().out
+        assert "drift recovery" in output
+        assert "hot-swap" in output
+        assert bench.exists()
+        import json
+
+        payload = json.loads(bench.read_text())
+        assert payload["bench"] == "adapt-drift-recovery"
+        modes = {row["mode"]: row for row in payload["rows"]}
+        assert modes["adaptive"]["recovery"] > modes["frozen"]["recovery"]
+        assert modes["adaptive"]["swaps"] == 1
+        # Same row schema as benchmarks/bench_adapt.py.
+        assert modes["adaptive"]["scenario"] == "serving"
+        assert "initial_plan" in modes["adaptive"]
+
+    def test_scan_scenario_verifies_bit_identity(self, capsys, tmp_path):
+        bench = tmp_path / "b.json"
+        assert main(["adapt", "--scenario", "scan", "--frames", "900",
+                     "--segments", "3", "--drift-segment", "1",
+                     "--max-batch", "128",
+                     "--bench-json", str(bench)]) == 0
+        output = capsys.readouterr().out
+        assert "results bit-identical across the hot-swap: OK" in output
+        import json
+
+        meta = json.loads(bench.read_text())["meta"]
+        assert meta["scores_identical"] and meta["estimate_identical"]
+
+    @pytest.mark.parametrize("argv", [
+        ["adapt", "--drift-factor", "0"],
+        ["adapt", "--drift-factor", "-2"],
+        ["adapt", "--waves", "2"],
+        ["adapt", "--drift-wave", "0"],
+        ["adapt", "--drift-wave", "9", "--waves", "5"],
+        ["adapt", "--wave-requests", "0"],
+        ["adapt", "--hysteresis", "0"],
+        ["adapt", "--threshold", "1.0"],
+        ["adapt", "--min-improvement", "-0.5"],
+        ["adapt", "--scenario", "scan", "--segments", "2"],
+        ["adapt", "--scenario", "scan", "--drift-segment", "0"],
+        ["adapt", "--scenario", "scan", "--frames", "2", "--segments", "3"],
+    ])
+    def test_invalid_flags_exit_2_with_one_line_error(self, capsys, argv,
+                                                      tmp_path):
+        assert main(argv + ["--bench-json", str(tmp_path / "b.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+
+    def test_unknown_scenario_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adapt", "--scenario", "warp"])

@@ -22,6 +22,7 @@ PUBLIC_SUBPACKAGES = [
     "repro.cluster",
     "repro.query",
     "repro.store",
+    "repro.adapt",
     "repro.utils",
     "repro.cli",
 ]
