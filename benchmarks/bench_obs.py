@@ -1,0 +1,169 @@
+"""Smol-Scope overhead gate: tracing must be (nearly) free.
+
+Not a paper figure: this benchmarks the observability layer this repo adds
+around the paper's runtime.  The bench_cluster corpus path (1024 labeled
+images sharded over 4 replicas) runs twice -- once with the default
+:data:`~repro.obs.NULL_OBS` wiring and once fully traced -- and the gate is
+two-sided:
+
+* **disabled**: the modelled shard throughput must stay within 2% of the
+  recorded ``BENCH_cluster.json`` baseline, i.e. threading null
+  observability through the stack did not change the pre-existing path
+  (the modelled throughput is deterministic, so this is really an equality
+  check with headroom);
+* **enabled**: the median wall time of a traced run must stay within 10%
+  of the untraced median (with an absolute floor for sub-millisecond
+  jitter), and tracing must not change any analytics result.
+
+The sweep is recorded as ``BENCH_obs.json`` at the repo root.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from benchlib import emit
+
+from repro.cluster import (
+    LabeledExample,
+    SessionSpec,
+    ShardedCorpusRunner,
+    ThreadWorker,
+)
+from repro.obs import NULL_OBS, Observability, validate_span_tree
+from repro.utils.benchio import write_bench_json
+from repro.utils.tables import Table
+
+IMAGES = 1024
+NUM_CLASSES = 8
+BATCH_SIZE = 32
+WORKERS = 4
+REPEATS = 5
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = ROOT / "BENCH_obs.json"
+BASELINE_PATH = ROOT / "BENCH_cluster.json"
+
+#: Relative gates from the acceptance criteria, plus an absolute wall
+#: floor so scheduler jitter on a ~100ms run cannot fail a relative gate.
+DISABLED_TOLERANCE = 0.02
+ENABLED_TOLERANCE = 0.10
+WALL_FLOOR_S = 0.050
+
+
+def _run_corpus(obs):
+    spec = SessionSpec(num_classes=NUM_CLASSES)
+
+    def factory(worker_id, results):
+        return ThreadWorker(worker_id, spec.build(), results, obs=obs)
+
+    examples = [LabeledExample(image_id=f"img-{i}", label=i % NUM_CLASSES)
+                for i in range(IMAGES)]
+    runner = ShardedCorpusRunner(factory, num_workers=WORKERS,
+                                 num_classes=NUM_CLASSES,
+                                 batch_size=BATCH_SIZE, obs=obs)
+    start = time.perf_counter()
+    corpus = runner.run(examples)
+    wall_s = time.perf_counter() - start
+    return corpus, wall_s
+
+
+def _measure(make_obs):
+    walls = []
+    corpus = None
+    span_count = 0
+    for _ in range(REPEATS):
+        obs = make_obs()
+        corpus, wall_s = _run_corpus(obs)
+        walls.append(wall_s)
+        span_count = len(obs.spans())
+    return {
+        "corpus": corpus,
+        "wall_median_s": statistics.median(walls),
+        "wall_min_s": min(walls),
+        "spans": span_count,
+    }
+
+
+def _baseline_throughput():
+    """The recorded bench_cluster throughput at this worker count."""
+    if not BASELINE_PATH.exists():
+        return None
+    payload = json.loads(BASELINE_PATH.read_text())
+    for row in payload.get("rows", []):
+        if row.get("workers") == WORKERS:
+            return row.get("simulated_throughput")
+    return None
+
+
+def run_overhead() -> tuple[Table, list[dict]]:
+    disabled = _measure(lambda: NULL_OBS)
+    traced_obs = []
+
+    def make_traced():
+        obs = Observability()
+        traced_obs.append(obs)
+        return obs
+
+    enabled = _measure(make_traced)
+    table = Table(
+        f"Smol-Scope overhead ({IMAGES} images, {WORKERS} workers, "
+        f"median of {REPEATS})",
+        ["Mode", "Shard im/s", "Wall (ms)", "Spans", "Accuracy"],
+    )
+    rows = []
+    for mode, result in (("disabled", disabled), ("enabled", enabled)):
+        corpus = result["corpus"]
+        table.add_row(
+            mode, round(corpus.simulated_throughput),
+            round(result["wall_median_s"] * 1000.0, 1),
+            result["spans"], round(corpus.total.accuracy, 4),
+        )
+        rows.append({
+            "mode": mode,
+            "workers": WORKERS,
+            "simulated_throughput": round(corpus.simulated_throughput, 2),
+            "wall_median_s": round(result["wall_median_s"], 5),
+            "wall_min_s": round(result["wall_min_s"], 5),
+            "spans": result["spans"],
+            "corpus_images": corpus.total.count,
+            "corpus_accuracy": round(corpus.total.accuracy, 4),
+        })
+    # Tracing is observability, not execution: identical analytics.
+    assert (disabled["corpus"].total.confusion
+            == enabled["corpus"].total.confusion).all()
+    # The last traced run must have produced real, connected-per-item spans.
+    last = traced_obs[-1]
+    tree = validate_span_tree(last.spans())
+    assert tree.spans > 0
+    assert tree.covers("cluster.item", "cluster.execute")
+    return table, rows
+
+
+def test_obs_overhead(benchmark):
+    table, rows = benchmark(run_overhead)
+    emit(table)
+    by_mode = {row["mode"]: row for row in rows}
+    baseline = _baseline_throughput()
+    meta = {
+        "images": IMAGES, "workers": WORKERS, "repeats": REPEATS,
+        "disabled_tolerance": DISABLED_TOLERANCE,
+        "enabled_tolerance": ENABLED_TOLERANCE,
+        "baseline_simulated_throughput": baseline,
+    }
+    write_bench_json(BENCH_PATH, "obs-overhead", rows, meta=meta)
+    assert by_mode["disabled"]["corpus_images"] == IMAGES
+    assert (by_mode["disabled"]["corpus_accuracy"]
+            == by_mode["enabled"]["corpus_accuracy"])
+    # Gate 1: the null-obs path matches the recorded pre-obs baseline.
+    # Modelled throughput is deterministic, so 2% is generous headroom.
+    if baseline is not None:
+        disabled_tp = by_mode["disabled"]["simulated_throughput"]
+        assert abs(disabled_tp - baseline) <= DISABLED_TOLERANCE * baseline
+    # Gate 2: full tracing costs at most 10% wall time (with an absolute
+    # floor so a sub-50ms jitter blip cannot fail the relative gate).
+    disabled_wall = by_mode["disabled"]["wall_median_s"]
+    enabled_wall = by_mode["enabled"]["wall_median_s"]
+    slack = max(ENABLED_TOLERANCE * disabled_wall, WALL_FLOOR_S)
+    assert enabled_wall <= disabled_wall + slack
+    assert by_mode["enabled"]["spans"] > 0

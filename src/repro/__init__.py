@@ -46,6 +46,12 @@ full system and every substrate it depends on in pure Python/numpy:
   hysteresis drift detector, and a replanner that hot-swaps the chosen
   plan into live servers and in-flight shard scans without changing any
   query result.
+* :mod:`repro.obs` -- Smol-Scope, the observability layer: structured
+  tracing with trace contexts that ride requests and work items across
+  thread and process hops, a unified metrics registry (counters, gauges,
+  histograms), a stage-event bus feeding the adaptive telemetry, and
+  exporters for JSONL span logs, Chrome ``trace_event`` profiles, and
+  Prometheus text -- all behind an allocation-free null default.
 
 Quickstart
 ----------
@@ -91,6 +97,7 @@ from repro.adapt import (
     Replanner,
     TelemetryCollector,
 )
+from repro.obs import NULL_OBS, Observability
 
 __all__ = [
     "__version__",
@@ -123,4 +130,6 @@ __all__ = [
     "OnlineCalibrator",
     "Replanner",
     "TelemetryCollector",
+    "Observability",
+    "NULL_OBS",
 ]

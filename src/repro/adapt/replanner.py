@@ -28,6 +28,7 @@ from repro.adapt.drift import DriftDetector
 from repro.adapt.telemetry import TelemetryCollector
 from repro.core.plans import PlanConstraints, PlanEstimate
 from repro.errors import AdaptError
+from repro.obs import NULL_OBS
 
 
 @dataclass(frozen=True)
@@ -199,12 +200,16 @@ class AdaptiveController:
                  replanner: Replanner,
                  current_plan: PlanEstimate,
                  detector: DriftDetector | None = None,
-                 targets: Sequence | None = None) -> None:
+                 targets: Sequence | None = None, obs=NULL_OBS) -> None:
         self._telemetry = telemetry
         self._calibrator = calibrator
         self._replanner = replanner
         self._detector = detector or DriftDetector()
         self._targets = list(targets or ())
+        self._obs = obs if obs is not None else NULL_OBS
+        self._steps_metric = self._obs.counter("adapt_steps_total")
+        self._replans_metric = self._obs.counter("adapt_replans_total")
+        self._swaps_metric = self._obs.counter("adapt_swaps_total")
         self._lock = threading.Lock()
         self._current = current_plan
         self._catalog_dirty = False
@@ -264,6 +269,20 @@ class AdaptiveController:
     # ------------------------------------------------------------------
     def step(self) -> ReplanDecision:
         """Run one adaptation pass; returns what was decided."""
+        self._steps_metric.inc()
+        if not self._obs.enabled:
+            return self._step_impl()
+        # The step span parents to the ambient context (a traced workload's
+        # root) and becomes ambient itself, so the swap span -- and any
+        # store/planner spans a replan opens -- hang off this step.
+        with self._obs.span("adapt.step") as span:
+            with self._obs.activate(span.context):
+                decision = self._step_impl()
+            span.set(reason=decision.reason, swapped=decision.swapped,
+                     plan_changed=decision.plan_changed, gain=decision.gain)
+            return decision
+
+    def _step_impl(self) -> ReplanDecision:
         drained = self._telemetry.drain()
         used = self._calibrator.observe_all(drained)
         observed = self._calibrator.observed_costs()
@@ -281,10 +300,20 @@ class AdaptiveController:
                 self._last_reason = "no-drift"
             return ReplanDecision(swapped=False, reason="no-drift")
         decision = self._replanner.replan(current, observed)
+        self._replans_metric.inc()
         with self._lock:
             self._replans += 1
             self._last_reason = decision.reason
         if decision.swapped:
+            self._swaps_metric.inc()
+            swap_span = None
+            if self._obs.enabled:
+                swap_span = self._obs.span(
+                    "adapt.swap",
+                    plan=decision.candidate.plan.describe(),
+                    plan_changed=decision.plan_changed,
+                    targets=len(self._targets),
+                )
             # Adaptation is advisory end to end: one failing target (a
             # closed server, a factory bug) must neither kill the loop
             # driving step() nor block the other targets -- and the
@@ -300,6 +329,8 @@ class AdaptiveController:
             with self._lock:
                 self._current = decision.candidate
                 self._swaps += 1
+            if swap_span is not None:
+                swap_span.finish()
         # Either way this world state has been considered: measure future
         # drift relative to it instead of re-firing every step.
         self._detector.acknowledge(scales)

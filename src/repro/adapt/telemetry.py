@@ -13,6 +13,11 @@ execution surface:
 * **scan** -- :class:`~repro.query.scan.ScanSession` batches report their
   pace's stage split, which arrives through the cluster channel.
 
+With observability enabled (:mod:`repro.obs`), instrumented components also
+publish the same stage costs on the observability stage-event bus;
+:meth:`TelemetryCollector.subscribe_to` turns the collector into one
+consumer of that bus, replacing the direct channels above.
+
 Observations are tiny immutable records keyed by (stage, subject): decode
 and preprocess observations are keyed by the input-format name, inference
 observations by the model name -- the same axes the cost model prices plans
@@ -144,6 +149,28 @@ class TelemetryCollector:
                 stage=stage, subject=subject, images=batch_size,
                 seconds=seconds, source=source,
             ))
+
+    def subscribe_to(self, obs):
+        """Consume the observability stage-event bus (see :mod:`repro.obs`).
+
+        Registers this collector as a listener on ``obs``: every
+        :class:`~repro.obs.metrics.StageEvent` an instrumented component
+        emits becomes a :class:`StageObservation`, so the adaptive loop and
+        the metrics registry observe the same instrumentation stream.  Use
+        this *instead of* the direct channels (``SmolServer(telemetry=...)``
+        / ``Dispatcher.attach_telemetry``) -- wiring both double-counts
+        every stage.  Returns the listener so callers can
+        ``obs.remove_stage_listener`` it.
+        """
+        def listener(event) -> None:
+            self.record(StageObservation(
+                stage=event.stage, subject=event.subject,
+                images=event.images, seconds=event.seconds,
+                source=event.source,
+            ))
+
+        obs.add_stage_listener(listener)
+        return listener
 
     def record_worker_report(self, report, source: str = "cluster") -> None:
         """Report one per-replica cost delta (dispatcher heartbeat entry).

@@ -18,6 +18,11 @@ Subcommands:
   frozen-plan run and an adaptive run through the same mid-run decode
   slowdown, reporting throughput recovery (and, for the scan scenario,
   verifying results stay bit-identical across the hot-swap).
+* ``obs``           -- observability tooling: ``demo`` runs a fully traced
+  workload across every subsystem (serving, cluster, query, store, adapt)
+  and exports the span log, Chrome trace, and Prometheus metrics;
+  ``summarize`` prints the per-span-name duration table of a saved JSONL
+  trace; ``export`` converts a JSONL trace to Chrome ``trace_event`` JSON.
 
 The serving/cluster/query benchmarks also record their scorecards as
 machine-readable artifacts (``BENCH_serving.json`` / ``BENCH_cluster.json``
@@ -45,6 +50,12 @@ Examples
     python -m repro.cli store stats --root .smol-store
     python -m repro.cli adapt --scenario serving --drift-factor 4
     python -m repro.cli adapt --scenario scan --frames 2400 --segments 6
+    python -m repro.cli obs demo --dataset taipei --frames 2400
+    python -m repro.cli query --kind aggregate --dataset taipei --error 0.05 \
+        --trace-out TRACE_query.jsonl
+    python -m repro.cli obs summarize --trace TRACE_query.jsonl
+    python -m repro.cli obs export --trace TRACE_query.jsonl \
+        --out TRACE_query_chrome.json
 """
 
 from __future__ import annotations
@@ -68,6 +79,14 @@ from repro.hardware.instance import get_instance
 from repro.inference.perfmodel import PerformanceModel
 from repro.measurement.costs import CostAnalysis
 from repro.measurement.study import MeasurementStudy
+from repro.obs import (
+    NULL_OBS,
+    Observability,
+    read_spans_jsonl,
+    summarize_spans,
+    validate_span_tree,
+    write_chrome_trace,
+)
 from repro.query import QueryEngine, QuerySpec
 from repro.serving import (
     BatchPolicy,
@@ -395,23 +414,36 @@ def _query_headline(result) -> str:
             f"± {result.accuracy_ci_half_width * 100:.2f}%")
 
 
-def _open_store(root: str | None):
+def _open_store(root: str | None, obs=NULL_OBS):
     """A RenditionStore handle for ``root``, or None when no root given."""
     if root is None:
         return None
     from repro.store import RenditionStore
 
-    return RenditionStore(root)
+    return RenditionStore(root, obs=obs)
+
+
+def _span_summary_table(title: str, spans) -> Table:
+    """The per-span-name duration table of a span export."""
+    table = Table(title, ["Span", "Count", "Total (ms)", "Mean (ms)",
+                          "p50 (ms)", "p95 (ms)", "Max (ms)"])
+    for row in summarize_spans(spans):
+        table.add_row(row["name"], row["count"], round(row["total_ms"], 2),
+                      round(row["mean_ms"], 3), round(row["p50_ms"], 3),
+                      round(row["p95_ms"], 3), round(row["max_ms"], 3))
+    return table
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     if any(count <= 0 for count in args.workers):
         raise ServingError("--workers counts must be positive")
     spec = _query_spec(args)
+    obs = Observability() if args.trace_out else NULL_OBS
     engine = QueryEngine(instance=args.instance,
                          frame_limit=args.frame_limit,
                          batch_size=args.max_batch,
-                         store=_open_store(args.store_root))
+                         store=_open_store(args.store_root, obs=obs),
+                         obs=obs)
     reference = engine.execute_single(spec, seed=args.seed)
     print(f"query: {spec.describe()}")
     print(reference.plans.describe())
@@ -459,6 +491,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
               "frame_limit": args.frame_limit, "seed": args.seed},
     )
     print(f"wrote {written}")
+    if args.trace_out:
+        from repro.obs import write_spans_jsonl
+
+        count = write_spans_jsonl(obs.spans(), args.trace_out)
+        print(f"wrote {count} spans to {args.trace_out}")
     if engine.store is not None:
         print()
         print(engine.store.stats().describe())
@@ -590,6 +627,155 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     written = write_bench_json(args.bench_json, "adapt-drift-recovery",
                                rows, meta=meta)
     print(f"wrote {written}")
+    return 0
+
+
+#: Span-name prefixes the ``obs demo`` trace must cover -- one per
+#: subsystem layer (the acceptance gate of the observability PR).
+DEMO_COVERAGE = ("serving.", "cluster.", "query.", "store.", "adapt.")
+
+
+def _cmd_obs_demo(args: argparse.Namespace) -> int:
+    """One traced workload through every layer, exported three ways.
+
+    Runs the same aggregate query untraced first, then traced (with a
+    warm store, a serving wave, and one adaptive-controller step) under a
+    single root span -- and fails loudly if the traced scores differ by a
+    bit, or if the exported spans do not form one connected tree covering
+    every subsystem.
+    """
+    import tempfile
+
+    from repro.adapt import (
+        AdaptiveController,
+        DriftDetector,
+        OnlineCalibrator,
+        Replanner,
+        TelemetryCollector,
+    )
+    from repro.core.accuracy import AccuracyEstimator
+    from repro.core.costmodel import SmolCostModel
+    from repro.core.planner import PlanGenerator
+    from repro.obs import write_spans_jsonl
+    from repro.query.engine import VIDEO_SENSITIVITY, VIDEO_TOP_ACCURACY
+    from repro.query.scan import scan_store_fingerprint
+    from repro.serving import InferenceRequest, SimulatedSession
+    from repro.store import RenditionStore
+
+    spec = QuerySpec.aggregate(args.dataset, error_bound=args.error,
+                               specialized_accuracy=args.specialized_accuracy)
+    # The untraced reference first: tracing must not perturb a single bit
+    # of any query statistic.
+    untraced = QueryEngine(instance=args.instance,
+                           frame_limit=args.frames,
+                           batch_size=args.max_batch)
+    expected = _query_signature(
+        untraced.execute(spec, num_workers=args.workers, seed=args.seed)
+    )
+
+    obs = Observability()
+    store_root = args.store_root or tempfile.mkdtemp(prefix="smol-obs-demo-")
+    store = RenditionStore(store_root, obs=obs)
+    engine = QueryEngine(instance=args.instance, frame_limit=args.frames,
+                         batch_size=args.max_batch, store=store, obs=obs)
+    telemetry = TelemetryCollector()
+    telemetry.subscribe_to(obs)
+    dataset = load_video_dataset(args.dataset)
+    formats = dataset.available_formats
+
+    def planner_factory(observations=None) -> PlanGenerator:
+        return PlanGenerator(
+            cost_model=SmolCostModel(engine.performance_model, engine.config),
+            accuracy=AccuracyEstimator(args.dataset,
+                                       top_accuracy=VIDEO_TOP_ACCURACY,
+                                       sensitivity=VIDEO_SENSITIVITY),
+            catalog=store.catalog(item=args.dataset,
+                                  fingerprint=scan_store_fingerprint()),
+            observations=observations,
+        )
+
+    planner = planner_factory()
+    candidates = planner.score(planner.generate(formats))
+    initial = max(candidates, key=lambda e: (e.throughput, e.accuracy))
+    controller = AdaptiveController(
+        telemetry=telemetry,
+        calibrator=OnlineCalibrator(),
+        replanner=Replanner(planner_factory, formats=formats),
+        current_plan=initial,
+        detector=DriftDetector(),
+        obs=obs,
+    )
+    controller.watch_store(store)
+
+    root = obs.span("demo", dataset=args.dataset, workers=args.workers)
+    with obs.activate(root.context):
+        plans = engine.warm(spec)          # traced store writes
+        result = engine.execute(spec, num_workers=args.workers,
+                                seed=args.seed)
+        session = SimulatedSession(plans.cheap.plan,
+                                   engine.performance_model,
+                                   config=engine.config)
+        session.warmup()
+        with SmolServer(session, policy=BatchPolicy.latency(),
+                        obs=obs) as server:
+            futures = [
+                server.submit(InferenceRequest(image_id=f"demo-{i}"))
+                for i in range(args.requests)
+            ]
+            for future in futures:
+                future.result(timeout=30.0)
+        decision = controller.step()
+    root.finish()
+    controller.close()
+
+    if _query_signature(result) != expected:
+        raise ServingError(
+            "traced execution diverged from the untraced run -- tracing "
+            "perturbed query results"
+        )
+    spans = obs.spans()
+    tree = validate_span_tree(spans)
+    print(f"query: {spec.describe()}")
+    print(f"adapt: {decision.reason}")
+    print(_span_summary_table(
+        f"Traced demo on {args.dataset} ({tree.spans} spans)", spans))
+    print("scores bit-identical to the untraced run: OK")
+    if not tree.connected:
+        raise ServingError("trace is not a single connected tree: "
+                           + "; ".join(tree.problems))
+    if not tree.covers(*DEMO_COVERAGE):
+        missing = [prefix for prefix in DEMO_COVERAGE
+                   if not tree.covers(prefix)]
+        raise ServingError(
+            f"trace does not cover every subsystem; missing {missing}"
+        )
+    print("single connected span tree covering "
+          + ", ".join(p.rstrip(".") for p in DEMO_COVERAGE) + ": OK")
+    count = write_spans_jsonl(spans, args.trace_out)
+    print(f"wrote {count} spans to {args.trace_out}")
+    events = write_chrome_trace(spans, args.chrome_out)
+    print(f"wrote {events} trace events to {args.chrome_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(obs.prometheus())
+        print(f"wrote metrics to {args.metrics_out}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.action == "demo":
+        return _cmd_obs_demo(args)
+    spans = read_spans_jsonl(args.trace)
+    if args.action == "export":
+        events = write_chrome_trace(spans, args.out)
+        print(f"wrote {events} trace events to {args.out}")
+        return 0
+    tree = validate_span_tree(spans)
+    print(_span_summary_table(f"{args.trace} ({tree.spans} spans)", spans))
+    if tree.connected:
+        print("single connected span tree: OK")
+    else:
+        print("not a single connected tree: " + "; ".join(tree.problems))
     return 0
 
 
@@ -738,6 +924,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "per-worker memory by the store's chunk size "
                             "(default 2048 frames x 8 bytes) instead of "
                             "the full frame range")
+    query.add_argument("--trace-out", default=None,
+                       help="trace the sweep and write the span log here "
+                            "as JSONL (see 'obs summarize' / 'obs export')")
     query.set_defaults(func=_cmd_query)
 
     store = subparsers.add_parser(
@@ -804,6 +993,41 @@ def build_parser() -> argparse.ArgumentParser:
     adapt.add_argument("--bench-json", default="BENCH_adapt.json",
                        help="where to write the machine-readable scorecard")
     adapt.set_defaults(func=_cmd_adapt)
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="observability tooling: traced end-to-end demo, span-log "
+             "summaries, Chrome trace export",
+    )
+    obs.add_argument("action", choices=("demo", "summarize", "export"))
+    obs.add_argument("--trace", default="TRACE_obs.jsonl",
+                     help="JSONL span log to summarize/export")
+    obs.add_argument("--out", default="TRACE_obs_chrome.json",
+                     help="export: Chrome trace_event output path")
+    obs.add_argument("--dataset", default="taipei",
+                     help="demo: video dataset to query")
+    obs.add_argument("--error", type=float, default=0.05,
+                     help="demo: error bound of the traced aggregate query")
+    obs.add_argument("--frames", type=int, default=2400,
+                     help="demo: functional scan length bound")
+    obs.add_argument("--workers", type=int, default=2,
+                     help="demo: shard replicas for the traced query")
+    obs.add_argument("--requests", type=int, default=32,
+                     help="demo: requests in the traced serving wave")
+    obs.add_argument("--max-batch", type=int, default=256,
+                     help="demo: frames per dispatched micro-batch")
+    obs.add_argument("--specialized-accuracy", type=float, default=0.9)
+    obs.add_argument("--store-root", default=None,
+                     help="demo: store directory (default: a fresh temp "
+                          "directory)")
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--trace-out", default="TRACE_obs.jsonl",
+                     help="demo: JSONL span log output path")
+    obs.add_argument("--chrome-out", default="TRACE_obs_chrome.json",
+                     help="demo: Chrome trace_event output path")
+    obs.add_argument("--metrics-out", default=None,
+                     help="demo: Prometheus text metrics output path")
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 

@@ -34,6 +34,7 @@ from repro.cluster.router import ShardRouter, make_router
 from repro.cluster.worker import Worker, WorkItem, WorkOutcome
 from repro.errors import ClusterError, NoHealthyWorkerError, WorkerCrashedError
 from repro.inference.mpmc import MpmcQueue, QueueClosed
+from repro.obs import NULL_OBS
 from repro.serving.request import InferenceRequest
 
 
@@ -86,11 +87,17 @@ class DispatcherStats:
 
 @dataclass
 class _Inflight:
-    """Book-keeping for one not-yet-resolved item."""
+    """Book-keeping for one not-yet-resolved item.
+
+    ``span`` is the item's ``cluster.item`` span when observability is
+    enabled; it survives retries and failovers and is finished exactly
+    once, at resolution.
+    """
 
     item: WorkItem
     future: Future
     worker_id: str | None = None
+    span: object = None
 
 
 class Dispatcher:
@@ -115,6 +122,13 @@ class Dispatcher:
     monitor_interval_s:
         Health-check cadence; pass 0 to disable the background monitor and
         drive :meth:`check_workers` manually (deterministic tests).
+    obs:
+        Optional :class:`~repro.obs.Observability`.  Each submitted batch
+        then opens a ``cluster.item`` span (parented to the first
+        request's trace or the caller's ambient context), with
+        ``cluster.dispatch`` / ``cluster.execute`` / ``cluster.retry`` /
+        ``cluster.failover`` children and modelled per-stage spans; worker
+        cost reports are also published on the stage-event bus.
     """
 
     def __init__(self, worker_factory: Callable[[str, MpmcQueue], Worker],
@@ -125,7 +139,8 @@ class Dispatcher:
                  breaker_threshold: int = 3,
                  breaker_cooldown_s: float = 0.25,
                  monitor_interval_s: float = 0.02,
-                 results_capacity: int = 4096) -> None:
+                 results_capacity: int = 4096,
+                 obs=NULL_OBS) -> None:
         if num_workers <= 0:
             raise ClusterError("num_workers must be positive")
         if max_attempts <= 0:
@@ -154,6 +169,12 @@ class Dispatcher:
         self._closed = False
         self._autoscaler = None
         self._telemetry = None
+        self._obs = obs if obs is not None else NULL_OBS
+        self._completed_metric = self._obs.counter("cluster_completed_total")
+        self._failed_metric = self._obs.counter("cluster_failed_total")
+        self._retried_metric = self._obs.counter("cluster_retried_total")
+        self._failover_metric = self._obs.counter("cluster_failovers_total")
+        self._deaths_metric = self._obs.counter("cluster_worker_deaths_total")
         for _ in range(num_workers):
             self.add_worker()
         self._collector = threading.Thread(
@@ -204,7 +225,7 @@ class Dispatcher:
         self._telemetry = sink
 
     def _flush_cost_reports(self) -> None:
-        if self._telemetry is None:
+        if self._telemetry is None and not self._obs.enabled:
             return
         with self._lock:
             workers = list(self._workers.values())
@@ -214,6 +235,15 @@ class Dispatcher:
             except Exception:
                 continue
             if report is None:
+                continue
+            if self._obs.enabled:
+                for stage, seconds in report.stage_seconds.items():
+                    subject = (report.model_name if stage == "inference"
+                               else report.format_name)
+                    self._obs.emit_stage(stage, subject,
+                                         report.images_for(stage), seconds,
+                                         source="cluster")
+            if self._telemetry is None:
                 continue
             try:
                 self._telemetry.record_worker_report(report, source="cluster")
@@ -303,14 +333,34 @@ class Dispatcher:
         :class:`ClusterResult`."""
         if not requests:
             raise ClusterError("cannot submit an empty batch")
+        span = None
+        trace = None
+        if self._obs.enabled:
+            # Parent into the first request's trace when the serving layer
+            # (or scan runner) opened one; otherwise the submitter's
+            # ambient context, if any.
+            parent = next(
+                (request.trace for request in requests
+                 if getattr(request, "trace", None) is not None), None,
+            )
+            span = self._obs.span("cluster.item", parent=parent,
+                                  batch=len(requests), shard=shard_id)
+            trace = span.context
         with self._lock:
             if self._closed:
+                if span is not None:
+                    span.set(error="ClusterError")
+                    span.finish()
                 raise ClusterError("cannot submit to a closed dispatcher")
             item = WorkItem(item_id=next(self._item_ids),
-                            requests=tuple(requests), shard_id=shard_id)
+                            requests=tuple(requests), shard_id=shard_id,
+                            trace=trace)
             future: Future = Future()
-            self._inflight[item.item_id] = _Inflight(item=item, future=future)
+            self._inflight[item.item_id] = _Inflight(item=item, future=future,
+                                                     span=span)
             self._submitted += 1
+        if span is not None:
+            span.set(item_id=item.item_id)
         self._dispatch(item)
         return future
 
@@ -353,6 +403,10 @@ class Dispatcher:
                 continue
             try:
                 worker.submit(item)
+                if self._obs.enabled and item.trace is not None:
+                    self._obs.record("cluster.dispatch", 0.0,
+                                     parent=item.trace, worker=worker_id,
+                                     attempt=item.attempts)
                 return
             except ClusterError:
                 attempted.add(worker_id)
@@ -392,6 +446,9 @@ class Dispatcher:
             with self._lock:
                 self._inflight.pop(outcome.item_id, None)
                 self._completed += 1
+            self._completed_metric.inc()
+            if self._obs.enabled and outcome.trace is not None:
+                self._trace_execution(entry, outcome)
             entry.future.set_result(ClusterResult(
                 predictions=np.asarray(outcome.predictions, dtype=np.int64),
                 modelled_seconds=outcome.modelled_seconds,
@@ -406,6 +463,11 @@ class Dispatcher:
             with self._lock:
                 self._inflight.pop(outcome.item_id, None)
                 self._failed += 1
+            self._failed_metric.inc()
+            if entry.span is not None:
+                entry.span.set(error=outcome.error,
+                               attempts=outcome.attempts)
+                entry.span.finish()
             entry.future.set_exception(ClusterError(
                 f"item {outcome.item_id} failed after {outcome.attempts} "
                 f"attempts: {outcome.error}"
@@ -418,7 +480,29 @@ class Dispatcher:
             retried = entry.item.retried()
             entry.item = retried
             self._retried += 1
+        self._retried_metric.inc()
+        if self._obs.enabled and outcome.trace is not None:
+            self._obs.record("cluster.retry", 0.0, parent=outcome.trace,
+                             worker=outcome.worker_id,
+                             attempt=outcome.attempts, error=outcome.error)
         self._dispatch(retried, exclude={outcome.worker_id})
+
+    def _trace_execution(self, entry: _Inflight,
+                         outcome: WorkOutcome) -> None:
+        """Emit the modelled execute span (with stage children) and close
+        the item span."""
+        execute = self._obs.record(
+            "cluster.execute", outcome.modelled_seconds,
+            parent=outcome.trace, worker=outcome.worker_id,
+            attempt=outcome.attempts,
+        )
+        for stage, seconds in outcome.stage_seconds:
+            self._obs.record(f"stage.{stage}", seconds, parent=execute)
+        if entry.span is not None:
+            entry.span.set(worker=outcome.worker_id,
+                           attempts=outcome.attempts,
+                           modelled_seconds=outcome.modelled_seconds)
+            entry.span.finish()
 
     # ------------------------------------------------------------------
     # Monitor
@@ -462,6 +546,8 @@ class Dispatcher:
                     del self._breakers[worker_id]
         for worker in finished_retiring:
             worker.close()
+        for _ in dead:
+            self._deaths_metric.inc()
         orphans: list[WorkItem] = []
         for worker in dead:
             worker.kill()
@@ -474,6 +560,11 @@ class Dispatcher:
                 if item.attempts >= self._max_attempts:
                     self._inflight.pop(item.item_id, None)
                     self._failed += 1
+                    self._failed_metric.inc()
+                    if entry.span is not None:
+                        entry.span.set(error="WorkerCrashedError",
+                                       attempts=item.attempts)
+                        entry.span.finish()
                     entry.future.set_exception(WorkerCrashedError(
                         f"item {item.item_id} lost to {item.attempts} "
                         "worker crashes"
@@ -483,6 +574,12 @@ class Dispatcher:
                 entry.item = retried
                 self._failovers += 1
                 self._retried += 1
+            self._failover_metric.inc()
+            self._retried_metric.inc()
+            if self._obs.enabled and item.trace is not None:
+                self._obs.record("cluster.failover", 0.0, parent=item.trace,
+                                 worker=worker.worker_id,
+                                 attempt=retried.attempts)
             self._dispatch(retried, exclude={worker.worker_id})
         self._drain_parked()
         self._flush_cost_reports()

@@ -26,6 +26,7 @@ from repro.cluster.dispatcher import Dispatcher
 from repro.cluster.worker import Worker
 from repro.errors import ClusterError
 from repro.inference.mpmc import MpmcQueue
+from repro.obs import NULL_OBS
 from repro.serving.request import InferenceRequest
 from repro.serving.session import EngineSession
 from repro.utils.rng import stable_hash
@@ -251,6 +252,10 @@ class ShardedCorpusRunner:
         How examples map to shards (see :func:`assign_shards`).
     format_name:
         Input rendition recorded on the generated requests.
+    obs:
+        Observability handle (:mod:`repro.obs`) forwarded to the dispatcher
+        a run builds; the default :data:`~repro.obs.NULL_OBS` disables
+        tracing and metrics with no per-batch cost.
     """
 
     def __init__(self, worker_factory: Callable[[str, MpmcQueue], Worker],
@@ -258,7 +263,7 @@ class ShardedCorpusRunner:
                  batch_size: int = 32,
                  shard_policy: str = "round-robin",
                  router: str = "round-robin",
-                 format_name: str = "full-jpeg") -> None:
+                 format_name: str = "full-jpeg", obs=NULL_OBS) -> None:
         if batch_size <= 0:
             raise ClusterError("batch_size must be positive")
         self._factory = worker_factory
@@ -268,6 +273,7 @@ class ShardedCorpusRunner:
         self._shard_policy = shard_policy
         self._router = router
         self._format_name = format_name
+        self._obs = obs if obs is not None else NULL_OBS
 
     def run(self, examples: Sequence[LabeledExample],
             dispatcher: Dispatcher | None = None,
@@ -283,7 +289,8 @@ class ShardedCorpusRunner:
         if dispatcher is None:
             dispatcher = Dispatcher(self._factory,
                                     num_workers=self._num_workers,
-                                    router=self._router)
+                                    router=self._router,
+                                    obs=self._obs)
         start = time.monotonic()
         try:
             shards = assign_shards(examples, self._num_workers,

@@ -33,6 +33,7 @@ from repro.errors import ClusterError
 from repro.hardware.instance import get_instance
 from repro.inference.mpmc import MpmcQueue, QueueClosed
 from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.obs import NULL_OBS
 from repro.codecs.formats import get_input_format
 from repro.core.plans import Plan
 from repro.nn.zoo import get_model_profile
@@ -55,12 +56,19 @@ class WorkItem:
         Shard this item belongs to in offline corpus runs (-1 online).
     attempts:
         How many times this item has been handed to a worker.
+    trace:
+        Picklable :mod:`repro.obs` trace context ``(trace_id, span_id)``
+        of the dispatcher-side item span, or None when untraced.  Carried
+        across the worker hop (including the multiprocessing queue) and
+        echoed on the :class:`WorkOutcome`, so worker-side and
+        outcome-side spans parent into the originating trace.
     """
 
     item_id: int
     requests: tuple[InferenceRequest, ...]
     shard_id: int = -1
     attempts: int = 1
+    trace: tuple[int, int] | None = None
 
     def retried(self) -> "WorkItem":
         """A copy of this item with the attempt counter bumped."""
@@ -86,6 +94,7 @@ class WorkOutcome:
     modelled_seconds: float = 0.0
     error: str | None = None
     stage_seconds: tuple[tuple[str, float], ...] = ()
+    trace: tuple[int, int] | None = None
 
     @property
     def ok(self) -> bool:
@@ -254,15 +263,22 @@ class ThreadWorker(Worker):
         When positive, the worker sleeps ``modelled_seconds * scale`` after
         each simulated batch, so modelled service time occupies the replica
         in wall-clock terms and multi-worker wall-clock speedups are real.
+    obs:
+        Optional :class:`~repro.obs.Observability`.  Traced items then
+        execute with their trace context ambient on the worker thread, so
+        spans opened inside the session (store chunk reads, for example)
+        parent into the item's subtree.
     """
 
     def __init__(self, worker_id: str, session: EngineSession,
                  results: MpmcQueue[WorkOutcome],
                  queue_capacity: int = 64,
-                 service_time_scale: float = 0.0) -> None:
+                 service_time_scale: float = 0.0,
+                 obs=NULL_OBS) -> None:
         super().__init__(worker_id)
         if service_time_scale < 0:
             raise ClusterError("service_time_scale must be non-negative")
+        self._obs = obs if obs is not None else NULL_OBS
         if not session.warmed:
             session.warmup()
         self._session = session
@@ -385,12 +401,19 @@ class ThreadWorker(Worker):
 
     def _execute(self, item: WorkItem) -> None:
         try:
-            result = self._session.execute(list(item.requests))
+            if self._obs.enabled and item.trace is not None:
+                # Make the item's trace ambient so session-internal spans
+                # (e.g. store chunk reads) parent into the item's subtree.
+                with self._obs.activate(item.trace):
+                    result = self._session.execute(list(item.requests))
+            else:
+                result = self._session.execute(list(item.requests))
         except Exception as exc:
             outcome = WorkOutcome(
                 item_id=item.item_id, worker_id=self._worker_id,
                 shard_id=item.shard_id, attempts=item.attempts,
                 error=f"{type(exc).__name__}: {exc}",
+                trace=item.trace,
             )
         else:
             if self._service_time_scale > 0 and result.modelled_seconds > 0:
@@ -404,6 +427,7 @@ class ThreadWorker(Worker):
                 predictions=tuple(int(p) for p in result.predictions),
                 modelled_seconds=result.modelled_seconds,
                 stage_seconds=stage_seconds,
+                trace=item.trace,
             )
             self._costs.add(len(item.requests), stage_seconds)
         if self._killed:
@@ -477,12 +501,14 @@ def _process_worker_main(spec: SessionSpec, inbox, outbox) -> None:
                 stage_seconds=tuple(sorted(
                     (result.stage_seconds or {}).items()
                 )),
+                trace=item.trace,  # trace ids ride back over the mp queue
             )
         except Exception as exc:
             outcome = WorkOutcome(
                 item_id=item.item_id, worker_id=plan_key,
                 shard_id=item.shard_id, attempts=item.attempts,
                 error=f"{type(exc).__name__}: {exc}",
+                trace=item.trace,
             )
         outbox.put(outcome)
 

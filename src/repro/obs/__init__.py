@@ -1,0 +1,277 @@
+"""Smol-Scope: end-to-end tracing, unified metrics, profiling export.
+
+One :class:`Observability` object per deployment is threaded through the
+stack (``SmolServer(obs=...)``, ``QueryEngine(obs=...)``,
+``Dispatcher(obs=...)``, ``RenditionStore(obs=...)``,
+``AdaptiveController(obs=...)``).  It bundles:
+
+* a :class:`~repro.obs.trace.Tracer` (spans with trace/span/parent ids,
+  ambient thread-local context, picklable ``(trace_id, span_id)`` contexts
+  that ride requests and work items across thread and process hops);
+* a :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms);
+* a **stage-event bus**: instrumented components call :meth:`emit_stage`
+  with per-batch stage costs, and consumers such as
+  ``adapt.TelemetryCollector.subscribe_to`` receive every event -- the
+  adaptive loop and the metrics registry observe the same stream.
+
+The default everywhere is :data:`NULL_OBS`, a null object whose ``enabled``
+flag is False.  Hot loops either pre-bind instruments at construction time
+(null instruments are no-ops) or guard span creation with
+``if obs.enabled:``, so the disabled path allocates nothing per request.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    read_spans_jsonl,
+    summarize_spans,
+    validate_span_tree,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StageEvent,
+    percentile,
+)
+from repro.obs.trace import Span, TraceContext, Tracer
+
+__all__ = [
+    "Observability",
+    "NullObservability",
+    "NULL_OBS",
+    "Tracer",
+    "Span",
+    "TraceContext",
+    "StageEvent",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "prometheus_text",
+    "summarize_spans",
+    "validate_span_tree",
+]
+
+
+class Observability:
+    """Live tracing + metrics + stage events for one deployment."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 65_536):
+        self.tracer = Tracer(max_spans=max_spans)
+        self.metrics = MetricsRegistry()
+        self._listeners: list[Callable[[StageEvent], None]] = []
+        self._listener_lock = threading.Lock()
+
+    # -- tracing --------------------------------------------------------
+    def span(self, name: str, parent=None, **attrs) -> Span:
+        """Open a wall-clock span (see :meth:`Tracer.start`)."""
+        return self.tracer.start(name, parent=parent, **attrs)
+
+    def record(self, name: str, seconds: float, parent=None,
+               **attrs) -> Span:
+        """Emit a finished span with a modelled duration."""
+        return self.tracer.record(name, seconds, parent=parent, **attrs)
+
+    def current(self) -> TraceContext | None:
+        """The ambient trace context on this thread, if any."""
+        return self.tracer.current()
+
+    def activate(self, context):
+        """Make ``context`` ambient on this thread (no-op for ``None``)."""
+        return self.tracer.activate(context)
+
+    def spans(self) -> list[Span]:
+        """Snapshot of finished spans."""
+        return self.tracer.spans()
+
+    # -- metrics --------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create a counter in the registry."""
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get or create a gauge in the registry."""
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """Get or create a histogram in the registry."""
+        return self.metrics.histogram(name, **labels)
+
+    # -- stage-event bus ------------------------------------------------
+    def emit_stage(self, stage: str, subject: str, images: int,
+                   seconds: float, source: str = "") -> None:
+        """Publish one batch's stage cost to the registry and listeners."""
+        self.metrics.counter("stage_seconds_total", stage=stage,
+                             source=source).inc(seconds)
+        self.metrics.counter("stage_images_total", stage=stage,
+                             source=source).inc(images)
+        with self._listener_lock:
+            listeners = list(self._listeners)
+        if not listeners:
+            return
+        event = StageEvent(stage=stage, subject=subject, images=images,
+                           seconds=seconds, source=source)
+        for listener in listeners:
+            listener(event)
+
+    def add_stage_listener(
+            self, listener: Callable[[StageEvent], None]) -> None:
+        """Subscribe ``listener`` to every future stage event."""
+        with self._listener_lock:
+            self._listeners.append(listener)
+
+    def remove_stage_listener(
+            self, listener: Callable[[StageEvent], None]) -> None:
+        """Unsubscribe a listener (no error if absent)."""
+        with self._listener_lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    # -- export ---------------------------------------------------------
+    def export_jsonl(self, path: str) -> int:
+        """Write all finished spans as JSONL; returns the span count."""
+        return write_spans_jsonl(self.tracer.spans(), path)
+
+    def export_chrome(self, path: str) -> int:
+        """Write all finished spans as Chrome trace_event JSON."""
+        return write_chrome_trace(self.tracer.spans(), path)
+
+    def prometheus(self) -> str:
+        """Render the metrics registry in Prometheus text format."""
+        return prometheus_text(self.metrics)
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram; every reading is zero."""
+
+    __slots__ = ()
+    name = ""
+    labels = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+    def add(self, delta: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def set(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def observe(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def quantile(self, q: float) -> float:  # noqa: D102 - no-op
+        return 0.0
+
+    def summary(self) -> dict[str, float]:  # noqa: D102 - no-op
+        return {}
+
+
+class _NullSpan:
+    """Inert span: usable as a context manager, carries no context."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = 0
+    span_id = 0
+    parent_id = None
+    context = None
+    duration_s = 0.0
+    attrs: dict = {}
+
+    def set(self, **attrs) -> "_NullSpan":  # noqa: D102 - no-op
+        return self
+
+    def finish(self, end_s=None) -> None:  # noqa: D102 - no-op
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullObservability:
+    """Disabled observability: every operation is a shared-singleton no-op.
+
+    Components default their ``obs`` parameter to :data:`NULL_OBS`, so the
+    untraced hot path costs one attribute check (``obs.enabled``) or a
+    no-op method call on a pre-bound null instrument -- no allocation.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, parent=None, **attrs) -> _NullSpan:
+        """Return the shared inert span."""
+        return _NULL_SPAN
+
+    def record(self, name: str, seconds: float, parent=None,
+               **attrs) -> _NullSpan:
+        """Return the shared inert span."""
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        """No ambient context when disabled."""
+        return None
+
+    @contextmanager
+    def activate(self, context) -> Iterator[None]:
+        """No-op context manager."""
+        yield
+
+    def spans(self) -> list:
+        """Always empty."""
+        return []
+
+    def counter(self, name: str, **labels: str) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: str) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels: str) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def emit_stage(self, stage: str, subject: str, images: int,
+                   seconds: float, source: str = "") -> None:
+        """Drop the event."""
+
+    def add_stage_listener(self, listener) -> None:
+        """Ignore the subscription (no events will ever fire)."""
+
+    def remove_stage_listener(self, listener) -> None:
+        """Nothing to remove."""
+
+
+#: The process-wide disabled-observability singleton (the default wiring).
+NULL_OBS = NullObservability()

@@ -1,0 +1,241 @@
+"""Exporters: JSONL span logs, Chrome ``trace_event`` JSON, Prometheus text.
+
+All exporters consume plain span dicts (the :meth:`Span.to_dict` schema),
+so a file written by one process can be re-exported or summarized by
+another without the original :class:`~repro.obs.trace.Span` objects.
+
+* :func:`write_spans_jsonl` / :func:`read_spans_jsonl` -- one JSON object
+  per line; the durable, greppable format.
+* :func:`chrome_trace` -- the Chrome ``trace_event`` "X" (complete-event)
+  format; load the file at ``chrome://tracing`` or in Perfetto to get a
+  flamegraph of a traced run.  Trace ids map to Chrome "process" lanes.
+* :func:`prometheus_text` -- the text exposition format for a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+* :func:`validate_span_tree` -- the structural check behind the
+  acceptance gate: every span's parent resolves, and the whole export is
+  a single connected tree.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.obs.metrics import Histogram, MetricsRegistry, percentile
+
+__all__ = [
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "SpanTree",
+    "validate_span_tree",
+    "summarize_spans",
+]
+
+
+def write_spans_jsonl(spans, path: str) -> int:
+    """Write spans (Span objects or dicts) as JSONL; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            record = span if isinstance(span, dict) else span.to_dict()
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_spans_jsonl(path: str) -> list[dict]:
+    """Read a JSONL span log back into a list of span dicts."""
+    spans: list[dict] = []
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read span log {path}: {exc}") from exc
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{line_number}: not a JSON span line: {exc}"
+                ) from exc
+            if "span_id" not in record or "name" not in record:
+                raise ReproError(
+                    f"{path}:{line_number}: missing span_id/name fields"
+                )
+            spans.append(record)
+    return spans
+
+
+def _as_dicts(spans) -> list[dict]:
+    return [span if isinstance(span, dict) else span.to_dict()
+            for span in spans]
+
+
+def chrome_trace(spans) -> dict:
+    """Convert spans to a Chrome ``trace_event`` JSON document.
+
+    Each span becomes a complete ("X") event with microsecond timestamps;
+    the trace id becomes the ``pid`` lane so concurrent traces stack into
+    separate tracks in the viewer.
+    """
+    events = []
+    for span in _as_dicts(spans):
+        args = dict(span.get("attrs", {}))
+        if span.get("parent_id") is not None:
+            args["parent_id"] = span["parent_id"]
+        args["span_id"] = span["span_id"]
+        events.append({
+            "name": span["name"],
+            "ph": "X",
+            "ts": span["start_s"] * 1e6,
+            "dur": span["duration_s"] * 1e6,
+            "pid": span["trace_id"],
+            "tid": 1,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans, path: str) -> int:
+    """Write the Chrome trace_event JSON file; returns the event count."""
+    document = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+    return len(document["traceEvents"])
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for instrument in registry.instruments():
+        name = instrument.name
+        if name not in seen_types:
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            seen_types.add(name)
+        labels = _format_labels(dict(instrument.labels))
+        if isinstance(instrument, Histogram):
+            cumulative = 0
+            counts = instrument.bucket_counts()
+            for bound, bucket_count in zip(instrument.bounds, counts):
+                cumulative += bucket_count
+                bucket_labels = _format_labels(
+                    dict(instrument.labels), le=repr(bound))
+                lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+            bucket_labels = _format_labels(dict(instrument.labels), le="+Inf")
+            lines.append(f"{name}_bucket{bucket_labels} {instrument.count}")
+            lines.append(f"{name}_sum{labels} {instrument.sum}")
+            lines.append(f"{name}_count{labels} {instrument.count}")
+        else:
+            lines.append(f"{name}{labels} {instrument.value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_labels(labels: dict[str, str], **extra: str) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(f'{key}="{value}"'
+                     for key, value in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class SpanTree:
+    """Structural summary of a span export.
+
+    ``connected`` means: one trace id, exactly one root, every non-root
+    parent id resolves to another span in the export.  ``problems`` lists
+    every violated condition in human-readable form.
+    """
+
+    spans: int
+    traces: int
+    roots: tuple[int, ...]
+    orphans: tuple[int, ...]
+    names: frozenset[str]
+
+    @property
+    def connected(self) -> bool:
+        """True if the export forms a single connected span tree."""
+        return (self.spans > 0 and self.traces == 1
+                and len(self.roots) == 1 and not self.orphans)
+
+    @property
+    def problems(self) -> list[str]:
+        """Human-readable list of violated single-tree conditions."""
+        issues = []
+        if self.spans == 0:
+            issues.append("no spans")
+        if self.traces > 1:
+            issues.append(f"{self.traces} distinct trace ids")
+        if len(self.roots) > 1:
+            issues.append(f"{len(self.roots)} roots: {list(self.roots)}")
+        if self.spans and not self.roots:
+            issues.append("no root span")
+        if self.orphans:
+            issues.append(
+                f"{len(self.orphans)} orphan spans (unresolvable parents): "
+                f"{list(self.orphans)[:8]}"
+            )
+        return issues
+
+    def covers(self, *prefixes: str) -> bool:
+        """True if at least one span name starts with each prefix."""
+        return all(any(name.startswith(prefix) for name in self.names)
+                   for prefix in prefixes)
+
+
+def validate_span_tree(spans) -> SpanTree:
+    """Check that a span export forms a single connected tree."""
+    records = _as_dicts(spans)
+    ids = {span["span_id"] for span in records}
+    roots = []
+    orphans = []
+    traces = set()
+    for span in records:
+        traces.add(span["trace_id"])
+        parent = span.get("parent_id")
+        if parent is None:
+            roots.append(span["span_id"])
+        elif parent not in ids:
+            orphans.append(span["span_id"])
+    return SpanTree(
+        spans=len(records),
+        traces=len(traces),
+        roots=tuple(roots),
+        orphans=tuple(orphans),
+        names=frozenset(span["name"] for span in records),
+    )
+
+
+def summarize_spans(spans) -> list[dict]:
+    """Per-name duration summary rows (count, total/mean/p50/p95 ms).
+
+    Percentiles use the canonical exact :func:`~repro.obs.metrics.percentile`
+    -- the same implementation behind serving latency summaries.
+    """
+    by_name: dict[str, list[float]] = {}
+    for span in _as_dicts(spans):
+        by_name.setdefault(span["name"], []).append(
+            span["duration_s"] * 1000.0)
+    rows = []
+    for name in sorted(by_name):
+        ordered = sorted(by_name[name])
+        rows.append({
+            "name": name,
+            "count": len(ordered),
+            "total_ms": sum(ordered),
+            "mean_ms": sum(ordered) / len(ordered),
+            "p50_ms": percentile(ordered, 50.0),
+            "p95_ms": percentile(ordered, 95.0),
+            "max_ms": ordered[-1],
+        })
+    return rows

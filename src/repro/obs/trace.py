@@ -1,0 +1,232 @@
+"""Structured tracing: spans with trace/span/parent ids and attributes.
+
+The span model is deliberately small:
+
+* A **trace** is one logical operation end to end (a traced query, one
+  serving request, one adaptive step); every span carries its
+  ``trace_id``.
+* A **span** is one timed piece of work inside a trace, with a process-wide
+  unique ``span_id`` and the ``parent_id`` of the span it nests under.
+* A **trace context** is the picklable pair ``(trace_id, span_id)``.  It is
+  the only thing that crosses thread and process boundaries -- it rides
+  ``InferenceRequest.trace``, ``WorkItem.trace``, and ``WorkOutcome.trace``
+  through queues (including the multiprocessing queue to a
+  :class:`~repro.cluster.worker.ProcessWorker`) so the far side's spans can
+  parent back into the originating trace.  Span *objects* never cross a
+  process boundary.
+
+Two ways to parent a span:
+
+* explicitly, by passing ``parent=`` (a :class:`Span` or a context tuple);
+* ambiently, via :meth:`Tracer.activate`: a thread-local stack of contexts.
+  Spans started without an explicit parent adopt :meth:`Tracer.current`,
+  which is how store reads deep inside a worker thread land under the
+  cluster item that scheduled them.  Top-level entry points
+  (``serving.request``, ``query.execute``, ``adapt.step``) follow the same
+  rule, so wrapping a whole workload in one activated root span yields a
+  single connected tree across every subsystem.
+
+Durations come in two flavors.  :meth:`Tracer.start` spans measure wall
+time between start and finish.  :meth:`Tracer.record` creates an
+already-finished span with a caller-supplied duration -- used for
+*modelled* costs (session stage seconds, cluster execute time) where the
+simulated duration, not the wall clock, is the honest number.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Span", "Tracer", "TraceContext"]
+
+#: Picklable trace context: ``(trace_id, span_id)``.
+TraceContext = tuple[int, int]
+
+
+class Span:
+    """One timed operation: ids, wall interval, attributes.
+
+    Context-manager use finishes the span on exit::
+
+        with tracer.start("query.plan", dataset="taipei") as span:
+            span.set(candidates=12)
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start_s",
+                 "end_s", "attrs", "_tracer")
+
+    def __init__(self, name: str, trace_id: int, span_id: int,
+                 parent_id: int | None, start_s: float,
+                 attrs: dict | None, tracer: "Tracer"):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.attrs = attrs or {}
+        self._tracer = tracer
+
+    @property
+    def context(self) -> TraceContext:
+        """The picklable ``(trace_id, span_id)`` pair for propagation."""
+        return (self.trace_id, self.span_id)
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration in seconds (0.0 until finished)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, end_s: float | None = None) -> None:
+        """Close the span and hand it to the tracer's buffer (idempotent)."""
+        if self.end_s is not None:
+            return
+        self.end_s = time.perf_counter() if end_s is None else end_s
+        self._tracer._collect(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.finish()
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the JSONL exporter's line schema)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"span={self.span_id}, parent={self.parent_id})")
+
+
+def _as_context(parent) -> TraceContext | None:
+    if parent is None:
+        return None
+    if isinstance(parent, Span):
+        return parent.context
+    trace_id, span_id = parent
+    return (int(trace_id), int(span_id))
+
+
+class Tracer:
+    """Creates spans, tracks ambient context, buffers finished spans.
+
+    The finished-span buffer is bounded (``max_spans``); overflow drops the
+    oldest spans and counts them in :attr:`dropped`, so a long-running
+    traced server cannot grow without bound.
+    """
+
+    def __init__(self, max_spans: int = 65_536):
+        if max_spans <= 0:
+            raise ValueError("max_spans must be positive")
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._finished: deque[Span] = deque()
+        self._max_spans = max_spans
+        self._dropped = 0
+        self._local = threading.local()
+
+    # -- ambient context ------------------------------------------------
+    def current(self) -> TraceContext | None:
+        """The innermost activated context on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def activate(self, context) -> Iterator[None]:
+        """Make ``context`` (a span or context tuple) ambient on this thread.
+
+        ``activate(None)`` is a no-op, so call sites can pass an optional
+        context through unconditionally.
+        """
+        ctx = _as_context(context)
+        if ctx is None:
+            yield
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(ctx)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    # -- span creation --------------------------------------------------
+    def start(self, name: str, parent=None, **attrs) -> Span:
+        """Open a wall-clock span; parent defaults to the ambient context."""
+        ctx = _as_context(parent)
+        if ctx is None:
+            ctx = self.current()
+        if ctx is None:
+            trace_id = next(self._trace_ids)
+            parent_id = None
+        else:
+            trace_id, parent_id = ctx
+        return Span(name, trace_id, next(self._span_ids), parent_id,
+                    time.perf_counter(), attrs, self)
+
+    def record(self, name: str, seconds: float, parent=None,
+               **attrs) -> Span:
+        """Emit an already-finished span with a modelled duration.
+
+        The span ends "now" and starts ``seconds`` earlier, so modelled
+        stage costs nest sensibly under their wall-clock parents in the
+        Chrome trace view.
+        """
+        if seconds < 0:
+            raise ValueError("span duration cannot be negative")
+        end_s = time.perf_counter()
+        span = self.start(name, parent=parent, **attrs)
+        span.start_s = end_s - seconds
+        span.finish(end_s=end_s)
+        return span
+
+    # -- finished-span buffer -------------------------------------------
+    def _collect(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+            while len(self._finished) > self._max_spans:
+                self._finished.popleft()
+                self._dropped += 1
+
+    def spans(self) -> list[Span]:
+        """Snapshot of finished spans, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def drain(self) -> list[Span]:
+        """Remove and return all finished spans."""
+        with self._lock:
+            spans = list(self._finished)
+            self._finished.clear()
+        return spans
+
+    @property
+    def dropped(self) -> int:
+        """Finished spans discarded due to the buffer bound."""
+        with self._lock:
+            return self._dropped

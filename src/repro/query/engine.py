@@ -57,6 +57,7 @@ from repro.errors import QueryError
 from repro.hardware.instance import CloudInstance, get_instance
 from repro.inference.perfmodel import EngineConfig, PerformanceModel
 from repro.nn.zoo import get_model_profile
+from repro.obs import NULL_OBS
 from repro.query.scan import ClusterScanRunner, ScanReport
 from repro.query.spec import QuerySpec
 from repro.serving.session import SimulatedSession
@@ -229,6 +230,13 @@ class QueryEngine:
         cache hits, shard replicas stream chunks instead of holding full
         tables) and the planner prices plans cache-aware: renditions the
         store has materialized get their decode cost discounted.
+    obs:
+        Optional :class:`~repro.obs.Observability`.  Each :meth:`execute`
+        then opens a ``query.execute`` span (parented to the caller's
+        ambient trace context, if any) with ``query.plan`` /
+        ``query.scan`` / ``query.merge`` children, and the scan's cluster
+        and store activity parents into the same trace.  Tracing never
+        perturbs results: scores stay bit-identical to an untraced run.
     """
 
     def __init__(self, instance: CloudInstance | str = "g4dn.xlarge",
@@ -237,7 +245,7 @@ class QueryEngine:
                  features: PlannerFeatures | None = None,
                  frame_limit: int = 20_000,
                  batch_size: int = 256,
-                 store=None) -> None:
+                 store=None, obs=NULL_OBS) -> None:
         if performance_model is None:
             if isinstance(instance, str):
                 instance = get_instance(instance)
@@ -254,6 +262,7 @@ class QueryEngine:
         self._frame_limit = frame_limit
         self._batch_size = batch_size
         self._store = store
+        self._obs = obs if obs is not None else NULL_OBS
 
     @property
     def performance_model(self) -> PerformanceModel:
@@ -364,6 +373,7 @@ class QueryEngine:
             batch_size=self._batch_size,
             store=self._store,
             rendition=rendition,
+            obs=self._obs,
         )
         runner.session().warmup()
         return plans
@@ -382,7 +392,26 @@ class QueryEngine:
         """
         if num_workers <= 0:
             raise QueryError("num_workers must be positive")
-        plans = self.stage_plans(spec)
+        if not self._obs.enabled:
+            return self._execute_impl(spec, num_workers, seed, router)
+        # Parents to the caller's ambient context (e.g. an enclosing traced
+        # workload); activating the span makes every downstream span --
+        # planning, scan batches, cluster hops, store reads -- one tree.
+        span = self._obs.span("query.execute", kind=spec.kind,
+                              dataset=spec.dataset, workers=num_workers)
+        try:
+            with self._obs.activate(span.context):
+                return self._execute_impl(spec, num_workers, seed, router)
+        except Exception as exc:
+            span.set(error=type(exc).__name__)
+            raise
+        finally:
+            span.finish()
+
+    def _execute_impl(self, spec: QuerySpec, num_workers: int, seed: int,
+                      router: str):
+        with self._obs.span("query.plan", dataset=spec.dataset):
+            plans = self.stage_plans(spec)
         if spec.kind == "cascade":
             return self._execute_cascade(spec, plans, num_workers, router)
         dataset = load_video_dataset(spec.dataset)
@@ -397,6 +426,7 @@ class QueryEngine:
             router=router,
             store=self._store,
             rendition=plans.cheap.plan.input_format.name,
+            obs=self._obs,
         )
         report = runner.run()
         truth = dataset.ground_truth_counts(costs.frames_used).astype(
@@ -410,11 +440,12 @@ class QueryEngine:
             cheap_pass_makespan_s=report.makespan_seconds,
             wall_seconds=report.wall_seconds,
         )
-        if spec.kind == "aggregate":
-            return self._finish_aggregate(spec, plans, costs, report, truth,
-                                          execution, seed)
-        return self._finish_limit(spec, plans, costs, report, truth,
-                                  execution)
+        with self._obs.span("query.merge", kind=spec.kind):
+            if spec.kind == "aggregate":
+                return self._finish_aggregate(spec, plans, costs, report,
+                                              truth, execution, seed)
+            return self._finish_limit(spec, plans, costs, report, truth,
+                                      execution)
 
     def execute_single(self, spec: QuerySpec, seed: int = 0):
         """Single-process reference execution via the analytics engines.
@@ -541,7 +572,7 @@ class QueryEngine:
             session = SimulatedSession(plan, self._perf, config=self._config,
                                        num_classes=spec.num_classes)
             session.warmup()
-            return ThreadWorker(worker_id, session, results)
+            return ThreadWorker(worker_id, session, results, obs=self._obs)
 
         if single_process:
             session = SimulatedSession(plan, self._perf, config=self._config,
@@ -556,6 +587,7 @@ class QueryEngine:
                 factory, num_workers=num_workers,
                 num_classes=spec.num_classes, batch_size=self._batch_size,
                 router=router, format_name=plan.input_format.name,
+                obs=self._obs,
             )
             corpus = runner.run(examples)
         classifier = CascadeClassifier(self._perf, self._config)

@@ -46,6 +46,7 @@ from repro.cluster.worker import ThreadWorker, Worker
 from repro.datasets.video import VideoDataset
 from repro.errors import QueryError
 from repro.inference.mpmc import MpmcQueue
+from repro.obs import NULL_OBS
 from repro.serving.request import InferenceRequest
 from repro.serving.session import BatchResult, EngineSession
 
@@ -373,6 +374,11 @@ class ClusterScanRunner:
         and reports the pace's per-stage split with each batch -- the hook
         the adaptive replanner uses to hot-swap costs into an in-flight
         shard stream (scores are unaffected by construction).
+    obs:
+        Observability handle (:mod:`repro.obs`).  A traced run wraps each
+        ``run`` call in a ``query.scan`` span and threads trace context
+        through the dispatcher into every replica; the default
+        :data:`~repro.obs.NULL_OBS` keeps the scan loop allocation-free.
     """
 
     def __init__(self, dataset: VideoDataset, specialized_accuracy: float,
@@ -381,7 +387,7 @@ class ClusterScanRunner:
                  router: str = "round-robin", store=None,
                  rendition: str = "",
                  store_fingerprint: str | None = None,
-                 pace: ScanPace | None = None) -> None:
+                 pace: ScanPace | None = None, obs=NULL_OBS) -> None:
         if num_workers <= 0:
             raise QueryError("num_workers must be positive")
         if batch_size <= 0:
@@ -397,6 +403,7 @@ class ClusterScanRunner:
         self._rendition = rendition
         self._store_fingerprint = store_fingerprint
         self._pace = pace
+        self._obs = obs if obs is not None else NULL_OBS
 
     def session(self) -> ScanSession:
         """One plan-warmed scan session (one per replica)."""
@@ -415,7 +422,8 @@ class ClusterScanRunner:
     def worker_factory(self) -> Callable[[str, MpmcQueue], Worker]:
         """A dispatcher-compatible factory building warmed scan replicas."""
         def factory(worker_id: str, results: MpmcQueue) -> Worker:
-            return ThreadWorker(worker_id, self.session(), results)
+            return ThreadWorker(worker_id, self.session(), results,
+                                obs=self._obs)
         return factory
 
     def run(self, dispatcher: Dispatcher | None = None,
@@ -445,40 +453,58 @@ class ClusterScanRunner:
         if dispatcher is None:
             dispatcher = Dispatcher(self.worker_factory(),
                                     num_workers=self._num_workers,
-                                    router=self._router)
+                                    router=self._router,
+                                    obs=self._obs)
+        # One span covers the whole sharded scan; activating it makes it
+        # the ambient parent of every cluster.item span the dispatcher
+        # opens, so the shard fan-out hangs off the scan in the trace tree.
+        span = None
+        if self._obs.enabled:
+            span = self._obs.span(
+                "query.scan", plan=self._plan_key, frames=hi - lo,
+                workers=self._num_workers, batch_size=self._batch_size,
+            )
         start = time.monotonic()
         scores = np.empty(hi - lo, dtype=np.float64)
         shards = [ShardScanStats(shard_id=i)
                   for i in range(self._num_workers)]
         per_worker: dict[str, float] = {}
         try:
-            ranges = split_frame_ranges(hi - lo, self._num_workers)
-            submissions = []
-            for shard_id, (shard_lo, shard_hi) in enumerate(ranges):
-                for offset in range(lo + shard_lo, lo + shard_hi,
-                                    self._batch_size):
-                    end = min(offset + self._batch_size, lo + shard_hi)
-                    requests = tuple(
-                        InferenceRequest(
-                            image_id=frame_id(self._dataset.name, index)
+            with self._obs.activate(span.context if span else None):
+                ranges = split_frame_ranges(hi - lo, self._num_workers)
+                submissions = []
+                for shard_id, (shard_lo, shard_hi) in enumerate(ranges):
+                    for offset in range(lo + shard_lo, lo + shard_hi,
+                                        self._batch_size):
+                        end = min(offset + self._batch_size, lo + shard_hi)
+                        requests = tuple(
+                            InferenceRequest(
+                                image_id=frame_id(self._dataset.name, index)
+                            )
+                            for index in range(offset, end)
                         )
-                        for index in range(offset, end)
+                        future = dispatcher.submit(requests,
+                                                   shard_id=shard_id)
+                        submissions.append((offset, end, future))
+                for offset, end, future in submissions:
+                    result = future.result(timeout=timeout_s)
+                    batch_scores = decode_scores(result.predictions)
+                    scores[offset - lo:end - lo] = batch_scores
+                    shards[result.shard_id].observe(batch_scores,
+                                                    result.modelled_seconds)
+                    per_worker[result.worker_id] = (
+                        per_worker.get(result.worker_id, 0.0)
+                        + result.modelled_seconds
                     )
-                    future = dispatcher.submit(requests, shard_id=shard_id)
-                    submissions.append((offset, end, future))
-            for offset, end, future in submissions:
-                result = future.result(timeout=timeout_s)
-                batch_scores = decode_scores(result.predictions)
-                scores[offset - lo:end - lo] = batch_scores
-                shards[result.shard_id].observe(batch_scores,
-                                                result.modelled_seconds)
-                per_worker[result.worker_id] = (
-                    per_worker.get(result.worker_id, 0.0)
-                    + result.modelled_seconds
-                )
+        except BaseException as exc:
+            if span is not None:
+                span.set(error=repr(exc))
+            raise
         finally:
             if owned:
                 dispatcher.close()
+            if span is not None:
+                span.finish()
         wall = time.monotonic() - start
         return ScanReport(
             scores=scores,

@@ -17,6 +17,7 @@ from typing import Generic, TypeVar
 
 from repro.errors import ServingError
 from repro.inference.mpmc import QueueClosed
+from repro.obs import NULL_OBS
 from repro.serving.queue import AdmissionQueue
 from repro.serving.request import monotonic
 
@@ -77,11 +78,16 @@ class BatcherStats:
 class MicroBatcher(Generic[T]):
     """Drains an :class:`AdmissionQueue` into policy-shaped micro-batches."""
 
-    def __init__(self, queue: AdmissionQueue[T], policy: BatchPolicy) -> None:
+    def __init__(self, queue: AdmissionQueue[T], policy: BatchPolicy,
+                 obs=NULL_OBS) -> None:
         self._queue = queue
         self._policy = policy
         self._stats = BatcherStats()
         self._lock = threading.Lock()
+        self._batches_metric = obs.counter("serving_batches_total",
+                                           policy=policy.name)
+        self._size_metric = obs.histogram("serving_batch_size",
+                                          policy=policy.name)
 
     @property
     def policy(self) -> BatchPolicy:
@@ -132,6 +138,8 @@ class MicroBatcher(Generic[T]):
             self._stats.size_histogram[size] = (
                 self._stats.size_histogram.get(size, 0) + 1
             )
+        self._batches_metric.inc()
+        self._size_metric.observe(len(batch))
 
     def stats(self) -> BatcherStats:
         """Snapshot of the batcher counters."""

@@ -4,6 +4,10 @@ Serving systems are judged on tail latency (p95/p99), not means, so the
 recorder keeps every sample and computes order statistics on demand.  The
 sample counts involved here (thousands to low millions) make the O(n log n)
 sort on snapshot entirely acceptable and exact, which matters for tests.
+
+The percentile implementation lives in :mod:`repro.obs.metrics` (the
+stack-wide metrics module); it is re-exported here so existing imports of
+``repro.serving.metrics.percentile`` keep working.
 """
 
 from __future__ import annotations
@@ -11,20 +15,9 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.obs.metrics import percentile
 
-def percentile(sorted_samples: list[float], q: float) -> float:
-    """Exact linear-interpolated percentile ``q`` in [0, 100] of sorted data."""
-    if not sorted_samples:
-        raise ValueError("percentile of empty sample set")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("q must be in [0, 100]")
-    if len(sorted_samples) == 1:
-        return sorted_samples[0]
-    rank = (len(sorted_samples) - 1) * q / 100.0
-    low = int(rank)
-    high = min(low + 1, len(sorted_samples) - 1)
-    frac = rank - low
-    return sorted_samples[low] * (1 - frac) + sorted_samples[high] * frac
+__all__ = ["percentile", "LatencySummary", "LatencyRecorder"]
 
 
 @dataclass(frozen=True)

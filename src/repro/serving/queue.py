@@ -14,18 +14,27 @@ from typing import Generic, TypeVar
 
 from repro.errors import AdmissionError, EngineError
 from repro.inference.mpmc import MpmcQueue, QueueClosed
+from repro.obs import NULL_OBS
 
 T = TypeVar("T")
 
 
 class AdmissionQueue(Generic[T]):
-    """Bounded MPMC queue with explicit admit/reject accounting."""
+    """Bounded MPMC queue with explicit admit/reject accounting.
 
-    def __init__(self, capacity: int) -> None:
+    When given an :class:`~repro.obs.Observability`, admissions and
+    rejections also tick stack-wide counters; instruments are pre-bound at
+    construction so the disabled path stays a no-op method call.
+    """
+
+    def __init__(self, capacity: int, obs=NULL_OBS) -> None:
         self._queue: MpmcQueue[T] = MpmcQueue(capacity=capacity)
         self._lock = threading.Lock()
         self._admitted = 0
         self._rejected = 0
+        self._admitted_metric = obs.counter("serving_admitted_total")
+        self._rejected_metric = obs.counter("serving_rejected_total")
+        self._depth_metric = obs.gauge("serving_queue_depth")
 
     @property
     def capacity(self) -> int:
@@ -61,6 +70,7 @@ class AdmissionQueue(Generic[T]):
         except AdmissionError:
             with self._lock:
                 self._rejected += 1
+            self._rejected_metric.inc()
             raise
         except QueueClosed:
             raise
@@ -68,9 +78,12 @@ class AdmissionQueue(Generic[T]):
             # A put timeout at capacity is a rejection too (blocked too long).
             with self._lock:
                 self._rejected += 1
+            self._rejected_metric.inc()
             raise AdmissionError(str(exc)) from exc
         with self._lock:
             self._admitted += 1
+        self._admitted_metric.inc()
+        self._depth_metric.set(len(self._queue))
 
     def get(self, timeout: float | None = None) -> T | None:
         """Dequeue one item; None on timeout, QueueClosed when drained."""

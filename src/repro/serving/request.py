@@ -46,6 +46,11 @@ class InferenceRequest:
         Process-unique id assigned at construction.
     arrival_s:
         Monotonic arrival timestamp, set at construction.
+    trace:
+        Optional picklable trace context ``(trace_id, span_id)`` from
+        :mod:`repro.obs`.  Set by instrumented entry points so downstream
+        spans (batching, cluster hops, store reads) parent into the
+        request's trace; None when observability is disabled.
     """
 
     image_id: str
@@ -54,6 +59,7 @@ class InferenceRequest:
     deadline_s: float | None = None
     request_id: int = field(default_factory=lambda: next(_REQUEST_COUNTER))
     arrival_s: float = field(default_factory=monotonic)
+    trace: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         if not self.image_id:

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 from repro.errors import ServingError
 from repro.inference.mpmc import QueueClosed
+from repro.obs import NULL_OBS
 from repro.serving.batcher import BatcherStats, BatchPolicy, MicroBatcher
 from repro.serving.cache import CacheStats, PredictionCache
 from repro.serving.metrics import LatencyRecorder, LatencySummary
@@ -47,10 +48,15 @@ from repro.serving.session import EngineSession, SessionManager
 
 @dataclass(frozen=True)
 class _Pending:
-    """One admitted request waiting for its micro-batch."""
+    """One admitted request waiting for its micro-batch.
+
+    ``span`` is the request's ``serving.request`` span when observability
+    is enabled (None otherwise); it is finished at resolution time.
+    """
 
     request: InferenceRequest
     future: Future
+    span: object = None
 
 
 @dataclass(frozen=True)
@@ -131,6 +137,13 @@ class SmolServer:
         per-stage costs, feeding the adaptive replanning loop
         (:mod:`repro.adapt`).  In cluster mode the dispatcher reports
         worker costs itself (``Dispatcher.attach_telemetry``).
+    obs:
+        Optional :class:`~repro.obs.Observability`.  Each submitted request
+        then opens a ``serving.request`` span (parented to the caller's
+        ambient trace context, if any), executed micro-batches emit
+        ``serving.batch`` spans with modelled per-stage child spans, and
+        stage costs are published on the stage-event bus.  The default
+        :data:`~repro.obs.NULL_OBS` keeps the hot loop allocation-free.
     """
 
     def __init__(self, session: EngineSession | SessionManager | None = None,
@@ -138,7 +151,8 @@ class SmolServer:
                  queue_capacity: int = 256,
                  cache_capacity: int = 2048,
                  block_on_full: bool = True,
-                 cluster=None, store=None, telemetry=None) -> None:
+                 cluster=None, store=None, telemetry=None,
+                 obs=NULL_OBS) -> None:
         if (session is None) == (cluster is None):
             raise ServingError(
                 "provide exactly one of session= or cluster="
@@ -156,10 +170,16 @@ class SmolServer:
         else:
             self._sessions = SessionManager(session)
         self._policy = policy or BatchPolicy.latency()
-        self._queue: AdmissionQueue[_Pending] = AdmissionQueue(queue_capacity)
-        self._batcher: MicroBatcher[_Pending] = MicroBatcher(
-            self._queue, self._policy
+        self._obs = obs if obs is not None else NULL_OBS
+        self._queue: AdmissionQueue[_Pending] = AdmissionQueue(
+            queue_capacity, obs=self._obs
         )
+        self._batcher: MicroBatcher[_Pending] = MicroBatcher(
+            self._queue, self._policy, obs=self._obs
+        )
+        self._latency_metric = self._obs.histogram("serving_latency_seconds")
+        self._completed_metric = self._obs.counter("serving_completed_total")
+        self._cache_hits_metric = self._obs.counter("serving_cache_hits_total")
         self._cache = (PredictionCache(cache_capacity)
                        if cache_capacity > 0 else None)
         self._block_on_full = block_on_full
@@ -229,6 +249,14 @@ class SmolServer:
             raise ServingError("cannot submit to a closed server")
         with self._counters_lock:
             self._submitted += 1
+        span = None
+        if self._obs.enabled:
+            # Parents to the caller's ambient context (one traced workload
+            # becomes one connected tree); a bare submit starts a new trace.
+            span = self._obs.span("serving.request",
+                                  image_id=request.image_id,
+                                  format=request.format_name)
+            request.trace = span.context
         future: Future = Future()
         if self._cache is not None:
             plan_key = self._plan_key()
@@ -237,13 +265,20 @@ class SmolServer:
             hit = self._cache.get(key)
             if hit is not None:
                 self._resolve(
-                    _Pending(request, future),
+                    _Pending(request, future, span),
                     prediction=hit, batch_size=0, cached=True,
                     plan_key=plan_key, modelled_seconds=0.0,
                 )
                 return future
         should_block = self._block_on_full if block is None else block
-        self._queue.admit(_Pending(request, future), block=should_block)
+        try:
+            self._queue.admit(_Pending(request, future, span),
+                              block=should_block)
+        except Exception as exc:
+            if span is not None:
+                span.set(rejected=True, error=type(exc).__name__)
+                span.finish()
+            raise
         return future
 
     def query(self, spec, num_workers: int = 1, seed: int = 0,
@@ -282,24 +317,37 @@ class SmolServer:
                         self._sessions.current(), "performance_model", None
                     )
                 built = QueryEngine(performance_model=performance_model,
-                                    store=self._store)
+                                    store=self._store, obs=self._obs)
                 with self._counters_lock:
                     if self._query_engine is None:
                         self._query_engine = built
                     engine = self._query_engine
         future: Future = Future()
+        # The query runs on its own thread; capture the submitter's ambient
+        # trace context here so the query's spans parent into it.
+        parent_ctx = self._obs.current() if self._obs.enabled else None
 
         def run() -> None:
             if not future.set_running_or_notify_cancel():
                 return
+            span = None
+            if self._obs.enabled:
+                span = self._obs.span("serving.query", parent=parent_ctx,
+                                      kind=spec.kind, dataset=spec.dataset)
             try:
-                result = engine.execute(spec, num_workers=num_workers,
-                                        seed=seed)
+                with self._obs.activate(span.context if span else None):
+                    result = engine.execute(spec, num_workers=num_workers,
+                                            seed=seed)
             except Exception as exc:
+                if span is not None:
+                    span.set(error=type(exc).__name__)
+                    span.finish()
                 future.set_exception(
                     ServingError(f"analytics query failed: {exc}")
                 )
                 return
+            if span is not None:
+                span.finish()
             with self._counters_lock:
                 self._queries += 1
             future.set_result(result)
@@ -416,8 +464,34 @@ class SmolServer:
                                                      source="serving")
             except Exception:
                 pass
+        if self._obs.enabled:
+            self._trace_session_batch(batch, session, result)
         self._resolve_batch(batch, result.predictions,
                             result.modelled_seconds, session.plan_key)
+
+    def _trace_session_batch(self, batch: list[_Pending], session,
+                             result) -> None:
+        """Emit the batch span, modelled stage spans, and stage events."""
+        parent = next(
+            (item.request.trace for item in batch
+             if item.request.trace is not None), None,
+        )
+        batch_span = None
+        if parent is not None:
+            batch_span = self._obs.record(
+                "serving.batch", result.modelled_seconds, parent=parent,
+                size=len(batch), plan=session.plan_key,
+            )
+        stage_seconds = result.stage_seconds or {}
+        format_name = getattr(session, "format_name", "")
+        model_name = getattr(session, "model_name", "")
+        for stage, seconds in stage_seconds.items():
+            if batch_span is not None:
+                self._obs.record(f"stage.{stage}", seconds,
+                                 parent=batch_span)
+            subject = model_name if stage == "inference" else format_name
+            self._obs.emit_stage(stage, subject, len(batch), seconds,
+                                 source="serving")
 
     def _dispatch_to_cluster(self, batch: list[_Pending]) -> None:
         # Hand the batch to the dispatcher and return to batching; the
@@ -461,6 +535,9 @@ class SmolServer:
         with self._counters_lock:
             self._errors += len(batch)
         for item in batch:
+            if item.span is not None:
+                item.span.set(error=type(exc).__name__)
+                item.span.finish()
             item.future.set_exception(
                 ServingError(f"batch execution failed: {exc}")
             )
@@ -501,6 +578,15 @@ class SmolServer:
             plan_key=plan_key,
         )
         self._latency.record(latency)
+        self._latency_metric.observe(latency)
+        self._completed_metric.inc()
+        if cached:
+            self._cache_hits_metric.inc()
+        if item.span is not None:
+            item.span.set(cached=cached, batch_size=batch_size,
+                          latency_ms=latency * 1000.0, plan=plan_key,
+                          deadline_missed=missed)
+            item.span.finish()
         with self._counters_lock:
             self._completed += 1
             if cached:

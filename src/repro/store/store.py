@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.codecs.chunked import decode_array, encode_array
 from repro.errors import StoreCorruptionError, StoreError
+from repro.obs import NULL_OBS
 from repro.store.lru import ByteLruCache, ChunkCacheStats
 from repro.store.manifest import Manifest, ManifestEntry
 
@@ -234,6 +235,13 @@ class ChunkedReader:
             raise StoreError(
                 f"range [{lo}, {hi}) outside stored length {self._length}"
             )
+        obs = self._store._obs
+        if obs.enabled:
+            with obs.span("store.read", rows=hi - lo, mode="range"):
+                return self._read_impl(lo, hi)
+        return self._read_impl(lo, hi)
+
+    def _read_impl(self, lo: int, hi: int) -> np.ndarray:
         if lo == hi:
             shape = (0, *self._entry.shape_suffix)
             return np.empty(shape, dtype=self.dtype)
@@ -259,6 +267,13 @@ class ChunkedReader:
             raise StoreError(
                 f"index outside the stored range [0, {self._length})"
             )
+        obs = self._store._obs
+        if obs.enabled:
+            with obs.span("store.read", rows=int(idx.size), mode="gather"):
+                return self._gather_impl(idx)
+        return self._gather_impl(idx)
+
+    def _gather_impl(self, idx: np.ndarray) -> np.ndarray:
         out = np.empty((idx.size, *self._entry.shape_suffix),
                        dtype=self.dtype)
         owner = np.searchsorted(self._starts, idx, side="right") - 1
@@ -287,6 +302,13 @@ class RenditionStore:
         Budget of the in-memory decoded-chunk LRU tier.
     compression_level:
         zlib level for chunk bodies (see :mod:`repro.codecs.chunked`).
+    obs:
+        Observability handle (:mod:`repro.obs`).  With tracing enabled,
+        reads, puts, and invalidations open ``store.*`` spans parented to
+        the ambient trace context (so a traced query shows its store
+        traffic), and cache/read-through traffic ticks registry counters.
+        The default :data:`~repro.obs.NULL_OBS` keeps every store path
+        observation-free; :meth:`attach_obs` rebinds a live handle later.
 
     The store is safe for concurrent use from multiple threads: manifest
     mutations serialize on an internal lock, object writes are
@@ -297,7 +319,7 @@ class RenditionStore:
     def __init__(self, root: str | Path,
                  chunk_frames: int = DEFAULT_CHUNK_FRAMES,
                  cache_bytes: int = DEFAULT_CACHE_BYTES,
-                 compression_level: int = 1) -> None:
+                 compression_level: int = 1, obs=NULL_OBS) -> None:
         if chunk_frames <= 0:
             raise StoreError("chunk_frames must be positive")
         self._root = Path(root)
@@ -311,6 +333,22 @@ class RenditionStore:
         self._read_through_hits = 0
         self._read_through_misses = 0
         self._listeners: list = []
+        self.attach_obs(obs)
+
+    def attach_obs(self, obs) -> None:
+        """Bind an observability handle (pre-binding the hot counters)."""
+        self._obs = obs if obs is not None else NULL_OBS
+        self._chunk_hits_metric = self._obs.counter(
+            "store_chunk_cache_hits_total")
+        self._chunk_misses_metric = self._obs.counter(
+            "store_chunk_cache_misses_total")
+        self._warm_metric = self._obs.counter(
+            "store_read_through_total", result="hit")
+        self._cold_metric = self._obs.counter(
+            "store_read_through_total", result="miss")
+        self._puts_metric = self._obs.counter("store_puts_total")
+        self._invalidations_metric = self._obs.counter(
+            "store_invalidated_entries_total")
 
     @property
     def root(self) -> Path:
@@ -353,7 +391,9 @@ class RenditionStore:
         digest = entry.objects[index]
         cached = self._cache.get(digest)
         if cached is not None:
+            self._chunk_hits_metric.inc()
             return cached
+        self._chunk_misses_metric.inc()
         path = self._object_path(digest)
         try:
             payload = path.read_bytes()
@@ -412,6 +452,10 @@ class RenditionStore:
             chunk_lengths=chunk_lengths, dtype=arr.dtype.str,
             shape_suffix=list(arr.shape[1:]), meta=dict(meta or {}),
         )
+        self._puts_metric.inc()
+        if self._obs.enabled:
+            self._obs.record("store.put", 0.0, key=key, kind=kind,
+                             chunks=len(objects), rows=int(arr.shape[0]))
         with self._manifest_lock():
             # Reload before mutating so entries committed by other store
             # handles on the same root are merged, not clobbered (the
@@ -470,9 +514,11 @@ class RenditionStore:
         if reader is not None:
             with self._lock:
                 self._read_through_hits += 1
+            self._warm_metric.inc()
             return reader
         with self._lock:
             self._read_through_misses += 1
+        self._cold_metric.inc()
         self.put_scores(key, compute(), fingerprint)
         reader = self.open_scores(key, fingerprint)
         if reader is None:  # pragma: no cover - write-then-open cannot miss
@@ -599,6 +645,10 @@ class RenditionStore:
             if doomed:
                 self._manifest.save(self._root)
         if doomed:
+            self._invalidations_metric.inc(len(doomed))
+            if self._obs.enabled:
+                self._obs.record("store.invalidate", 0.0, prefix=prefix,
+                                 dropped=len(doomed))
             self._notify(StoreEvent(kind="invalidate", key=prefix))
         return len(doomed)
 

@@ -1,0 +1,171 @@
+"""Tests for the span/metric exporters and span-tree validation."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    read_spans_jsonl,
+    summarize_spans,
+    validate_span_tree,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.errors import ReproError
+
+
+def _small_tree():
+    obs = Observability()
+    root = obs.span("query.execute", dataset="taipei")
+    with obs.activate(root.context):
+        with obs.span("query.scan", frames=100):
+            obs.record("store.read", 0.001, rows=10)
+    root.finish()
+    return obs.spans()
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        spans = _small_tree()
+        path = tmp_path / "trace.jsonl"
+        count = write_spans_jsonl(spans, path)
+        assert count == len(spans) == 3
+        records = read_spans_jsonl(path)
+        assert [r["name"] for r in records] == [
+            s.name for s in sorted(spans, key=lambda s: s.start_s)
+        ] or len(records) == 3
+        by_name = {r["name"]: r for r in records}
+        assert by_name["store.read"]["attrs"]["rows"] == 10
+        assert by_name["query.scan"]["parent_id"] == by_name[
+            "query.execute"
+        ]["span_id"]
+
+    def test_read_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "ok", "span_id": 1}\nnot json\n')
+        with pytest.raises(ReproError, match="bad.jsonl:2"):
+            read_spans_jsonl(path)
+
+    def test_read_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "missing-span-id"}\n')
+        with pytest.raises(ReproError, match="bad.jsonl:1"):
+            read_spans_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_event_schema(self):
+        spans = [span.to_dict() for span in _small_tree()]
+        document = chrome_trace(spans)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["tid"] == 1
+            assert event["ts"] == pytest.approx(
+                next(s for s in spans if s["name"] == event["name"])
+                ["start_s"] * 1e6
+            )
+            assert "span_id" in event["args"]
+        by_name = {e["name"]: e for e in events}
+        assert "parent_id" not in by_name["query.execute"]["args"]
+        assert by_name["query.scan"]["args"]["parent_id"] == by_name[
+            "query.execute"]["args"]["span_id"]
+        assert len({e["pid"] for e in events}) == 1  # one trace, one pid
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        count = write_chrome_trace(_small_tree(), path)
+        assert count == 3
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == 3
+
+
+class TestPrometheusText:
+    def test_counter_gauge_histogram_format(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", stage="decode").inc(3.0)
+        registry.gauge("depth").set(2.0)
+        hist = registry.histogram("latency_seconds", buckets=[0.1, 1.0])
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = prometheus_text(registry)
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{stage="decode"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE latency_seconds histogram" in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1.0"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_count 3" in text
+
+    def test_type_line_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", stage="a").inc()
+        registry.counter("hits_total", stage="b").inc()
+        text = prometheus_text(registry)
+        assert text.count("# TYPE hits_total counter") == 1
+
+
+class TestSpanTree:
+    def test_connected_tree(self):
+        tree = validate_span_tree(_small_tree())
+        assert tree.connected
+        assert tree.problems == []
+        assert tree.spans == 3
+        assert tree.traces == 1
+        assert len(tree.roots) == 1
+        assert tree.orphans == ()
+
+    def test_covers(self):
+        tree = validate_span_tree(_small_tree())
+        assert tree.covers("query.", "store.")
+        assert not tree.covers("query.", "serving.")
+
+    def test_empty_is_disconnected(self):
+        tree = validate_span_tree([])
+        assert not tree.connected
+        assert tree.problems
+
+    def test_two_traces_flagged(self):
+        obs = Observability()
+        obs.span("a").finish()
+        obs.span("b").finish()
+        tree = validate_span_tree(obs.spans())
+        assert not tree.connected
+        assert any("trace" in p or "root" in p for p in tree.problems)
+
+    def test_orphan_flagged(self):
+        obs = Observability()
+        root = obs.span("root")
+        child = obs.span("child", parent=(root.trace_id, 999_999))
+        child.finish()
+        root.finish()
+        tree = validate_span_tree(obs.spans())
+        assert not tree.connected
+        assert tree.orphans
+
+
+class TestSummarize:
+    def test_rows_sorted_with_stats(self):
+        obs = Observability()
+        obs.record("b.op", 0.010)
+        obs.record("a.op", 0.002)
+        obs.record("a.op", 0.004)
+        rows = summarize_spans(obs.spans())
+        assert [row["name"] for row in rows] == ["a.op", "b.op"]
+        a_row = rows[0]
+        assert a_row["count"] == 2
+        assert a_row["total_ms"] == pytest.approx(6.0)
+        assert a_row["mean_ms"] == pytest.approx(3.0)
+        assert a_row["max_ms"] == pytest.approx(4.0)
+        assert set(a_row) >= {"p50_ms", "p95_ms"}
+
+    def test_empty(self):
+        assert summarize_spans([]) == []

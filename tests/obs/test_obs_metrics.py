@@ -1,0 +1,170 @@
+"""Tests for the unified metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StageEvent,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    @pytest.mark.parametrize("q", [-1.0, 100.1])
+    def test_out_of_range_rejected(self, q):
+        with pytest.raises(ValueError):
+            percentile([1.0], q)
+
+    def test_single_sample(self):
+        assert percentile([42.0], 99.0) == 42.0
+
+    def test_endpoints(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 100.0) == 4.0
+
+    def test_linear_interpolation(self):
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("requests_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1.0)
+
+    def test_kind(self):
+        assert Counter.kind == "counter"
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(5.0)
+        gauge.add(-2.0)
+        assert gauge.value == pytest.approx(3.0)
+
+
+class TestHistogram:
+    def test_bucket_bounds_must_be_sorted_unique_nonempty(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[1.0, 1.0, 2.0])
+
+    def test_observe_fills_buckets_and_overflow(self):
+        hist = Histogram("h", buckets=[1.0, 10.0])
+        for value in (0.5, 0.7, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.2)
+        counts = hist.bucket_counts()
+        assert counts == [2, 1, 1]
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram("h", buckets=[1.0]).quantile(50.0) == 0.0
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[1.0]).quantile(101.0)
+
+    def test_quantile_interpolates_and_clamps_to_max(self):
+        hist = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        p50 = hist.quantile(50.0)
+        assert 1.0 <= p50 <= 2.0
+        # The top quantile never exceeds the largest observed value, even
+        # though bucket interpolation alone would land above it.
+        assert hist.quantile(100.0) <= 3.0
+
+    def test_summary_empty(self):
+        summary = Histogram("h", buckets=[1.0]).summary()
+        assert summary["count"] == 0
+        assert summary["sum"] == 0.0
+
+    def test_summary_populated(self):
+        hist = Histogram("h", buckets=list(DEFAULT_BUCKETS))
+        for value in (0.01, 0.02, 0.03):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(0.06)
+        assert summary["mean"] == pytest.approx(0.02)
+        assert summary["min"] == pytest.approx(0.01)
+        assert summary["max"] == pytest.approx(0.03)
+        assert set(summary) >= {"p50", "p95", "p99"}
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits", stage="decode")
+        again = registry.counter("hits", stage="decode")
+        other = registry.counter("hits", stage="resize")
+        assert first is again
+        assert first is not other
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", stage="decode", source="serving")
+        b = registry.counter("hits", source="serving", stage="decode")
+        assert a is b
+
+    def test_same_name_different_kind_distinct(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        gauge = registry.gauge("x")
+        assert counter is not gauge
+        counter.inc()
+        assert gauge.value == 0.0
+
+    def test_instruments_sorted_by_kind_then_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("a")
+        registry.counter("b")
+        registry.counter("a")
+        keys = [(inst.kind, inst.name) for inst in registry.instruments()]
+        assert keys == [("counter", "a"), ("counter", "b"), ("gauge", "a")]
+
+    def test_snapshot_flat_names(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", stage="decode").inc(3.0)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("lat", buckets=[1.0]).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["hits{stage=decode}"] == pytest.approx(3.0)
+        assert snap["depth"] == pytest.approx(2.0)
+        assert snap["lat"] == pytest.approx(1.0)  # histograms report count
+
+
+class TestStageEvent:
+    def test_frozen(self):
+        event = StageEvent(stage="decode", subject="full-jpeg",
+                           images=32, seconds=0.5, source="serving")
+        with pytest.raises(AttributeError):
+            event.images = 64
+
+    def test_default_source(self):
+        event = StageEvent(stage="decode", subject="x", images=1, seconds=0.1)
+        assert event.source == ""

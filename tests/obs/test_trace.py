@@ -1,0 +1,196 @@
+"""Tests for the span model and tracer: ids, parenting, ambient context."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import Span, Tracer
+
+
+class TestSpan:
+    def test_context_is_picklable_pair(self):
+        tracer = Tracer()
+        span = tracer.start("op")
+        assert span.context == (span.trace_id, span.span_id)
+        assert isinstance(span.context, tuple)
+
+    def test_duration_zero_until_finished(self):
+        tracer = Tracer()
+        span = tracer.start("op")
+        assert span.duration_s == 0.0
+        span.finish()
+        assert span.duration_s >= 0.0
+        assert span.end_s is not None
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.start("op")
+        span.finish(end_s=span.start_s + 1.0)
+        span.finish(end_s=span.start_s + 99.0)
+        assert span.duration_s == pytest.approx(1.0)
+        assert len(tracer.spans()) == 1
+
+    def test_set_chains_attributes(self):
+        tracer = Tracer()
+        span = tracer.start("op", a=1).set(b=2).set(c=3)
+        assert span.attrs == {"a": 1, "b": 2, "c": 3}
+
+    def test_context_manager_records_error_type(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.start("op"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "RuntimeError"
+        assert span.end_s is not None
+
+    def test_to_dict_schema(self):
+        tracer = Tracer()
+        span = tracer.start("op", k="v")
+        span.finish()
+        record = span.to_dict()
+        assert set(record) == {"name", "trace_id", "span_id", "parent_id",
+                               "start_s", "duration_s", "attrs"}
+        assert record["name"] == "op"
+        assert record["attrs"] == {"k": "v"}
+
+
+class TestTracerParenting:
+    def test_orphan_span_starts_new_trace(self):
+        tracer = Tracer()
+        first = tracer.start("a")
+        second = tracer.start("b")
+        assert first.parent_id is None
+        assert second.parent_id is None
+        assert first.trace_id != second.trace_id
+        assert first.span_id != second.span_id
+
+    def test_explicit_parent_span_object(self):
+        tracer = Tracer()
+        parent = tracer.start("parent")
+        child = tracer.start("child", parent=parent)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+    def test_explicit_parent_context_tuple(self):
+        tracer = Tracer()
+        parent = tracer.start("parent")
+        child = tracer.start("child", parent=parent.context)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+    def test_ambient_parent_via_activate(self):
+        tracer = Tracer()
+        root = tracer.start("root")
+        with tracer.activate(root.context):
+            child = tracer.start("child")
+        orphan = tracer.start("after")
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+        assert orphan.parent_id is None
+
+    def test_activate_nests_and_unwinds(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        with tracer.activate(outer):
+            inner = tracer.start("inner")
+            with tracer.activate(inner):
+                assert tracer.current() == inner.context
+                leaf = tracer.start("leaf")
+            assert tracer.current() == outer.context
+        assert tracer.current() is None
+        assert leaf.parent_id == inner.span_id
+
+    def test_activate_none_is_noop(self):
+        tracer = Tracer()
+        with tracer.activate(None):
+            assert tracer.current() is None
+
+    def test_explicit_parent_wins_over_ambient(self):
+        tracer = Tracer()
+        ambient = tracer.start("ambient")
+        other = tracer.start("other")
+        with tracer.activate(ambient):
+            child = tracer.start("child", parent=other)
+        assert child.parent_id == other.span_id
+        assert child.trace_id == other.trace_id
+
+    def test_ambient_context_is_thread_local(self):
+        tracer = Tracer()
+        root = tracer.start("root")
+        seen = {}
+
+        def worker():
+            seen["current"] = tracer.current()
+            with tracer.activate(root.context):
+                seen["child"] = tracer.start("child")
+
+        with tracer.activate(root.context):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The spawned thread starts with no ambient context; activating the
+        # propagated tuple reconnects it -- the thread/process-hop pattern.
+        assert seen["current"] is None
+        assert seen["child"].parent_id == root.span_id
+
+
+class TestRecord:
+    def test_record_emits_finished_span_with_modelled_duration(self):
+        tracer = Tracer()
+        span = tracer.record("stage.decode", 1.5, worker="w0")
+        assert span.end_s is not None
+        assert span.duration_s == pytest.approx(1.5)
+        assert span.attrs == {"worker": "w0"}
+        assert tracer.spans() == [span]
+
+    def test_record_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().record("bad", -0.1)
+
+    def test_record_respects_parent(self):
+        tracer = Tracer()
+        parent = tracer.start("parent")
+        span = tracer.record("child", 0.5, parent=parent.context)
+        assert span.parent_id == parent.span_id
+
+
+class TestBuffer:
+    def test_bounded_buffer_drops_oldest(self):
+        tracer = Tracer(max_spans=3)
+        spans = [tracer.record(f"s{i}", 0.0) for i in range(5)]
+        kept = tracer.spans()
+        assert [s.name for s in kept] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+        assert spans[0] not in kept
+
+    def test_drain_empties_buffer(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0)
+        tracer.record("b", 0.0)
+        drained = tracer.drain()
+        assert [s.name for s in drained] == ["a", "b"]
+        assert tracer.spans() == []
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_span_ids_are_process_unique(self):
+        tracer = Tracer()
+        ids = {tracer.start(f"s{i}").span_id for i in range(100)}
+        assert len(ids) == 100
+
+    def test_repr_names_ids(self):
+        tracer = Tracer()
+        span = tracer.start("op")
+        text = repr(span)
+        assert "op" in text and str(span.span_id) in text
+
+    def test_as_context_roundtrip(self):
+        tracer = Tracer()
+        span = tracer.start("op")
+        child = tracer.start("child", parent=Span(
+            "copy", span.trace_id, span.span_id, None, 0.0, None, tracer
+        ))
+        assert child.trace_id == span.trace_id

@@ -345,3 +345,60 @@ class TestAdaptCli:
     def test_unknown_scenario_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["adapt", "--scenario", "warp"])
+
+
+class TestObsCommands:
+    def test_obs_demo_exports_one_connected_tree(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "chrome.json"
+        prom = tmp_path / "metrics.prom"
+        assert main([
+            "obs", "demo", "--frames", "1200", "--workers", "2",
+            "--requests", "8",
+            "--store-root", str(tmp_path / "store"),
+            "--trace-out", str(trace), "--chrome-out", str(chrome),
+            "--metrics-out", str(prom),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "scores bit-identical to the untraced run: OK" in output
+        assert ("single connected span tree covering serving, cluster, "
+                "query, store, adapt: OK") in output
+        # All three export formats were written and are loadable.
+        import json
+
+        document = json.loads(chrome.read_text())
+        events = document["traceEvents"]
+        assert events and all(event["ph"] == "X" for event in events)
+        assert len(trace.read_text().splitlines()) == len(events)
+        assert "# TYPE stage_seconds_total counter" in prom.read_text()
+
+        # The exported file round-trips through summarize and export.
+        assert main(["obs", "summarize", "--trace", str(trace)]) == 0
+        summary = capsys.readouterr().out
+        assert "single connected span tree: OK" in summary
+        assert "serving.request" in summary
+        out2 = tmp_path / "chrome2.json"
+        assert main(["obs", "export", "--trace", str(trace),
+                     "--out", str(out2)]) == 0
+        assert json.loads(out2.read_text())["traceEvents"]
+
+    def test_query_trace_out_writes_span_log(self, capsys, tmp_path):
+        trace = tmp_path / "query-trace.jsonl"
+        assert main(["query", "--kind", "aggregate", "--dataset", "taipei",
+                     "--error", "0.05", "--workers", "2",
+                     "--frame-limit", "1200",
+                     "--bench-json", str(tmp_path / "b.json"),
+                     "--trace-out", str(trace)]) == 0
+        output = capsys.readouterr().out
+        assert str(trace) in output
+        lines = trace.read_text().splitlines()
+        assert lines
+        import json
+
+        names = {json.loads(line)["name"] for line in lines}
+        assert "query.execute" in names
+
+    def test_obs_summarize_missing_trace_exits_2(self, capsys, tmp_path):
+        assert main(["obs", "summarize",
+                     "--trace", str(tmp_path / "missing.jsonl")]) == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -23,6 +23,7 @@ PUBLIC_SUBPACKAGES = [
     "repro.query",
     "repro.store",
     "repro.adapt",
+    "repro.obs",
     "repro.utils",
     "repro.cli",
 ]

@@ -24,6 +24,20 @@ class TestSimTimer:
         timer.reset()
         assert timer.total() == 0.0
 
+    def test_add_seconds_converts_at_the_boundary(self):
+        timer = SimTimer()
+        timer.add_seconds("decode", 0.25)
+        timer.add("decode", 500.0)
+        assert timer.breakdown() == {"decode": 250_500.0}
+        assert timer.total_seconds() == pytest.approx(0.2505)
+        assert timer.breakdown_seconds() == {
+            "decode": pytest.approx(0.2505)
+        }
+
+    def test_add_seconds_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimTimer().add_seconds("x", -0.1)
+
 
 class TestWallTimer:
     def test_measures_positive_elapsed(self):
