@@ -13,9 +13,16 @@ two-sided:
   check with headroom);
 * **enabled**: the median wall time of a traced run must stay within 10%
   of the untraced median (with an absolute floor for sub-millisecond
-  jitter), and tracing must not change any analytics result.
+  jitter), and tracing must not change any analytics result;
+* **recorder**: the always-on flight-recorder mode
+  (:class:`~repro.obs.RecorderObservability`) must stay within 3% of the
+  untraced median (same absolute floor) -- this is the budget that makes
+  "leave it on in production" defensible.
 
-The sweep is recorded as ``BENCH_obs.json`` at the repo root.
+Each row also records per-subsystem span counts (``spans_cluster``,
+``spans_stage``, ...) so a regression diff can see *where* new spans
+appeared, not just how many.  The sweep is recorded as ``BENCH_obs.json``
+at the repo root.
 """
 
 import json
@@ -31,7 +38,12 @@ from repro.cluster import (
     ShardedCorpusRunner,
     ThreadWorker,
 )
-from repro.obs import NULL_OBS, Observability, validate_span_tree
+from repro.obs import (
+    NULL_OBS,
+    Observability,
+    RecorderObservability,
+    validate_span_tree,
+)
 from repro.utils.benchio import write_bench_json
 from repro.utils.tables import Table
 
@@ -48,6 +60,7 @@ BASELINE_PATH = ROOT / "BENCH_cluster.json"
 #: floor so scheduler jitter on a ~100ms run cannot fail a relative gate.
 DISABLED_TOLERANCE = 0.02
 ENABLED_TOLERANCE = 0.10
+RECORDER_TOLERANCE = 0.03
 WALL_FLOOR_S = 0.050
 
 
@@ -68,20 +81,33 @@ def _run_corpus(obs):
     return corpus, wall_s
 
 
+def _subsystem_counts(spans) -> dict[str, int]:
+    """Span counts keyed by name prefix (``cluster.item`` -> ``cluster``)."""
+    counts: dict[str, int] = {}
+    for span in spans:
+        subsystem = span.name.split(".", 1)[0]
+        counts[subsystem] = counts.get(subsystem, 0) + 1
+    return counts
+
+
 def _measure(make_obs):
     walls = []
     corpus = None
     span_count = 0
+    subsystems: dict[str, int] = {}
     for _ in range(REPEATS):
         obs = make_obs()
         corpus, wall_s = _run_corpus(obs)
         walls.append(wall_s)
-        span_count = len(obs.spans())
+        spans = obs.spans()
+        span_count = len(spans)
+        subsystems = _subsystem_counts(spans)
     return {
         "corpus": corpus,
         "wall_median_s": statistics.median(walls),
         "wall_min_s": min(walls),
         "spans": span_count,
+        "subsystems": subsystems,
     }
 
 
@@ -106,20 +132,29 @@ def run_overhead() -> tuple[Table, list[dict]]:
         return obs
 
     enabled = _measure(make_traced)
+    recorder_obs = []
+
+    def make_recorder():
+        obs = RecorderObservability()
+        recorder_obs.append(obs)
+        return obs
+
+    recorder = _measure(make_recorder)
     table = Table(
         f"Smol-Scope overhead ({IMAGES} images, {WORKERS} workers, "
         f"median of {REPEATS})",
         ["Mode", "Shard im/s", "Wall (ms)", "Spans", "Accuracy"],
     )
     rows = []
-    for mode, result in (("disabled", disabled), ("enabled", enabled)):
+    for mode, result in (("disabled", disabled), ("enabled", enabled),
+                         ("recorder", recorder)):
         corpus = result["corpus"]
         table.add_row(
             mode, round(corpus.simulated_throughput),
             round(result["wall_median_s"] * 1000.0, 1),
             result["spans"], round(corpus.total.accuracy, 4),
         )
-        rows.append({
+        row = {
             "mode": mode,
             "workers": WORKERS,
             "simulated_throughput": round(corpus.simulated_throughput, 2),
@@ -128,15 +163,24 @@ def run_overhead() -> tuple[Table, list[dict]]:
             "spans": result["spans"],
             "corpus_images": corpus.total.count,
             "corpus_accuracy": round(corpus.total.accuracy, 4),
-        })
+        }
+        for subsystem, count in sorted(result["subsystems"].items()):
+            row[f"spans_{subsystem}"] = count
+        rows.append(row)
     # Tracing is observability, not execution: identical analytics.
     assert (disabled["corpus"].total.confusion
             == enabled["corpus"].total.confusion).all()
+    assert (disabled["corpus"].total.confusion
+            == recorder["corpus"].total.confusion).all()
     # The last traced run must have produced real, connected-per-item spans.
     last = traced_obs[-1]
     tree = validate_span_tree(last.spans())
     assert tree.spans > 0
     assert tree.covers("cluster.item", "cluster.execute")
+    # Recorder mode must actually ring-buffer what the tracer finished.
+    last_recorder = recorder_obs[-1]
+    assert last_recorder.recorder is not None
+    assert len(last_recorder.recorder.ring_spans()) == recorder["spans"]
     return table, rows
 
 
@@ -149,6 +193,7 @@ def test_obs_overhead(benchmark):
         "images": IMAGES, "workers": WORKERS, "repeats": REPEATS,
         "disabled_tolerance": DISABLED_TOLERANCE,
         "enabled_tolerance": ENABLED_TOLERANCE,
+        "recorder_tolerance": RECORDER_TOLERANCE,
         "baseline_simulated_throughput": baseline,
     }
     write_bench_json(BENCH_PATH, "obs-overhead", rows, meta=meta)
@@ -167,3 +212,11 @@ def test_obs_overhead(benchmark):
     slack = max(ENABLED_TOLERANCE * disabled_wall, WALL_FLOOR_S)
     assert enabled_wall <= disabled_wall + slack
     assert by_mode["enabled"]["spans"] > 0
+    # Gate 3: the always-on flight-recorder mode costs at most 3% wall
+    # time over the disabled path (same jitter floor) while still
+    # ring-buffering every span the run produced.
+    recorder_wall = by_mode["recorder"]["wall_median_s"]
+    recorder_slack = max(RECORDER_TOLERANCE * disabled_wall, WALL_FLOOR_S)
+    assert recorder_wall <= disabled_wall + recorder_slack
+    assert by_mode["recorder"]["spans"] > 0
+    assert by_mode["recorder"]["spans_cluster"] > 0

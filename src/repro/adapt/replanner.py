@@ -179,6 +179,7 @@ class ControllerStats:
     swaps: int
     last_reason: str
     target_failures: int = 0
+    slo_events: int = 0
 
 
 class AdaptiveController:
@@ -213,11 +214,14 @@ class AdaptiveController:
         self._lock = threading.Lock()
         self._current = current_plan
         self._catalog_dirty = False
+        self._slo_dirty = False
         self._watched: list = []
+        self._watched_buses: list = []
         self._steps = 0
         self._observations = 0
         self._drifts = 0
         self._catalog_events = 0
+        self._slo_events = 0
         self._replans = 0
         self._swaps = 0
         self._target_failures = 0
@@ -258,11 +262,34 @@ class AdaptiveController:
         store.subscribe(on_event)
         self._watched.append((store, on_event))
 
+    def watch_slo(self, obs) -> None:
+        """Subscribe to ``slo.burn`` bus events as a replan trigger.
+
+        An SLO burning its error budget is the user-facing symptom of the
+        same condition the drift detector infers from cost scales --
+        except it also fires when the cause is *not* a stage cost (queue
+        pressure, failover churn).  The subscription marks the controller
+        SLO-dirty so the next :meth:`step` replans even if the detector
+        is quiet, closing the loop from promise to plan.
+        """
+        def on_event(event) -> None:
+            if event.stage != "slo.burn":
+                return
+            with self._lock:
+                self._slo_dirty = True
+                self._slo_events += 1
+
+        obs.add_stage_listener(on_event)
+        self._watched_buses.append((obs, on_event))
+
     def close(self) -> None:
-        """Unsubscribe from every watched store."""
+        """Unsubscribe from every watched store and stage bus."""
         for store, listener in self._watched:
             store.unsubscribe(listener)
         self._watched.clear()
+        for obs, listener in self._watched_buses:
+            obs.remove_stage_listener(listener)
+        self._watched_buses.clear()
 
     # ------------------------------------------------------------------
     # The loop
@@ -290,15 +317,19 @@ class AdaptiveController:
         drifted = self._detector.update(scales)
         with self._lock:
             catalog_dirty, self._catalog_dirty = self._catalog_dirty, False
+            slo_dirty, self._slo_dirty = self._slo_dirty, False
             self._steps += 1
             self._observations += used
             if drifted:
                 self._drifts += 1
             current = self._current
-        if not drifted and not catalog_dirty:
+        if not drifted and not catalog_dirty and not slo_dirty:
             with self._lock:
                 self._last_reason = "no-drift"
             return ReplanDecision(swapped=False, reason="no-drift")
+        if slo_dirty:
+            self._obs.note("adapt.slo_replan", drifted=drifted,
+                           catalog_dirty=catalog_dirty)
         decision = self._replanner.replan(current, observed)
         self._replans_metric.inc()
         with self._lock:
@@ -348,4 +379,5 @@ class AdaptiveController:
                 swaps=self._swaps,
                 last_reason=self._last_reason,
                 target_failures=self._target_failures,
+                slo_events=self._slo_events,
             )

@@ -22,7 +22,14 @@ Subcommands:
   workload across every subsystem (serving, cluster, query, store, adapt)
   and exports the span log, Chrome trace, and Prometheus metrics;
   ``summarize`` prints the per-span-name duration table of a saved JSONL
-  trace; ``export`` converts a JSONL trace to Chrome ``trace_event`` JSON.
+  trace; ``export`` converts a JSONL trace to Chrome ``trace_event`` JSON;
+  ``analyze`` attributes each request's latency across pipeline categories
+  (critical-path blame, verified to sum to the request durations);
+  ``slo`` replays a span log through a multi-window SLO burn-rate engine
+  (``--fail-on-burn`` exits 1 when the log burns); ``postmortem``
+  reconstructs the failure trace from a flight-recorder bundle.
+* ``bench-diff``    -- compare two ``BENCH_*.json`` scorecards field by
+  field and exit 1 on regressions beyond tolerance.
 
 The serving/cluster/query benchmarks also record their scorecards as
 machine-readable artifacts (``BENCH_serving.json`` / ``BENCH_cluster.json``
@@ -56,6 +63,11 @@ Examples
     python -m repro.cli obs summarize --trace TRACE_query.jsonl
     python -m repro.cli obs export --trace TRACE_query.jsonl \
         --out TRACE_query_chrome.json
+    python -m repro.cli obs analyze --trace TRACE_query.jsonl --top-k 10
+    python -m repro.cli obs slo --trace TRACE_query.jsonl \
+        --latency-target-ms 50 --objective 0.99 --fail-on-burn
+    python -m repro.cli obs postmortem --bundle postmortems/postmortem-0001
+    python -m repro.cli bench-diff BENCH_obs.json BENCH_obs.json
 """
 
 from __future__ import annotations
@@ -195,6 +207,21 @@ def _build_session(args: argparse.Namespace):
     return estimate, _make_session(args, smol, estimate)
 
 
+def _tracing_obs(args: argparse.Namespace):
+    """An Observability when ``--trace-out`` was given, else NULL_OBS."""
+    return Observability() if getattr(args, "trace_out", None) else NULL_OBS
+
+
+def _finish_trace(obs, trace_out: str | None) -> None:
+    """Write ``obs``'s finished spans as JSONL when a path was given."""
+    if not trace_out:
+        return
+    from repro.obs import write_spans_jsonl
+
+    count = write_spans_jsonl(obs.spans(), trace_out)
+    print(f"wrote {count} spans to {trace_out}")
+
+
 def _image_pool(args: argparse.Namespace) -> list:
     """A pool of (image_id, payload) pairs sized for cache-hit traffic."""
     if args.mode != "functional":
@@ -210,6 +237,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         raise ServingError("--rate must be positive")
     estimate, session = _build_session(args)
     pool = _image_pool(args)
+    obs = _tracing_obs(args)
     duration = args.requests / args.rate
     table = Table(
         f"Serving latency/throughput by batching policy ({args.mode} mode)",
@@ -220,7 +248,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     rows = []
     for policy in (BatchPolicy.latency(), BatchPolicy.throughput()):
         with SmolServer(session, policy=policy,
-                        cache_capacity=args.cache_capacity) as server:
+                        cache_capacity=args.cache_capacity,
+                        obs=obs) as server:
             generator = LoadGenerator(server, pool, seed=args.seed)
             report = generator.run(rate_per_s=args.rate, duration_s=duration,
                                    pattern="poisson")
@@ -243,18 +272,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               "seed": args.seed},
     )
     print(f"wrote {written}")
+    _finish_trace(obs, args.trace_out)
     return 0
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     estimate, session = _build_session(args)
     pool = _image_pool(args)
+    obs = _tracing_obs(args)
     policy = BatchPolicy(name="custom", max_batch_size=args.max_batch,
                          max_wait_ms=args.max_wait_ms)
     print(f"plan: {estimate.plan.describe()}")
     with SmolServer(session, policy=policy,
                     queue_capacity=args.queue_capacity,
-                    cache_capacity=args.cache_capacity) as server:
+                    cache_capacity=args.cache_capacity,
+                    obs=obs) as server:
         generator = LoadGenerator(server, pool, seed=args.seed)
         report = generator.run(
             rate_per_s=args.rate, duration_s=args.duration,
@@ -275,16 +307,19 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
               "duration_s": args.duration, "seed": args.seed},
     )
     print(f"wrote {written}")
+    _finish_trace(obs, args.trace_out)
     return 0
 
 
-def _cluster_worker_factory(args: argparse.Namespace, smol: Smol, estimate):
+def _cluster_worker_factory(args: argparse.Namespace, smol: Smol, estimate,
+                            obs=NULL_OBS):
     """A worker factory building one warmed replica per call."""
     def factory(worker_id: str, results):
         session = _make_session(args, smol, estimate,
                                 num_classes=args.num_classes)
         return ThreadWorker(worker_id, session, results,
-                            service_time_scale=args.service_scale)
+                            service_time_scale=args.service_scale,
+                            obs=obs)
     return factory
 
 
@@ -294,7 +329,8 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     if any(count <= 0 for count in args.workers):
         raise ServingError("--workers counts must be positive")
     smol, estimate = _select_estimate(args)
-    factory = _cluster_worker_factory(args, smol, estimate)
+    obs = _tracing_obs(args)
+    factory = _cluster_worker_factory(args, smol, estimate, obs=obs)
     if args.mode == "functional":
         # Functional replicas run real pixels through a binary model.
         generator = SyntheticImageGenerator(num_classes=2, image_size=48,
@@ -321,18 +357,19 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     baseline = None
     for count in args.workers:
         with Dispatcher(factory, num_workers=count,
-                        router=args.router) as dispatcher:
+                        router=args.router, obs=obs) as dispatcher:
             runner = ShardedCorpusRunner(
                 factory, num_workers=count, num_classes=args.num_classes,
                 batch_size=args.max_batch, router=args.router,
-                format_name=estimate.plan.input_format.name,
+                format_name=estimate.plan.input_format.name, obs=obs,
             )
             corpus = runner.run(examples, dispatcher=dispatcher)
             with SmolServer(cluster=dispatcher,
                             policy=BatchPolicy(name="cluster",
                                                max_batch_size=args.max_batch,
                                                max_wait_ms=2.0),
-                            cache_capacity=args.cache_capacity) as server:
+                            cache_capacity=args.cache_capacity,
+                            obs=obs) as server:
                 generator = LoadGenerator(server, pool, seed=args.seed)
                 online = generator.run(rate_per_s=args.rate,
                                        duration_s=args.duration,
@@ -363,6 +400,7 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
               "rate_per_s": args.rate, "seed": args.seed},
     )
     print(f"wrote {written}")
+    _finish_trace(obs, args.trace_out)
     return 0
 
 
@@ -438,7 +476,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if any(count <= 0 for count in args.workers):
         raise ServingError("--workers counts must be positive")
     spec = _query_spec(args)
-    obs = Observability() if args.trace_out else NULL_OBS
+    obs = _tracing_obs(args)
     engine = QueryEngine(instance=args.instance,
                          frame_limit=args.frame_limit,
                          batch_size=args.max_batch,
@@ -491,11 +529,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
               "frame_limit": args.frame_limit, "seed": args.seed},
     )
     print(f"wrote {written}")
-    if args.trace_out:
-        from repro.obs import write_spans_jsonl
-
-        count = write_spans_jsonl(obs.spans(), args.trace_out)
-        print(f"wrote {count} spans to {args.trace_out}")
+    _finish_trace(obs, args.trace_out)
     if engine.store is not None:
         print()
         print(engine.store.stats().describe())
@@ -656,7 +690,6 @@ def _cmd_obs_demo(args: argparse.Namespace) -> int:
     from repro.core.accuracy import AccuracyEstimator
     from repro.core.costmodel import SmolCostModel
     from repro.core.planner import PlanGenerator
-    from repro.obs import write_spans_jsonl
     from repro.query.engine import VIDEO_SENSITIVITY, VIDEO_TOP_ACCURACY
     from repro.query.scan import scan_store_fingerprint
     from repro.serving import InferenceRequest, SimulatedSession
@@ -751,8 +784,7 @@ def _cmd_obs_demo(args: argparse.Namespace) -> int:
         )
     print("single connected span tree covering "
           + ", ".join(p.rstrip(".") for p in DEMO_COVERAGE) + ": OK")
-    count = write_spans_jsonl(spans, args.trace_out)
-    print(f"wrote {count} spans to {args.trace_out}")
+    _finish_trace(obs, args.trace_out)
     events = write_chrome_trace(spans, args.chrome_out)
     print(f"wrote {events} trace events to {args.chrome_out}")
     if args.metrics_out:
@@ -762,9 +794,154 @@ def _cmd_obs_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_analyze(args: argparse.Namespace) -> int:
+    """Critical-path attribution of a span log (blame + slowest requests)."""
+    from repro.obs import analyze_critical_path
+    from repro.obs.analyze import CATEGORIES
+
+    spans = read_spans_jsonl(args.trace)
+    report = analyze_critical_path(spans, top_k=args.top_k)
+    if not report.requests:
+        print(f"{args.trace}: no request spans "
+              "(serving.request / cluster.item) to attribute")
+        return 0
+    # The invariant the analysis stands on: every request's category
+    # breakdown sums exactly to its end-to-end span duration.
+    worst_residual = max(
+        abs(sum(row.breakdown.values()) - row.duration_s)
+        for row in report.requests
+    )
+    if worst_residual > 1e-9 + 1e-6 * report.total_s:
+        raise ServingError(
+            f"attribution does not sum to request durations "
+            f"(worst residual {worst_residual:.3e}s)"
+        )
+    shares = report.blame_shares()
+    blame = Table(
+        f"Critical-path blame over {len(report.requests)} requests "
+        f"({report.spans_attributed}/{report.spans_seen} spans attributed)",
+        ["Category", "Total (ms)", "Share"],
+    )
+    for category in CATEGORIES:
+        seconds = report.blame.get(category, 0.0)
+        if seconds <= 0.0:
+            continue
+        blame.add_row(category, round(seconds * 1000.0, 3),
+                      f"{shares[category]:.1%}")
+    print(blame)
+    slow = Table(
+        f"Top {len(report.slowest)} slowest requests",
+        ["Trace", "Span", "Name", "ms", "Dominant", "Spans"],
+    )
+    for row in report.slowest:
+        slow.add_row(row.trace_id, row.span_id, row.name,
+                     round(row.duration_s * 1000.0, 3), row.dominant,
+                     row.spans)
+    print(slow)
+    print(f"attribution sums to request durations "
+          f"(worst residual {worst_residual:.1e}s): OK")
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    """Replay a span log against an SLO spec; report burn-rate windows."""
+    from repro.obs import SloSpec, SloWindow, replay_spans
+
+    spans = read_spans_jsonl(args.trace)
+    spec = SloSpec(
+        name=args.slo_name,
+        latency_target_s=args.latency_target_ms / 1000.0,
+        objective=args.objective,
+        windows=(
+            SloWindow(seconds=args.short_window_s,
+                      max_burn_rate=args.short_burn),
+            SloWindow(seconds=args.long_window_s,
+                      max_burn_rate=args.long_burn),
+        ),
+        min_events=args.min_events,
+    )
+    statuses = replay_spans(spans, [spec])
+    status = statuses[0]
+    table = Table(
+        f"SLO '{spec.name}' (p{spec.objective * 100:g} under "
+        f"{args.latency_target_ms:g} ms) over {args.trace}",
+        ["Window (s)", "Events", "Bad", "Burn rate", "Alarm at", "Burning"],
+    )
+    for burn in status.windows:
+        table.add_row(burn.window_s, burn.events, burn.bad,
+                      round(burn.burn_rate, 3), burn.max_burn_rate,
+                      "YES" if burn.burning else "no")
+    print(table)
+    verdict = "BURNING" if status.burning else "healthy"
+    print(f"verdict: {verdict} "
+          f"({status.alerts_total} alert(s) would have fired)")
+    return 1 if status.burning and args.fail_on_burn else 0
+
+
+def _cmd_obs_postmortem(args: argparse.Namespace) -> int:
+    """Inspect a flight-recorder bundle; reconstruct the failure trace."""
+    from repro.obs import load_postmortem
+
+    bundle = load_postmortem(args.bundle)
+    manifest = bundle.manifest
+    print(f"bundle: {bundle.path}")
+    print(f"reason: {bundle.reason}  context: {manifest.get('context', {})}")
+    print(f"spans: {manifest.get('spans', len(bundle.spans))} "
+          f"({manifest.get('open_spans', 0)} still open)  "
+          f"events: {manifest.get('events', len(bundle.events))}  "
+          f"trips: {manifest.get('trips', 0)}")
+    trace = bundle.trace_spans()
+    if trace:
+        tree = validate_span_tree(trace)
+        trace_id = trace[0]["trace_id"]
+        print(_span_summary_table(
+            f"Failure trace {trace_id} ({tree.spans} spans)", trace))
+        if tree.connected:
+            print(f"trace {trace_id}: single connected span tree: OK")
+        else:
+            print(f"trace {trace_id}: not a single connected tree: "
+                  + "; ".join(tree.problems))
+        open_spans = [span for span in trace if span.get("open")]
+        if open_spans:
+            print("in flight at dump time: "
+                  + ", ".join(f"{span['name']}#{span['span_id']}"
+                              for span in open_spans))
+    else:
+        print("no spans in the bundle")
+    errors = bundle.error_spans()
+    if errors:
+        print("error spans: "
+              + ", ".join(f"{span['name']}#{span['span_id']}"
+                          f"({span['attrs'].get('error')})"
+                          for span in errors[:8]))
+    tail = bundle.events[-args.events:] if args.events else []
+    if tail:
+        events = Table(f"Last {len(tail)} recorded events",
+                       ["Kind", "Detail"])
+        for event in tail:
+            kind = event.get("kind", "?")
+            detail = {key: value for key, value in event.items()
+                      if key not in ("kind", "time")}
+            events.add_row(kind, str(detail))
+        print(events)
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.action == "demo":
         return _cmd_obs_demo(args)
+    if args.action == "analyze":
+        return _cmd_obs_analyze(args)
+    if args.action == "slo":
+        return _cmd_obs_slo(args)
+    if args.action == "postmortem":
+        return _cmd_obs_postmortem(args)
     spans = read_spans_jsonl(args.trace)
     if args.action == "export":
         events = write_chrome_trace(spans, args.out)
@@ -777,6 +954,47 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     else:
         print("not a single connected tree: " + "; ".join(tree.problems))
     return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Diff two BENCH_*.json scorecards; exit 1 on metric regressions."""
+    import json
+
+    from repro.obs import bench_diff
+
+    def load(path: str) -> dict:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServingError(f"cannot read bench file {path}: {exc}") \
+                from exc
+
+    overrides = {}
+    for item in args.field_tolerance or ():
+        name, _, value = item.partition("=")
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            raise ServingError(
+                f"--field-tolerance wants NAME=FLOAT, got {item!r}"
+            ) from None
+    diff = bench_diff(load(args.baseline), load(args.candidate),
+                      tolerance=args.tolerance,
+                      field_tolerances=overrides)
+    print(f"bench: {diff.bench}  ({args.baseline} -> {args.candidate}, "
+          f"tolerance {args.tolerance:.0%})")
+    for problem in diff.problems:
+        print(f"problem: {problem}")
+    shown = diff.deltas if args.verbose else diff.regressions
+    for delta in shown:
+        print(delta.describe())
+    if diff.ok:
+        print("no regressions")
+        return 0
+    print(f"{len(diff.regressions)} regression(s), "
+          f"{len(diff.problems)} problem(s)")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -822,6 +1040,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="distinct images in the traffic mix")
         sub.add_argument("--cache-capacity", type=int, default=2048)
         sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--trace-out", default=None,
+                         help="trace the run and write the span log here as "
+                              "JSONL (see 'obs summarize' / 'obs analyze')")
 
     serve_bench = subparsers.add_parser(
         "serve-bench", help="compare micro-batching policies on SmolServer"
@@ -997,9 +1218,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs = subparsers.add_parser(
         "obs",
         help="observability tooling: traced end-to-end demo, span-log "
-             "summaries, Chrome trace export",
+             "summaries, Chrome trace export, critical-path analysis, "
+             "SLO replay, postmortem inspection",
     )
-    obs.add_argument("action", choices=("demo", "summarize", "export"))
+    obs.add_argument("action", choices=("demo", "summarize", "export",
+                                        "analyze", "slo", "postmortem"))
     obs.add_argument("--trace", default="TRACE_obs.jsonl",
                      help="JSONL span log to summarize/export")
     obs.add_argument("--out", default="TRACE_obs_chrome.json",
@@ -1027,7 +1250,52 @@ def build_parser() -> argparse.ArgumentParser:
                      help="demo: Chrome trace_event output path")
     obs.add_argument("--metrics-out", default=None,
                      help="demo: Prometheus text metrics output path")
+    obs.add_argument("--top-k", type=int, default=10,
+                     help="analyze: slowest requests to report")
+    obs.add_argument("--json-out", default=None,
+                     help="analyze: also write the report as JSON here")
+    obs.add_argument("--slo-name", default="serving-latency",
+                     help="slo: objective name")
+    obs.add_argument("--latency-target-ms", type=float, default=50.0,
+                     help="slo: per-request latency target")
+    obs.add_argument("--objective", type=float, default=0.99,
+                     help="slo: promised good fraction (error budget is "
+                          "1 - objective)")
+    obs.add_argument("--short-window-s", type=float, default=60.0,
+                     help="slo: short burn window")
+    obs.add_argument("--short-burn", type=float, default=14.4,
+                     help="slo: short-window burn-rate alarm threshold")
+    obs.add_argument("--long-window-s", type=float, default=300.0,
+                     help="slo: long burn window")
+    obs.add_argument("--long-burn", type=float, default=6.0,
+                     help="slo: long-window burn-rate alarm threshold")
+    obs.add_argument("--min-events", type=int, default=10,
+                     help="slo: samples required before alerting")
+    obs.add_argument("--fail-on-burn", action="store_true",
+                     help="slo: exit 1 when the objective is burning")
+    obs.add_argument("--bundle", default="postmortem-0001",
+                     help="postmortem: bundle directory to inspect")
+    obs.add_argument("--events", type=int, default=10,
+                     help="postmortem: recorded events to show")
     obs.set_defaults(func=_cmd_obs)
+
+    bench_diff = subparsers.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json scorecards and flag metric "
+             "regressions beyond per-field tolerances (exit 1 on "
+             "regression)",
+    )
+    bench_diff.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_diff.add_argument("candidate", help="candidate BENCH_*.json")
+    bench_diff.add_argument("--tolerance", type=float, default=0.1,
+                            help="default relative tolerance (0.1 = 10%%)")
+    bench_diff.add_argument("--field-tolerance", action="append",
+                            metavar="NAME=FLOAT", default=None,
+                            help="per-field tolerance override "
+                                 "(repeatable)")
+    bench_diff.add_argument("--verbose", action="store_true",
+                            help="print every delta, not only regressions")
+    bench_diff.set_defaults(func=_cmd_bench_diff)
     return parser
 
 

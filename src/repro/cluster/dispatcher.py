@@ -458,8 +458,21 @@ class Dispatcher:
             ))
             return
         if breaker is not None:
+            # The breaker has no "did this open it?" return; the
+            # opened_count delta is the trip signal for the recorder.
+            opened_before = breaker.snapshot().opened_count
             breaker.record_failure()
+            if breaker.snapshot().opened_count > opened_before:
+                self._obs.trip("circuit_open",
+                               worker_id=outcome.worker_id,
+                               error=outcome.error)
         if outcome.attempts >= self._max_attempts:
+            trace = outcome.trace
+            self._obs.trip(
+                "item_failed", item_id=outcome.item_id,
+                attempts=outcome.attempts, error=outcome.error,
+                trace_id=trace[0] if trace is not None else None,
+            )
             with self._lock:
                 self._inflight.pop(outcome.item_id, None)
                 self._failed += 1
@@ -551,7 +564,17 @@ class Dispatcher:
         orphans: list[WorkItem] = []
         for worker in dead:
             worker.kill()
-            orphans.extend(worker.pending_items())
+            pending = worker.pending_items()
+            orphans.extend(pending)
+            # Dump before the orphans are resolved below, so their still-
+            # open cluster.item spans land in the bundle as in-flight work.
+            trace = next((item.trace for item in pending
+                          if item.trace is not None), None)
+            self._obs.trip(
+                "worker_death", worker_id=worker.worker_id,
+                orphans=len(pending),
+                trace_id=trace[0] if trace is not None else None,
+            )
         for item in orphans:
             with self._lock:
                 entry = self._inflight.get(item.item_id)

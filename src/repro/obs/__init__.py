@@ -14,11 +14,18 @@ stack (``SmolServer(obs=...)``, ``QueryEngine(obs=...)``,
   with per-batch stage costs, and consumers such as
   ``adapt.TelemetryCollector.subscribe_to`` receive every event -- the
   adaptive loop and the metrics registry observe the same stream.
+* optionally, a :class:`~repro.obs.recorder.FlightRecorder`
+  (``Observability(recorder=...)``): finished spans and stage events are
+  mirrored into bounded rings, and :meth:`trip` / :meth:`dump_postmortem`
+  write self-contained postmortem bundles.
 
 The default everywhere is :data:`NULL_OBS`, a null object whose ``enabled``
 flag is False.  Hot loops either pre-bind instruments at construction time
 (null instruments are no-ops) or guard span creation with
 ``if obs.enabled:``, so the disabled path allocates nothing per request.
+Between the two extremes sits :class:`RecorderObservability`: real spans
+feeding a flight recorder, but no metrics registry -- the "always-on"
+black-box mode whose overhead is CI-gated at <=3% wall.
 """
 
 from __future__ import annotations
@@ -27,6 +34,12 @@ import threading
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.errors import ReproError
+from repro.obs.analyze import (
+    CriticalPathReport,
+    analyze_critical_path,
+    bench_diff,
+)
 from repro.obs.export import (
     chrome_trace,
     prometheus_text,
@@ -44,10 +57,17 @@ from repro.obs.metrics import (
     StageEvent,
     percentile,
 )
+from repro.obs.recorder import (
+    FlightRecorder,
+    PostmortemBundle,
+    load_postmortem,
+)
+from repro.obs.slo import SloEngine, SloSpec, SloWindow, replay_spans
 from repro.obs.trace import Span, TraceContext, Tracer
 
 __all__ = [
     "Observability",
+    "RecorderObservability",
     "NullObservability",
     "NULL_OBS",
     "Tracer",
@@ -66,17 +86,39 @@ __all__ = [
     "prometheus_text",
     "summarize_spans",
     "validate_span_tree",
+    "analyze_critical_path",
+    "CriticalPathReport",
+    "bench_diff",
+    "SloSpec",
+    "SloWindow",
+    "SloEngine",
+    "replay_spans",
+    "FlightRecorder",
+    "PostmortemBundle",
+    "load_postmortem",
 ]
 
 
 class Observability:
-    """Live tracing + metrics + stage events for one deployment."""
+    """Live tracing + metrics + stage events for one deployment.
+
+    Pass ``recorder=`` (a :class:`~repro.obs.recorder.FlightRecorder`) to
+    mirror every finished span and stage event into its bounded rings;
+    :meth:`note`, :meth:`trip`, and :meth:`dump_postmortem` then become
+    live, and subsystems use them to leave postmortem evidence.
+    """
 
     enabled = True
 
-    def __init__(self, max_spans: int = 65_536):
-        self.tracer = Tracer(max_spans=max_spans)
+    def __init__(self, max_spans: int = 65_536,
+                 recorder: FlightRecorder | None = None):
+        self.recorder = recorder
+        on_finish = recorder.record_span if recorder is not None else None
+        self.tracer = Tracer(max_spans=max_spans, on_finish=on_finish)
         self.metrics = MetricsRegistry()
+        if recorder is not None:
+            recorder.attach_tracer(self.tracer)
+            recorder.attach_metrics(self.metrics)
         self._listeners: list[Callable[[StageEvent], None]] = []
         self._listener_lock = threading.Lock()
 
@@ -125,10 +167,12 @@ class Observability:
                              source=source).inc(images)
         with self._listener_lock:
             listeners = list(self._listeners)
-        if not listeners:
+        if not listeners and self.recorder is None:
             return
         event = StageEvent(stage=stage, subject=subject, images=images,
                            seconds=seconds, source=source)
+        if self.recorder is not None:
+            self.recorder.record_event(event)
         for listener in listeners:
             listener(event)
 
@@ -145,6 +189,29 @@ class Observability:
             if listener in self._listeners:
                 self._listeners.remove(listener)
 
+    # -- flight recorder ------------------------------------------------
+    def note(self, kind: str, /, **fields) -> None:
+        """Leave a diagnostic breadcrumb in the flight recorder, if any."""
+        if self.recorder is not None:
+            self.recorder.note(kind, **fields)
+
+    def trip(self, reason: str, **context):
+        """Record a failure trip; auto-dumps a bundle when configured.
+
+        Returns the bundle path, or None without a recorder / dump root.
+        """
+        if self.recorder is None:
+            return None
+        return self.recorder.trip(reason, **context)
+
+    def dump_postmortem(self, path=None, reason: str = "manual",
+                        **context):
+        """Dump a postmortem bundle now; returns its directory."""
+        if self.recorder is None:
+            raise ReproError("no flight recorder attached: construct "
+                             "Observability(recorder=FlightRecorder(...))")
+        return self.recorder.dump(path, reason=reason, **context)
+
     # -- export ---------------------------------------------------------
     def export_jsonl(self, path: str) -> int:
         """Write all finished spans as JSONL; returns the span count."""
@@ -157,6 +224,47 @@ class Observability:
     def prometheus(self) -> str:
         """Render the metrics registry in Prometheus text format."""
         return prometheus_text(self.metrics)
+
+
+class RecorderObservability(Observability):
+    """Always-on black-box mode: spans + flight recorder, no metrics.
+
+    For deployments that cannot afford full observability but must stay
+    postmortem-able.  Spans are real (the recorder's ring and postmortem
+    trees need them) but the metrics registry is bypassed -- instrument
+    getters return the shared no-op -- and stage events skip the counter
+    bookkeeping, going only to the ring and any registered listeners.
+    ``benchmarks/bench_obs.py`` gates this mode at <=3% wall overhead
+    over the fully disabled path.
+    """
+
+    def __init__(self, recorder: FlightRecorder | None = None,
+                 max_spans: int = 8_192):
+        super().__init__(max_spans=max_spans,
+                         recorder=recorder or FlightRecorder())
+
+    def counter(self, name: str, **labels: str):
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: str):
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels: str):
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def emit_stage(self, stage: str, subject: str, images: int,
+                   seconds: float, source: str = "") -> None:
+        """Ring the event and notify listeners; no metrics bookkeeping."""
+        with self._listener_lock:
+            listeners = list(self._listeners)
+        event = StageEvent(stage=stage, subject=subject, images=images,
+                           seconds=seconds, source=source)
+        self.recorder.record_event(event)
+        for listener in listeners:
+            listener(event)
 
 
 class _NullInstrument:
@@ -227,6 +335,7 @@ class NullObservability:
 
     __slots__ = ()
     enabled = False
+    recorder = None
 
     def span(self, name: str, parent=None, **attrs) -> _NullSpan:
         """Return the shared inert span."""
@@ -271,6 +380,13 @@ class NullObservability:
 
     def remove_stage_listener(self, listener) -> None:
         """Nothing to remove."""
+
+    def note(self, kind: str, /, **fields) -> None:
+        """Drop the breadcrumb."""
+
+    def trip(self, reason: str, **context) -> None:
+        """Record nothing; no recorder to dump."""
+        return None
 
 
 #: The process-wide disabled-observability singleton (the default wiring).

@@ -138,11 +138,20 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _escape_label_value(value: str) -> str:
+    # Prometheus text exposition: backslash, double-quote, and line feed
+    # must be escaped inside quoted label values (escape backslash first,
+    # or the other escapes' backslashes get doubled).
+    return (str(value).replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _format_labels(labels: dict[str, str], **extra: str) -> str:
     merged = {**labels, **extra}
     if not merged:
         return ""
-    inner = ",".join(f'{key}="{value}"'
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"'
                      for key, value in sorted(merged.items()))
     return "{" + inner + "}"
 
@@ -161,12 +170,14 @@ class SpanTree:
     roots: tuple[int, ...]
     orphans: tuple[int, ...]
     names: frozenset[str]
+    duplicates: tuple[int, ...] = ()
 
     @property
     def connected(self) -> bool:
         """True if the export forms a single connected span tree."""
         return (self.spans > 0 and self.traces == 1
-                and len(self.roots) == 1 and not self.orphans)
+                and len(self.roots) == 1 and not self.orphans
+                and not self.duplicates)
 
     @property
     def problems(self) -> list[str]:
@@ -185,6 +196,11 @@ class SpanTree:
                 f"{len(self.orphans)} orphan spans (unresolvable parents): "
                 f"{list(self.orphans)[:8]}"
             )
+        if self.duplicates:
+            issues.append(
+                f"{len(self.duplicates)} duplicate span ids: "
+                f"{list(self.duplicates)[:8]}"
+            )
         return issues
 
     def covers(self, *prefixes: str) -> bool:
@@ -200,19 +216,26 @@ def validate_span_tree(spans) -> SpanTree:
     roots = []
     orphans = []
     traces = set()
+    seen: set[int] = set()
+    duplicates = []
     for span in records:
         traces.add(span["trace_id"])
+        span_id = span["span_id"]
+        if span_id in seen:
+            duplicates.append(span_id)
+        seen.add(span_id)
         parent = span.get("parent_id")
         if parent is None:
-            roots.append(span["span_id"])
+            roots.append(span_id)
         elif parent not in ids:
-            orphans.append(span["span_id"])
+            orphans.append(span_id)
     return SpanTree(
         spans=len(records),
         traces=len(traces),
         roots=tuple(roots),
         orphans=tuple(orphans),
         names=frozenset(span["name"] for span in records),
+        duplicates=tuple(duplicates),
     )
 
 

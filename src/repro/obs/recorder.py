@@ -1,0 +1,344 @@
+"""Always-on flight recorder: bounded rings, self-contained postmortems.
+
+The VDBMS bug studies are blunt about it: most production failures are
+only diagnosable from evidence *recorded at the time*, not from attempts
+to reproduce them later.  The :class:`FlightRecorder` is that evidence
+channel -- a set of bounded, allocation-cheap ring buffers that are safe
+to leave on in any deployment:
+
+* **spans** -- every finished span, mirrored straight off the tracer's
+  ``on_finish`` hook (the ring holds the same :class:`Span` objects; no
+  dict conversion happens until a dump);
+* **events** -- stage events, SLO burn alerts, and free-form notes
+  (worker deaths, batch failures, replan decisions);
+* **metric snapshots** -- periodic flat snapshots of the metrics
+  registry, rate-limited by ``snapshot_interval_s``.
+
+On a *trip* -- a worker death, a circuit-breaker open, an item exhausting
+its retries, or an explicit :meth:`dump` -- the recorder writes a
+self-contained postmortem bundle: a directory holding ``spans.jsonl``
+(finished ring spans plus every span still open at dump time, marked
+``"open": true``), ``events.jsonl``, ``metrics.json``, ``slo.json``, and
+a ``manifest.json`` describing why the bundle exists.  Open spans matter:
+the failed work item's span is usually still in flight when the failure
+fires, and including it is what makes the bundle's span tree connect.
+
+Two ways to wire it:
+
+* ``Observability(recorder=FlightRecorder(...))`` -- full tracing plus
+  recording (the tracer's finish hook feeds the span ring);
+* :class:`RecorderObservability` -- the "always-on" budget mode: spans
+  are created and recorded, but the metrics registry and stage-listener
+  machinery are bypassed (instruments are shared no-ops), keeping the
+  overhead near the disabled path (gated at <=3% wall by
+  ``benchmarks/bench_obs.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs.export import read_spans_jsonl
+from repro.obs.metrics import StageEvent
+
+__all__ = [
+    "FlightRecorder",
+    "PostmortemBundle",
+    "load_postmortem",
+]
+
+#: Bundle schema version written to every manifest.
+BUNDLE_SCHEMA_VERSION = 1
+
+
+class FlightRecorder:
+    """Bounded rings of recent spans/events/metric snapshots + dumps.
+
+    Parameters
+    ----------
+    span_capacity / event_capacity / snapshot_capacity:
+        Ring sizes.  Appends are O(1) deque operations; overflow silently
+        drops the oldest entry (a flight recorder keeps the *recent* past).
+    root:
+        Directory postmortem bundles are dumped under.  When None,
+        :meth:`trip` only records the trip event and :meth:`dump` requires
+        an explicit path.
+    snapshot_interval_s:
+        Minimum seconds between automatic metric snapshots (taken on event
+        traffic when a registry is attached).
+    """
+
+    def __init__(self, span_capacity: int = 8192,
+                 event_capacity: int = 4096,
+                 snapshot_capacity: int = 64,
+                 root: str | Path | None = None,
+                 snapshot_interval_s: float = 1.0) -> None:
+        if min(span_capacity, event_capacity, snapshot_capacity) <= 0:
+            raise ReproError("flight recorder capacities must be positive")
+        self._spans: deque = deque(maxlen=span_capacity)
+        self._events: deque = deque(maxlen=event_capacity)
+        self._snapshots: deque = deque(maxlen=snapshot_capacity)
+        self._root = Path(root) if root is not None else None
+        self._snapshot_interval_s = snapshot_interval_s
+        self._last_snapshot = 0.0
+        self._dump_ids = itertools.count(1)
+        self._dump_lock = threading.Lock()
+        self._tracer = None
+        self._metrics = None
+        self._slo = None
+        self._trips = 0
+        self._dumps: list[Path] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Let dumps capture the tracer's still-open spans."""
+        self._tracer = tracer
+
+    def attach_metrics(self, registry) -> None:
+        """Snapshot ``registry`` periodically and at dump time."""
+        self._metrics = registry
+
+    def attach_slo(self, engine) -> None:
+        """Include ``engine.state()`` (an SLO engine) in every bundle."""
+        self._slo = engine
+
+    @property
+    def root(self) -> Path | None:
+        """The auto-dump directory, if configured."""
+        return self._root
+
+    @property
+    def trips(self) -> int:
+        """Failure trips recorded so far."""
+        return self._trips
+
+    @property
+    def dumps(self) -> list[Path]:
+        """Paths of every bundle written by this recorder."""
+        return list(self._dumps)
+
+    def ring_spans(self) -> list:
+        """Snapshot of the span ring (oldest first)."""
+        return list(self._spans)
+
+    def ring_events(self) -> list:
+        """Snapshot of the event ring as ``(time, event)`` pairs."""
+        return list(self._events)
+
+    # ------------------------------------------------------------------
+    # Hot-path recording (deque appends; no locks, no dict churn)
+    # ------------------------------------------------------------------
+    def record_span(self, span) -> None:
+        """Mirror one finished span (a Span object or dict) into the ring."""
+        self._spans.append(span)
+
+    def record_event(self, event: StageEvent) -> None:
+        """Append one stage event; may take a rate-limited metric snapshot."""
+        now = time.time()
+        self._events.append((now, event))
+        if (self._metrics is not None
+                and now - self._last_snapshot >= self._snapshot_interval_s):
+            self._last_snapshot = now
+            self._snapshots.append(
+                {"time": now, "metrics": self._metrics.snapshot()}
+            )
+
+    def note(self, kind: str, /, **fields) -> None:
+        """Append one free-form diagnostic event (failure, decision, ...).
+
+        ``kind`` is positional-only and always wins the ``kind`` slot of
+        the ring record, so postmortem filters can trust it even when a
+        caller's fields happen to include a ``kind`` key.
+        """
+        self._events.append((time.time(), {**fields, "kind": kind}))
+
+    # ------------------------------------------------------------------
+    # Trips and dumps
+    # ------------------------------------------------------------------
+    def trip(self, reason: str, **context) -> Path | None:
+        """Record a failure trip; auto-dump a bundle when ``root`` is set."""
+        self._trips += 1
+        self.note("trip", reason=reason, **context)
+        if self._root is None:
+            return None
+        return self.dump(reason=reason, **context)
+
+    def dump(self, path: str | Path | None = None, reason: str = "manual",
+             **context) -> Path:
+        """Write a self-contained postmortem bundle; returns its directory.
+
+        The bundle is a directory: ``spans.jsonl`` (ring spans + open
+        spans), ``events.jsonl``, ``metrics.json``, ``slo.json``,
+        ``manifest.json``.  Ring contents are snapshotted under a lock so
+        concurrent trips produce internally consistent bundles.
+        """
+        with self._dump_lock:
+            if path is None:
+                if self._root is None:
+                    raise ReproError(
+                        "no dump path: pass path= or construct the recorder "
+                        "with root="
+                    )
+                path = self._root / f"postmortem-{next(self._dump_ids):04d}"
+            target = Path(path)
+            target.mkdir(parents=True, exist_ok=True)
+            spans = list(self._spans)
+            events = list(self._events)
+            snapshots = list(self._snapshots)
+        records = [span if isinstance(span, dict) else span.to_dict()
+                   for span in spans]
+        open_count = 0
+        if self._tracer is not None:
+            ids = {record["span_id"] for record in records}
+            now = time.perf_counter()
+            for span in self._tracer.open_spans():
+                if span.span_id in ids:
+                    continue
+                record = span.to_dict()
+                record["open"] = True
+                # An open span has no duration yet; report elapsed-so-far
+                # so the postmortem shows how long it had been in flight.
+                record["duration_s"] = max(0.0, now - span.start_s)
+                records.append(record)
+                open_count += 1
+        with open(target / "spans.jsonl", "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        with open(target / "events.jsonl", "w", encoding="utf-8") as handle:
+            for when, event in events:
+                if isinstance(event, StageEvent):
+                    payload = {"kind": "stage", "stage": event.stage,
+                               "subject": event.subject,
+                               "images": event.images,
+                               "seconds": event.seconds,
+                               "source": event.source}
+                else:
+                    payload = dict(event)
+                payload["time"] = when
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        metrics_payload = {
+            "snapshots": snapshots,
+            "current": (self._metrics.snapshot()
+                        if self._metrics is not None else {}),
+        }
+        (target / "metrics.json").write_text(
+            json.dumps(metrics_payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        slo_payload = self._slo.state() if self._slo is not None else {}
+        (target / "slo.json").write_text(
+            json.dumps(slo_payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        manifest = {
+            "schema_version": BUNDLE_SCHEMA_VERSION,
+            "reason": reason,
+            "context": {key: value for key, value in context.items()
+                        if _json_safe(value)},
+            "time": time.time(),
+            "spans": len(records),
+            "open_spans": open_count,
+            "events": len(events),
+            "metric_snapshots": len(snapshots),
+            "trips": self._trips,
+        }
+        (target / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        self._dumps.append(target)
+        return target
+
+
+def _json_safe(value) -> bool:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class PostmortemBundle:
+    """One loaded postmortem bundle (see :func:`load_postmortem`)."""
+
+    path: Path
+    manifest: dict
+    spans: list[dict]
+    events: list[dict]
+    metrics: dict
+    slo: dict = field(default_factory=dict)
+
+    @property
+    def reason(self) -> str:
+        """Why the bundle was dumped."""
+        return self.manifest.get("reason", "unknown")
+
+    def trace_ids(self) -> list[int]:
+        """Distinct trace ids present, largest span count first."""
+        counts: dict[int, int] = {}
+        for span in self.spans:
+            counts[span["trace_id"]] = counts.get(span["trace_id"], 0) + 1
+        return sorted(counts, key=lambda tid: (-counts[tid], tid))
+
+    def trace_spans(self, trace_id: int | None = None) -> list[dict]:
+        """Spans of one trace (default: the failure trace, else biggest).
+
+        The failure trace is the ``trace_id`` recorded in the manifest's
+        trip context when present.
+        """
+        if trace_id is None:
+            trace_id = self.manifest.get("context", {}).get("trace_id")
+        if trace_id is None:
+            ids = self.trace_ids()
+            if not ids:
+                return []
+            trace_id = ids[0]
+        return [span for span in self.spans
+                if span["trace_id"] == trace_id]
+
+    def error_spans(self) -> list[dict]:
+        """Spans carrying an ``error`` attribute (the blamed operations)."""
+        return [span for span in self.spans
+                if span.get("attrs", {}).get("error")]
+
+
+def load_postmortem(path: str | Path) -> PostmortemBundle:
+    """Load a bundle directory written by :meth:`FlightRecorder.dump`."""
+    target = Path(path)
+    manifest_path = target / "manifest.json"
+    if not manifest_path.exists():
+        raise ReproError(f"no postmortem bundle at {target}: "
+                         "manifest.json missing")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{manifest_path}: corrupt manifest: {exc}") from exc
+    spans = read_spans_jsonl(str(target / "spans.jsonl"))
+    events: list[dict] = []
+    events_path = target / "events.jsonl"
+    if events_path.exists():
+        with open(events_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+    metrics: dict = {}
+    metrics_path = target / "metrics.json"
+    if metrics_path.exists():
+        metrics = json.loads(metrics_path.read_text(encoding="utf-8"))
+    slo: dict = {}
+    slo_path = target / "slo.json"
+    if slo_path.exists():
+        slo = json.loads(slo_path.read_text(encoding="utf-8"))
+    return PostmortemBundle(path=target, manifest=manifest, spans=spans,
+                            events=events, metrics=metrics, slo=slo)

@@ -40,7 +40,7 @@ import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 __all__ = ["Span", "Tracer", "TraceContext"]
 
@@ -136,18 +136,27 @@ class Tracer:
     The finished-span buffer is bounded (``max_spans``); overflow drops the
     oldest spans and counts them in :attr:`dropped`, so a long-running
     traced server cannot grow without bound.
+
+    ``on_finish`` (when given) is called with every finished span -- the
+    hook the :class:`~repro.obs.recorder.FlightRecorder` uses to mirror
+    finished spans into its ring without a second buffer walk.  Started but
+    not-yet-finished spans are tracked too (:meth:`open_spans`), so a
+    postmortem dump can capture what was in flight at failure time.
     """
 
-    def __init__(self, max_spans: int = 65_536):
+    def __init__(self, max_spans: int = 65_536,
+                 on_finish: Callable[[Span], None] | None = None):
         if max_spans <= 0:
             raise ValueError("max_spans must be positive")
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._lock = threading.Lock()
         self._finished: deque[Span] = deque()
+        self._open: dict[int, Span] = {}
         self._max_spans = max_spans
         self._dropped = 0
         self._local = threading.local()
+        self._on_finish = on_finish
 
     # -- ambient context ------------------------------------------------
     def current(self) -> TraceContext | None:
@@ -186,8 +195,15 @@ class Tracer:
             parent_id = None
         else:
             trace_id, parent_id = ctx
-        return Span(name, trace_id, next(self._span_ids), parent_id,
+        span = Span(name, trace_id, next(self._span_ids), parent_id,
                     time.perf_counter(), attrs, self)
+        with self._lock:
+            self._open[span.span_id] = span
+            while len(self._open) > self._max_spans:
+                # A leaked (never-finished) span must not pin memory
+                # forever; insertion order makes the oldest the first key.
+                self._open.pop(next(iter(self._open)))
+        return span
 
     def record(self, name: str, seconds: float, parent=None,
                **attrs) -> Span:
@@ -208,15 +224,27 @@ class Tracer:
     # -- finished-span buffer -------------------------------------------
     def _collect(self, span: Span) -> None:
         with self._lock:
+            self._open.pop(span.span_id, None)
             self._finished.append(span)
             while len(self._finished) > self._max_spans:
                 self._finished.popleft()
                 self._dropped += 1
+        if self._on_finish is not None:
+            self._on_finish(span)
 
     def spans(self) -> list[Span]:
         """Snapshot of finished spans, oldest first."""
         with self._lock:
             return list(self._finished)
+
+    def open_spans(self) -> list[Span]:
+        """Snapshot of started-but-unfinished spans (oldest span id first).
+
+        These are what a postmortem cares about: the work that was still in
+        flight when something died.
+        """
+        with self._lock:
+            return [self._open[span_id] for span_id in sorted(self._open)]
 
     def drain(self) -> list[Span]:
         """Remove and return all finished spans."""

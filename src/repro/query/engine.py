@@ -404,6 +404,9 @@ class QueryEngine:
                 return self._execute_impl(spec, num_workers, seed, router)
         except Exception as exc:
             span.set(error=type(exc).__name__)
+            self._obs.note("query.failed", query_kind=spec.kind,
+                           dataset=spec.dataset,
+                           error=type(exc).__name__)
             raise
         finally:
             span.finish()

@@ -144,6 +144,13 @@ class SmolServer:
         ``serving.batch`` spans with modelled per-stage child spans, and
         stage costs are published on the stage-event bus.  The default
         :data:`~repro.obs.NULL_OBS` keeps the hot loop allocation-free.
+    slo:
+        Optional :class:`~repro.obs.slo.SloEngine`.  Every resolved
+        request is then observed (latency + deadline verdict) and every
+        failed request counts as an error, so the engine's burn-rate
+        windows track exactly what the server promised.  Call
+        ``slo.evaluate()`` periodically (e.g. between loadgen waves) to
+        fire alerts.
     """
 
     def __init__(self, session: EngineSession | SessionManager | None = None,
@@ -152,7 +159,7 @@ class SmolServer:
                  cache_capacity: int = 2048,
                  block_on_full: bool = True,
                  cluster=None, store=None, telemetry=None,
-                 obs=NULL_OBS) -> None:
+                 obs=NULL_OBS, slo=None) -> None:
         if (session is None) == (cluster is None):
             raise ServingError(
                 "provide exactly one of session= or cluster="
@@ -195,6 +202,9 @@ class SmolServer:
         self._queries = 0
         self._store = store
         self._telemetry = telemetry
+        self._slo = slo
+        if slo is not None:
+            slo.attach(self._obs)
         self._query_engine = None
         self._closed = False
         self._outstanding = 0
@@ -534,10 +544,14 @@ class SmolServer:
     def _fail_batch(self, batch: list[_Pending], exc: BaseException) -> None:
         with self._counters_lock:
             self._errors += len(batch)
+        self._obs.note("serving.batch_failed", error=type(exc).__name__,
+                       requests=len(batch))
         for item in batch:
             if item.span is not None:
                 item.span.set(error=type(exc).__name__)
                 item.span.finish()
+            if self._slo is not None:
+                self._slo.observe(item.request.age(monotonic()), error=True)
             item.future.set_exception(
                 ServingError(f"batch execution failed: {exc}")
             )
@@ -579,6 +593,8 @@ class SmolServer:
         )
         self._latency.record(latency)
         self._latency_metric.observe(latency)
+        if self._slo is not None:
+            self._slo.observe(latency, error=missed)
         self._completed_metric.inc()
         if cached:
             self._cache_hits_metric.inc()

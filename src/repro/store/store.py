@@ -619,6 +619,9 @@ class RenditionStore:
                 pass
 
     def _notify(self, event: StoreEvent) -> None:
+        # Catalog changes are replan triggers; a breadcrumb in the flight
+        # recorder lets a postmortem correlate a swap with what moved.
+        self._obs.note("store.event", event_kind=event.kind, key=event.key)
         with self._lock:
             listeners = list(self._listeners)
         for listener in listeners:

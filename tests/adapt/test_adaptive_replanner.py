@@ -300,3 +300,56 @@ class TestAdaptiveController:
         store.put_rendition(RenditionKey("imagenet", "161-png"),
                             np.zeros((2, 4, 4, 3), dtype=np.uint8))
         assert controller.stats().catalog_events == 1  # unsubscribed
+
+    def _burning_engine(self, obs):
+        from repro.obs import SloEngine, SloSpec, SloWindow
+
+        engine = SloEngine([SloSpec(
+            name="latency", latency_target_s=0.010, objective=0.9,
+            windows=(SloWindow(seconds=60.0, max_burn_rate=1.0),),
+            min_events=5,
+        )])
+        engine.attach(obs)
+        for _ in range(10):
+            engine.observe(1.0)  # every request blows the target
+        return engine
+
+    def test_slo_burn_event_forces_a_replan(self, perf, engine_config):
+        from repro.obs import Observability
+
+        controller, telemetry, calibrator, current, target = \
+            build_controller(perf, engine_config)
+        obs = Observability()
+        controller.watch_slo(obs)
+        engine = self._burning_engine(obs)
+        engine.evaluate()
+        decision = controller.step()
+        # The detector is quiet: only the SLO alert can have forced this
+        # replan (the candidate equals the current plan, so no swap).
+        assert decision.reason in ("no-gain", "swapped")
+        assert controller.stats().slo_events == 1
+        # Quiet again next step: the dirty flag was consumed.
+        assert controller.step().reason == "no-drift"
+
+    def test_non_slo_stage_traffic_is_ignored(self, perf, engine_config):
+        from repro.obs import Observability
+
+        controller, telemetry, calibrator, current, target = \
+            build_controller(perf, engine_config)
+        obs = Observability()
+        controller.watch_slo(obs)
+        obs.emit_stage("stage.decode", "jpeg", 32, 0.001)
+        assert controller.step().reason == "no-drift"
+        assert controller.stats().slo_events == 0
+
+    def test_close_unsubscribes_from_the_bus(self, perf, engine_config):
+        from repro.obs import Observability
+
+        controller, telemetry, calibrator, current, target = \
+            build_controller(perf, engine_config)
+        obs = Observability()
+        controller.watch_slo(obs)
+        controller.close()
+        engine = self._burning_engine(obs)
+        engine.evaluate()
+        assert controller.stats().slo_events == 0

@@ -119,6 +119,62 @@ class TestRetriesAndCircuits:
             assert result.attempts == 1
 
 
+class TestFailureTrips:
+    """Failures must leave flight-recorder evidence (Smol-Sentinel)."""
+
+    def _trip_reasons(self, recorder):
+        return [event["reason"] for _, event in recorder.ring_events()
+                if event.get("kind") == "trip"]
+
+    def test_exhausted_item_trips_the_recorder(self):
+        from repro.obs import FlightRecorder, Observability
+
+        def factory(worker_id, results):
+            return ThreadWorker(worker_id,
+                                ScriptedSession(fail_times=10_000), results)
+
+        recorder = FlightRecorder()  # no root: trips ring, nothing dumps
+        obs = Observability(recorder=recorder)
+        with Dispatcher(factory, num_workers=2, max_attempts=2,
+                        breaker_threshold=100, obs=obs) as dispatcher:
+            future = dispatcher.submit(_requests("img-0"))
+            with pytest.raises(ClusterError):
+                future.result(timeout=10.0)
+        reasons = self._trip_reasons(recorder)
+        assert "item_failed" in reasons
+        failed = next(event for _, event in recorder.ring_events()
+                      if event.get("reason") == "item_failed")
+        assert failed["attempts"] == 2
+        assert failed["trace_id"] is not None
+
+    def test_circuit_open_trips_exactly_once_per_streak(self):
+        from repro.obs import FlightRecorder, Observability
+
+        def factory(worker_id, results):
+            fails = 10_000 if worker_id == "worker-0" else 0
+            return ThreadWorker(worker_id,
+                                ScriptedSession(fail_times=fails), results)
+
+        recorder = FlightRecorder()
+        obs = Observability(recorder=recorder)
+        with Dispatcher(factory, num_workers=2, router="round-robin",
+                        max_attempts=4, breaker_threshold=3,
+                        breaker_cooldown_s=60.0, obs=obs) as dispatcher:
+            futures = [dispatcher.submit(_requests(f"img-{i}"))
+                       for i in range(20)]
+            for future in futures:
+                future.result(timeout=10.0)
+            snapshot = dispatcher.stats().breakers["worker-0"]
+            assert snapshot.state is BreakerState.OPEN
+        reasons = self._trip_reasons(recorder)
+        # The breaker opened once, so exactly one circuit_open trip --
+        # subsequent failures while open must not re-trip.
+        assert reasons.count("circuit_open") == 1
+        tripped = next(event for _, event in recorder.ring_events()
+                       if event.get("reason") == "circuit_open")
+        assert tripped["worker_id"] == "worker-0"
+
+
 class TestFailover:
     def test_killing_one_replica_completes_every_request(self,
                                                          scripted_factory):

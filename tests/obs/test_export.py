@@ -112,6 +112,37 @@ class TestPrometheusText:
         text = prometheus_text(registry)
         assert text.count("# TYPE hits_total counter") == 1
 
+    def test_label_values_escaped(self):
+        # Exposition-format escaping: backslash, double-quote, newline.
+        registry = MetricsRegistry()
+        registry.counter("hits_total", path='C:\\tmp\\"logs"\nnext').inc()
+        text = prometheus_text(registry)
+        assert ('hits_total{path="C:\\\\tmp\\\\\\"logs\\"\\nnext"} 1'
+                in text)
+        # The raw (unescaped) specials must not survive into the line.
+        line = next(ln for ln in text.splitlines()
+                    if ln.startswith("hits_total{"))
+        assert "\n" not in line
+
+    def test_hostile_labels_stay_single_line(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", note="a\nb").set(1.0)
+        registry.counter("ops_total", q='say "hi"').inc(2.0)
+        text = prometheus_text(registry)
+        # One metric per line: a raw newline in a label would split lines
+        # and corrupt the whole exposition.
+        for line in text.splitlines():
+            assert line.startswith(("# TYPE", "depth", "ops_total"))
+        assert 'note="a\\nb"' in text
+        assert 'q="say \\"hi\\""' in text
+
+    def test_backslash_escaped_before_quote(self):
+        # A value ending in a backslash must not escape the closing quote.
+        registry = MetricsRegistry()
+        registry.counter("hits_total", path="trailing\\").inc()
+        text = prometheus_text(registry)
+        assert 'path="trailing\\\\"' in text
+
 
 class TestSpanTree:
     def test_connected_tree(self):
@@ -151,6 +182,28 @@ class TestSpanTree:
         assert not tree.connected
         assert tree.orphans
 
+    def test_duplicate_span_ids_flagged(self):
+        spans = _small_tree()
+        records = [span.to_dict() for span in spans]
+        records.append(dict(records[0]))
+        tree = validate_span_tree(records)
+        assert not tree.connected
+        assert tree.duplicates == (records[0]["span_id"],)
+        assert any("duplicate" in problem for problem in tree.problems)
+
+    def test_orphan_whose_parent_is_a_duplicate_still_resolves(self):
+        # Duplicates poison identity but not parent resolution: the
+        # duplicated id is still "present", so children of it are not
+        # additionally reported as orphans.
+        records = [span.to_dict() for span in _small_tree()]
+        records.append(dict(records[0]))
+        tree = validate_span_tree(records)
+        assert tree.orphans == ()
+
+    def test_unique_tree_has_no_duplicates(self):
+        tree = validate_span_tree(_small_tree())
+        assert tree.duplicates == ()
+
 
 class TestSummarize:
     def test_rows_sorted_with_stats(self):
@@ -169,3 +222,29 @@ class TestSummarize:
 
     def test_empty(self):
         assert summarize_spans([]) == []
+
+    def test_zero_duration_spans(self):
+        obs = Observability()
+        obs.record("a.op", 0.0)
+        obs.record("a.op", 0.0)
+        rows = summarize_spans(obs.spans())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["count"] == 2
+        assert row["total_ms"] == 0.0
+        assert row["mean_ms"] == 0.0
+        assert row["p50_ms"] == 0.0
+        assert row["max_ms"] == 0.0
+
+    def test_orphaned_and_duplicate_spans_still_summarize(self):
+        # summarize_spans is a flat aggregation: structural problems
+        # (orphans, duplicate ids) must not crash or skip rows.
+        records = [span.to_dict() for span in _small_tree()]
+        records.append(dict(records[0]))            # duplicate id
+        orphan = dict(records[1])
+        orphan["span_id"] = 999_001
+        orphan["parent_id"] = 999_000               # unresolvable
+        records.append(orphan)
+        rows = summarize_spans(records)
+        total = sum(row["count"] for row in rows)
+        assert total == len(records)

@@ -131,3 +131,19 @@ class TestValidation:
         with pytest.raises(ReproError):
             engine.execute(QuerySpec.aggregate("nonexistent",
                                                error_bound=0.05))
+
+    def test_failed_query_leaves_a_recorder_breadcrumb(self):
+        from repro.errors import ReproError
+        from repro.obs import FlightRecorder, Observability
+
+        recorder = FlightRecorder()
+        traced = QueryEngine(frame_limit=1200,
+                             obs=Observability(recorder=recorder))
+        with pytest.raises(ReproError):
+            traced.execute(QuerySpec.aggregate("nonexistent",
+                                               error_bound=0.05))
+        (note,) = [event for _, event in recorder.ring_events()
+                   if event.get("kind") == "query.failed"]
+        assert note["query_kind"] == "aggregate"
+        assert note["dataset"] == "nonexistent"
+        assert note["error"]

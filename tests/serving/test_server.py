@@ -238,6 +238,61 @@ class TestServerBehavior:
         assert p50_of(thumb) < p50_of(full)
 
 
+class TestServerSlo:
+    def _engine(self, latency_target_s=10.0):
+        from repro.obs import SloEngine, SloSpec, SloWindow
+
+        return SloEngine([SloSpec(
+            name="latency", latency_target_s=latency_target_s,
+            objective=0.9,
+            windows=(SloWindow(seconds=60.0, max_burn_rate=1.0),),
+            min_events=1,
+        )])
+
+    def test_resolved_requests_feed_the_slo_engine(self, image_pool):
+        session = build_functional_session()
+        engine = self._engine()
+        with SmolServer(session, cache_capacity=0, slo=engine) as server:
+            futures = [
+                server.submit(InferenceRequest(image_id=image_id,
+                                               payload=payload))
+                for image_id, payload in image_pool[:8]
+            ]
+            for future in futures:
+                future.result(timeout=30.0)
+        (status,) = engine.evaluate()
+        (burn,) = status.windows
+        assert burn.events == 8
+        assert burn.bad == 0
+        assert not status.burning
+
+    def test_failed_batch_spends_error_budget(self):
+        session = build_functional_session()
+        engine = self._engine()
+        with SmolServer(session, cache_capacity=0, slo=engine) as server:
+            future = server.submit(InferenceRequest(image_id="no-pixels"))
+            with pytest.raises(ServingError):
+                future.result(timeout=30.0)
+        (status,) = engine.evaluate()
+        assert status.windows[0].bad == 1
+        assert status.burning
+
+    def test_deadline_miss_spends_error_budget(self, perf_model, resnet50):
+        session = simulated_session_for_format(resnet50, FULL_JPEG,
+                                               perf_model)
+        engine = self._engine()
+        with SmolServer(session, policy=BatchPolicy(name="t",
+                                                    max_batch_size=4,
+                                                    max_wait_ms=0.0),
+                        cache_capacity=0, slo=engine) as server:
+            response = server.submit(InferenceRequest(
+                image_id="late", deadline_s=1e-6,
+            )).result(timeout=30.0)
+        assert response.deadline_missed
+        (status,) = engine.evaluate()
+        assert status.windows[0].bad == 1
+
+
 class TestOnlineAnalyticsQueries:
     def test_query_resolves_to_the_engine_result(self):
         from repro.query import QueryEngine, QuerySpec

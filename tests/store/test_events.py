@@ -26,6 +26,22 @@ def score_key() -> ScoreKey:
                              frames=100)
 
 
+class TestFlightRecorderBreadcrumbs:
+    def test_store_events_ring_in_the_recorder(self, tmp_path):
+        from repro.obs import FlightRecorder, Observability
+
+        recorder = FlightRecorder()
+        store = RenditionStore(tmp_path / "store",
+                               obs=Observability(recorder=recorder))
+        store.put_rendition(rendition_key(),
+                            np.zeros((2, 4, 4, 3), dtype=np.uint8))
+        notes = [event for _, event in recorder.ring_events()
+                 if event.get("kind") == "store.event"]
+        assert len(notes) == 1
+        assert notes[0]["event_kind"] == "rendition"
+        assert notes[0]["key"] == rendition_key().key()
+
+
 class TestSubscribe:
     def test_put_rendition_fires_a_rendition_event(self, store):
         events: list[StoreEvent] = []

@@ -402,3 +402,176 @@ class TestObsCommands:
         assert main(["obs", "summarize",
                      "--trace", str(tmp_path / "missing.jsonl")]) == 2
         assert capsys.readouterr().err.startswith("error:")
+
+
+@pytest.fixture(scope="module")
+def demo_trace(tmp_path_factory):
+    """One obs-demo span log shared by the analyze/slo CLI tests."""
+    root = tmp_path_factory.mktemp("sentinel")
+    trace = root / "trace.jsonl"
+    assert main([
+        "obs", "demo", "--frames", "1200", "--workers", "2",
+        "--requests", "8", "--store-root", str(root / "store"),
+        "--trace-out", str(trace),
+    ]) == 0
+    return trace
+
+
+class TestObsAnalyze:
+    def test_analyze_attributes_and_sums(self, capsys, demo_trace,
+                                         tmp_path):
+        json_out = tmp_path / "report.json"
+        assert main(["obs", "analyze", "--trace", str(demo_trace),
+                     "--top-k", "3", "--json-out", str(json_out)]) == 0
+        output = capsys.readouterr().out
+        assert "Critical-path blame" in output
+        assert "Top 3 slowest requests" in output
+        assert "attribution sums to request durations" in output
+        assert ": OK" in output
+        import json
+
+        payload = json.loads(json_out.read_text())
+        assert payload["requests"] > 0
+        assert len(payload["slowest"]) == 3
+        assert sum(payload["blame_share"].values()) == pytest.approx(1.0)
+
+    def test_analyze_empty_trace_is_graceful(self, capsys, tmp_path):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["obs", "analyze", "--trace", str(trace)]) == 0
+        assert "no request spans" in capsys.readouterr().out
+
+    def test_analyze_missing_trace_exits_2(self, capsys, tmp_path):
+        assert main(["obs", "analyze",
+                     "--trace", str(tmp_path / "missing.jsonl")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestObsSlo:
+    def test_slo_replay_healthy(self, capsys, demo_trace):
+        assert main(["obs", "slo", "--trace", str(demo_trace),
+                     "--latency-target-ms", "10000"]) == 0
+        output = capsys.readouterr().out
+        assert "SLO 'serving-latency'" in output
+        assert "verdict: healthy" in output
+
+    def test_slo_burning_with_fail_on_burn_exits_1(self, capsys,
+                                                   demo_trace):
+        # An absurdly tight target makes every request bad.
+        assert main(["obs", "slo", "--trace", str(demo_trace),
+                     "--latency-target-ms", "0.000001",
+                     "--min-events", "1", "--fail-on-burn"]) == 1
+        output = capsys.readouterr().out
+        assert "verdict: BURNING" in output
+
+    def test_slo_burning_without_flag_exits_0(self, capsys, demo_trace):
+        assert main(["obs", "slo", "--trace", str(demo_trace),
+                     "--latency-target-ms", "0.000001",
+                     "--min-events", "1"]) == 0
+
+
+class TestBenchDiff:
+    def _write(self, path, payload):
+        import json
+
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_self_diff_is_clean(self, capsys, tmp_path):
+        payload = {"bench": "demo",
+                   "rows": [{"mode": "a", "throughput": 100.0}]}
+        base = self._write(tmp_path / "base.json", payload)
+        assert main(["bench-diff", base, base]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_1(self, capsys, tmp_path):
+        base = self._write(tmp_path / "base.json",
+                           {"bench": "demo",
+                            "rows": [{"throughput": 100.0}]})
+        cand = self._write(tmp_path / "cand.json",
+                           {"bench": "demo",
+                            "rows": [{"throughput": 50.0}]})
+        assert main(["bench-diff", base, cand]) == 1
+        output = capsys.readouterr().out
+        assert "REGRESSION" in output
+        assert "1 regression(s)" in output
+
+    def test_field_tolerance_override(self, capsys, tmp_path):
+        base = self._write(tmp_path / "base.json",
+                           {"bench": "demo",
+                            "rows": [{"throughput": 100.0}]})
+        cand = self._write(tmp_path / "cand.json",
+                           {"bench": "demo",
+                            "rows": [{"throughput": 50.0}]})
+        assert main(["bench-diff", base, cand,
+                     "--field-tolerance", "throughput=0.9"]) == 0
+
+    def test_bad_field_tolerance_exits_2(self, capsys, tmp_path):
+        payload = {"bench": "demo", "rows": []}
+        base = self._write(tmp_path / "base.json", payload)
+        assert main(["bench-diff", base, base,
+                     "--field-tolerance", "nope"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        payload = {"bench": "demo", "rows": []}
+        base = self._write(tmp_path / "base.json", payload)
+        assert main(["bench-diff", base,
+                     str(tmp_path / "missing.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_verbose_shows_non_regressions(self, capsys, tmp_path):
+        base = self._write(tmp_path / "base.json",
+                           {"bench": "demo",
+                            "rows": [{"throughput": 100.0}]})
+        cand = self._write(tmp_path / "cand.json",
+                           {"bench": "demo",
+                            "rows": [{"throughput": 101.0}]})
+        assert main(["bench-diff", base, cand, "--verbose"]) == 0
+        output = capsys.readouterr().out
+        assert "[ok]" in output
+
+    def test_real_bench_obs_self_diff(self, capsys):
+        from pathlib import Path
+
+        bench = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+        assert bench.exists()
+        assert main(["bench-diff", str(bench), str(bench)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+
+class TestServingTraceOut:
+    def test_serve_bench_trace_out(self, capsys, tmp_path):
+        trace = tmp_path / "serve.jsonl"
+        assert main(["serve-bench", "--mode", "simulated",
+                     "--requests", "64", "--rate", "2000",
+                     "--bench-json", str(tmp_path / "b.json"),
+                     "--trace-out", str(trace)]) == 0
+        assert str(trace) in capsys.readouterr().out
+        import json
+
+        names = {json.loads(line)["name"]
+                 for line in trace.read_text().splitlines()}
+        assert "serving.request" in names
+
+    def test_loadtest_trace_out(self, capsys, tmp_path):
+        trace = tmp_path / "load.jsonl"
+        assert main(["loadtest", "--mode", "simulated", "--rate", "400",
+                     "--duration", "0.2",
+                     "--bench-json", str(tmp_path / "b.json"),
+                     "--trace-out", str(trace)]) == 0
+        assert str(trace) in capsys.readouterr().out
+        assert trace.read_text().splitlines()
+
+    def test_cluster_bench_trace_out(self, capsys, tmp_path):
+        trace = tmp_path / "cluster.jsonl"
+        assert main(["cluster-bench", "--images", "256", "--workers", "2",
+                     "--rate", "2000", "--duration", "0.2",
+                     "--bench-json", str(tmp_path / "b.json"),
+                     "--trace-out", str(trace)]) == 0
+        assert str(trace) in capsys.readouterr().out
+        import json
+
+        names = {json.loads(line)["name"]
+                 for line in trace.read_text().splitlines()}
+        assert "cluster.item" in names
