@@ -1,0 +1,97 @@
+"""Smol-Chaos throughput gate: fuzzing must be cheap enough to run in CI.
+
+Not a paper figure: this benchmarks the chaos harness this repo adds
+around the paper's runtime.  One fixed seed range runs end to end --
+generate, execute against the faulted stack, check every invariant --
+and the gate is three-sided:
+
+* **soundness**: every seed in the range passes every invariant (the
+  generator only emits survivable scenarios, so a failure here is a
+  real bug, not a bench flake);
+* **coverage**: the sweep actually fired faults across the seam
+  alphabet -- a chaos bench that never injects anything measures the
+  happy path twice;
+* **throughput**: the sweep sustains at least ``MIN_SEEDS_PER_S``
+  scenarios per second end to end, the budget that keeps the CI
+  ``chaos-smoke`` job (~200 seeds) under a couple of minutes.
+
+Per-row output splits the range into segments so a regression diff can
+see whether a slowdown came from faulted or fault-free seeds.  The
+sweep is recorded as ``BENCH_chaos.json`` at the repo root.
+"""
+
+import time
+from pathlib import Path
+
+from benchlib import emit
+
+from repro.chaos import ChaosRunner, ScenarioGen
+from repro.utils.benchio import write_bench_json
+from repro.utils.tables import Table
+
+SEEDS = 60
+SEGMENT = 20
+MIN_SEEDS_PER_S = 5.0
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+
+def run_sweep() -> tuple[Table, list[dict]]:
+    gen = ScenarioGen()
+    runner = ChaosRunner()
+    rows = []
+    fired_sites: set[str] = set()
+    for start in range(0, SEEDS, SEGMENT):
+        seeds = range(start, start + SEGMENT)
+        faulted = 0
+        fired = 0
+        failures = []
+        begin = time.perf_counter()
+        for seed in seeds:
+            scenario = gen.generate(seed)
+            if len(scenario.faults):
+                faulted += 1
+            report = runner.run(scenario)
+            fired += len(report.fired)
+            fired_sites.update(f["site"] for f in report.fired)
+            if not report.ok:
+                failures.append(seed)
+        wall_s = time.perf_counter() - begin
+        assert not failures, f"invariant violations at seeds {failures}"
+        rows.append({
+            "seed_start": start,
+            "seeds": SEGMENT,
+            "faulted_scenarios": faulted,
+            "faults_fired": fired,
+            "wall_s": round(wall_s, 4),
+            "seeds_per_s": round(SEGMENT / wall_s, 2),
+        })
+    table = Table(
+        f"Smol-Chaos sweep ({SEEDS} seeds in segments of {SEGMENT})",
+        ["Seeds", "Faulted", "Fired", "Wall (s)", "Seeds/s"],
+    )
+    for row in rows:
+        table.add_row(
+            f"{row['seed_start']}..{row['seed_start'] + SEGMENT - 1}",
+            row["faulted_scenarios"], row["faults_fired"],
+            row["wall_s"], row["seeds_per_s"],
+        )
+    # Coverage: the range must exercise more than one seam, or the
+    # sweep degenerates into a plain correctness re-run.
+    assert len(fired_sites) >= 3, fired_sites
+    return table, rows
+
+
+def test_chaos_sweep_throughput(benchmark):
+    table, rows = benchmark(run_sweep)
+    emit(table)
+    total_wall = sum(row["wall_s"] for row in rows)
+    seeds_per_s = SEEDS / total_wall
+    write_bench_json(
+        BENCH_PATH, "chaos-sweep", rows,
+        meta={"seeds": SEEDS, "segment": SEGMENT,
+              "min_seeds_per_s": MIN_SEEDS_PER_S,
+              "total_wall_s": round(total_wall, 4),
+              "seeds_per_s": round(seeds_per_s, 2)})
+    assert seeds_per_s >= MIN_SEEDS_PER_S, (
+        f"chaos sweep ran at {seeds_per_s:.1f} seeds/s, below the "
+        f"{MIN_SEEDS_PER_S} seeds/s CI budget")

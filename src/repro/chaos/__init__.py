@@ -1,0 +1,78 @@
+"""Smol-Chaos: seed-driven scenario fuzzing + fault injection.
+
+The stack composes hot-swap, failover, replanning, SLO triggers, and
+store invalidation -- and the bug studies of comparable systems find most
+real failures exactly in those cross-component interaction paths, not in
+single modules.  This package is the regression net over those paths:
+
+* :mod:`~repro.chaos.scenario` -- a deterministic generator
+  (:class:`ScenarioGen`) composing randomized workloads from typed
+  dimensions: cluster shape and tenant/arrival mix, preprocessing-DAG
+  recipes, drift schedules, store op sequences, and a
+  :class:`~repro.chaos.faults.FaultPlan`;
+* :mod:`~repro.chaos.faults` -- the injection layer: NULL-by-default
+  :class:`FaultHook` seams in ``MpmcQueue``, ``ThreadWorker``,
+  ``Dispatcher``, and ``RenditionStore`` through which a
+  :class:`FaultInjector` fires kills, stalls, injected failures, and torn
+  manifest writes;
+* :mod:`~repro.chaos.runner` -- :class:`ChaosRunner` executes one
+  scenario end to end and checks the global invariants
+  (:mod:`~repro.chaos.invariants`): bit-identical scores vs. the
+  unfaulted serial engine, exactly-once resolution, connected span trees,
+  crash-safe manifests, convergent replans;
+* :mod:`~repro.chaos.shrink` -- greedy minimization of failing seeds,
+  dumped with a flight-recorder postmortem bundle.
+
+CLI entry points: ``repro chaos run --seeds N``, ``chaos replay <seed>``,
+``chaos shrink <seed>`` (see ``docs/chaos.md``).
+"""
+
+from repro.chaos.faults import (
+    NULL_FAULTS,
+    ChaosFault,
+    Fault,
+    FaultClock,
+    FaultHook,
+    FaultInjector,
+    FaultPlan,
+    VirtualFaultClock,
+)
+from repro.chaos.invariants import InvariantViolation
+from repro.chaos.scenario import DriftPhase, Scenario, ScenarioGen
+from repro.chaos.shrink import ShrinkResult, shrink, shrink_candidates
+
+# The runner pulls in the cluster/store layers, and those layers import
+# this package for the NULL_FAULTS seam -- so the runner exports resolve
+# lazily (PEP 562) to keep `repro.chaos.faults` importable from below.
+_RUNNER_EXPORTS = ("ChaosReport", "ChaosRunner", "HashSession",
+                   "dump_report")
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from repro.chaos import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ChaosFault",
+    "ChaosReport",
+    "ChaosRunner",
+    "DriftPhase",
+    "Fault",
+    "FaultClock",
+    "FaultHook",
+    "FaultInjector",
+    "FaultPlan",
+    "HashSession",
+    "InvariantViolation",
+    "NULL_FAULTS",
+    "Scenario",
+    "ScenarioGen",
+    "ShrinkResult",
+    "VirtualFaultClock",
+    "dump_report",
+    "shrink",
+    "shrink_candidates",
+]

@@ -1,0 +1,508 @@
+"""The chaos runner: execute one scenario, check every invariant.
+
+One :meth:`ChaosRunner.run` call executes up to five passes, all derived
+from a single :class:`~repro.chaos.scenario.Scenario`:
+
+1. **reference** -- the scenario's items through an unfaulted serial
+   session (the ground truth the faulted cluster must match bit-for-bit);
+2. **queue probe** (minority of seeds) -- a contended
+   :class:`~repro.inference.mpmc.MpmcQueue` under a spurious-wakeup storm,
+   asserting put/get honor their *total* timeout (the regression net for
+   the re-armed-timeout bug);
+3. **cluster** -- the same items through a traced
+   :class:`~repro.cluster.dispatcher.Dispatcher` with the scenario's
+   fault plan injected (kills, stalls, session failures), then the
+   exactly-once / bit-identical / connected-trace invariants;
+4. **store** -- the scenario's put/invalidate/gc sequence against a
+   :class:`~repro.store.store.RenditionStore` absorbing torn manifest
+   writes, then crash-safety and durability checks from a fresh handle;
+5. **dag / drift** -- optimizer-candidate equivalence against the naive
+   ordering, and calibrator-bounds + convergent-replan checks.
+
+A failing run's evidence is self-contained: :meth:`ChaosRunner.run`
+wires a :class:`~repro.obs.FlightRecorder` through the cluster pass, and
+:func:`dump_report` writes the postmortem bundle plus ``scenario.json``
+(the exact scenario, replayable via ``chaos replay``).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.chaos.faults import ChaosFault, FaultInjector
+from repro.chaos.invariants import (
+    InvariantViolation,
+    check_exactly_once,
+    check_predictions,
+    check_span_tree,
+)
+from repro.chaos.scenario import Scenario
+from repro.adapt.calibrator import ObservationKey, OnlineCalibrator
+from repro.adapt.drift import DriftDetector
+from repro.adapt.telemetry import StageObservation
+from repro.cluster.dispatcher import Dispatcher
+from repro.cluster.worker import ThreadWorker
+from repro.errors import EngineError, NoHealthyWorkerError, StoreError
+from repro.inference.mpmc import MpmcQueue
+from repro.obs import FlightRecorder, Observability
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.preprocessing.ops import (
+    CenterCropOp,
+    ChannelReorderOp,
+    ConvertDtypeOp,
+    NormalizeOp,
+    ResizeOp,
+    TensorSpec,
+)
+from repro.preprocessing.optimizer import DagOptimizer
+from repro.serving.request import InferenceRequest
+from repro.serving.session import BatchResult, EngineSession
+from repro.store.store import Manifest, RenditionStore, ScoreKey
+from repro.utils.rng import stable_hash
+
+__all__ = [
+    "ChaosReport",
+    "ChaosRunner",
+    "HashSession",
+    "dump_report",
+]
+
+#: Baseline per-image stage costs the drift pass calibrates against.
+_DRIFT_BASELINES = {"decode": 1e-3, "inference": 2e-3}
+
+
+class HashSession(EngineSession):
+    """Deterministic session: ``stable_hash(image_id, plan_key) % classes``.
+
+    The same convention as ``SimulatedSession``'s prediction rule, so any
+    two replicas on the same plan agree -- which is exactly what the
+    bit-identical invariant relies on when failover re-executes an item on
+    a different replica.
+    """
+
+    def __init__(self, plan_key: str = "chaos-plan",
+                 num_classes: int = 13) -> None:
+        super().__init__(plan_key)
+        self._num_classes = num_classes
+
+    def execute(self, requests):
+        predictions = np.array(
+            [stable_hash(r.image_id, self.plan_key) % self._num_classes
+             for r in requests],
+            dtype=np.int64,
+        )
+        images = len(requests)
+        return BatchResult(
+            predictions=predictions,
+            modelled_seconds=images * 1e-4,
+            stage_seconds={"decode": images * 5e-5,
+                           "inference": images * 5e-5},
+        )
+
+
+@dataclass
+class ChaosReport:
+    """What one scenario run produced: violations, firings, counters."""
+
+    scenario: Scenario
+    violations: list[InvariantViolation] = field(default_factory=list)
+    fired: list[dict] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.violations
+
+    def describe(self) -> str:
+        """One-line human summary (CLI output)."""
+        if self.ok:
+            return (f"seed {self.scenario.seed}: ok "
+                    f"({len(self.fired)} faults fired, "
+                    f"{self.elapsed_s * 1000:.0f} ms)")
+        first = self.violations[0]
+        return (f"seed {self.scenario.seed}: FAIL {first.invariant} -- "
+                f"{first.detail}")
+
+    def to_dict(self) -> dict:
+        """Plain-data form for bundles and scorecards."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "ok": self.ok,
+            "violations": [{"invariant": v.invariant, "detail": v.detail}
+                           for v in self.violations],
+            "fired": self.fired,
+            "stats": {key: value for key, value in self.stats.items()
+                      if key != "recorder"},
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class ChaosRunner:
+    """Executes scenarios and checks the global invariants.
+
+    Parameters
+    ----------
+    drain_timeout_s:
+        Bound on the cluster pass's drain; generated scenarios finish in
+        tens of milliseconds, so hitting this is itself a liveness bug.
+    store_root:
+        Directory for the store pass.  Default: a per-run temp directory,
+        removed afterwards.
+    """
+
+    def __init__(self, drain_timeout_s: float = 10.0,
+                 store_root: str | Path | None = None) -> None:
+        self._drain_timeout_s = drain_timeout_s
+        self._store_root = store_root
+
+    def run(self, scenario: Scenario) -> ChaosReport:
+        """Run every pass for ``scenario``; never raises on a violation."""
+        start = time.monotonic()
+        report = ChaosReport(scenario=scenario)
+        injector = FaultInjector(scenario.faults)
+        requests = _build_requests(scenario)
+        reference = _reference_predictions(scenario, requests)
+        if scenario.queue:
+            report.violations += _queue_probe(scenario)
+        recorder = FlightRecorder()
+        obs = Observability(recorder=recorder)
+        report.violations += self._cluster_pass(
+            scenario, requests, reference, injector, obs, report)
+        report.violations += self._store_pass(scenario, injector)
+        report.violations += _dag_pass(scenario)
+        report.violations += _drift_pass(scenario)
+        report.fired = [
+            {"site": f.fault.site, "action": f.fault.action,
+             "at_hit": f.fault.at_hit, "hit": f.hit}
+            for f in injector.fired
+        ]
+        report.elapsed_s = time.monotonic() - start
+        # Keep the evidence channel attached so a caller (CLI, shrinker)
+        # can dump the postmortem bundle for a failing report.
+        report.stats["recorder"] = recorder
+        return report
+
+    # ------------------------------------------------------------------
+    # Cluster pass
+    # ------------------------------------------------------------------
+    def _cluster_pass(self, scenario: Scenario, requests, reference,
+                      injector: FaultInjector, obs: Observability,
+                      report: ChaosReport) -> list[InvariantViolation]:
+        def factory(worker_id: str, results: MpmcQueue) -> ThreadWorker:
+            return ThreadWorker(worker_id, HashSession(), results,
+                                obs=obs, faults=injector)
+
+        violations: list[InvariantViolation] = []
+        # The background monitor is disabled: drain() drives check_workers
+        # on the caller's thread, so failover and orphan recovery happen
+        # at a deterministic cadence instead of a racing timer's.
+        dispatcher = Dispatcher(
+            factory, num_workers=scenario.workers,
+            max_attempts=scenario.max_attempts,
+            heartbeat_timeout_s=0.05, monitor_interval_s=0.0,
+            breaker_cooldown_s=0.001, obs=obs, faults=injector,
+        )
+        root = obs.span("chaos.run", seed=scenario.seed,
+                        items=scenario.items)
+        futures = []
+        try:
+            with obs.activate(root.context):
+                for index, item_requests in enumerate(requests):
+                    tenant = scenario.tenants[scenario.arrival[index]]
+                    obs.record("chaos.submit", 0.0, tenant=tenant,
+                               item=index)
+                    futures.append(dispatcher.submit(item_requests))
+            try:
+                dispatcher.drain(timeout=self._drain_timeout_s)
+            except NoHealthyWorkerError as exc:
+                violations.append(InvariantViolation(
+                    "resolution.exactly_once", f"drain stuck: {exc}"))
+        finally:
+            dispatcher.close(timeout=self._drain_timeout_s)
+            root.finish()
+        # Snapshot counters only after close() has joined the collector:
+        # a collector mid-flight (e.g. stalled by an injected fault) may
+        # still mutate them after drain() observes the last resolution.
+        stats = dispatcher.stats()
+        outcomes = []
+        for future in futures:
+            if not future.done():
+                outcomes.append(("lost", "future never resolved"))
+            elif future.exception() is not None:
+                outcomes.append(("failed", str(future.exception())))
+            else:
+                outcomes.append(("ok", future.result().predictions))
+        allow_failures = bool(
+            scenario.faults.actions() & {"kill", "raise"})
+        violations += check_exactly_once(stats, outcomes, allow_failures)
+        violations += check_predictions(reference, outcomes)
+        violations += check_span_tree(obs.spans())
+        report.stats.update({
+            "submitted": stats.submitted, "completed": stats.completed,
+            "failed": stats.failed, "retried": stats.retried,
+            "failovers": stats.failovers,
+            "worker_deaths": stats.worker_deaths,
+            "spans": len(obs.spans()),
+        })
+        return violations
+
+    # ------------------------------------------------------------------
+    # Store pass
+    # ------------------------------------------------------------------
+    def _store_pass(self, scenario: Scenario,
+                    injector: FaultInjector) -> list[InvariantViolation]:
+        if not scenario.store_ops:
+            return []
+        violations: list[InvariantViolation] = []
+        root = self._store_root or tempfile.mkdtemp(prefix="chaos-store-")
+        cleanup = self._store_root is None
+        try:
+            store = RenditionStore(root, chunk_frames=4, faults=injector)
+            committed: dict[str, np.ndarray] = {}
+            version = 0
+            for op, arg in scenario.store_ops:
+                if op == "put":
+                    version += 1
+                    rng = np.random.default_rng(
+                        stable_hash(scenario.seed, arg, version) % (1 << 32))
+                    scores = rng.random((6, 3)).astype(np.float32)
+                    try:
+                        store.put_scores(_score_key(arg), scores)
+                    except ChaosFault:
+                        continue  # torn write: the entry must NOT commit
+                    committed[arg] = scores
+                elif op == "invalidate":
+                    prefix = f"scores/{arg}"
+                    store.invalidate(prefix)
+                    committed = {key: value
+                                 for key, value in committed.items()
+                                 if not _score_key(key).key()
+                                 .startswith(prefix)}
+                elif op == "gc":
+                    store.gc(min_age_seconds=0.0)
+            # Crash safety: whatever torn writes happened, the on-disk
+            # manifest must load and a *fresh* handle must serve exactly
+            # the committed entries -- before and after a final GC.
+            for phase in ("post-ops", "post-gc"):
+                try:
+                    Manifest.load(Path(root))
+                except Exception as exc:
+                    violations.append(InvariantViolation(
+                        "store.crash_safety",
+                        f"manifest unreadable {phase}: {exc}"))
+                    break
+                fresh = RenditionStore(root, chunk_frames=4)
+                for key, expected in committed.items():
+                    stored = fresh.get_scores(_score_key(key))
+                    if stored is None or \
+                            not np.array_equal(stored, expected):
+                        violations.append(InvariantViolation(
+                            "store.durability",
+                            f"committed entry {key!r} lost or corrupt "
+                            f"{phase}"))
+                if phase == "post-ops":
+                    try:
+                        fresh.gc(min_age_seconds=0.0)
+                    except StoreError as exc:
+                        violations.append(InvariantViolation(
+                            "store.crash_safety", f"gc failed: {exc}"))
+                        break
+        finally:
+            if cleanup:
+                shutil.rmtree(root, ignore_errors=True)
+        return violations
+
+
+# ----------------------------------------------------------------------
+# Pass helpers (pure functions of the scenario)
+# ----------------------------------------------------------------------
+def _build_requests(scenario: Scenario) -> list[list[InferenceRequest]]:
+    requests = []
+    for index in range(scenario.items):
+        tenant = scenario.tenants[scenario.arrival[index]]
+        requests.append([
+            InferenceRequest(image_id=f"{tenant}/img-{index}-{j}")
+            for j in range(scenario.batch)
+        ])
+    return requests
+
+
+def _reference_predictions(scenario: Scenario,
+                           requests) -> list[np.ndarray]:
+    session = HashSession()
+    session.warmup()
+    return [session.execute(batch).predictions for batch in requests]
+
+
+def _queue_probe(scenario: Scenario) -> list[InvariantViolation]:
+    """Timeouts must bound *total* block time under a notify storm.
+
+    The storm thread fires spurious wakeups on the queue's conditions --
+    the scheduler-dependent interleaving the timeout bug needs, made
+    deterministic.  Pre-fix, every wakeup re-armed the full timeout, so
+    the blocked call outlived the storm; post-fix it raises at the
+    deadline regardless.
+    """
+    capacity, timeout_s, storm_s = scenario.queue
+    queue: MpmcQueue[int] = MpmcQueue(int(capacity))
+    for i in range(int(capacity)):
+        queue.put(i, timeout=1.0)
+    stop = threading.Event()
+
+    def storm() -> None:
+        # Notify far more often than timeout_s so a re-armed wait can
+        # never expire while the storm lasts; the storm itself is
+        # time-bounded so a pre-fix caller escapes (late) instead of
+        # hanging the run.
+        deadline = time.monotonic() + storm_s
+        while not stop.is_set() and time.monotonic() < deadline:
+            with queue._lock:
+                queue._not_full.notify_all()
+                queue._not_empty.notify_all()
+            time.sleep(timeout_s / 4)
+
+    thread = threading.Thread(target=storm, daemon=True)
+    thread.start()
+    violations: list[InvariantViolation] = []
+    bound = timeout_s + 0.05
+    try:
+        start = time.monotonic()
+        try:
+            queue.put(99, timeout=timeout_s)
+            violations.append(InvariantViolation(
+                "queue.timeout", "put on a full queue returned without "
+                "timing out"))
+        except EngineError:
+            elapsed = time.monotonic() - start
+            if elapsed > bound:
+                violations.append(InvariantViolation(
+                    "queue.timeout",
+                    f"put(timeout={timeout_s}) blocked {elapsed:.3f}s "
+                    "under spurious wakeups"))
+        for _ in range(int(capacity)):  # same queue: the storm covers get
+            queue.get(timeout=1.0)
+        start = time.monotonic()
+        try:
+            queue.get(timeout=timeout_s)
+            violations.append(InvariantViolation(
+                "queue.timeout", "get on an empty queue returned without "
+                "timing out"))
+        except EngineError:
+            elapsed = time.monotonic() - start
+            if elapsed > bound:
+                violations.append(InvariantViolation(
+                    "queue.timeout",
+                    f"get(timeout={timeout_s}) blocked {elapsed:.3f}s "
+                    "under spurious wakeups"))
+    finally:
+        stop.set()
+        thread.join(timeout=2.0)
+    return violations
+
+
+_DAG_BUILDERS = {
+    "resize": lambda spec: ResizeOp(short_side=int(spec[1])),
+    "crop": lambda spec: CenterCropOp(size=int(spec[1])),
+    "convert": lambda spec: ConvertDtypeOp("float32"),
+    "normalize": lambda spec: NormalizeOp(),
+    "reorder": lambda spec: ChannelReorderOp(),
+}
+
+
+def _dag_pass(scenario: Scenario) -> list[InvariantViolation]:
+    if not scenario.dag_ops:
+        return []
+    ops = [_DAG_BUILDERS[spec[0]](spec) for spec in scenario.dag_ops]
+    height, width, image_seed = scenario.dag_image
+    rng = np.random.default_rng(image_seed)
+    image = rng.integers(0, 256, size=(height, width, 3)).astype(np.uint8)
+    reference = image
+    for op in ops:
+        reference = op.apply(reference)
+    spec = TensorSpec(height=height, width=width, channels=3)
+    candidates = DagOptimizer().candidates(ops, spec)
+    candidate = candidates[scenario.dag_candidate % len(candidates)]
+    out = PreprocessingDAG.from_ops(candidate).execute(image)
+    if out.shape != reference.shape or out.dtype != reference.dtype \
+            or not np.array_equal(out, reference):
+        return [InvariantViolation(
+            "dag.equivalence",
+            f"candidate {[op.name for op in candidate]} diverged from "
+            f"naive {[op.name for op in ops]}")]
+    return []
+
+
+def _drift_pass(scenario: Scenario) -> list[InvariantViolation]:
+    if not scenario.drift:
+        return []
+    violations: list[InvariantViolation] = []
+    calibrator = OnlineCalibrator()
+    for stage, per_image in _DRIFT_BASELINES.items():
+        subject = "161-jpeg-q75" if stage == "decode" else "resnet-18"
+        calibrator.set_baseline(ObservationKey(stage, subject), per_image)
+    for phase in scenario.drift:
+        per_image = _DRIFT_BASELINES[phase.stage] * phase.scale
+        for _ in range(phase.observations):
+            calibrator.observe(StageObservation(
+                stage=phase.stage, subject=phase.subject,
+                images=phase.images,
+                seconds=per_image * phase.images, source="chaos"))
+    scales = calibrator.observed_costs().scales()
+    for key, scale in scales.items():
+        if not (1.0 / 64.0 <= scale <= 64.0):
+            violations.append(InvariantViolation(
+                "drift.bounds",
+                f"{key} calibrated to scale {scale}, outside the "
+                "calibrator's hard bounds"))
+    # Convergence: after one acknowledge of the final scales, the
+    # detector must stop demanding replans for those same scales.
+    detector = DriftDetector(threshold=1.5, hysteresis=2)
+    replans = 0
+    for _ in range(6):
+        if detector.update(scales):
+            replans += 1
+            detector.acknowledge(scales)
+    if replans > 1:
+        violations.append(InvariantViolation(
+            "drift.convergence",
+            f"{replans} replans for one stable scale set -- the detector "
+            "never converged"))
+    return violations
+
+
+def _score_key(key: str) -> ScoreKey:
+    return ScoreKey(item=key, model="resnet-18", rendition="161-jpeg-q75")
+
+
+def dump_report(report: ChaosReport, directory: str | Path) -> Path:
+    """Write a failing run's postmortem bundle + ``scenario.json``.
+
+    Returns the bundle directory.  The bundle is the cluster pass's
+    flight-recorder dump (spans, events, metrics, manifest) with the
+    scenario alongside, so ``chaos replay --scenario <dir>/scenario.json``
+    reruns the exact workload.
+    """
+    target = Path(directory)
+    recorder = report.stats.get("recorder")
+    if isinstance(recorder, FlightRecorder):
+        recorder.dump(target, reason="invariant_violation",
+                      seed=report.scenario.seed,
+                      violations=[str(v) for v in report.violations])
+    else:
+        target.mkdir(parents=True, exist_ok=True)
+    payload = report.to_dict()
+    (target / "scenario.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target

@@ -1,0 +1,140 @@
+"""Greedy scenario shrinking: minimize a failing seed's reproducer.
+
+A raw failing scenario carries every dimension its seed happened to draw
+-- most of it noise.  :func:`shrink` repeatedly tries to remove or halve
+one dimension at a time (ddmin-style greedy descent) and keeps any
+reduction that *still fails the same invariant*, until no single-step
+reduction reproduces.  The result is ordered below the original in every
+generator dimension (:meth:`Scenario.dimensions`), a contract the
+hypothesis property suite holds the shrinker to.
+
+Re-running a candidate means re-running real threads, so the predicate is
+"fails the target invariant at least once in ``retries`` runs" -- a
+schedule-dependent failure that reproduces only sometimes still counts,
+and a reduction that merely makes it rarer is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.chaos.faults import FaultPlan
+from repro.chaos.scenario import Scenario
+
+__all__ = ["ShrinkResult", "shrink", "shrink_candidates"]
+
+
+def shrink_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Single-step reductions of ``scenario``, most aggressive first.
+
+    Every yielded candidate is a valid scenario and is <= the original in
+    every dimension; validity couplings (arrival indexes vs. tenants, kill
+    faults vs. workers) are re-normalized per candidate.
+    """
+    # Drop whole optional dimensions first: the biggest wins come from
+    # discovering an entire subsystem is irrelevant to the failure.
+    if scenario.queue:
+        yield _reduced(scenario, queue=())
+    if scenario.store_ops:
+        yield _reduced(scenario, store_ops=())
+    if scenario.drift:
+        yield _reduced(scenario, drift=())
+    if len(scenario.dag_ops) > 1:
+        yield _reduced(scenario, dag_ops=(scenario.dag_ops[-1],))
+    if scenario.faults.faults:
+        yield _reduced(scenario, faults=FaultPlan())
+    # Then element-wise removal from the sequence dimensions.
+    for index in range(len(scenario.faults.faults)):
+        remaining = (scenario.faults.faults[:index]
+                     + scenario.faults.faults[index + 1:])
+        yield _reduced(scenario, faults=FaultPlan(faults=remaining))
+    for index in range(len(scenario.store_ops)):
+        yield _reduced(scenario,
+                       store_ops=(scenario.store_ops[:index]
+                                  + scenario.store_ops[index + 1:]))
+    for index in range(len(scenario.drift)):
+        yield _reduced(scenario, drift=(scenario.drift[:index]
+                                        + scenario.drift[index + 1:]))
+    # Finally the scalar workload dimensions, halved then decremented.
+    for field_name in ("items", "batch", "workers"):
+        current = getattr(scenario, field_name)
+        for smaller in sorted({current // 2, current - 1}):
+            if smaller >= 1:
+                yield _reduced(scenario, **{field_name: smaller})
+    if len(scenario.tenants) > 1:
+        yield _reduced(scenario, tenants=scenario.tenants[:-1])
+
+
+def _reduced(scenario: Scenario, **overrides) -> Scenario:
+    """One reduction with validity couplings repaired in the same step.
+
+    ``arrival`` must keep one entry per item with indexes inside the
+    tenant range, and kill faults must stay below the worker count so the
+    scenario remains survivable by construction.  Repairs and overrides
+    apply in a single ``replace`` because the scenario re-validates on
+    construction.
+    """
+    items = overrides.get("items", scenario.items)
+    tenants = overrides.get("tenants", scenario.tenants)
+    workers = overrides.get("workers", scenario.workers)
+    plan = overrides.get("faults", scenario.faults)
+    arrival = tuple(
+        scenario.arrival[i] % len(tenants)
+        if i < len(scenario.arrival) else 0
+        for i in range(items)
+    )
+    faults = plan.faults
+    max_kills = workers - 1
+    if sum(1 for f in faults if f.action == "kill") > max_kills:
+        kept: list = []
+        kills = 0
+        for fault in faults:
+            if fault.action == "kill":
+                if kills >= max_kills:
+                    continue
+                kills += 1
+            kept.append(fault)
+        faults = tuple(kept)
+    overrides["arrival"] = arrival
+    overrides["faults"] = FaultPlan(faults=faults)
+    return replace(scenario, **overrides)
+
+
+class ShrinkResult:
+    """The outcome of one shrink: the minimal scenario and the trail."""
+
+    def __init__(self, minimal: Scenario, steps: int,
+                 attempts: int) -> None:
+        self.minimal = minimal
+        self.steps = steps
+        self.attempts = attempts
+
+
+def shrink(scenario: Scenario,
+           fails: Callable[[Scenario], bool],
+           max_attempts: int = 200) -> ShrinkResult:
+    """Greedily minimize ``scenario`` while ``fails`` keeps holding.
+
+    ``fails(candidate)`` re-runs the candidate and returns True when it
+    still violates the target invariant.  Each accepted reduction restarts
+    the candidate sweep (a dimension that refused to shrink earlier often
+    shrinks once another dimension is gone).  ``max_attempts`` bounds the
+    total number of re-runs.
+    """
+    current = scenario
+    steps = 0
+    attempts = 0
+    progressed = True
+    while progressed and attempts < max_attempts:
+        progressed = False
+        for candidate in shrink_candidates(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            if fails(candidate):
+                current = candidate
+                steps += 1
+                progressed = True
+                break
+    return ShrinkResult(minimal=current, steps=steps, attempts=attempts)

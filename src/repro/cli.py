@@ -28,6 +28,12 @@ Subcommands:
   ``slo`` replays a span log through a multi-window SLO burn-rate engine
   (``--fail-on-burn`` exits 1 when the log burns); ``postmortem``
   reconstructs the failure trace from a flight-recorder bundle.
+* ``chaos``         -- scenario fuzzing + fault injection: ``run`` sweeps a
+  fixed seed range through every global invariant (exactly-once
+  resolution, bit-identical scores, connected traces, crash-safe
+  manifests), ``replay`` re-runs one seed or a dumped scenario
+  deterministically, ``shrink`` minimizes a failing seed to the smallest
+  scenario that still violates the same invariant.
 * ``bench-diff``    -- compare two ``BENCH_*.json`` scorecards field by
   field and exit 1 on regressions beyond tolerance.
 
@@ -67,6 +73,9 @@ Examples
     python -m repro.cli obs slo --trace TRACE_query.jsonl \
         --latency-target-ms 50 --objective 0.99 --fail-on-burn
     python -m repro.cli obs postmortem --bundle postmortems/postmortem-0001
+    python -m repro.cli chaos run --seeds 1000 --postmortem-dir postmortems
+    python -m repro.cli chaos replay 137
+    python -m repro.cli chaos shrink 137 --out postmortems/minimal-137
     python -m repro.cli bench-diff BENCH_obs.json BENCH_obs.json
 """
 
@@ -956,6 +965,101 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_scenario(args: argparse.Namespace, gen):
+    """The scenario a chaos subcommand targets: a file, or a seed."""
+    if getattr(args, "scenario", None):
+        import json
+        from pathlib import Path
+
+        from repro.chaos import Scenario
+
+        data = json.loads(Path(args.scenario).read_text(encoding="utf-8"))
+        if "scenario" in data:  # a dumped report (scenario.json bundle)
+            data = data["scenario"]
+        return Scenario.from_dict(data)
+    if getattr(args, "seed", None) is None:
+        raise ReproError("chaos needs a seed or --scenario <json>")
+    return gen.generate(args.seed)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos harness: sweep seeds, replay one, or shrink a failure."""
+    import time
+    from pathlib import Path
+
+    from repro.chaos import ChaosRunner, ScenarioGen
+    from repro.chaos import shrink as chaos_shrink
+    from repro.chaos.runner import dump_report
+
+    runner = ChaosRunner()
+    gen = ScenarioGen()
+    if args.action == "run":
+        start = time.monotonic()
+        failures = 0
+        fired = 0
+        for seed in range(args.start, args.start + args.seeds):
+            report = runner.run(gen.generate(seed))
+            fired += len(report.fired)
+            if not report.ok:
+                failures += 1
+                print(report.describe())
+                if args.postmortem_dir:
+                    bundle = dump_report(
+                        report, Path(args.postmortem_dir) / f"seed-{seed}")
+                    print(f"  postmortem bundle: {bundle}")
+        elapsed = time.monotonic() - start
+        print(f"{args.seeds - failures}/{args.seeds} seeds ok "
+              f"({fired} faults fired, {elapsed:.1f}s)")
+        return 1 if failures else 0
+    scenario = _chaos_scenario(args, gen)
+    if args.action == "replay":
+        report = runner.run(scenario)
+        print(report.describe())
+        for violation in report.violations:
+            print(f"  violated {violation}")
+        for firing in report.fired:
+            print(f"  fired {firing['action']}@{firing['site']} "
+                  f"(hit {firing['hit']})")
+        if not report.ok and args.postmortem_dir:
+            bundle = dump_report(
+                report,
+                Path(args.postmortem_dir) / f"seed-{scenario.seed}")
+            print(f"postmortem bundle: {bundle}")
+        return 0 if report.ok else 1
+    # shrink: minimize the scenario while it keeps failing the same
+    # invariant the original run failed first.
+    first = runner.run(scenario)
+    if first.ok:
+        print(f"seed {scenario.seed}: no invariant violated; "
+              "nothing to shrink")
+        return 0
+    target = first.violations[0].invariant
+    print(f"seed {scenario.seed}: shrinking against {target}")
+
+    def fails(candidate) -> bool:
+        for _ in range(args.retries):
+            report = runner.run(candidate)
+            if any(v.invariant == target for v in report.violations):
+                return True
+        return False
+
+    result = chaos_shrink(scenario, fails, max_attempts=args.max_attempts)
+    before = scenario.dimensions()
+    after = result.minimal.dimensions()
+    table = Table(f"Shrunk seed {scenario.seed} "
+                  f"({result.steps} reductions, {result.attempts} re-runs)",
+                  ["Dimension", "Before", "After"])
+    for name in before:
+        table.add_row(name, str(before[name]), str(after[name]))
+    print(table)
+    final = runner.run(result.minimal)
+    print(final.describe())
+    if args.out:
+        bundle = dump_report(final, args.out)
+        print(f"minimal reproducer bundle: {bundle}")
+    return 1
+
+
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
     """Diff two BENCH_*.json scorecards; exit 1 on metric regressions."""
     import json
@@ -1278,6 +1382,51 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--events", type=int, default=10,
                      help="postmortem: recorded events to show")
     obs.set_defaults(func=_cmd_obs)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="scenario fuzzing + fault injection: run a seed sweep, "
+             "replay one seed, or shrink a failing seed to a minimal "
+             "reproducer (exit 1 when an invariant breaks)",
+    )
+    chaos_actions = chaos.add_subparsers(dest="action", required=True)
+    chaos_run = chaos_actions.add_parser(
+        "run", help="sweep a fixed seed range through every invariant")
+    chaos_run.add_argument("--seeds", type=int, default=200,
+                           help="how many consecutive seeds to run")
+    chaos_run.add_argument("--start", type=int, default=0,
+                           help="first seed of the range")
+    chaos_run.add_argument("--postmortem-dir", default=None,
+                           help="dump a flight-recorder bundle per "
+                                "failing seed under this directory")
+    chaos_replay = chaos_actions.add_parser(
+        "replay", help="re-run one seed (or a dumped scenario.json) "
+                       "deterministically")
+    chaos_replay.add_argument("seed", type=int, nargs="?", default=None,
+                              help="generator seed to replay")
+    chaos_replay.add_argument("--scenario", default=None,
+                              help="scenario JSON from a postmortem "
+                                   "bundle (overrides the seed)")
+    chaos_replay.add_argument("--postmortem-dir", default=None,
+                              help="dump a bundle if the replay fails")
+    chaos_shrink = chaos_actions.add_parser(
+        "shrink", help="minimize a failing seed to the smallest scenario "
+                       "that still violates the same invariant")
+    chaos_shrink.add_argument("seed", type=int, nargs="?", default=None,
+                              help="failing generator seed")
+    chaos_shrink.add_argument("--scenario", default=None,
+                              help="scenario JSON to shrink instead of a "
+                                   "seed")
+    chaos_shrink.add_argument("--retries", type=int, default=3,
+                              help="runs per candidate before declaring "
+                                   "it non-failing (races reproduce "
+                                   "probabilistically)")
+    chaos_shrink.add_argument("--max-attempts", type=int, default=200,
+                              help="total candidate re-runs to budget")
+    chaos_shrink.add_argument("--out", default=None,
+                              help="write the minimal reproducer bundle "
+                                   "here")
+    chaos.set_defaults(func=_cmd_chaos)
 
     bench_diff = subparsers.add_parser(
         "bench-diff",

@@ -29,6 +29,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.chaos.faults import NULL_FAULTS
 from repro.cluster.health import BreakerSnapshot, CircuitBreaker
 from repro.cluster.router import ShardRouter, make_router
 from repro.cluster.worker import Worker, WorkItem, WorkOutcome
@@ -129,6 +130,12 @@ class Dispatcher:
         ``cluster.dispatch`` / ``cluster.execute`` / ``cluster.retry`` /
         ``cluster.failover`` children and modelled per-stage spans; worker
         cost reports are also published on the stage-event bus.
+    faults:
+        Chaos seam (:data:`~repro.chaos.faults.NULL_FAULTS` by default).
+        ``dispatcher.outcome`` fires in the collector between fetching an
+        outcome's in-flight entry and resolving it -- a stall there opens
+        the race against the monitor's orphan path that the atomic
+        pop-and-recheck below must win.
     """
 
     def __init__(self, worker_factory: Callable[[str, MpmcQueue], Worker],
@@ -140,7 +147,7 @@ class Dispatcher:
                  breaker_cooldown_s: float = 0.25,
                  monitor_interval_s: float = 0.02,
                  results_capacity: int = 4096,
-                 obs=NULL_OBS) -> None:
+                 obs=NULL_OBS, faults=NULL_FAULTS) -> None:
         if num_workers <= 0:
             raise ClusterError("num_workers must be positive")
         if max_attempts <= 0:
@@ -151,7 +158,9 @@ class Dispatcher:
         self._heartbeat_timeout_s = heartbeat_timeout_s
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown_s = breaker_cooldown_s
-        self._results: MpmcQueue[WorkOutcome] = MpmcQueue(results_capacity)
+        self._faults = faults if faults is not None else NULL_FAULTS
+        self._results: MpmcQueue[WorkOutcome] = MpmcQueue(
+            results_capacity, faults=self._faults)
         self._lock = threading.RLock()
         self._workers: dict[str, Worker] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
@@ -434,6 +443,10 @@ class Dispatcher:
         with self._lock:
             entry = self._inflight.get(outcome.item_id)
             breaker = self._breakers.get(outcome.worker_id)
+        # Chaos seam: a stall here holds the outcome in hand while the
+        # monitor's orphan path may concurrently resolve the same item.
+        self._faults.hit("dispatcher.outcome", item_id=outcome.item_id,
+                         ok=outcome.ok, dispatcher=self)
         if entry is None:
             # Duplicate outcome for an item already resolved via failover
             # re-execution; the first resolution won.
@@ -444,7 +457,14 @@ class Dispatcher:
             if breaker is not None:
                 breaker.record_success()
             with self._lock:
-                self._inflight.pop(outcome.item_id, None)
+                # Atomic pop-and-recheck: the monitor's orphan path (or a
+                # failover re-execution) may have resolved this item since
+                # the fetch above.  Only the thread that wins the pop may
+                # count, trace, and resolve -- anything else would retire
+                # the item twice and double-count telemetry.
+                entry = self._inflight.pop(outcome.item_id, None)
+                if entry is None:
+                    return  # lost the race: the item already resolved
                 self._completed += 1
             self._completed_metric.inc()
             if self._obs.enabled and outcome.trace is not None:
@@ -467,15 +487,20 @@ class Dispatcher:
                                worker_id=outcome.worker_id,
                                error=outcome.error)
         if outcome.attempts >= self._max_attempts:
+            with self._lock:
+                # Same atomic pop-and-recheck as the success path: a
+                # concurrent failover resolution must not be failed (or
+                # counted) a second time.
+                entry = self._inflight.pop(outcome.item_id, None)
+                if entry is None:
+                    return  # lost the race: the item already resolved
+                self._failed += 1
             trace = outcome.trace
             self._obs.trip(
                 "item_failed", item_id=outcome.item_id,
                 attempts=outcome.attempts, error=outcome.error,
                 trace_id=trace[0] if trace is not None else None,
             )
-            with self._lock:
-                self._inflight.pop(outcome.item_id, None)
-                self._failed += 1
             self._failed_metric.inc()
             if entry.span is not None:
                 entry.span.set(error=outcome.error,

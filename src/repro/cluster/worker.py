@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.chaos.faults import NULL_FAULTS
 from repro.errors import ClusterError
 from repro.hardware.instance import get_instance
 from repro.inference.mpmc import MpmcQueue, QueueClosed
@@ -268,22 +269,30 @@ class ThreadWorker(Worker):
         execute with their trace context ambient on the worker thread, so
         spans opened inside the session (store chunk reads, for example)
         parent into the item's subtree.
+    faults:
+        Chaos seam (:data:`~repro.chaos.faults.NULL_FAULTS` by default).
+        ``worker.execute`` fires before the session runs; ``worker.ack``
+        fires after the outcome posts but before the item leaves the
+        pending set -- a kill there is the duplicate-delivery window the
+        dispatcher must absorb.
     """
 
     def __init__(self, worker_id: str, session: EngineSession,
                  results: MpmcQueue[WorkOutcome],
                  queue_capacity: int = 64,
                  service_time_scale: float = 0.0,
-                 obs=NULL_OBS) -> None:
+                 obs=NULL_OBS, faults=NULL_FAULTS) -> None:
         super().__init__(worker_id)
         if service_time_scale < 0:
             raise ClusterError("service_time_scale must be non-negative")
         self._obs = obs if obs is not None else NULL_OBS
+        self._faults = faults if faults is not None else NULL_FAULTS
         if not session.warmed:
             session.warmup()
         self._session = session
         self._results = results
-        self._inbox: MpmcQueue[WorkItem] = MpmcQueue(queue_capacity)
+        self._inbox: MpmcQueue[WorkItem] = MpmcQueue(
+            queue_capacity, faults=self._faults)
         self._service_time_scale = service_time_scale
         self._pending: dict[int, WorkItem] = {}
         self._pending_lock = threading.Lock()
@@ -401,6 +410,11 @@ class ThreadWorker(Worker):
 
     def _execute(self, item: WorkItem) -> None:
         try:
+            # Chaos seam: a "raise" here becomes an error outcome (the
+            # retry path), a "kill" suppresses the outcome entirely (the
+            # failover path), a "stall" holds the replica busy.
+            self._faults.hit("worker.execute", worker=self,
+                             item_id=item.item_id)
             if self._obs.enabled and item.trace is not None:
                 # Make the item's trace ambient so session-internal spans
                 # (e.g. store chunk reads) parent into the item's subtree.
@@ -432,6 +446,30 @@ class ThreadWorker(Worker):
             self._costs.add(len(item.requests), stage_seconds)
         if self._killed:
             return
+        # Deliver, then acknowledge.  The outcome posts to the results
+        # queue *before* the item leaves the pending set: a crash in the
+        # gap (the ``worker.ack`` seam) leaves the item recoverable --
+        # the monitor re-dispatches it and the dispatcher deduplicates
+        # the already-delivered outcome -- whereas acknowledging first
+        # would lose the item outright if the worker died before the
+        # post, hanging its future until the drain timeout.
+        # A full results queue must not kill the worker thread either:
+        # keep trying until the queue drains, closes, or this worker is
+        # killed.
+        while not self._killed:
+            try:
+                self._results.put(outcome, timeout=1.0)
+                break
+            except QueueClosed:
+                break
+            except Exception:
+                continue  # put timeout: the collector is behind; retry
+        self._faults.hit("worker.ack", worker=self, item_id=item.item_id)
+        if self._killed:
+            # Crashed inside the delivery/ack window: the item stays
+            # pending so failover recovers it; exactly-once resolution is
+            # now the dispatcher's duplicate-outcome check to uphold.
+            return
         with self._pending_lock:
             self._pending.pop(item.item_id, None)
             if outcome.ok:
@@ -440,17 +478,6 @@ class ThreadWorker(Worker):
                 self._stats.modelled_seconds += outcome.modelled_seconds
             else:
                 self._stats.failed_items += 1
-        # A full results queue must not kill the worker thread (losing the
-        # outcome would hang the item's future): keep trying until the
-        # queue drains, closes, or this worker is killed.
-        while not self._killed:
-            try:
-                self._results.put(outcome, timeout=1.0)
-                return
-            except QueueClosed:
-                return
-            except Exception:
-                continue  # put timeout: the collector is behind; retry
 
 
 @dataclass(frozen=True)

@@ -12,9 +12,11 @@ then stop.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Generic, TypeVar
 
+from repro.chaos.faults import NULL_FAULTS
 from repro.errors import EngineError
 
 T = TypeVar("T")
@@ -25,12 +27,19 @@ class QueueClosed(EngineError):
 
 
 class MpmcQueue(Generic[T]):
-    """Bounded blocking queue safe for multiple producers and consumers."""
+    """Bounded blocking queue safe for multiple producers and consumers.
 
-    def __init__(self, capacity: int) -> None:
+    ``faults`` is a chaos seam (:data:`~repro.chaos.faults.NULL_FAULTS`
+    by default): the harness hits ``queue.put`` / ``queue.get`` before
+    either call blocks, so injected stalls contend the queue without
+    holding its lock.
+    """
+
+    def __init__(self, capacity: int, faults=NULL_FAULTS) -> None:
         if capacity <= 0:
             raise EngineError("queue capacity must be positive")
         self._capacity = capacity
+        self._faults = faults if faults is not None else NULL_FAULTS
         self._items: deque[T] = deque()
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
@@ -57,15 +66,25 @@ class MpmcQueue(Generic[T]):
     def put(self, item: T, timeout: float | None = None) -> None:
         """Block until there is room, then enqueue ``item``.
 
-        Raises :class:`QueueClosed` if the queue has been closed, and
+        ``timeout`` bounds the *total* block time: the wait runs against a
+        monotonic deadline, so spurious wakeups and notify storms (another
+        producer winning the freed slot) cannot re-arm it.  Raises
+        :class:`QueueClosed` if the queue has been closed, and
         :class:`EngineError` on timeout.
         """
+        self._faults.hit("queue.put", queue=self)
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_full:
             if self._closed:
                 raise QueueClosed("cannot put to a closed queue")
             while len(self._items) >= self._capacity:
-                if not self._not_full.wait(timeout=timeout):
-                    raise EngineError("timed out waiting to enqueue")
+                if deadline is None:
+                    self._not_full.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or \
+                            not self._not_full.wait(timeout=remaining):
+                        raise EngineError("timed out waiting to enqueue")
                 if self._closed:
                     raise QueueClosed("queue closed while waiting to enqueue")
             self._items.append(item)
@@ -75,15 +94,23 @@ class MpmcQueue(Generic[T]):
     def get(self, timeout: float | None = None) -> T:
         """Block until an item is available, then dequeue it.
 
-        Raises :class:`QueueClosed` once the queue is closed and drained, and
-        :class:`EngineError` on timeout.
+        ``timeout`` bounds the *total* block time against a monotonic
+        deadline (see :meth:`put`).  Raises :class:`QueueClosed` once the
+        queue is closed and drained, and :class:`EngineError` on timeout.
         """
+        self._faults.hit("queue.get", queue=self)
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_empty:
             while not self._items:
                 if self._closed:
                     raise QueueClosed("queue closed and drained")
-                if not self._not_empty.wait(timeout=timeout):
-                    raise EngineError("timed out waiting to dequeue")
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or \
+                            not self._not_empty.wait(timeout=remaining):
+                        raise EngineError("timed out waiting to dequeue")
             item = self._items.popleft()
             self._total_got += 1
             self._not_full.notify()

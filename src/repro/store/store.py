@@ -41,6 +41,7 @@ import hashlib
 import os
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -52,6 +53,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 import numpy as np
 
+from repro.chaos.faults import NULL_FAULTS
 from repro.codecs.chunked import decode_array, encode_array
 from repro.errors import StoreCorruptionError, StoreError
 from repro.obs import NULL_OBS
@@ -65,6 +67,24 @@ DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
 #: in-flight write (writers hold their temp files for milliseconds); GC
 #: reaps only temps past this age so it never races a live rename.
 TMP_REAP_SECONDS = 60.0
+
+#: One-time flag for the non-POSIX degraded-locking warning, so a busy
+#: store does not spam a warning per manifest mutation.
+_FCNTL_WARNING_EMITTED = False
+
+
+def _warn_no_flock() -> None:
+    global _FCNTL_WARNING_EMITTED
+    if _FCNTL_WARNING_EMITTED:
+        return
+    _FCNTL_WARNING_EMITTED = True
+    warnings.warn(
+        "fcntl is unavailable on this platform: manifest mutations are "
+        "serialized in-process only, and cross-process writers on the "
+        "same store root may clobber each other's entries",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def fingerprint_of(*parts: object) -> str:
@@ -319,9 +339,11 @@ class RenditionStore:
     def __init__(self, root: str | Path,
                  chunk_frames: int = DEFAULT_CHUNK_FRAMES,
                  cache_bytes: int = DEFAULT_CACHE_BYTES,
-                 compression_level: int = 1, obs=NULL_OBS) -> None:
+                 compression_level: int = 1, obs=NULL_OBS,
+                 faults=NULL_FAULTS) -> None:
         if chunk_frames <= 0:
             raise StoreError("chunk_frames must be positive")
+        self._faults = faults if faults is not None else NULL_FAULTS
         self._root = Path(root)
         self._objects = self._root / "objects"
         self._objects.mkdir(parents=True, exist_ok=True)
@@ -423,7 +445,8 @@ class RenditionStore:
         (On platforms without ``fcntl`` only the in-process lock applies.)
         """
         with self._lock:
-            if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            if fcntl is None:
+                _warn_no_flock()
                 yield
                 return
             with open(self._root / "manifest.lock", "w") as lockfile:
@@ -457,6 +480,11 @@ class RenditionStore:
             self._obs.record("store.put", 0.0, key=key, kind=kind,
                              chunks=len(objects), rows=int(arr.shape[0]))
         with self._manifest_lock():
+            # Chaos seam: a torn-manifest fault here leaves garbage
+            # ``.tmp`` debris (and aborts the commit) exactly where a
+            # crashed writer would -- the entry must NOT become visible.
+            self._faults.hit("store.manifest.save", store=self,
+                             root=self._root, key=key)
             # Reload before mutating so entries committed by other store
             # handles on the same root are merged, not clobbered (the
             # lock makes reload-modify-save atomic across processes).
@@ -670,7 +698,21 @@ class RenditionStore:
         default (:data:`TMP_REAP_SECONDS`) is far above any real write's
         window; pass ``0.0`` only when no other writer can be active
         (tests, single-process demos) to reclaim immediately.
+
+        On platforms without ``fcntl`` the cross-process manifest lock is
+        unavailable, so the age guard cannot be trusted against writers
+        in other processes: age-guarded GC refuses to run
+        (:class:`~repro.errors.StoreError`).  An explicit
+        ``min_age_seconds=0.0`` -- the caller asserting no other writer
+        exists -- is still honored.
         """
+        if fcntl is None and min_age_seconds > 0:
+            raise StoreError(
+                "gc with an age guard needs cross-process manifest "
+                "locking (fcntl), which this platform lacks; pass "
+                "min_age_seconds=0.0 only if no other writer can be "
+                "active"
+            )
         now = time.time()
         removed = 0
         freed = 0

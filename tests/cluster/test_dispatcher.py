@@ -1,9 +1,13 @@
 """Tests for the replica-aware dispatcher: routing, retries, failover."""
 
+import threading
+
 import pytest
 
+from repro.chaos.faults import Fault, FaultHook, FaultInjector, FaultPlan
 from repro.cluster import BreakerState, Dispatcher, ThreadWorker
-from repro.errors import ClusterError
+from repro.cluster.worker import Worker, WorkOutcome
+from repro.errors import ClusterError, WorkerCrashedError
 from repro.serving.request import InferenceRequest
 
 from cluster_testlib import ScriptedSession, expected_prediction
@@ -269,3 +273,176 @@ class TestPoolManagement:
             text = dispatcher.stats().describe()
         assert "submitted" in text
         assert "live" in text
+
+
+class _ParkedWorker(Worker):
+    """A controllable fake replica: accepted items stay pending forever.
+
+    The duplicate-outcome race test forges the worker's outcome onto the
+    results queue itself, so it controls exactly when the item is
+    "delivered" vs. when the worker is declared dead.
+    """
+
+    def __init__(self, worker_id: str) -> None:
+        super().__init__(worker_id)
+        self.dead = False
+        self._pending: dict[int, object] = {}
+
+    @property
+    def plan_key(self) -> str:
+        return "test-plan"
+
+    @property
+    def alive(self) -> bool:
+        return not self.dead
+
+    def heartbeat_age(self, now=None) -> float:
+        return 0.0
+
+    def submit(self, item) -> None:
+        self._pending[item.item_id] = item
+
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def pending_items(self):
+        return sorted(self._pending.values(), key=lambda i: i.item_id)
+
+    def kill(self) -> None:
+        self.dead = True
+
+    def close(self, timeout: float = 5.0) -> None:
+        self.dead = True
+
+
+class _CollectorGate(FaultHook):
+    """Parks the collector at the ``dispatcher.outcome`` seam."""
+
+    def __init__(self) -> None:
+        self.reached = threading.Event()
+        self.release = threading.Event()
+
+    def hit(self, site: str, **ctx) -> None:
+        if site == "dispatcher.outcome":
+            self.reached.set()
+            assert self.release.wait(10.0), "gate never released"
+
+
+class TestDuplicateOutcomeRace:
+    """Regression net for the double-retire bug (chaos seed 14).
+
+    A worker that crashes *after* delivering an outcome but *before*
+    acknowledging it leaves the item both on the results queue and in its
+    pending set.  The collector then races the monitor's orphan path;
+    pre-fix, ``_handle_outcome`` fetched the in-flight entry and later
+    popped it unconditionally, so the losing side still bumped counters
+    and resolved the future a second time.  The fix pops and rechecks
+    atomically: only the winner retires the item.
+    """
+
+    def test_late_outcome_after_orphan_failure_is_dropped(self):
+        gate = _CollectorGate()
+        workers: dict[str, _ParkedWorker] = {}
+
+        def factory(worker_id, results):
+            worker = _ParkedWorker(worker_id)
+            workers[worker_id] = worker
+            return worker
+
+        dispatcher = Dispatcher(factory, num_workers=1, max_attempts=1,
+                                monitor_interval_s=0.0, faults=gate)
+        try:
+            future = dispatcher.submit(_requests("img-0"))
+            worker = workers["worker-0"]
+            item = worker.pending_items()[0]
+            # The crashed worker's parting gift: a success outcome on the
+            # results queue while the item is still in its pending set.
+            dispatcher.results_queue.put(WorkOutcome(
+                item_id=item.item_id, worker_id="worker-0",
+                attempts=item.attempts,
+                predictions=(expected_prediction("img-0"),),
+            ))
+            assert gate.reached.wait(10.0)  # collector holds the outcome
+            worker.dead = True
+            assert dispatcher.check_workers() == ["worker-0"]
+            # max_attempts=1: the orphan path already failed the item.
+            with pytest.raises(WorkerCrashedError):
+                future.result(timeout=10.0)
+            gate.release.set()
+            dispatcher.drain(timeout=10.0)
+        finally:
+            gate.release.set()
+            dispatcher.close(timeout=10.0)
+        stats = dispatcher.stats()
+        assert stats.submitted == 1
+        assert stats.completed == 0, "late duplicate outcome was counted"
+        assert stats.failed == 1
+        assert stats.completed + stats.failed == stats.submitted
+        assert stats.inflight == 0
+
+    def test_late_failure_outcome_after_orphan_failure_is_dropped(self):
+        # Same torn window, error flavor: the in-hand outcome is a final
+        # failure (attempts exhausted), and the orphan path wins the race.
+        gate = _CollectorGate()
+        workers: dict[str, _ParkedWorker] = {}
+
+        def factory(worker_id, results):
+            worker = _ParkedWorker(worker_id)
+            workers[worker_id] = worker
+            return worker
+
+        dispatcher = Dispatcher(factory, num_workers=1, max_attempts=1,
+                                monitor_interval_s=0.0, faults=gate)
+        try:
+            future = dispatcher.submit(_requests("img-0"))
+            worker = workers["worker-0"]
+            item = worker.pending_items()[0]
+            dispatcher.results_queue.put(WorkOutcome(
+                item_id=item.item_id, worker_id="worker-0",
+                attempts=item.attempts, error="SessionError: boom",
+            ))
+            assert gate.reached.wait(10.0)
+            worker.dead = True
+            dispatcher.check_workers()
+            with pytest.raises(WorkerCrashedError):
+                future.result(timeout=10.0)
+            gate.release.set()
+            dispatcher.drain(timeout=10.0)
+        finally:
+            gate.release.set()
+            dispatcher.close(timeout=10.0)
+        stats = dispatcher.stats()
+        assert stats.submitted == 1
+        assert stats.failed == 1, "item failed twice (double-retired)"
+        assert stats.completed == 0
+
+    def test_ack_window_kill_is_absorbed_end_to_end(self):
+        # The chaos-native flavor with a real ThreadWorker: a kill at the
+        # worker.ack seam crashes the replica after the outcome posted
+        # but while the item is still pending, so the monitor re-
+        # dispatches work the dispatcher may already have resolved.
+        # Whichever side wins, resolution must be exactly-once.
+        injector = FaultInjector(FaultPlan(faults=(
+            Fault(site="worker.ack", action="kill", at_hit=1),
+        )))
+
+        def factory(worker_id, results):
+            return ThreadWorker(worker_id, ScriptedSession(), results,
+                                faults=injector)
+
+        dispatcher = Dispatcher(factory, num_workers=2, max_attempts=3,
+                                monitor_interval_s=0.0, faults=injector)
+        try:
+            future = dispatcher.submit(_requests("img-0"))
+            dispatcher.drain(timeout=10.0)
+            result = future.result(timeout=10.0)
+            assert result.predictions[0] == expected_prediction("img-0")
+        finally:
+            dispatcher.close(timeout=10.0)
+        assert [f.fault.site for f in injector.fired] == ["worker.ack"]
+        stats = dispatcher.stats()
+        assert stats.submitted == 1
+        assert stats.completed == 1
+        assert stats.failed == 0
+        assert stats.completed + stats.failed == stats.submitted
+        assert stats.worker_deaths == 1

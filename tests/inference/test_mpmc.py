@@ -172,3 +172,131 @@ class TestConcurrency:
         for thread in consumers:
             thread.join(timeout=10.0)
         assert sorted(consumed) == produced
+
+
+class TestTimeoutDeadline:
+    """Regression net for the re-armed-timeout bug (chaos seed 1).
+
+    ``put``/``get`` used to restart ``wait(timeout=timeout)`` from
+    scratch on every wakeup, so under a notify storm (another producer
+    winning the freed slot, or plain spurious wakeups) a nominally
+    bounded call could block far past its timeout.  The fix converts the
+    timeout to a ``time.monotonic()`` deadline bounding *total* block
+    time.
+    """
+
+    def _storm(self, queue: MpmcQueue, stop: threading.Event,
+               period_s: float) -> threading.Thread:
+        # Fire wakeups far more often than the timeout under test: with
+        # re-arm semantics every notify resets the clock, so the blocked
+        # call would outlive the storm instead of its own timeout.
+        def run() -> None:
+            while not stop.is_set():
+                with queue._lock:
+                    queue._not_full.notify_all()
+                    queue._not_empty.notify_all()
+                stop.wait(period_s)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        return thread
+
+    def test_put_timeout_bounds_total_block_under_notify_storm(self):
+        import time
+
+        queue = MpmcQueue(capacity=1)
+        queue.put("occupant")
+        stop = threading.Event()
+        thread = self._storm(queue, stop, period_s=0.01)
+        try:
+            start = time.monotonic()
+            with pytest.raises(EngineError):
+                queue.put("late", timeout=0.05)
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            thread.join(timeout=2.0)
+        assert elapsed < 0.5, (
+            f"put blocked {elapsed:.3f}s -- the timeout re-armed on wakeup"
+        )
+
+    def test_get_timeout_bounds_total_block_under_notify_storm(self):
+        import time
+
+        queue = MpmcQueue(capacity=1)
+        stop = threading.Event()
+        thread = self._storm(queue, stop, period_s=0.01)
+        try:
+            start = time.monotonic()
+            with pytest.raises(EngineError):
+                queue.get(timeout=0.05)
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            thread.join(timeout=2.0)
+        assert elapsed < 0.5, (
+            f"get blocked {elapsed:.3f}s -- the timeout re-armed on wakeup"
+        )
+
+    def test_contended_queue_timeouts_stay_bounded(self):
+        # Real contention (not just forged notifies): four producers
+        # fight over one slot while a consumer drains slowly.  A fifth
+        # producer with a short timeout must give up on schedule even
+        # though the queue keeps waking its waiters.
+        import time
+
+        queue = MpmcQueue(capacity=1)
+        stop = threading.Event()
+
+        def producer() -> None:
+            while not stop.is_set():
+                try:
+                    queue.put("filler", timeout=0.02)
+                except EngineError:
+                    continue
+                except QueueClosed:
+                    return
+
+        def consumer() -> None:
+            while not stop.is_set():
+                try:
+                    queue.get(timeout=0.02)
+                except EngineError:
+                    continue
+                except QueueClosed:
+                    return
+                time.sleep(0.002)
+
+        threads = [threading.Thread(target=producer) for _ in range(4)]
+        threads.append(threading.Thread(target=consumer))
+        for thread in threads:
+            thread.start()
+        try:
+            start = time.monotonic()
+            try:
+                queue.put("impatient", timeout=0.05)
+            except EngineError:
+                pass  # timing out on schedule is fine; blocking isn't
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=2.0)
+            queue.close()
+        assert elapsed < 0.5, f"contended put blocked {elapsed:.3f}s"
+
+    def test_untimed_put_still_blocks_until_room(self):
+        queue = MpmcQueue(capacity=1)
+        queue.put("occupant")
+        done = threading.Event()
+
+        def blocked_put() -> None:
+            queue.put("second")  # no timeout: must wait, not raise
+            done.set()
+
+        thread = threading.Thread(target=blocked_put, daemon=True)
+        thread.start()
+        assert not done.wait(0.05)
+        assert queue.get() == "occupant"
+        assert done.wait(2.0)
+        assert queue.get() == "second"

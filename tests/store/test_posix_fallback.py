@@ -1,0 +1,89 @@
+"""Tests for the non-POSIX (``fcntl = None``) store fallback.
+
+On platforms without ``fcntl`` the manifest lock degrades to the
+in-process mutex only.  The store must say so -- once -- and must refuse
+the one operation whose safety genuinely depends on the cross-process
+flock: age-guarded GC reaping.
+"""
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.store.store as store_module
+from repro.errors import StoreError
+from repro.store import RenditionStore, ScoreKey
+from repro.utils.rng import deterministic_rng
+
+
+@pytest.fixture()
+def no_fcntl(monkeypatch):
+    monkeypatch.setattr(store_module, "fcntl", None)
+    monkeypatch.setattr(store_module, "_FCNTL_WARNING_EMITTED", False)
+
+
+@pytest.fixture()
+def scores() -> np.ndarray:
+    return deterministic_rng("fallback-scores").normal(size=256)
+
+
+@pytest.fixture()
+def key() -> ScoreKey:
+    return ScoreKey.for_scan("taipei", "specialized-nn", "480p-h264",
+                             accuracy=0.9, frames=256)
+
+
+def make_store(tmp_path) -> RenditionStore:
+    return RenditionStore(tmp_path / "store", chunk_frames=64)
+
+
+class TestFallbackWarning:
+    def test_first_manifest_mutation_warns_once(self, tmp_path, no_fcntl,
+                                                scores, key):
+        store = make_store(tmp_path)
+        with pytest.warns(RuntimeWarning, match="fcntl is unavailable"):
+            store.put_scores(key, scores, fingerprint="v1")
+        # The warning is one-time per process, not per mutation.
+        other = dataclasses.replace(key, rendition="480p-h265")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            store.put_scores(other, scores, fingerprint="v1")
+
+    def test_posix_path_never_warns(self, tmp_path, scores, key):
+        store = make_store(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            store.put_scores(key, scores, fingerprint="v1")
+
+
+class TestFallbackBehavior:
+    def test_put_get_still_round_trip(self, tmp_path, no_fcntl, scores,
+                                      key):
+        store = make_store(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            store.put_scores(key, scores, fingerprint="v1")
+        stored = store.get_scores(key, fingerprint="v1")
+        assert stored is not None
+        np.testing.assert_array_equal(stored, scores)
+
+    def test_age_guarded_gc_is_refused(self, tmp_path, no_fcntl, scores,
+                                       key):
+        store = make_store(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            store.put_scores(key, scores, fingerprint="v1")
+        with pytest.raises(StoreError, match="cross-process manifest"):
+            store.gc()  # default min_age_seconds > 0
+        with pytest.raises(StoreError):
+            store.gc(min_age_seconds=1.0)
+
+    def test_unguarded_gc_still_reclaims(self, tmp_path, no_fcntl, scores,
+                                         key):
+        store = make_store(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            store.put_scores(key, scores, fingerprint="v1")
+        store.invalidate(key.key())
+        report = store.gc(min_age_seconds=0.0)
+        assert report.removed_objects >= 1
+        assert store.get_scores(key, fingerprint="v1") is None

@@ -575,3 +575,41 @@ class TestServingTraceOut:
         names = {json.loads(line)["name"]
                  for line in trace.read_text().splitlines()}
         assert "cluster.item" in names
+
+
+class TestChaosCli:
+    def test_chaos_run_sweeps_and_summarizes(self, capsys):
+        assert main(["chaos", "run", "--seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 seeds ok" in out
+        assert "faults fired" in out
+
+    def test_chaos_replay_seed_passes_and_lists_firings(self, capsys):
+        assert main(["chaos", "replay", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 14" in out and "ok" in out
+        # Seed 14 is the duplicate-outcome ambush: its kill must fire.
+        assert "kill@worker.ack" in out
+
+    def test_chaos_replay_from_scenario_file(self, capsys, tmp_path):
+        import json
+
+        from repro.chaos import ScenarioGen
+
+        scenario = ScenarioGen().generate(3)
+        plain = tmp_path / "scenario.json"
+        plain.write_text(json.dumps(scenario.to_dict()))
+        assert main(["chaos", "replay", "--scenario", str(plain)]) == 0
+        # The bundle form (a dumped report wrapping the scenario) loads
+        # identically.
+        wrapped = tmp_path / "bundle.json"
+        wrapped.write_text(json.dumps({"scenario": scenario.to_dict()}))
+        assert main(["chaos", "replay", "--scenario", str(wrapped)]) == 0
+
+    def test_chaos_replay_without_target_exits_2(self, capsys):
+        assert main(["chaos", "replay"]) == 2
+        assert "seed or --scenario" in capsys.readouterr().err
+
+    def test_chaos_shrink_of_a_passing_seed_is_a_no_op(self, capsys):
+        assert main(["chaos", "shrink", "0"]) == 0
+        assert "nothing to shrink" in capsys.readouterr().out

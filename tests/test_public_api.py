@@ -24,6 +24,7 @@ PUBLIC_SUBPACKAGES = [
     "repro.store",
     "repro.adapt",
     "repro.obs",
+    "repro.chaos",
     "repro.utils",
     "repro.cli",
 ]
