@@ -1,0 +1,143 @@
+"""Smol-Fuse throughput gate: compiled kernels must beat the interpreter.
+
+Not a paper figure: this benchmarks the fused batch kernels this repo adds
+on the plan hot path.  One serving-shaped pipeline (resize, crop, convert,
+normalize, reorder) runs the same micro-batches twice -- per-image through
+the interpreted DAG (the reference oracle) and once through the compiled
+:class:`~repro.fuse.kernel.FusedKernel` -- and the gate is two-sided:
+
+* **equivalence**: the fused outputs are byte-identical to the oracle on
+  every batch the sweep times (a fast kernel that changes the tensor the
+  DNN sees is a correctness bug, not a win);
+* **throughput**: at the serving micro-batch size the fused path clears
+  ``MIN_SPEEDUP``x the interpreted per-image throughput -- the hoisted
+  validation/topo-sort cost plus whole-batch vectorization is the point
+  of compiling at all.
+
+Per-row output scans batch sizes so a regression diff can tell a
+vectorization loss (flat speedup) from a fixed-overhead creep (small
+batches sag first).  Recorded as ``BENCH_fuse.json`` at the repo root,
+with an end-to-end session row (preprocess + DNN) for context.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchlib import emit
+
+from repro.fuse.compiler import get_kernel
+from repro.nn.model import build_mini_resnet
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.serving.request import InferenceRequest
+from repro.serving.session import FunctionalSession, serving_pipeline_ops
+from repro.utils.benchio import write_bench_json
+from repro.utils.tables import Table
+
+INPUT_SIZE = 16
+CROP_SIZE = 12
+PAYLOAD_SHAPE = (22, 18, 3)
+BATCH_SIZES = (16, 64, 256)
+GATE_BATCH = 256
+REPS = 6
+MIN_SPEEDUP = 3.0
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fuse.json"
+
+
+def _payloads(count: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(17)
+    return [rng.integers(0, 256, size=PAYLOAD_SHAPE).astype(np.uint8)
+            for _ in range(count)]
+
+
+def _best_rate(fn, images: int) -> float:
+    """Best-of-3 throughput (images/s) over REPS repetitions of ``fn``."""
+    best = float("inf")
+    for _ in range(3):
+        begin = time.perf_counter()
+        for _ in range(REPS):
+            fn()
+        best = min(best, time.perf_counter() - begin)
+    return REPS * images / best
+
+
+def run_sweep() -> tuple[Table, list[dict]]:
+    dag = PreprocessingDAG.from_ops(
+        serving_pipeline_ops(input_size=INPUT_SIZE, crop_size=CROP_SIZE)
+    )
+    kernel = get_kernel(dag)
+    rows = []
+    for batch_size in BATCH_SIZES:
+        payloads = _payloads(batch_size)
+        fused = kernel.execute_many(payloads)
+        interpreted = [dag.execute(payload) for payload in payloads]
+        for index, (got, want) in enumerate(zip(fused, interpreted)):
+            assert got.tobytes() == want.tobytes(), (
+                f"fused image {index} diverged from the oracle at "
+                f"batch size {batch_size}"
+            )
+        fused_rate = _best_rate(lambda: kernel.execute_many(payloads),
+                                batch_size)
+        interp_rate = _best_rate(
+            lambda: [dag.execute(payload) for payload in payloads],
+            batch_size,
+        )
+        rows.append({
+            "batch_size": batch_size,
+            "interpreted_img_s": round(interp_rate, 1),
+            "fused_img_s": round(fused_rate, 1),
+            "speedup": round(fused_rate / interp_rate, 2),
+            "bit_identical": True,
+        })
+    table = Table(
+        f"Smol-Fuse kernel vs interpreter ({kernel.describe()})",
+        ["Batch", "Interp img/s", "Fused img/s", "Speedup", "Bit-identical"],
+    )
+    for row in rows:
+        table.add_row(row["batch_size"], row["interpreted_img_s"],
+                      row["fused_img_s"], f"{row['speedup']}x", "yes")
+    return table, rows
+
+
+def session_row() -> dict:
+    """End-to-end context: preprocess + DNN, fused vs interpreted."""
+    dag = PreprocessingDAG.from_ops(
+        serving_pipeline_ops(input_size=INPUT_SIZE, crop_size=CROP_SIZE)
+    )
+    model = build_mini_resnet(18, num_classes=32, input_size=CROP_SIZE,
+                              seed=1)
+    requests = [InferenceRequest(image_id=f"bench/{i}", payload=payload)
+                for i, payload in enumerate(_payloads(GATE_BATCH))]
+    interpreted = FunctionalSession("bench", dag, model)
+    fused = FunctionalSession("bench", dag, model, fuse=True)
+    want = interpreted.execute(requests).predictions
+    got = fused.execute(requests).predictions
+    assert np.array_equal(got, want), "fused session predictions diverged"
+    interp_rate = _best_rate(lambda: interpreted.execute(requests),
+                             GATE_BATCH)
+    fused_rate = _best_rate(lambda: fused.execute(requests), GATE_BATCH)
+    return {
+        "batch_size": GATE_BATCH,
+        "interpreted_img_s": round(interp_rate, 1),
+        "fused_img_s": round(fused_rate, 1),
+        "speedup": round(fused_rate / interp_rate, 2),
+        "bit_identical": True,
+        "scope": "session (preprocess + DNN)",
+    }
+
+
+def test_fused_kernel_speedup(benchmark):
+    table, rows = benchmark(run_sweep)
+    emit(table)
+    e2e = session_row()
+    write_bench_json(
+        BENCH_PATH, "fuse-kernel", rows + [e2e],
+        meta={"input_size": INPUT_SIZE, "crop_size": CROP_SIZE,
+              "payload_shape": list(PAYLOAD_SHAPE),
+              "gate_batch": GATE_BATCH, "min_speedup": MIN_SPEEDUP})
+    gated = next(r for r in rows if r["batch_size"] == GATE_BATCH)
+    assert gated["speedup"] >= MIN_SPEEDUP, (
+        f"fused kernel ran at {gated['speedup']}x the interpreter at batch "
+        f"{GATE_BATCH}, below the {MIN_SPEEDUP}x gate"
+    )

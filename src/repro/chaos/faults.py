@@ -28,6 +28,15 @@ Sites instrumented across the stack:
                         races the collector against the health monitor)
 ``store.manifest.save`` :class:`~repro.store.store.RenditionStore`, inside
                         the manifest lock before the commit (torn writes)
+``serving.admit``       :class:`~repro.serving.queue.AdmissionQueue`, on the
+                        submitter's thread before the enqueue (a raise is a
+                        clean shed; a stall backpressures the submitter)
+``serving.batch``       :class:`~repro.serving.batcher.MicroBatcher`, at the
+                        top of ``next_batch`` before the first dequeue (a
+                        raise aborts the attempt with no request in hand)
+``fuse.execute``        :class:`~repro.fuse.kernel.FusedKernel`, once per
+                        executed batch before any segment runs (a raise
+                        fails the batch; a stall holds the executing thread)
 ======================  ====================================================
 """
 

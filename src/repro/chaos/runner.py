@@ -1,6 +1,6 @@
 """The chaos runner: execute one scenario, check every invariant.
 
-One :meth:`ChaosRunner.run` call executes up to five passes, all derived
+One :meth:`ChaosRunner.run` call executes up to eight passes, all derived
 from a single :class:`~repro.chaos.scenario.Scenario`:
 
 1. **reference** -- the scenario's items through an unfaulted serial
@@ -13,11 +13,27 @@ from a single :class:`~repro.chaos.scenario.Scenario`:
    :class:`~repro.cluster.dispatcher.Dispatcher` with the scenario's
    fault plan injected (kills, stalls, session failures), then the
    exactly-once / bit-identical / connected-trace invariants;
-4. **store** -- the scenario's put/invalidate/gc sequence against a
+4. **serving** (``scenario.serving``) -- the scenario's requests through a
+   live :class:`~repro.serving.server.SmolServer` with the
+   ``serving.admit`` / ``serving.batch`` seams armed: every shed request
+   is resubmitted (each planned fault fires once), and the pass asserts
+   full resolution, bit-identical predictions, and a connected span tree;
+5. **store** -- the scenario's put/invalidate/gc sequence against a
    :class:`~repro.store.store.RenditionStore` absorbing torn manifest
    writes, then crash-safety and durability checks from a fresh handle;
-5. **dag / drift** -- optimizer-candidate equivalence against the naive
-   ordering, and calibrator-bounds + convergent-replan checks.
+6. **dag / drift** -- optimizer-candidate equivalence against the naive
+   ordering, and calibrator-bounds + convergent-replan checks;
+7. **fuse** (``scenario.fuse``, overridable via ``fuse_mode``) -- the
+   scenario's DAG compiled to a :class:`~repro.fuse.kernel.FusedKernel`
+   and checked byte-identical against per-image interpretation (including
+   NaN float batches and post-``ChaosFault`` reruns), then a cluster pass
+   whose replicas execute *fused* functional sessions against an
+   interpreted serial oracle -- exactly-once, bit-identity, and connected
+   traces all hold with fusion enabled;
+8. **process kill** (``scenario.proc_kill``, minority of seeds) -- real
+   :class:`~repro.cluster.worker.ProcessWorker` replicas with one killed
+   mid-run: failover + exactly-once + bit-identity, plus no leaked
+   shared-memory segments once the dispatcher closes.
 
 A failing run's evidence is self-contained: :meth:`ChaosRunner.run`
 wires a :class:`~repro.obs.FlightRecorder` through the cluster pass, and
@@ -28,6 +44,8 @@ wires a :class:`~repro.obs.FlightRecorder` through the cluster pass, and
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
 import shutil
 import tempfile
 import threading
@@ -37,7 +55,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.chaos.faults import ChaosFault, FaultInjector
+from repro.chaos.faults import ChaosFault, FaultInjector, FaultPlan
 from repro.chaos.invariants import (
     InvariantViolation,
     check_exactly_once,
@@ -49,9 +67,18 @@ from repro.adapt.calibrator import ObservationKey, OnlineCalibrator
 from repro.adapt.drift import DriftDetector
 from repro.adapt.telemetry import StageObservation
 from repro.cluster.dispatcher import Dispatcher
-from repro.cluster.worker import ThreadWorker
-from repro.errors import EngineError, NoHealthyWorkerError, StoreError
+from repro.cluster.worker import ProcessWorker, SessionSpec, ThreadWorker
+from repro.errors import (
+    AdmissionError,
+    EngineError,
+    NoHealthyWorkerError,
+    ReproError,
+    StoreError,
+)
+from repro.fuse.compiler import get_kernel
+from repro.fuse.shm import HAS_SHM, SHM_DIR
 from repro.inference.mpmc import MpmcQueue
+from repro.nn.model import build_mini_resnet
 from repro.obs import FlightRecorder, Observability
 from repro.preprocessing.dag import PreprocessingDAG
 from repro.preprocessing.ops import (
@@ -63,8 +90,15 @@ from repro.preprocessing.ops import (
     TensorSpec,
 )
 from repro.preprocessing.optimizer import DagOptimizer
+from repro.serving.batcher import BatchPolicy
 from repro.serving.request import InferenceRequest
-from repro.serving.session import BatchResult, EngineSession
+from repro.serving.server import SmolServer
+from repro.serving.session import (
+    BatchResult,
+    EngineSession,
+    FunctionalSession,
+    serving_pipeline_ops,
+)
 from repro.store.store import Manifest, RenditionStore, ScoreKey
 from repro.utils.rng import stable_hash
 
@@ -158,18 +192,39 @@ class ChaosRunner:
     store_root:
         Directory for the store pass.  Default: a per-run temp directory,
         removed afterwards.
+    fuse_mode:
+        ``"seed"`` (default) runs the fused-execution pass on the seeds
+        whose scenario drew ``fuse=True``; ``"on"`` forces it for every
+        seed and ``"off"`` suppresses it entirely -- the CI smoke job runs
+        both forced modes so every invariant is swept with fusion on *and*
+        off.
     """
 
     def __init__(self, drain_timeout_s: float = 10.0,
-                 store_root: str | Path | None = None) -> None:
+                 store_root: str | Path | None = None,
+                 fuse_mode: str = "seed") -> None:
+        if fuse_mode not in ("seed", "on", "off"):
+            raise ReproError(
+                f"fuse_mode must be 'seed', 'on', or 'off', not {fuse_mode!r}"
+            )
         self._drain_timeout_s = drain_timeout_s
         self._store_root = store_root
+        self._fuse_mode = fuse_mode
+
+    def _fuse_enabled(self, scenario: Scenario) -> bool:
+        """Whether this run executes the fused pass (mode beats seed)."""
+        if self._fuse_mode == "on":
+            return True
+        if self._fuse_mode == "off":
+            return False
+        return scenario.fuse
 
     def run(self, scenario: Scenario) -> ChaosReport:
         """Run every pass for ``scenario``; never raises on a violation."""
         start = time.monotonic()
         report = ChaosReport(scenario=scenario)
         injector = FaultInjector(scenario.faults)
+        injectors = [injector]
         requests = _build_requests(scenario)
         reference = _reference_predictions(scenario, requests)
         if scenario.queue:
@@ -178,13 +233,21 @@ class ChaosRunner:
         obs = Observability(recorder=recorder)
         report.violations += self._cluster_pass(
             scenario, requests, reference, injector, obs, report)
+        if scenario.serving:
+            report.violations += self._serving_pass(scenario, injector,
+                                                    report)
         report.violations += self._store_pass(scenario, injector)
         report.violations += _dag_pass(scenario)
+        if self._fuse_enabled(scenario):
+            report.violations += self._fuse_pass(scenario, report,
+                                                 injectors)
         report.violations += _drift_pass(scenario)
+        if scenario.proc_kill:
+            report.violations += self._process_pass(scenario, report)
         report.fired = [
             {"site": f.fault.site, "action": f.fault.action,
              "at_hit": f.fault.at_hit, "hit": f.hit}
-            for f in injector.fired
+            for inj in injectors for f in inj.fired
         ]
         report.elapsed_s = time.monotonic() - start
         # Keep the evidence channel attached so a caller (CLI, shrinker)
@@ -234,14 +297,7 @@ class ChaosRunner:
         # a collector mid-flight (e.g. stalled by an injected fault) may
         # still mutate them after drain() observes the last resolution.
         stats = dispatcher.stats()
-        outcomes = []
-        for future in futures:
-            if not future.done():
-                outcomes.append(("lost", "future never resolved"))
-            elif future.exception() is not None:
-                outcomes.append(("failed", str(future.exception())))
-            else:
-                outcomes.append(("ok", future.result().predictions))
+        outcomes = _future_outcomes(futures)
         allow_failures = bool(
             scenario.faults.actions() & {"kill", "raise"})
         violations += check_exactly_once(stats, outcomes, allow_failures)
@@ -254,6 +310,288 @@ class ChaosRunner:
             "worker_deaths": stats.worker_deaths,
             "spans": len(obs.spans()),
         })
+        return violations
+
+    # ------------------------------------------------------------------
+    # Serving pass
+    # ------------------------------------------------------------------
+    def _serving_pass(self, scenario: Scenario, injector: FaultInjector,
+                      report: ChaosReport) -> list[InvariantViolation]:
+        """The scenario's requests through a live :class:`SmolServer`.
+
+        The serving seams fire from the scenario's plan: ``serving.admit``
+        on the submitting thread (a raise is a clean shed -- the request
+        never entered the queue), ``serving.batch`` on the serving thread
+        (absorbed by the loop; no request was dequeued), and
+        ``fuse.execute`` inside batch execution (fails the batch).  Each
+        planned fault fires at most once, so resubmitting shed requests
+        and failed batches always converges; the invariants are full
+        resolution, bit-identical predictions against the serial oracle,
+        and one connected span tree.  The cache is off so every request
+        really executes.
+        """
+        violations: list[InvariantViolation] = []
+        oracle = HashSession(plan_key="chaos-serve")
+        by_id: dict[str, InferenceRequest] = {}
+        for index in range(scenario.items):
+            tenant = scenario.tenants[scenario.arrival[index]]
+            for j in range(scenario.batch):
+                request = InferenceRequest(
+                    image_id=f"{tenant}/srv-{index}-{j}")
+                by_id[request.image_id] = request
+        expected = {
+            image_id: int(oracle.execute([request]).predictions[0])
+            for image_id, request in by_id.items()
+        }
+        obs = Observability()
+        root = obs.span("chaos.serving", seed=scenario.seed,
+                        requests=len(by_id))
+        server = SmolServer(
+            session=HashSession(plan_key="chaos-serve"),
+            policy=BatchPolicy(name="chaos",
+                               max_batch_size=max(1, scenario.batch),
+                               max_wait_ms=1.0),
+            queue_capacity=max(4, len(by_id)),
+            cache_capacity=0, obs=obs, faults=injector,
+        )
+        deadline = time.monotonic() + self._drain_timeout_s
+
+        def submit_all(image_ids) -> dict:
+            futures = {}
+            with obs.activate(root.context):
+                for image_id in image_ids:
+                    future = None
+                    for _ in range(4):
+                        try:
+                            future = server.submit(by_id[image_id])
+                            break
+                        except (ChaosFault, AdmissionError):
+                            continue  # clean shed: the fault fired once
+                    if future is None:
+                        violations.append(InvariantViolation(
+                            "serving.resolution",
+                            f"request {image_id} was shed on every "
+                            "submit attempt"))
+                    else:
+                        futures[image_id] = future
+            return futures
+
+        resolved: dict[str, int] = {}
+        try:
+            pending = submit_all(sorted(by_id))
+            for _ in range(len(scenario.faults) + 2):
+                if not pending:
+                    break
+                failed: list[str] = []
+                for image_id, future in sorted(pending.items()):
+                    try:
+                        response = future.result(
+                            timeout=max(0.01,
+                                        deadline - time.monotonic()))
+                    except TimeoutError:
+                        violations.append(InvariantViolation(
+                            "serving.resolution",
+                            f"request {image_id} never resolved within "
+                            f"{self._drain_timeout_s}s"))
+                    except Exception:
+                        failed.append(image_id)  # injected batch failure
+                    else:
+                        resolved[image_id] = int(response.prediction)
+                pending = submit_all(failed) if failed else {}
+            if pending:
+                violations.append(InvariantViolation(
+                    "serving.resolution",
+                    f"{len(pending)} requests still failing after "
+                    "every planned fault fired"))
+        finally:
+            server.close()
+            root.finish()
+        for image_id in sorted(resolved):
+            if resolved[image_id] != expected[image_id]:
+                violations.append(InvariantViolation(
+                    "predictions.bit_identical",
+                    f"served {image_id} predicted {resolved[image_id]} "
+                    f"but the serial engine predicted "
+                    f"{expected[image_id]}"))
+        violations += check_span_tree(obs.spans())
+        stats = server.stats()
+        report.stats["serving"] = {
+            "submitted": stats.submitted, "completed": stats.completed,
+            "rejected": stats.rejected,
+            "batches": stats.batcher.batches,
+        }
+        return violations
+
+    # ------------------------------------------------------------------
+    # Fused-execution pass
+    # ------------------------------------------------------------------
+    def _fuse_pass(self, scenario: Scenario, report: ChaosReport,
+                   injectors: list) -> list[InvariantViolation]:
+        """Every fused-execution invariant: kernel differential + cluster."""
+        violations = _fuse_kernel_pass(scenario, injectors)
+        violations += self._fused_cluster_pass(scenario, report, injectors)
+        return violations
+
+    def _fused_cluster_pass(self, scenario: Scenario, report: ChaosReport,
+                            injectors: list) -> list[InvariantViolation]:
+        """Cluster invariants with replicas executing *fused* sessions.
+
+        Real pixels through the standard serving pipeline on thread
+        replicas whose :class:`FunctionalSession` runs the compiled
+        kernel, while the serial oracle *interprets* the same per-item
+        batches -- so any fused/interpreted divergence (including under
+        failover re-execution) surfaces as a bit-identity violation, and
+        injected ``fuse.execute`` raises exercise the retry path with
+        fusion on.
+        """
+        dag, model = _fuse_serving_stack()
+        rng = np.random.default_rng(
+            stable_hash("fuse-cluster", scenario.seed) % (1 << 32))
+        requests = []
+        for index in range(scenario.items):
+            batch = []
+            for j in range(scenario.batch):
+                # Two payload shapes per run exercise the kernel's
+                # shape-group scatter/gather alongside the fast path.
+                shape = (28, 28, 3) if (index + j) % 2 == 0 else (26, 30, 3)
+                batch.append(InferenceRequest(
+                    image_id=f"fuse/img-{index}-{j}",
+                    payload=rng.integers(0, 256, size=shape)
+                    .astype(np.uint8)))
+            requests.append(batch)
+        oracle = FunctionalSession("fuse-plan", dag, model)
+        oracle.warmup()
+        reference = [oracle.execute(batch).predictions
+                     for batch in requests]
+        plan = FaultPlan(faults=tuple(
+            f for f in scenario.faults.faults if f.site == "fuse.execute"))
+        injector = FaultInjector(plan)
+        injectors.append(injector)
+        obs = Observability()
+
+        def factory(worker_id: str, results: MpmcQueue) -> ThreadWorker:
+            session = FunctionalSession("fuse-plan", dag, model, fuse=True,
+                                        faults=injector, obs=obs)
+            session.warmup()
+            return ThreadWorker(worker_id, session, results, obs=obs,
+                                faults=injector)
+
+        violations: list[InvariantViolation] = []
+        dispatcher = Dispatcher(
+            factory, num_workers=scenario.workers,
+            max_attempts=scenario.max_attempts,
+            heartbeat_timeout_s=0.05, monitor_interval_s=0.0,
+            breaker_cooldown_s=0.001, obs=obs, faults=injector,
+        )
+        root = obs.span("chaos.fuse", seed=scenario.seed,
+                        items=scenario.items)
+        futures = []
+        try:
+            with obs.activate(root.context):
+                for item_requests in requests:
+                    futures.append(dispatcher.submit(item_requests))
+            try:
+                dispatcher.drain(timeout=self._drain_timeout_s)
+            except NoHealthyWorkerError as exc:
+                violations.append(InvariantViolation(
+                    "resolution.exactly_once",
+                    f"fused drain stuck: {exc}"))
+        finally:
+            dispatcher.close(timeout=self._drain_timeout_s)
+            root.finish()
+        stats = dispatcher.stats()
+        outcomes = _future_outcomes(futures)
+        violations += check_exactly_once(
+            stats, outcomes, bool(plan.actions() & {"raise"}))
+        violations += check_predictions(reference, outcomes)
+        violations += check_span_tree(obs.spans())
+        report.stats["fuse_cluster"] = {
+            "submitted": stats.submitted, "completed": stats.completed,
+            "failed": stats.failed, "retried": stats.retried,
+        }
+        return violations
+
+    # ------------------------------------------------------------------
+    # Process-worker kill pass
+    # ------------------------------------------------------------------
+    def _process_pass(self, scenario: Scenario,
+                      report: ChaosReport) -> list[InvariantViolation]:
+        """Failover across real child processes, plus shm hygiene.
+
+        Two :class:`ProcessWorker` replicas behind a dispatcher; one is
+        killed (SIGTERM) right after submission, so any of its pending
+        items must fail over to the survivor with exactly-once resolution
+        intact -- and once the dispatcher closes, no shared-memory segment
+        under either worker's transport prefix may remain in ``/dev/shm``.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return []
+        spec = SessionSpec()
+        oracle = spec.build()
+        requests = []
+        for index in range(scenario.items):
+            requests.append([
+                InferenceRequest(image_id=f"proc/img-{index}-{j}")
+                for j in range(scenario.batch)
+            ])
+        reference = [oracle.execute(batch).predictions
+                     for batch in requests]
+        obs = Observability()
+        workers: list[ProcessWorker] = []
+
+        def factory(worker_id: str, results: MpmcQueue) -> ProcessWorker:
+            worker = ProcessWorker(worker_id, spec, results)
+            workers.append(worker)
+            return worker
+
+        violations: list[InvariantViolation] = []
+        # Child processes pay real startup/IPC latency, so this pass gets
+        # a wider drain bound and heartbeat window than thread replicas.
+        drain_timeout = max(self._drain_timeout_s, 30.0)
+        dispatcher = Dispatcher(
+            factory, num_workers=2, max_attempts=scenario.max_attempts,
+            heartbeat_timeout_s=5.0, monitor_interval_s=0.0,
+            breaker_cooldown_s=0.001, obs=obs,
+        )
+        root = obs.span("chaos.proc", seed=scenario.seed,
+                        items=scenario.items)
+        futures = []
+        try:
+            with obs.activate(root.context):
+                for item_requests in requests:
+                    futures.append(dispatcher.submit(item_requests))
+            # The crash: terminate one replica while items may still be
+            # in flight (which one is seed-determined).
+            workers[scenario.seed % len(workers)].kill()
+            try:
+                dispatcher.drain(timeout=drain_timeout)
+            except NoHealthyWorkerError as exc:
+                violations.append(InvariantViolation(
+                    "resolution.exactly_once",
+                    f"proc drain stuck: {exc}"))
+        finally:
+            dispatcher.close(timeout=drain_timeout)
+            root.finish()
+        stats = dispatcher.stats()
+        outcomes = _future_outcomes(futures)
+        violations += check_exactly_once(stats, outcomes,
+                                         allow_failures=True)
+        violations += check_predictions(reference, outcomes)
+        violations += check_span_tree(obs.spans())
+        if HAS_SHM and os.path.isdir(SHM_DIR):
+            prefixes = tuple(worker.transport.prefix for worker in workers)
+            leaked = [name for name in os.listdir(SHM_DIR)
+                      if name.startswith(prefixes)]
+            if leaked:
+                violations.append(InvariantViolation(
+                    "fuse.shm_leak",
+                    f"{len(leaked)} shared-memory segments survived "
+                    f"close: {sorted(leaked)[:4]}"))
+        report.stats["proc"] = {
+            "submitted": stats.submitted, "completed": stats.completed,
+            "failed": stats.failed, "failovers": stats.failovers,
+            "worker_deaths": stats.worker_deaths,
+        }
         return violations
 
     # ------------------------------------------------------------------
@@ -326,6 +664,105 @@ class ChaosRunner:
 # ----------------------------------------------------------------------
 # Pass helpers (pure functions of the scenario)
 # ----------------------------------------------------------------------
+def _future_outcomes(futures) -> list[tuple]:
+    """Resolve submitted futures into the invariant checkers' tuples."""
+    outcomes = []
+    for future in futures:
+        if not future.done():
+            outcomes.append(("lost", "future never resolved"))
+        elif future.exception() is not None:
+            outcomes.append(("failed", str(future.exception())))
+        else:
+            outcomes.append(("ok", future.result().predictions))
+    return outcomes
+
+
+#: Lazily built (dag, model) pair every fused cluster pass shares.
+_FUSE_STACK: list = []
+
+
+def _fuse_serving_stack():
+    """The serving pipeline + mini model the fused cluster pass runs.
+
+    Deliberately seed-independent and built once per process: the
+    differential surface of the pass is the *preprocessing* (fused kernel
+    vs interpretation) and the payload pixels vary per seed, so rebuilding
+    the model for every scenario would only burn wall-clock the 200-seed
+    smoke sweep cannot afford.
+    """
+    if not _FUSE_STACK:
+        dag = PreprocessingDAG.from_ops(
+            serving_pipeline_ops(input_size=24, crop_size=16))
+        model = build_mini_resnet(18, num_classes=11, input_size=16, seed=7)
+        _FUSE_STACK.append((dag, model))
+    return _FUSE_STACK[0]
+
+
+def _fuse_kernel_pass(scenario: Scenario,
+                      injectors: list) -> list[InvariantViolation]:
+    """Differential check: the compiled kernel vs per-image interpretation.
+
+    Both the scenario's naive op chain and its optimizer candidate compile
+    and execute over a heterogeneous-shape uint8 batch and a NaN-bearing
+    float32 batch; every per-image output must match interpretation to the
+    byte (``tobytes`` comparison, so NaN payload bits count too).  When the
+    plan arms ``fuse.execute``, the kernel must also survive the injected
+    :class:`ChaosFault` and produce identical results on the retry.
+    """
+    if not scenario.dag_ops:
+        return []
+    violations: list[InvariantViolation] = []
+    ops = [_DAG_BUILDERS[spec[0]](spec) for spec in scenario.dag_ops]
+    height, width, image_seed = scenario.dag_image
+    tensor_spec = TensorSpec(height=height, width=width, channels=3)
+    candidates = DagOptimizer().candidates(ops, tensor_spec)
+    candidate = candidates[scenario.dag_candidate % len(candidates)]
+    rng = np.random.default_rng(image_seed)
+    batch = [rng.integers(0, 256, size=(height, width, 3)).astype(np.uint8)
+             for _ in range(max(2, scenario.batch))]
+    # A second shape exercises the kernel's group/scatter path.
+    batch.append(rng.integers(0, 256, size=(height + 2, width + 3, 3))
+                 .astype(np.uint8))
+    nan_batch = [image.astype(np.float32) for image in batch]
+    nan_batch[0][0, 0, :] = np.nan
+    for label, chain in (("naive", ops), ("candidate", candidate)):
+        dag = PreprocessingDAG.from_ops(list(chain))
+        kernel = get_kernel(dag)
+        for kind, arrays in (("uint8", batch), ("nan-float32", nan_batch)):
+            interpreted = [dag.execute(image) for image in arrays]
+            fused = kernel.execute_many(arrays)
+            for index, (got, want) in enumerate(zip(fused, interpreted)):
+                if got.shape != want.shape or got.dtype != want.dtype \
+                        or got.tobytes() != want.tobytes():
+                    violations.append(InvariantViolation(
+                        "fuse.equivalence",
+                        f"{label}/{kind} image {index} diverged from "
+                        f"interpretation for kernel {kernel.describe()}"))
+                    break
+    plan = FaultPlan(faults=tuple(
+        f for f in scenario.faults.faults if f.site == "fuse.execute"))
+    if plan.faults:
+        injector = FaultInjector(plan)
+        injectors.append(injector)
+        kernel = get_kernel(PreprocessingDAG.from_ops(ops))
+        clean = kernel.execute_many(batch)
+        retried = None
+        for _ in range(len(plan.faults) + 1):
+            try:
+                retried = kernel.execute_many(batch, faults=injector)
+                break
+            except ChaosFault:
+                continue  # each planned fault fires once; retry converges
+        if retried is None or any(
+                got.tobytes() != want.tobytes()
+                for got, want in zip(retried, clean)):
+            violations.append(InvariantViolation(
+                "fuse.fault_recovery",
+                "fused kernel did not recover identically after an "
+                "injected fuse.execute fault"))
+    return violations
+
+
 def _build_requests(scenario: Scenario) -> list[list[InferenceRequest]]:
     requests = []
     for index in range(scenario.items):

@@ -34,6 +34,9 @@ __all__ = [
 _STALL_SITES = ("queue.put", "queue.get", "worker.execute",
                 "dispatcher.outcome")
 
+#: Sites the serving pass hits (armed only when the scenario serves).
+_SERVING_SITES = ("serving.admit", "serving.batch", "fuse.execute")
+
 #: Tenant names the arrival mix draws from.
 _TENANTS = ("tenant-a", "tenant-b", "tenant-c")
 
@@ -93,6 +96,19 @@ class Scenario:
     queue:
         Contended-queue probe ``(capacity, timeout_s, storm_s)``, or ``()``
         to skip the probe on this seed.
+    serving:
+        When True the run includes the serving pass: the scenario's items
+        through a live :class:`~repro.serving.server.SmolServer` with the
+        ``serving.admit`` / ``serving.batch`` seams armed.
+    fuse:
+        When True (and the runner's ``fuse_mode`` is ``"seed"``) the fused
+        batch kernels execute wherever a pass supports them, and the
+        fused-vs-interpreted differential pass runs on the scenario's DAG.
+    proc_kill:
+        When True the run includes the process-worker kill pass: real
+        child-process replicas, one killed mid-run, with failover,
+        exactly-once, and no-leaked-shm-segment invariants.  Rides a small
+        minority of seeds (forking is expensive next to thread workers).
     faults:
         The fault plan injected during the cluster and store passes.
     """
@@ -110,6 +126,9 @@ class Scenario:
     drift: tuple[DriftPhase, ...] = ()
     store_ops: tuple[tuple[str, str], ...] = ()
     queue: tuple = ()
+    serving: bool = False
+    fuse: bool = False
+    proc_kill: bool = False
     faults: FaultPlan = field(default_factory=FaultPlan)
 
     def __post_init__(self) -> None:
@@ -143,6 +162,9 @@ class Scenario:
             "store_ops": len(self.store_ops),
             "faults": len(self.faults),
             "queue_probe": 1 if self.queue else 0,
+            "serving": 1 if self.serving else 0,
+            "fuse": 1 if self.fuse else 0,
+            "proc_kill": 1 if self.proc_kill else 0,
         }
 
     def to_dict(self) -> dict:
@@ -161,6 +183,9 @@ class Scenario:
             "drift": [phase.to_dict() for phase in self.drift],
             "store_ops": [list(op) for op in self.store_ops],
             "queue": list(self.queue),
+            "serving": self.serving,
+            "fuse": self.fuse,
+            "proc_kill": self.proc_kill,
             "faults": self.faults.to_dict(),
         }
 
@@ -182,6 +207,9 @@ class Scenario:
                         for p in data.get("drift", ())),
             store_ops=tuple(tuple(op) for op in data.get("store_ops", ())),
             queue=tuple(data.get("queue", ())),
+            serving=bool(data.get("serving", False)),
+            fuse=bool(data.get("fuse", False)),
+            proc_kill=bool(data.get("proc_kill", False)),
             faults=FaultPlan.from_dict(data.get("faults", {})),
         )
 
@@ -194,12 +222,16 @@ class ScenarioGen:
     that); ``fault_rate`` is the probability a seed carries any faults at
     all, and ``queue_rate`` the probability it carries the contended-queue
     probe (the probe costs real wall-clock, so it rides a minority of
-    seeds).
+    seeds).  ``serving_rate`` / ``fuse_rate`` / ``proc_rate`` gate the
+    serving pass, fused execution, and the process-worker kill pass the
+    same way -- ``proc_rate`` is smallest because forking real child
+    processes dominates a scenario's wall-clock.
     """
 
     def __init__(self, max_items: int = 6, max_batch: int = 4,
                  max_workers: int = 3, fault_rate: float = 0.7,
-                 queue_rate: float = 0.125) -> None:
+                 queue_rate: float = 0.125, serving_rate: float = 0.4,
+                 fuse_rate: float = 0.5, proc_rate: float = 0.05) -> None:
         if max_items < 1 or max_batch < 1 or max_workers < 1:
             raise ReproError("generator bounds must be >= 1")
         self._max_items = max_items
@@ -207,6 +239,9 @@ class ScenarioGen:
         self._max_workers = max_workers
         self._fault_rate = fault_rate
         self._queue_rate = queue_rate
+        self._serving_rate = serving_rate
+        self._fuse_rate = fuse_rate
+        self._proc_rate = proc_rate
 
     def generate(self, seed: int) -> Scenario:
         """The scenario for ``seed`` (same seed, same scenario, always)."""
@@ -228,7 +263,18 @@ class ScenarioGen:
             queue=((1, 0.02, 0.1) if rng.random() < self._queue_rate
                    else ()),
         )
-        return replace(scenario, faults=self._faults(rng, scenario))
+        scenario = replace(scenario, faults=self._faults(rng, scenario))
+        # The serving / fuse / proc-kill dimensions (and the serving-site
+        # faults they unlock) draw *after* everything above, so pre-existing
+        # seeds keep their exact historical workloads and fault plans.
+        serving = rng.random() < self._serving_rate
+        fuse = rng.random() < self._fuse_rate
+        proc_kill = rng.random() < self._proc_rate
+        extra = self._serving_faults(rng, scenario) if serving else ()
+        return replace(
+            scenario, serving=serving, fuse=fuse, proc_kill=proc_kill,
+            faults=FaultPlan(faults=scenario.faults.faults + extra),
+        )
 
     # -- dimension generators -------------------------------------------
     def _dag(self, rng: random.Random) -> tuple[tuple, tuple]:
@@ -329,3 +375,27 @@ class ScenarioGen:
                                 action="torn-manifest",
                                 at_hit=rng.randint(1, puts)))
         return FaultPlan(faults=tuple(faults))
+
+    def _serving_faults(self, rng: random.Random,
+                        scenario: Scenario) -> tuple[Fault, ...]:
+        # Serving-pass seams: a raise at serving.admit is a clean shed the
+        # pass resubmits past; a raise at serving.batch is absorbed by the
+        # serving loop; a raise at fuse.execute fails one micro-batch (the
+        # pass resubmits its requests).  Each planned fault fires once, so
+        # bounded retries always converge.  at_hit is bounded by the total
+        # request count -- later hits simply stay planned-but-idle when
+        # batching lands fewer attempts at a site.
+        total = scenario.items * scenario.batch
+        faults: list[Fault] = []
+        for _ in range(rng.randint(0, 2)):
+            site = rng.choice(_SERVING_SITES)
+            if rng.random() < 0.5:
+                faults.append(Fault(site=site, action="raise",
+                                    at_hit=rng.randint(1, max(1, total))))
+            else:
+                faults.append(Fault(
+                    site=site, action="stall",
+                    at_hit=rng.randint(1, max(1, total)),
+                    seconds=round(rng.uniform(0.001, 0.004), 4),
+                ))
+        return tuple(faults)

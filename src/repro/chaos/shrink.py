@@ -34,6 +34,12 @@ def shrink_candidates(scenario: Scenario) -> Iterator[Scenario]:
     """
     # Drop whole optional dimensions first: the biggest wins come from
     # discovering an entire subsystem is irrelevant to the failure.
+    if scenario.proc_kill:
+        yield _reduced(scenario, proc_kill=False)
+    if scenario.serving:
+        yield _reduced(scenario, serving=False)
+    if scenario.fuse:
+        yield _reduced(scenario, fuse=False)
     if scenario.queue:
         yield _reduced(scenario, queue=())
     if scenario.store_ops:

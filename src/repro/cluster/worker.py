@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.chaos.faults import NULL_FAULTS
 from repro.errors import ClusterError
+from repro.fuse.shm import ShmBatchRef, ShmBatchTransport, worker_shm_prefix
 from repro.hardware.instance import get_instance
 from repro.inference.mpmc import MpmcQueue, QueueClosed
 from repro.inference.perfmodel import EngineConfig, PerformanceModel
@@ -40,6 +41,9 @@ from repro.core.plans import Plan
 from repro.nn.zoo import get_model_profile
 from repro.serving.request import InferenceRequest
 from repro.serving.session import EngineSession, SimulatedSession
+
+#: Shared zero-length default for WorkOutcome.predictions (never mutated).
+_EMPTY_PREDICTIONS = np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -76,7 +80,7 @@ class WorkItem:
         return replace(self, attempts=self.attempts + 1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class WorkOutcome:
     """What a worker reports back for one :class:`WorkItem`.
 
@@ -85,17 +89,28 @@ class WorkOutcome:
     the heartbeat monitor detects.  ``stage_seconds`` carries the session's
     per-stage cost breakdown (picklable key/value pairs) when the session
     reports one, feeding the worker's cost report.
+
+    ``predictions`` is an int64 ndarray passed through from the session
+    unboxed -- scan scores ride it as IEEE-754 bit patterns with no
+    per-element Python int round-trip.  Between a shared-memory process
+    worker and its parent pump, the array travels out-of-band: the child
+    posts the outcome with empty ``predictions`` and ``shm`` set to a
+    :class:`~repro.fuse.shm.ShmBatchRef`, and the pump re-materializes
+    ``predictions`` (clearing ``shm``) before forwarding to the
+    dispatcher, which therefore never sees a descriptor.
     """
 
     item_id: int
     worker_id: str
     shard_id: int = -1
     attempts: int = 1
-    predictions: tuple[int, ...] = ()
+    predictions: np.ndarray = field(
+        default_factory=lambda: _EMPTY_PREDICTIONS)
     modelled_seconds: float = 0.0
     error: str | None = None
     stage_seconds: tuple[tuple[str, float], ...] = ()
     trace: tuple[int, int] | None = None
+    shm: ShmBatchRef | None = None
 
     @property
     def ok(self) -> bool:
@@ -438,7 +453,9 @@ class ThreadWorker(Worker):
             outcome = WorkOutcome(
                 item_id=item.item_id, worker_id=self._worker_id,
                 shard_id=item.shard_id, attempts=item.attempts,
-                predictions=tuple(int(p) for p in result.predictions),
+                # ndarray passthrough: no per-element int boxing on the
+                # scan hot path (scores stay packed int64 bit patterns).
+                predictions=np.asarray(result.predictions, dtype=np.int64),
                 modelled_seconds=result.modelled_seconds,
                 stage_seconds=stage_seconds,
                 trace=item.trace,
@@ -509,10 +526,22 @@ class SessionSpec:
         return session
 
 
-def _process_worker_main(spec: SessionSpec, inbox, outbox) -> None:
-    """Child-process loop: rebuild the session, then serve the queue."""
+def _process_worker_main(spec: SessionSpec, inbox, outbox,
+                         shm_prefix: str | None = None,
+                         force_inline: bool = False) -> None:
+    """Child-process loop: rebuild the session, then serve the queue.
+
+    With ``shm_prefix`` set, prediction arrays travel out-of-band through
+    a :class:`~repro.fuse.shm.ShmBatchTransport` (zero-copy shared-memory
+    segments); the outcome on the mp queue then carries only the
+    descriptor.  Without it (legacy mode) predictions pickle through the
+    queue as an int64 ndarray -- already unboxed, but still copied.
+    """
     session = spec.build()
     plan_key = session.plan_key
+    transport = None
+    if shm_prefix is not None:
+        transport = ShmBatchTransport(shm_prefix, force_inline=force_inline)
     while True:
         item = inbox.get()
         if item is None:
@@ -520,15 +549,21 @@ def _process_worker_main(spec: SessionSpec, inbox, outbox) -> None:
             return
         try:
             result = session.execute(list(item.requests))
+            predictions = np.asarray(result.predictions, dtype=np.int64)
+            shm_ref = None
+            if transport is not None:
+                shm_ref = transport.publish(predictions)
+                predictions = _EMPTY_PREDICTIONS
             outcome = WorkOutcome(
                 item_id=item.item_id, worker_id=plan_key,  # rewritten below
                 shard_id=item.shard_id, attempts=item.attempts,
-                predictions=tuple(int(p) for p in result.predictions),
+                predictions=predictions,
                 modelled_seconds=result.modelled_seconds,
                 stage_seconds=tuple(sorted(
                     (result.stage_seconds or {}).items()
                 )),
                 trace=item.trace,  # trace ids ride back over the mp queue
+                shm=shm_ref,
             )
         except Exception as exc:
             outcome = WorkOutcome(
@@ -547,11 +582,20 @@ class ProcessWorker(Worker):
     child's outcomes into the dispatcher's shared results queue and doubles
     as the heartbeat source.  Only simulated sessions are supported -- they
     are rebuilt from a :class:`SessionSpec` rather than pickled.
+
+    Prediction batches ride zero-copy shared memory by default
+    (``use_shm=True``): the child publishes each batch into a named
+    segment under a per-worker prefix and the pump re-materializes it on
+    attach, unlinking as it goes.  ``kill``/``close`` sweep the prefix, so
+    a crashed child's in-flight segments never leak.  On platforms without
+    ``multiprocessing.shared_memory`` (or with ``use_shm=False``) the
+    transport degrades to inline bytes with identical results.
     """
 
     def __init__(self, worker_id: str, spec: SessionSpec,
                  results: MpmcQueue[WorkOutcome],
-                 start_method: str = "fork") -> None:
+                 start_method: str = "fork",
+                 use_shm: bool = True) -> None:
         super().__init__(worker_id)
         self._spec = spec
         self._results = results
@@ -564,9 +608,12 @@ class ProcessWorker(Worker):
         self._heartbeat = time.monotonic()
         self._killed = False
         self._closed = False
+        prefix = worker_shm_prefix(worker_id)
+        self._transport = ShmBatchTransport(prefix,
+                                            force_inline=not use_shm)
         self._process = context.Process(
             target=_process_worker_main,
-            args=(spec, self._inbox, self._outbox),
+            args=(spec, self._inbox, self._outbox, prefix, not use_shm),
             name=f"cluster-{worker_id}", daemon=True,
         )
         self._process.start()
@@ -575,6 +622,11 @@ class ProcessWorker(Worker):
             daemon=True,
         )
         self._pump.start()
+
+    @property
+    def transport(self) -> ShmBatchTransport:
+        """The parent-side shared-memory transport (attach + sweep side)."""
+        return self._transport
 
     @property
     def plan_key(self) -> str:
@@ -623,6 +675,12 @@ class ProcessWorker(Worker):
     def kill(self) -> None:
         self._killed = True
         self._process.terminate()
+        # The child may have published batches whose descriptors never
+        # reached the pump; sweeping the worker's prefix reclaims them.
+        # A descriptor the pump is concurrently attaching either wins the
+        # race (the attach unlinks) or sees FileNotFoundError and drops
+        # the outcome -- crash semantics either way.
+        self._transport.sweep()
 
     def close(self, timeout: float = 10.0) -> None:
         if self._closed:
@@ -634,6 +692,7 @@ class ProcessWorker(Worker):
         self._pump.join(timeout=timeout)
         if self._process.is_alive():
             self._process.terminate()
+        self._transport.sweep()
 
     def _pump_loop(self) -> None:
         while True:
@@ -647,7 +706,18 @@ class ProcessWorker(Worker):
                 continue
             if outcome is None:
                 return
-            outcome = replace(outcome, worker_id=self._worker_id)
+            if outcome.shm is not None:
+                try:
+                    predictions = self._transport.attach(outcome.shm)
+                except FileNotFoundError:
+                    # The segment was swept after a kill: treat the
+                    # outcome as lost with the crash -- the item stays
+                    # pending and failover recovers it.
+                    continue
+                outcome = replace(outcome, worker_id=self._worker_id,
+                                  predictions=predictions, shm=None)
+            else:
+                outcome = replace(outcome, worker_id=self._worker_id)
             with self._pending_lock:
                 item = self._pending.pop(outcome.item_id, None)
             if outcome.ok and item is not None:

@@ -1,0 +1,132 @@
+"""The plan compiler: preprocessing DAG -> :class:`FusedKernel`, cached.
+
+Compilation is cheap but not free (validation, topological sort, lowering
+lookups), and -- more importantly -- the *interpreted* executor pays those
+costs per image.  The compiler hoists them to once per plan: ``compile_dag``
+validates and sorts the DAG a single time and emits a kernel whose hot loop
+is pure batched array code, and :class:`KernelCache` memoizes kernels by
+plan fingerprint so every session, replica, and hot-swap of the same plan
+shares one compiled executable.
+
+The fingerprint covers the executed semantics -- the op sequence (each op's
+``repr`` includes its parameters) and per-node device placement -- so two
+structurally different DAGs that execute the same op sequence share a
+kernel, and any parameter change misses the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from repro.errors import PreprocessingError
+from repro.fuse.kernel import FusedKernel, Segment
+from repro.fuse.registry import lowering_for
+from repro.preprocessing.dag import PreprocessingDAG
+
+
+def dag_fingerprint(dag: PreprocessingDAG) -> str:
+    """Stable hex fingerprint of a DAG's executed semantics."""
+    nodes = dag.topological_ops()
+    payload = "|".join(
+        f"{node.op!r}@{node.device}" for node in nodes
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def compile_dag(dag: PreprocessingDAG,
+                fingerprint: str | None = None) -> FusedKernel:
+    """Lower ``dag`` into a :class:`FusedKernel`.
+
+    Consecutive ops with registered lowerings become one vector segment;
+    consecutive ops without one become one interpreter segment.  The DAG is
+    validated here, once -- the kernel never re-validates.
+    """
+    dag.validate()
+    if fingerprint is None:
+        fingerprint = dag_fingerprint(dag)
+    segments: list[Segment] = []
+    current_kind: str | None = None
+    ops: list = []
+    stages: list = []
+
+    def flush() -> None:
+        if not ops:
+            return
+        segments.append(Segment(kind=current_kind, ops=tuple(ops),
+                                stages=tuple(stages)))
+        ops.clear()
+        stages.clear()
+
+    for node in dag.topological_ops():
+        stage = lowering_for(node.op)
+        kind = "vector" if stage is not None else "interp"
+        if kind != current_kind:
+            flush()
+            current_kind = kind
+        ops.append(node.op)
+        if stage is not None:
+            stages.append(stage)
+    flush()
+    if not segments:
+        raise PreprocessingError("empty preprocessing DAG")
+    return FusedKernel(fingerprint, segments, describe=dag.describe())
+
+
+class KernelCache:
+    """Compile-once kernel cache keyed by plan fingerprint (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._kernels: dict[str, FusedKernel] = {}
+        self._hits = 0
+        self._compiles = 0
+
+    @property
+    def hits(self) -> int:
+        """Lookups served by an already-compiled kernel."""
+        with self._lock:
+            return self._hits
+
+    @property
+    def compiles(self) -> int:
+        """Kernels compiled (cache misses)."""
+        with self._lock:
+            return self._compiles
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._kernels)
+
+    def get(self, dag: PreprocessingDAG) -> FusedKernel:
+        """The cached kernel for ``dag``, compiling on first sight."""
+        fingerprint = dag_fingerprint(dag)
+        with self._lock:
+            kernel = self._kernels.get(fingerprint)
+            if kernel is not None:
+                self._hits += 1
+                return kernel
+        # Compile outside the lock (lowering lookups are pure); first
+        # finished compile wins, a concurrent loser is discarded.
+        kernel = compile_dag(dag, fingerprint=fingerprint)
+        with self._lock:
+            winner = self._kernels.setdefault(fingerprint, kernel)
+            if winner is kernel:
+                self._compiles += 1
+            else:
+                self._hits += 1
+        return winner
+
+    def clear(self) -> None:
+        """Drop every cached kernel (tests)."""
+        with self._lock:
+            self._kernels.clear()
+
+
+#: The process-wide kernel cache sessions share by default.
+DEFAULT_KERNEL_CACHE = KernelCache()
+
+
+def get_kernel(dag: PreprocessingDAG) -> FusedKernel:
+    """The shared-cache kernel for ``dag`` (compile once per plan)."""
+    return DEFAULT_KERNEL_CACHE.get(dag)

@@ -1,0 +1,183 @@
+"""Fused kernels: a compiled plan pipeline executing whole micro-batches.
+
+A :class:`FusedKernel` is the executable the compiler emits for one
+preprocessing DAG: an ordered list of :class:`Segment` records, each either
+
+* a **vector segment** -- consecutive ops with registered batched lowerings
+  (:mod:`repro.fuse.registry`), executed as whole-batch numpy array ops; or
+* an **interpreter segment** -- consecutive ops without a lowering, executed
+  by looping each op's own ``apply`` per image (the fallback that makes any
+  valid DAG compilable).
+
+Micro-batches may mix input shapes/dtypes (serving payloads are arbitrary
+images).  ``execute_many`` groups the batch by ``(shape, dtype)``, runs the
+segments once per group, and scatters the group outputs back into request
+order -- so a heterogeneous batch produces exactly the per-image results,
+and a homogeneous batch (the common case) runs every stage once.
+
+The ``fuse.execute`` fault seam fires once per executed batch, and when
+observability is enabled each segment emits a ``fuse.segment`` span, so
+chaos and tracing see the same stage boundaries the interpreted path shows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.chaos.faults import NULL_FAULTS
+from repro.errors import PreprocessingError
+from repro.fuse.registry import BatchStage
+from repro.obs import NULL_OBS
+from repro.preprocessing.ops import PreprocessingOp
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One compiled pipeline segment.
+
+    ``kind`` is ``"vector"`` (``stages`` holds one batched callable per op)
+    or ``"interp"`` (``stages`` is empty and ``ops`` run per image).  ``ops``
+    always names the covered operators, in execution order.
+    """
+
+    kind: str
+    ops: tuple[PreprocessingOp, ...]
+    stages: tuple[BatchStage, ...] = ()
+
+    @property
+    def op_names(self) -> tuple[str, ...]:
+        """Short op names this segment covers (for describe/tracing)."""
+        return tuple(op.name for op in self.ops)
+
+    def run(self, batch: np.ndarray) -> np.ndarray:
+        """Execute the segment over one shape-homogeneous batch."""
+        if self.kind == "vector":
+            for stage in self.stages:
+                batch = stage(batch)
+            return batch
+        # Interpreter fallback: per-image apply, restacked.  Images in a
+        # group share a shape, and ops map equal input shapes to equal
+        # output shapes, so the restack is always well-formed.
+        images = list(batch)
+        for op in self.ops:
+            images = [op.apply(image) for image in images]
+        return np.stack(images)
+
+
+class FusedKernel:
+    """The compiled, reusable executable of one preprocessing DAG."""
+
+    def __init__(self, fingerprint: str, segments: Sequence[Segment],
+                 describe: str = "") -> None:
+        if not segments:
+            raise PreprocessingError("cannot build an empty fused kernel")
+        self._fingerprint = fingerprint
+        self._segments = tuple(segments)
+        self._describe = describe
+        self._batches = 0
+        self._images = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """The plan fingerprint this kernel was compiled from."""
+        return self._fingerprint
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        """The compiled segments, in execution order."""
+        return self._segments
+
+    @property
+    def fully_vectorized(self) -> bool:
+        """True when no op fell back to the interpreter."""
+        return all(segment.kind == "vector" for segment in self._segments)
+
+    @property
+    def batches_executed(self) -> int:
+        """Lifetime count of executed batches."""
+        return self._batches
+
+    @property
+    def images_executed(self) -> int:
+        """Lifetime count of images across executed batches."""
+        return self._images
+
+    def describe(self) -> str:
+        """Segment-bracketed pipeline description, e.g. ``[resize crop]``."""
+        parts = []
+        for segment in self._segments:
+            inner = " ".join(segment.op_names)
+            brackets = "[{}]" if segment.kind == "vector" else "{{{}}}"
+            parts.append(brackets.format(inner))
+        return " -> ".join(parts)
+
+    def _run_group(self, batch: np.ndarray, obs) -> np.ndarray:
+        for segment in self._segments:
+            if obs.enabled:
+                start = time.perf_counter()
+                batch = segment.run(batch)
+                obs.record(
+                    "fuse.segment", time.perf_counter() - start,
+                    kind=segment.kind, ops=" ".join(segment.op_names),
+                    images=int(batch.shape[0]),
+                )
+            else:
+                batch = segment.run(batch)
+        return batch
+
+    def _group(self, arrays: Sequence[np.ndarray]) -> dict[tuple, list[int]]:
+        groups: dict[tuple, list[int]] = {}
+        for index, array in enumerate(arrays):
+            if not isinstance(array, np.ndarray):
+                raise PreprocessingError(
+                    "fused execution needs ndarray payloads, got "
+                    f"{type(array).__name__}"
+                )
+            groups.setdefault((array.shape, array.dtype.str), []).append(index)
+        return groups
+
+    def execute_many(self, arrays: Sequence[np.ndarray],
+                     faults=NULL_FAULTS, obs=NULL_OBS) -> list[np.ndarray]:
+        """Run the pipeline over a micro-batch; per-image outputs in order.
+
+        Bit-identical to ``[dag.execute(a) for a in arrays]`` by the
+        registry's lowering contract; shape/dtype groups keep heterogeneous
+        batches exact.
+        """
+        if not arrays:
+            raise PreprocessingError("cannot execute an empty fused batch")
+        faults.hit("fuse.execute", kernel=self, batch=len(arrays))
+        groups = self._group(arrays)
+        self._batches += 1
+        self._images += len(arrays)
+        results: list[np.ndarray | None] = [None] * len(arrays)
+        for indices in groups.values():
+            batch = np.stack([arrays[i] for i in indices])
+            out = self._run_group(batch, obs)
+            for position, index in enumerate(indices):
+                results[index] = out[position]
+        return results  # type: ignore[return-value]
+
+    def execute_stacked(self, arrays: Sequence[np.ndarray],
+                        faults=NULL_FAULTS, obs=NULL_OBS) -> np.ndarray:
+        """Like :meth:`execute_many` but stacked into one ``(N, ...)`` array.
+
+        A shape-homogeneous batch (the common case) returns the group
+        output directly, with no per-image unstack/restack; heterogeneous
+        batches raise like ``np.stack`` when per-image outputs disagree on
+        shape -- exactly where the interpreted ``np.stack(tensors)`` path
+        fails.
+        """
+        if not arrays:
+            raise PreprocessingError("cannot execute an empty fused batch")
+        groups = self._group(arrays)
+        if len(groups) == 1:
+            faults.hit("fuse.execute", kernel=self, batch=len(arrays))
+            self._batches += 1
+            self._images += len(arrays)
+            return self._run_group(np.stack(arrays), obs)
+        return np.stack(self.execute_many(arrays, faults=faults, obs=obs))

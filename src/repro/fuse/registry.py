@@ -1,0 +1,179 @@
+"""Per-op codegen registry: batched lowerings of preprocessing operators.
+
+Each entry maps one :class:`~repro.preprocessing.ops.PreprocessingOp` type to
+a *lowering*: a function that, given the op instance, returns a kernel stage
+executing that op over a whole micro-batch at once -- an ``(N, ...)`` array
+in, an ``(N, ...)`` array out.  The compiler (:mod:`repro.fuse.compiler`)
+stitches consecutive lowered stages into vector segments; ops without a
+registered lowering fall back to a batched-interpreter segment that loops
+the op's own ``apply`` per image, so *any* valid DAG compiles.
+
+Every lowering is bit-identical to mapping the op's ``apply`` over the batch:
+the batched form performs the same IEEE-754 elementwise operations in the
+same order per element (broadcasts add a leading batch axis, never reorder
+the per-element arithmetic), and raises the same
+:class:`~repro.errors.PreprocessingError` on the inputs the scalar op
+rejects.  The differential suite under ``tests/fuse/`` holds this contract
+over the golden plan matrix and hypothesis-generated DAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+import numpy as np
+
+from repro.errors import PreprocessingError
+from repro.preprocessing.ops import (
+    CenterCropOp,
+    ChannelReorderOp,
+    ConvertDtypeOp,
+    DecodeOp,
+    FusedNormalizeReorderOp,
+    NormalizeOp,
+    PreprocessingOp,
+    ResizeOp,
+)
+
+#: A kernel stage: one batched array in (leading batch axis), one out.
+BatchStage = Callable[[np.ndarray], np.ndarray]
+
+#: op type -> (op instance -> batched stage)
+_LOWERINGS: dict[Type[PreprocessingOp], Callable[[PreprocessingOp], BatchStage]] = {}
+
+
+def register_lowering(op_type: Type[PreprocessingOp]):
+    """Register the decorated function as ``op_type``'s batched lowering."""
+    def decorator(fn: Callable[[PreprocessingOp], BatchStage]):
+        _LOWERINGS[op_type] = fn
+        return fn
+    return decorator
+
+
+def lowering_for(op: PreprocessingOp) -> BatchStage | None:
+    """The batched stage lowering ``op``, or None (interpreter fallback).
+
+    Lookup is by exact type: a subclass overriding ``apply`` must not
+    silently inherit its parent's lowering, or fused results would diverge
+    from the interpreted oracle.
+    """
+    factory = _LOWERINGS.get(type(op))
+    if factory is None:
+        return None
+    return factory(op)
+
+
+def registered_op_types() -> tuple[Type[PreprocessingOp], ...]:
+    """Op types with a registered lowering (registration order)."""
+    return tuple(_LOWERINGS)
+
+
+@register_lowering(DecodeOp)
+def _lower_decode(op: DecodeOp) -> BatchStage:
+    # Decode is a DAG marker (the codecs decode at ingest); its apply is
+    # the identity, so the batched form is too.
+    def stage(batch: np.ndarray) -> np.ndarray:
+        return batch
+    return stage
+
+
+@register_lowering(ResizeOp)
+def _lower_resize(op: ResizeOp) -> BatchStage:
+    short_side = op.short_side
+
+    def stage(batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4:
+            raise PreprocessingError("resize expects an NHWC batch")
+        height, width = batch.shape[1:3]
+        scale = short_side / min(height, width)
+        new_h = max(1, int(round(height * scale)))
+        new_w = max(1, int(round(width * scale)))
+        if (new_h, new_w) == (height, width):
+            return batch.copy()
+        # Identical tap positions and per-element multiply-add order as
+        # ops.bilinear_resize; the batch axis rides in front of every
+        # gather and broadcast, so each image's arithmetic is unchanged.
+        row_positions = np.linspace(0, height - 1, new_h)
+        col_positions = np.linspace(0, width - 1, new_w)
+        row0 = np.floor(row_positions).astype(np.int64)
+        col0 = np.floor(col_positions).astype(np.int64)
+        row1 = np.minimum(row0 + 1, height - 1)
+        col1 = np.minimum(col0 + 1, width - 1)
+        row_frac = (row_positions - row0)[:, None, None]
+        col_frac = (col_positions - col0)[None, :, None]
+        data = batch.astype(np.float64)
+        top = (data[:, row0][:, :, col0] * (1 - col_frac)
+               + data[:, row0][:, :, col1] * col_frac)
+        bottom = (data[:, row1][:, :, col0] * (1 - col_frac)
+                  + data[:, row1][:, :, col1] * col_frac)
+        result = top * (1 - row_frac) + bottom * row_frac
+        if np.issubdtype(batch.dtype, np.integer):
+            return np.clip(np.round(result), 0, 255).astype(batch.dtype)
+        return result.astype(batch.dtype)
+    return stage
+
+
+@register_lowering(CenterCropOp)
+def _lower_crop(op: CenterCropOp) -> BatchStage:
+    size = op.size
+
+    def stage(batch: np.ndarray) -> np.ndarray:
+        height, width = batch.shape[1:3]
+        if height < size or width < size:
+            raise PreprocessingError(
+                f"cannot crop {size}x{size} from {height}x{width}"
+            )
+        top = (height - size) // 2
+        left = (width - size) // 2
+        return batch[:, top:top + size, left:left + size].copy()
+    return stage
+
+
+@register_lowering(ConvertDtypeOp)
+def _lower_convert(op: ConvertDtypeOp) -> BatchStage:
+    target = op.target_dtype
+
+    def stage(batch: np.ndarray) -> np.ndarray:
+        return batch.astype(target)
+    return stage
+
+
+def _batched_normalize(batch: np.ndarray, mean: tuple[float, ...],
+                       std: tuple[float, ...]) -> np.ndarray:
+    data = batch.astype(np.float32) / 255.0
+    if data.ndim != 4 or data.shape[3] != len(mean):
+        raise PreprocessingError(
+            f"normalize expects HWC with {len(mean)} channels, "
+            f"got shape {data.shape[1:]}"
+        )
+    mean_arr = np.asarray(mean, dtype=np.float32)
+    std_arr = np.asarray(std, dtype=np.float32)
+    return (data - mean_arr) / std_arr
+
+
+@register_lowering(NormalizeOp)
+def _lower_normalize(op: NormalizeOp) -> BatchStage:
+    mean, std = op.mean, op.std
+
+    def stage(batch: np.ndarray) -> np.ndarray:
+        return _batched_normalize(batch, mean, std)
+    return stage
+
+
+@register_lowering(ChannelReorderOp)
+def _lower_reorder(op: ChannelReorderOp) -> BatchStage:
+    def stage(batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4:
+            raise PreprocessingError("channel reorder expects an HWC tensor")
+        return np.ascontiguousarray(np.transpose(batch, (0, 3, 1, 2)))
+    return stage
+
+
+@register_lowering(FusedNormalizeReorderOp)
+def _lower_fused_normalize_reorder(op: FusedNormalizeReorderOp) -> BatchStage:
+    mean, std = op.mean, op.std
+
+    def stage(batch: np.ndarray) -> np.ndarray:
+        normalized = _batched_normalize(batch, mean, std)
+        return np.ascontiguousarray(np.transpose(normalized, (0, 3, 1, 2)))
+    return stage

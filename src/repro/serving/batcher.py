@@ -15,6 +15,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Generic, TypeVar
 
+from repro.chaos.faults import NULL_FAULTS
 from repro.errors import ServingError
 from repro.inference.mpmc import QueueClosed
 from repro.obs import NULL_OBS
@@ -76,10 +77,18 @@ class BatcherStats:
 
 
 class MicroBatcher(Generic[T]):
-    """Drains an :class:`AdmissionQueue` into policy-shaped micro-batches."""
+    """Drains an :class:`AdmissionQueue` into policy-shaped micro-batches.
+
+    ``faults`` is the chaos seam: the ``serving.batch`` site fires at the
+    top of each :meth:`next_batch` attempt, *before* the first dequeue --
+    an injected raise aborts the attempt with no request in hand (nothing
+    is lost; the serving loop retries), and a stall delays batch formation
+    the way a descheduled batcher thread would.
+    """
 
     def __init__(self, queue: AdmissionQueue[T], policy: BatchPolicy,
-                 obs=NULL_OBS) -> None:
+                 obs=NULL_OBS, faults=NULL_FAULTS) -> None:
+        self._faults = faults if faults is not None else NULL_FAULTS
         self._queue = queue
         self._policy = policy
         self._stats = BatcherStats()
@@ -101,6 +110,7 @@ class MicroBatcher(Generic[T]):
         until the policy's size cap or wait bound.  Returns None once the
         queue is closed and fully drained.
         """
+        self._faults.hit("serving.batch", batcher=self)
         try:
             first = self._queue.get(timeout=poll_timeout)
         except QueueClosed:

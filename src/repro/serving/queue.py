@@ -12,6 +12,7 @@ from __future__ import annotations
 import threading
 from typing import Generic, TypeVar
 
+from repro.chaos.faults import NULL_FAULTS
 from repro.errors import AdmissionError, EngineError
 from repro.inference.mpmc import MpmcQueue, QueueClosed
 from repro.obs import NULL_OBS
@@ -25,9 +26,16 @@ class AdmissionQueue(Generic[T]):
     When given an :class:`~repro.obs.Observability`, admissions and
     rejections also tick stack-wide counters; instruments are pre-bound at
     construction so the disabled path stays a no-op method call.
+
+    ``faults`` is the chaos seam: the ``serving.admit`` site fires on the
+    submitter's thread before each enqueue, so an injected stall delays
+    admission and an injected raise sheds the request before it was ever
+    queued (the submitter sees the failure; nothing is half-admitted).
     """
 
-    def __init__(self, capacity: int, obs=NULL_OBS) -> None:
+    def __init__(self, capacity: int, obs=NULL_OBS,
+                 faults=NULL_FAULTS) -> None:
+        self._faults = faults if faults is not None else NULL_FAULTS
         self._queue: MpmcQueue[T] = MpmcQueue(capacity=capacity)
         self._lock = threading.Lock()
         self._admitted = 0
@@ -58,6 +66,10 @@ class AdmissionQueue(Generic[T]):
         immediately (load shedding).  :class:`QueueClosed` propagates either
         way once the queue is closed.
         """
+        # Chaos seam: fires before the enqueue, so a raise here is a clean
+        # shed (the item never entered the queue) and a stall backpressures
+        # the submitting thread.
+        self._faults.hit("serving.admit", queue=self)
         try:
             if block:
                 self._queue.put(item, timeout=timeout)

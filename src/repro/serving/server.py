@@ -35,6 +35,7 @@ import threading
 from concurrent.futures import Future
 from dataclasses import dataclass
 
+from repro.chaos.faults import NULL_FAULTS
 from repro.errors import ServingError
 from repro.inference.mpmc import QueueClosed
 from repro.obs import NULL_OBS
@@ -151,6 +152,17 @@ class SmolServer:
         windows track exactly what the server promised.  Call
         ``slo.evaluate()`` periodically (e.g. between loadgen waves) to
         fire alerts.
+    fuse:
+        Fused-execution toggle for session mode.  ``True``/``False`` is
+        applied to the initial session and every later :meth:`swap_plan`
+        target that supports ``set_fuse`` (functional and scan sessions);
+        the default ``None`` leaves sessions exactly as built.  Fused and
+        interpreted execution are bit-identical, so the toggle never
+        changes responses.
+    faults:
+        Chaos seam handle (:data:`~repro.chaos.faults.NULL_FAULTS` by
+        default), threaded into the admission queue (``serving.admit``)
+        and the micro-batcher (``serving.batch``).
     """
 
     def __init__(self, session: EngineSession | SessionManager | None = None,
@@ -159,7 +171,8 @@ class SmolServer:
                  cache_capacity: int = 2048,
                  block_on_full: bool = True,
                  cluster=None, store=None, telemetry=None,
-                 obs=NULL_OBS, slo=None) -> None:
+                 obs=NULL_OBS, slo=None, fuse: bool | None = None,
+                 faults=NULL_FAULTS) -> None:
         if (session is None) == (cluster is None):
             raise ServingError(
                 "provide exactly one of session= or cluster="
@@ -169,6 +182,7 @@ class SmolServer:
         # the key so the per-submit cache lookup never touches the
         # dispatcher's lock.
         self._cluster_plan_key = cluster.plan_key if cluster else None
+        self._fuse = fuse
         self._sessions: SessionManager | None
         if session is None:
             self._sessions = None
@@ -176,13 +190,16 @@ class SmolServer:
             self._sessions = session
         else:
             self._sessions = SessionManager(session)
+        if self._sessions is not None:
+            self._apply_fuse(self._sessions.current())
         self._policy = policy or BatchPolicy.latency()
         self._obs = obs if obs is not None else NULL_OBS
+        self._faults = faults if faults is not None else NULL_FAULTS
         self._queue: AdmissionQueue[_Pending] = AdmissionQueue(
-            queue_capacity, obs=self._obs
+            queue_capacity, obs=self._obs, faults=self._faults
         )
         self._batcher: MicroBatcher[_Pending] = MicroBatcher(
-            self._queue, self._policy, obs=self._obs
+            self._queue, self._policy, obs=self._obs, faults=self._faults
         )
         self._latency_metric = self._obs.histogram("serving_latency_seconds")
         self._completed_metric = self._obs.counter("serving_completed_total")
@@ -365,13 +382,27 @@ class SmolServer:
         threading.Thread(target=run, name="smol-query", daemon=True).start()
         return future
 
+    def _apply_fuse(self, session: EngineSession) -> None:
+        """Apply the server's fuse toggle to ``session`` when it supports it."""
+        if self._fuse is None:
+            return
+        set_fuse = getattr(session, "set_fuse", None)
+        if set_fuse is not None:
+            set_fuse(self._fuse)
+
     def swap_plan(self, session: EngineSession) -> None:
-        """Hot-swap the live plan session (in-flight batches finish first)."""
+        """Hot-swap the live plan session (in-flight batches finish first).
+
+        The server's ``fuse=`` toggle carries over: an incoming session
+        that supports fusion is switched to the server's mode before it
+        goes live.
+        """
         if self._sessions is None:
             raise ServingError(
                 "plan swaps apply to session-backed servers; rebuild the "
                 "cluster's workers to change plans"
             )
+        self._apply_fuse(session)
         self._sessions.swap(session)
 
     def stats(self) -> ServerStats:
@@ -437,6 +468,13 @@ class SmolServer:
                 batch = self._batcher.next_batch()
             except QueueClosed:  # pragma: no cover - next_batch returns None
                 return
+            except Exception:
+                # An injected (or organic) failure forming a batch must not
+                # take the serving thread down -- no request was dequeued
+                # (the ``serving.batch`` seam fires before the first get),
+                # so retrying loses nothing.
+                self._obs.note("serving.batcher_failed")
+                continue
             if batch is None:
                 return
             if not batch:

@@ -18,9 +18,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.chaos.faults import NULL_FAULTS
 from repro.codecs.formats import InputFormatSpec
 from repro.core.plans import Plan, PlanEstimate
 from repro.errors import ServingError
+from repro.fuse.compiler import get_kernel
+from repro.obs import NULL_OBS
 from repro.inference.perfmodel import EngineConfig, PerformanceModel
 from repro.nn.model import Sequential, build_mini_resnet
 from repro.preprocessing.dag import PreprocessingDAG
@@ -88,14 +91,30 @@ class EngineSession:
 
 
 class FunctionalSession(EngineSession):
-    """Session running real pixels through a preprocessing DAG and model."""
+    """Session running real pixels through a preprocessing DAG and model.
+
+    With ``fuse=True`` the DAG is compiled once into a
+    :class:`~repro.fuse.kernel.FusedKernel` (shared process-wide per plan
+    fingerprint) and each micro-batch executes as batched array ops instead
+    of per-image interpretation.  The interpreted path stays the reference
+    oracle: fused predictions are bit-identical by the lowering contract
+    (``tests/fuse/`` enforces it), so the toggle is purely a speed choice.
+    ``faults``/``obs`` thread into the kernel, which keeps the
+    ``fuse.execute`` chaos seam and per-segment spans visible.
+    """
 
     def __init__(self, plan_key: str, preprocessing: PreprocessingDAG,
-                 model: Sequential) -> None:
+                 model: Sequential, fuse: bool = False,
+                 faults=None, obs=None) -> None:
         super().__init__(plan_key)
         preprocessing.validate()
         self._preprocessing = preprocessing
         self._model = model
+        self._faults = faults if faults is not None else NULL_FAULTS
+        self._obs = obs if obs is not None else NULL_OBS
+        self._kernel = None
+        if fuse:
+            self.set_fuse(True)
 
     @property
     def model(self) -> Sequential:
@@ -107,6 +126,28 @@ class FunctionalSession(EngineSession):
         """The pinned preprocessing DAG."""
         return self._preprocessing
 
+    @property
+    def fused(self) -> bool:
+        """True when micro-batches execute on the compiled kernel."""
+        return self._kernel is not None
+
+    @property
+    def kernel(self):
+        """The compiled fused kernel, or None on the interpreted path."""
+        return self._kernel
+
+    def set_fuse(self, enabled: bool) -> None:
+        """Switch between fused and interpreted execution (hot-safe).
+
+        Enabling compiles (or fetches the cached) kernel for the pinned
+        DAG; disabling falls back to per-image interpretation.  Either
+        mode produces bit-identical predictions.
+        """
+        if enabled:
+            self._kernel = get_kernel(self._preprocessing)
+        else:
+            self._kernel = None
+
     def warmup(self, probe: np.ndarray | None = None) -> None:
         """Run one dummy image end to end (JIT-analogue of engine warmup)."""
         if probe is None:
@@ -115,18 +156,29 @@ class FunctionalSession(EngineSession):
         self._model.predict(preprocessed[None].astype(np.float32))
         super().warmup()
 
-    def execute(self, requests: Sequence[InferenceRequest]) -> BatchResult:
-        if not requests:
-            raise ServingError("cannot execute an empty batch")
-        tensors = []
+    def _payloads(self, requests: Sequence[InferenceRequest]) -> list:
+        payloads = []
         for request in requests:
             if request.payload is None:
                 raise ServingError(
                     f"request {request.request_id} has no payload "
                     "(functional sessions need decoded images)"
                 )
-            tensors.append(self._preprocessing.execute(request.payload))
-        stacked = np.stack(tensors).astype(np.float32)
+            payloads.append(request.payload)
+        return payloads
+
+    def execute(self, requests: Sequence[InferenceRequest]) -> BatchResult:
+        if not requests:
+            raise ServingError("cannot execute an empty batch")
+        payloads = self._payloads(requests)
+        if self._kernel is not None:
+            stacked = self._kernel.execute_stacked(
+                payloads, faults=self._faults, obs=self._obs
+            ).astype(np.float32)
+        else:
+            tensors = [self._preprocessing.execute(payload)
+                       for payload in payloads]
+            stacked = np.stack(tensors).astype(np.float32)
         return BatchResult(predictions=self._model.predict(stacked))
 
 
@@ -254,7 +306,8 @@ def serving_pipeline_ops(input_size: int = 48, crop_size: int = 32) -> list:
 def functional_session_for_plan(plan: Plan | PlanEstimate,
                                 num_classes: int = 2,
                                 crop_size: int = 32,
-                                seed: int = 0) -> FunctionalSession:
+                                seed: int = 0,
+                                fuse: bool = False) -> FunctionalSession:
     """Build a warmed functional session executing ``plan``.
 
     The model depth follows the plan's primary DNN (``resnet-50`` maps to the
@@ -272,7 +325,7 @@ def functional_session_for_plan(plan: Plan | PlanEstimate,
     )
     model = build_mini_resnet(depth, num_classes=num_classes,
                               input_size=crop_size, seed=seed)
-    session = FunctionalSession(actual.describe(), dag, model)
+    session = FunctionalSession(actual.describe(), dag, model, fuse=fuse)
     session.warmup()
     return session
 

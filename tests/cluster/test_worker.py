@@ -3,6 +3,7 @@
 import multiprocessing
 import time
 
+import numpy as np
 import pytest
 
 from repro.cluster import (
@@ -41,9 +42,10 @@ class TestThreadWorker:
         outcome = results.get(timeout=5.0)
         assert outcome.ok
         assert outcome.worker_id == "w0"
-        assert outcome.predictions == (
+        assert isinstance(outcome.predictions, np.ndarray)
+        assert np.array_equal(outcome.predictions, [
             expected_prediction("img-0"), expected_prediction("img-1"),
-        )
+        ])
         assert outcome.modelled_seconds == pytest.approx(2e-3)
         assert worker.pending_items() == []
         worker.close()
@@ -149,7 +151,7 @@ class TestProcessWorker:
                                          thread_results)
             thread_worker.submit(_item(0, "img-0", "img-1"))
             reference = thread_results.get(timeout=5.0)
-            assert outcome.predictions == reference.predictions
+            assert np.array_equal(outcome.predictions, reference.predictions)
             thread_worker.close()
         finally:
             process_worker.close()

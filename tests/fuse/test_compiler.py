@@ -1,0 +1,132 @@
+"""Tests for DAG lowering, plan fingerprints, and the kernel cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PreprocessingError
+from repro.fuse.compiler import (
+    DEFAULT_KERNEL_CACHE,
+    KernelCache,
+    compile_dag,
+    dag_fingerprint,
+    get_kernel,
+)
+from repro.fuse.registry import lowering_for, registered_op_types
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.preprocessing.ops import (
+    CenterCropOp,
+    ConvertDtypeOp,
+    NormalizeOp,
+    ResizeOp,
+)
+from repro.serving.session import serving_pipeline_ops
+
+
+class UnloweredCrop(CenterCropOp):
+    """A crop subclass with no registered lowering (interpreter fallback).
+
+    Deliberately *not* re-registered: the registry looks up by exact type,
+    so a subclass that could override ``apply`` must never inherit its
+    parent's batched lowering.
+    """
+
+
+def _dag(ops) -> PreprocessingDAG:
+    return PreprocessingDAG.from_ops(list(ops))
+
+
+class TestFingerprint:
+    def test_same_op_sequence_same_fingerprint(self):
+        ops = serving_pipeline_ops(input_size=24, crop_size=16)
+        assert dag_fingerprint(_dag(ops)) == dag_fingerprint(_dag(ops))
+
+    def test_parameter_change_misses(self):
+        base = dag_fingerprint(_dag([ResizeOp(short_side=24),
+                                     CenterCropOp(size=16)]))
+        assert base != dag_fingerprint(_dag([ResizeOp(short_side=24),
+                                             CenterCropOp(size=17)]))
+        assert base != dag_fingerprint(_dag([ResizeOp(short_side=25),
+                                             CenterCropOp(size=16)]))
+
+    def test_device_placement_is_covered(self):
+        ops = [ResizeOp(short_side=24), CenterCropOp(size=16)]
+        cpu = PreprocessingDAG.from_ops(ops, device="cpu")
+        accel = PreprocessingDAG.from_ops(ops, device="accelerator")
+        assert dag_fingerprint(cpu) != dag_fingerprint(accel)
+
+
+class TestCompile:
+    def test_serving_pipeline_is_fully_vectorized(self):
+        kernel = compile_dag(_dag(serving_pipeline_ops(24, 16)))
+        assert kernel.fully_vectorized
+        assert len(kernel.segments) == 1
+        assert kernel.segments[0].kind == "vector"
+
+    def test_unlowered_op_splits_an_interpreter_segment(self):
+        kernel = compile_dag(_dag([
+            ResizeOp(short_side=24),
+            UnloweredCrop(size=16),
+            ConvertDtypeOp("float32"),
+            NormalizeOp(),
+        ]))
+        assert not kernel.fully_vectorized
+        assert [s.kind for s in kernel.segments] == ["vector", "interp",
+                                                     "vector"]
+        # The fallback still executes the real op.
+        image = np.arange(24 * 30 * 3, dtype=np.uint8).reshape(24, 30, 3)
+        fused = kernel.execute_many([image])[0]
+        interpreted = _dag([ResizeOp(short_side=24), UnloweredCrop(size=16),
+                            ConvertDtypeOp("float32"),
+                            NormalizeOp()]).execute(image)
+        assert fused.tobytes() == interpreted.tobytes()
+
+    def test_subclass_does_not_inherit_parent_lowering(self):
+        assert lowering_for(CenterCropOp(size=8)) is not None
+        assert lowering_for(UnloweredCrop(size=8)) is None
+        assert UnloweredCrop not in registered_op_types()
+
+    def test_empty_dag_rejected(self):
+        with pytest.raises(Exception):
+            compile_dag(PreprocessingDAG())
+
+    def test_describe_brackets_segment_kinds(self):
+        kernel = compile_dag(_dag([ResizeOp(short_side=24),
+                                   UnloweredCrop(size=16)]))
+        assert kernel.describe() == "[resize] -> {crop}"
+
+
+class TestKernelCache:
+    def test_compile_once_per_fingerprint(self):
+        cache = KernelCache()
+        ops = serving_pipeline_ops(24, 16)
+        first = cache.get(_dag(ops))
+        second = cache.get(_dag(ops))
+        assert first is second
+        assert cache.compiles == 1
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_distinct_plans_get_distinct_kernels(self):
+        cache = KernelCache()
+        one = cache.get(_dag([ResizeOp(short_side=24)]))
+        two = cache.get(_dag([ResizeOp(short_side=32)]))
+        assert one is not two
+        assert cache.compiles == 2
+
+    def test_structurally_rebuilt_dag_shares_the_kernel(self):
+        # Sessions, replicas, and hot-swaps each rebuild the DAG object;
+        # the cache must key on semantics, not identity.
+        cache = KernelCache()
+        a = cache.get(_dag(serving_pipeline_ops(24, 16)))
+        b = cache.get(_dag(serving_pipeline_ops(24, 16)))
+        assert a is b
+
+    def test_clear_drops_kernels(self):
+        cache = KernelCache()
+        cache.get(_dag([ResizeOp(short_side=24)]))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_process_wide_cache_is_shared(self):
+        dag = _dag(serving_pipeline_ops(26, 18))
+        assert get_kernel(dag) is DEFAULT_KERNEL_CACHE.get(dag)

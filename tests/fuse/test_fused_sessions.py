@@ -1,0 +1,155 @@
+"""The ``fuse=`` toggle across every execution surface.
+
+Sessions, the serving server, the scan session, and the sharded cluster
+runner each expose the toggle; all of them must produce results
+bit-identical to their interpreted counterparts, because the interpreted
+path is the reference oracle the fused path is proven against.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.scan import compute_scan_costs
+from repro.datasets.video import load_video_dataset
+from repro.codecs.formats import VIDEO_480P_H264
+from repro.hardware.instance import get_instance
+from repro.inference.perfmodel import EngineConfig, PerformanceModel
+from repro.nn.model import build_mini_resnet
+from repro.nn.zoo import get_model_profile
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.query.scan import (
+    ClusterScanRunner,
+    ScanSession,
+    decode_scores,
+    frame_id,
+)
+from repro.serving.batcher import BatchPolicy
+from repro.serving.request import InferenceRequest
+from repro.serving.server import SmolServer
+from repro.serving.session import FunctionalSession, serving_pipeline_ops
+
+
+def _stack():
+    dag = PreprocessingDAG.from_ops(serving_pipeline_ops(input_size=24,
+                                                         crop_size=16))
+    model = build_mini_resnet(18, num_classes=9, input_size=16, seed=5)
+    return dag, model
+
+
+def _requests(count: int, seed: int = 9):
+    rng = np.random.default_rng(seed)
+    shapes = [(28, 28, 3), (26, 30, 3)]
+    return [
+        InferenceRequest(
+            image_id=f"fused/img-{i}",
+            payload=rng.integers(0, 256,
+                                 size=shapes[i % 2]).astype(np.uint8),
+        )
+        for i in range(count)
+    ]
+
+
+class TestFunctionalSessionToggle:
+    def test_fused_predictions_match_interpreted(self):
+        dag, model = _stack()
+        interpreted = FunctionalSession("plan", dag, model)
+        fused = FunctionalSession("plan", dag, model, fuse=True)
+        requests = _requests(8)
+        assert np.array_equal(fused.execute(requests).predictions,
+                              interpreted.execute(requests).predictions)
+
+    def test_set_fuse_is_hot_safe_and_reversible(self):
+        dag, model = _stack()
+        session = FunctionalSession("plan", dag, model)
+        requests = _requests(4)
+        want = session.execute(requests).predictions
+        session.set_fuse(True)
+        assert session.fused and session.kernel is not None
+        assert np.array_equal(session.execute(requests).predictions, want)
+        session.set_fuse(False)
+        assert not session.fused and session.kernel is None
+        assert np.array_equal(session.execute(requests).predictions, want)
+
+    def test_sessions_of_one_plan_share_the_compiled_kernel(self):
+        dag_a, model = _stack()
+        dag_b, _ = _stack()
+        one = FunctionalSession("plan", dag_a, model, fuse=True)
+        two = FunctionalSession("plan", dag_b, model, fuse=True)
+        assert one.kernel is two.kernel
+
+
+class TestServerToggle:
+    def _server(self, fuse: bool) -> SmolServer:
+        dag, model = _stack()
+        session = FunctionalSession("plan", dag, model)
+        return SmolServer(
+            session=session,
+            policy=BatchPolicy(name="t", max_batch_size=4, max_wait_ms=1.0),
+            queue_capacity=32, cache_capacity=0, fuse=fuse,
+        )
+
+    def test_fused_server_serves_identical_predictions(self):
+        fused, interpreted = self._server(True), self._server(False)
+        try:
+            requests = _requests(8)
+            got = [f.result(timeout=10.0).prediction
+                   for f in [fused.submit(r) for r in requests]]
+            want = [f.result(timeout=10.0).prediction
+                    for f in [interpreted.submit(r) for r in requests]]
+            assert got == want
+        finally:
+            fused.close()
+            interpreted.close()
+
+    def test_toggle_carries_over_plan_swaps(self):
+        server = self._server(True)
+        try:
+            assert server.sessions.current().fused
+            dag, model = _stack()
+            server.swap_plan(FunctionalSession("plan-2", dag, model))
+            assert server.sessions.current().fused
+        finally:
+            server.close()
+
+
+@pytest.fixture(scope="module")
+def scan_setup():
+    perf = PerformanceModel(get_instance("g4dn.xlarge"))
+    dataset = load_video_dataset("amsterdam")
+    costs = compute_scan_costs(
+        perf, EngineConfig(num_producers=4),
+        get_model_profile("resnet-18"), VIDEO_480P_H264, dataset,
+        frames_used=600,
+    )
+    return dataset, costs
+
+
+class TestScanToggle:
+    def test_fused_scan_scores_are_bit_identical(self, scan_setup):
+        dataset, costs = scan_setup
+        kwargs = dict(
+            specialized_accuracy=0.9, frames_used=costs.frames_used,
+            seconds_per_frame=costs.seconds_per_scanned_frame,
+            plan_key="scan:fused",
+        )
+        interpreted = ScanSession(dataset, **kwargs)
+        fused = ScanSession(dataset, fuse=True, **kwargs)
+        assert fused.fused and not interpreted.fused
+        requests = [InferenceRequest(image_id=frame_id(dataset.name, i))
+                    for i in (0, 7, 599, 311)]
+        got = fused.execute(requests).predictions
+        want = interpreted.execute(requests).predictions
+        assert got.tobytes() == want.tobytes()
+
+    def test_cluster_runner_toggle_is_score_invariant(self, scan_setup):
+        dataset, costs = scan_setup
+        reports = [
+            ClusterScanRunner(dataset, specialized_accuracy=0.9, costs=costs,
+                              plan_key="scan:fused", num_workers=2,
+                              batch_size=128, fuse=fuse).run()
+            for fuse in (False, True)
+        ]
+        assert np.array_equal(reports[0].scores, reports[1].scores)
+        expected = dataset.specialized_nn_predictions(
+            accuracy_factor=0.9, limit=costs.frames_used)
+        assert np.array_equal(reports[1].scores, expected)

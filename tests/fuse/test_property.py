@@ -1,0 +1,146 @@
+"""Property-based differential net for the fused kernel.
+
+Hypothesis drives random legal op chains, random optimizer candidates, and
+adversarial payloads -- mixed shapes, float inputs carrying NaN/inf/
+subnormal values -- and holds the compiled kernel to byte-equality with the
+per-image interpreted oracle on every one of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+# NaN/inf payloads legitimately trip numpy's invalid-value warnings in BOTH
+# execution paths; the assertions compare the resulting bytes exactly.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:invalid value encountered:RuntimeWarning"
+)
+
+from repro.errors import PreprocessingError
+from repro.fuse.compiler import compile_dag
+from repro.preprocessing.dag import PreprocessingDAG
+from repro.preprocessing.ops import (
+    CenterCropOp,
+    ChannelReorderOp,
+    ConvertDtypeOp,
+    NormalizeOp,
+    ResizeOp,
+    TensorSpec,
+)
+from repro.preprocessing.optimizer import DagOptimizer
+
+#: IEEE-754 edge values injected into float payloads.
+SPECIALS = np.array([np.nan, -np.nan, np.inf, -np.inf, 5e-324, -5e-324,
+                     0.0, -0.0], dtype=np.float64)
+
+
+@st.composite
+def chain_and_batch(draw):
+    """A random legal chain plus a mixed-shape batch that fits it."""
+    ops = []
+    short_side = None
+    if draw(st.booleans()):
+        short_side = draw(st.integers(8, 24))
+        ops.append(ResizeOp(short_side=short_side))
+    min_side = 16
+    max_crop = short_side if short_side is not None else min_side
+    if draw(st.booleans()):
+        ops.append(CenterCropOp(size=draw(st.integers(4, max_crop))))
+    if draw(st.booleans()):
+        ops.append(ConvertDtypeOp("float32"))
+    if draw(st.booleans()):
+        ops.append(NormalizeOp())
+    if draw(st.booleans()):
+        ops.append(ChannelReorderOp())
+    if not ops:
+        ops.append(NormalizeOp())
+
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    dtype = draw(st.sampled_from(["uint8", "float32", "float64"]))
+    batch = []
+    for _ in range(draw(st.integers(1, 5))):
+        height = draw(st.integers(min_side, 40))
+        width = draw(st.integers(min_side, 40))
+        if dtype == "uint8":
+            image = rng.integers(0, 256,
+                                 size=(height, width, 3)).astype(np.uint8)
+        else:
+            image = rng.uniform(-300.0, 300.0,
+                                size=(height, width, 3)).astype(dtype)
+            if draw(st.booleans()):
+                # Sprinkle IEEE-754 edge cases through the payload.
+                flat = image.reshape(-1)
+                positions = rng.choice(flat.size,
+                                       size=min(flat.size, len(SPECIALS)),
+                                       replace=False)
+                flat[positions] = SPECIALS[: len(positions)].astype(dtype)
+        batch.append(image)
+    return ops, batch
+
+
+def _interpret(dag: PreprocessingDAG, batch):
+    return [dag.execute(image) for image in batch]
+
+
+class TestKernelMatchesOracle:
+    @given(case=chain_and_batch())
+    @settings(max_examples=60, deadline=None)
+    def test_bitwise_equal_on_adversarial_batches(self, case):
+        ops, batch = case
+        dag = PreprocessingDAG.from_ops(ops)
+        kernel = compile_dag(dag)
+        try:
+            interpreted = _interpret(dag, batch)
+        except PreprocessingError:
+            # The oracle rejects the batch (e.g. crop larger than image);
+            # the kernel must reject it the same way, not half-execute.
+            try:
+                kernel.execute_many(batch)
+            except PreprocessingError:
+                return
+            raise AssertionError(
+                "interpreter rejected the batch but the kernel accepted it"
+            )
+        fused = kernel.execute_many(batch)
+        for index, (got, want) in enumerate(zip(fused, interpreted)):
+            assert got.shape == want.shape
+            assert got.dtype == want.dtype
+            assert got.tobytes() == want.tobytes(), (
+                f"image {index} of {[op.name for op in ops]} diverged "
+                f"(dtype {batch[index].dtype})"
+            )
+
+    @given(case=chain_and_batch())
+    @settings(max_examples=25, deadline=None)
+    def test_every_candidate_kernel_matches_its_own_oracle(self, case):
+        ops, batch = case
+        spec = TensorSpec(height=batch[0].shape[0], width=batch[0].shape[1],
+                          channels=3, dtype=str(batch[0].dtype))
+        for candidate in DagOptimizer().candidates(list(ops), spec):
+            dag = PreprocessingDAG.from_ops(candidate)
+            try:
+                interpreted = _interpret(dag, batch)
+            except PreprocessingError:
+                continue
+            fused = compile_dag(dag).execute_many(batch)
+            for got, want in zip(fused, interpreted):
+                assert got.tobytes() == want.tobytes(), (
+                    f"candidate {[op.name for op in candidate]} diverged"
+                )
+
+    @given(seed=st.integers(0, 1000), size=st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_stacked_and_many_agree_on_homogeneous_batches(self, seed, size):
+        ops = [ResizeOp(short_side=16), CenterCropOp(size=12),
+               ConvertDtypeOp("float32"), NormalizeOp(),
+               ChannelReorderOp()]
+        kernel = compile_dag(PreprocessingDAG.from_ops(ops))
+        rng = np.random.default_rng(seed)
+        batch = [rng.integers(0, 256, size=(24, 20, 3)).astype(np.uint8)
+                 for _ in range(size)]
+        stacked = kernel.execute_stacked(batch)
+        many = kernel.execute_many(batch)
+        assert stacked.shape[0] == len(batch)
+        for index in range(len(batch)):
+            assert stacked[index].tobytes() == many[index].tobytes()
