@@ -37,6 +37,13 @@ Sites instrumented across the stack:
 ``fuse.execute``        :class:`~repro.fuse.kernel.FusedKernel`, once per
                         executed batch before any segment runs (a raise
                         fails the batch; a stall holds the executing thread)
+``tenant.enqueue``      :class:`~repro.tenant.scheduler.DrrScheduler`, on
+                        the submitter's thread before an item enters its
+                        class queue (a raise is a clean shed; a stall
+                        backpressures the submitter)
+``tenant.batch``        :class:`~repro.tenant.scheduler.DrrScheduler`, at
+                        the top of ``next_batch`` before any dequeue (a
+                        raise aborts the attempt with no request in hand)
 ======================  ====================================================
 """
 

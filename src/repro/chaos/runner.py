@@ -33,7 +33,13 @@ from a single :class:`~repro.chaos.scenario.Scenario`:
 8. **process kill** (``scenario.proc_kill``, minority of seeds) -- real
    :class:`~repro.cluster.worker.ProcessWorker` replicas with one killed
    mid-run: failover + exactly-once + bit-identity, plus no leaked
-   shared-memory segments once the dispatcher closes.
+   shared-memory segments once the dispatcher closes;
+9. **multi-tenant serving** (``scenario.tenant_serving``) -- the
+   scenario's tenants through a DRR-scheduled
+   :class:`~repro.serving.server.SmolServer` with the ``tenant.enqueue``
+   / ``tenant.batch`` seams armed: no priority class may starve under
+   injected stalls and raises, answers stay exactly-once and
+   bit-identical, and the span tree stays connected.
 
 A failing run's evidence is self-contained: :meth:`ChaosRunner.run`
 wires a :class:`~repro.obs.FlightRecorder` through the cluster pass, and
@@ -236,6 +242,9 @@ class ChaosRunner:
         if scenario.serving:
             report.violations += self._serving_pass(scenario, injector,
                                                     report)
+        if scenario.tenant_serving:
+            report.violations += self._tenant_pass(scenario, injector,
+                                                   report)
         report.violations += self._store_pass(scenario, injector)
         report.violations += _dag_pass(scenario)
         if self._fuse_enabled(scenario):
@@ -419,6 +428,144 @@ class ChaosRunner:
             "submitted": stats.submitted, "completed": stats.completed,
             "rejected": stats.rejected,
             "batches": stats.batcher.batches,
+        }
+        return violations
+
+    # ------------------------------------------------------------------
+    # Multi-tenant serving pass
+    # ------------------------------------------------------------------
+    def _tenant_pass(self, scenario: Scenario, injector: FaultInjector,
+                     report: ChaosReport) -> list[InvariantViolation]:
+        """The scenario's tenants through a DRR-scheduled server.
+
+        Each scenario tenant becomes a :class:`TenantSpec` in the class
+        ``scenario.tenant_classes`` assigns it (quotas unlimited and
+        class deadlines off, so every divergence is the scheduler's
+        fault, not throttling or downgrades).  The armed seams are the
+        DRR scheduler's own: ``tenant.enqueue`` (a raise is a clean shed
+        the pass resubmits past) and ``tenant.batch`` (absorbed by the
+        serving loop before any dequeue).  Invariants: *no starvation*
+        (every class with offered requests fully resolves, even with
+        stalls and raises wedged into its queues -- the
+        schedule-independent form of exactly-once), bit-identical
+        predictions against the serial oracle, and a connected span
+        tree.
+        """
+        from repro.tenant.spec import (
+            PRIORITY_CLASSES,
+            ClassPolicy,
+            TenantConfig,
+            TenantSpec,
+        )
+
+        violations: list[InvariantViolation] = []
+        config = TenantConfig(
+            tenants=tuple(
+                TenantSpec(name=tenant,
+                           priority=PRIORITY_CLASSES[class_index])
+                for tenant, class_index
+                in zip(scenario.tenants, scenario.tenant_classes)
+            ),
+            classes=(ClassPolicy("interactive", weight=8.0, rank=0),
+                     ClassPolicy("standard", weight=4.0, rank=1),
+                     ClassPolicy("batch", weight=1.0, rank=2)),
+        )
+        class_of = {tenant: PRIORITY_CLASSES[class_index]
+                    for tenant, class_index
+                    in zip(scenario.tenants, scenario.tenant_classes)}
+        oracle = HashSession(plan_key="chaos-tenant")
+        by_id: dict[str, InferenceRequest] = {}
+        for index in range(scenario.items):
+            tenant = scenario.tenants[scenario.arrival[index]]
+            for j in range(scenario.batch):
+                request = InferenceRequest(
+                    image_id=f"{tenant}/tn-{index}-{j}", tenant=tenant)
+                by_id[request.image_id] = request
+        expected = {
+            image_id: int(oracle.execute([request]).predictions[0])
+            for image_id, request in by_id.items()
+        }
+        obs = Observability()
+        root = obs.span("chaos.tenant", seed=scenario.seed,
+                        requests=len(by_id))
+        server = SmolServer(
+            session=HashSession(plan_key="chaos-tenant"),
+            policy=BatchPolicy(name="chaos-tenant",
+                               max_batch_size=max(1, scenario.batch),
+                               max_wait_ms=1.0),
+            queue_capacity=max(4, len(by_id)),
+            cache_capacity=0, obs=obs, faults=injector, tenants=config,
+        )
+        deadline = time.monotonic() + self._drain_timeout_s
+
+        def submit_all(image_ids) -> dict:
+            futures = {}
+            with obs.activate(root.context):
+                for image_id in image_ids:
+                    future = None
+                    for _ in range(4):
+                        try:
+                            future = server.submit(by_id[image_id])
+                            break
+                        except (ChaosFault, AdmissionError):
+                            continue  # clean shed: the fault fired once
+                    if future is None:
+                        violations.append(InvariantViolation(
+                            "tenant.no_starvation",
+                            f"request {image_id} was shed on every "
+                            "submit attempt"))
+                    else:
+                        futures[image_id] = future
+            return futures
+
+        resolved: dict[str, int] = {}
+        unresolved: list[str] = []
+        try:
+            pending = submit_all(sorted(by_id))
+            for _ in range(len(scenario.faults) + 2):
+                if not pending:
+                    break
+                failed: list[str] = []
+                for image_id, future in sorted(pending.items()):
+                    try:
+                        response = future.result(
+                            timeout=max(0.01,
+                                        deadline - time.monotonic()))
+                    except TimeoutError:
+                        unresolved.append(image_id)
+                    except Exception:
+                        failed.append(image_id)  # injected batch failure
+                    else:
+                        resolved[image_id] = int(response.prediction)
+                pending = submit_all(failed) if failed else {}
+            unresolved.extend(sorted(pending))
+        finally:
+            server.close()
+            root.finish()
+        if unresolved:
+            # Attribute the wedge to classes: a starved class is the
+            # fairness bug this pass exists to catch.
+            starved = sorted({class_of[by_id[image_id].tenant]
+                              for image_id in unresolved})
+            violations.append(InvariantViolation(
+                "tenant.no_starvation",
+                f"{len(unresolved)} requests never resolved under "
+                f"injected faults (classes {starved})"))
+        for image_id in sorted(resolved):
+            if resolved[image_id] != expected[image_id]:
+                violations.append(InvariantViolation(
+                    "predictions.bit_identical",
+                    f"tenant-served {image_id} predicted "
+                    f"{resolved[image_id]} but the serial engine "
+                    f"predicted {expected[image_id]}"))
+        violations += check_span_tree(obs.spans())
+        stats = server.stats()
+        tenant_stats = server.tenant_stats()
+        report.stats["tenant"] = {
+            "submitted": stats.submitted, "completed": stats.completed,
+            "rejected": stats.rejected,
+            "batches": stats.batcher.batches,
+            "class_served": dict(tenant_stats.class_served),
         }
         return violations
 

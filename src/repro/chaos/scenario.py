@@ -37,6 +37,9 @@ _STALL_SITES = ("queue.put", "queue.get", "worker.execute",
 #: Sites the serving pass hits (armed only when the scenario serves).
 _SERVING_SITES = ("serving.admit", "serving.batch", "fuse.execute")
 
+#: Sites the multi-tenant serving pass hits (armed only when it runs).
+_TENANT_SITES = ("tenant.enqueue", "tenant.batch")
+
 #: Tenant names the arrival mix draws from.
 _TENANTS = ("tenant-a", "tenant-b", "tenant-c")
 
@@ -109,6 +112,14 @@ class Scenario:
         child-process replicas, one killed mid-run, with failover,
         exactly-once, and no-leaked-shm-segment invariants.  Rides a small
         minority of seeds (forking is expensive next to thread workers).
+    tenant_serving / tenant_classes:
+        When ``tenant_serving`` is True the run includes the multi-tenant
+        serving pass: the scenario's tenants submit through a DRR-scheduled
+        :class:`~repro.serving.server.SmolServer` with the
+        ``tenant.enqueue`` / ``tenant.batch`` seams armed, checked for
+        exactly-once bit-identical answers and no starved class.
+        ``tenant_classes`` maps each tenant (by position) to a priority
+        class index (0=interactive, 1=standard, 2=batch).
     faults:
         The fault plan injected during the cluster and store passes.
     """
@@ -129,6 +140,8 @@ class Scenario:
     serving: bool = False
     fuse: bool = False
     proc_kill: bool = False
+    tenant_serving: bool = False
+    tenant_classes: tuple[int, ...] = ()
     faults: FaultPlan = field(default_factory=FaultPlan)
 
     def __post_init__(self) -> None:
@@ -140,6 +153,12 @@ class Scenario:
             raise ReproError("arrival must assign a tenant to every item")
         if any(t < 0 or t >= len(self.tenants) for t in self.arrival):
             raise ReproError("arrival indexes out of tenant range")
+        if self.tenant_serving:
+            if len(self.tenant_classes) != len(self.tenants):
+                raise ReproError(
+                    "tenant_classes must assign a class to every tenant")
+            if any(c < 0 or c > 2 for c in self.tenant_classes):
+                raise ReproError("tenant_classes indexes out of range")
 
     def kill_faults(self) -> int:
         """Planned kill-action faults (bounded by ``workers - 1``)."""
@@ -165,6 +184,7 @@ class Scenario:
             "serving": 1 if self.serving else 0,
             "fuse": 1 if self.fuse else 0,
             "proc_kill": 1 if self.proc_kill else 0,
+            "tenant_serving": 1 if self.tenant_serving else 0,
         }
 
     def to_dict(self) -> dict:
@@ -186,6 +206,8 @@ class Scenario:
             "serving": self.serving,
             "fuse": self.fuse,
             "proc_kill": self.proc_kill,
+            "tenant_serving": self.tenant_serving,
+            "tenant_classes": list(self.tenant_classes),
             "faults": self.faults.to_dict(),
         }
 
@@ -210,6 +232,9 @@ class Scenario:
             serving=bool(data.get("serving", False)),
             fuse=bool(data.get("fuse", False)),
             proc_kill=bool(data.get("proc_kill", False)),
+            tenant_serving=bool(data.get("tenant_serving", False)),
+            tenant_classes=tuple(int(c)
+                                 for c in data.get("tenant_classes", ())),
             faults=FaultPlan.from_dict(data.get("faults", {})),
         )
 
@@ -231,7 +256,8 @@ class ScenarioGen:
     def __init__(self, max_items: int = 6, max_batch: int = 4,
                  max_workers: int = 3, fault_rate: float = 0.7,
                  queue_rate: float = 0.125, serving_rate: float = 0.4,
-                 fuse_rate: float = 0.5, proc_rate: float = 0.05) -> None:
+                 fuse_rate: float = 0.5, proc_rate: float = 0.05,
+                 tenant_rate: float = 0.35) -> None:
         if max_items < 1 or max_batch < 1 or max_workers < 1:
             raise ReproError("generator bounds must be >= 1")
         self._max_items = max_items
@@ -242,6 +268,7 @@ class ScenarioGen:
         self._serving_rate = serving_rate
         self._fuse_rate = fuse_rate
         self._proc_rate = proc_rate
+        self._tenant_rate = tenant_rate
 
     def generate(self, seed: int) -> Scenario:
         """The scenario for ``seed`` (same seed, same scenario, always)."""
@@ -271,9 +298,21 @@ class ScenarioGen:
         fuse = rng.random() < self._fuse_rate
         proc_kill = rng.random() < self._proc_rate
         extra = self._serving_faults(rng, scenario) if serving else ()
+        # The multi-tenant dimension draws after every earlier dimension
+        # (same append-only discipline), so its addition left historical
+        # seeds' scenarios bit-identical.
+        tenant_serving = rng.random() < self._tenant_rate
+        tenant_classes = ()
+        tenant_extra: tuple[Fault, ...] = ()
+        if tenant_serving:
+            tenant_classes = tuple(rng.randrange(3)
+                                   for _ in range(len(tenants)))
+            tenant_extra = self._tenant_faults(rng, scenario)
         return replace(
             scenario, serving=serving, fuse=fuse, proc_kill=proc_kill,
-            faults=FaultPlan(faults=scenario.faults.faults + extra),
+            tenant_serving=tenant_serving, tenant_classes=tenant_classes,
+            faults=FaultPlan(
+                faults=scenario.faults.faults + extra + tenant_extra),
         )
 
     # -- dimension generators -------------------------------------------
@@ -389,6 +428,28 @@ class ScenarioGen:
         faults: list[Fault] = []
         for _ in range(rng.randint(0, 2)):
             site = rng.choice(_SERVING_SITES)
+            if rng.random() < 0.5:
+                faults.append(Fault(site=site, action="raise",
+                                    at_hit=rng.randint(1, max(1, total))))
+            else:
+                faults.append(Fault(
+                    site=site, action="stall",
+                    at_hit=rng.randint(1, max(1, total)),
+                    seconds=round(rng.uniform(0.001, 0.004), 4),
+                ))
+        return tuple(faults)
+
+    def _tenant_faults(self, rng: random.Random,
+                       scenario: Scenario) -> tuple[Fault, ...]:
+        # DRR-scheduler seams: a raise at tenant.enqueue sheds one submit
+        # (the pass resubmits), a raise at tenant.batch aborts one batching
+        # attempt before any dequeue (the serving loop retries), and a
+        # stall at either site delays a class's progress -- exactly the
+        # wedge the no-starvation invariant must survive.
+        total = scenario.items * scenario.batch
+        faults: list[Fault] = []
+        for _ in range(rng.randint(0, 2)):
+            site = rng.choice(_TENANT_SITES)
             if rng.random() < 0.5:
                 faults.append(Fault(site=site, action="raise",
                                     at_hit=rng.randint(1, max(1, total))))

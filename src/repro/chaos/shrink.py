@@ -36,6 +36,8 @@ def shrink_candidates(scenario: Scenario) -> Iterator[Scenario]:
     # discovering an entire subsystem is irrelevant to the failure.
     if scenario.proc_kill:
         yield _reduced(scenario, proc_kill=False)
+    if scenario.tenant_serving:
+        yield _reduced(scenario, tenant_serving=False)
     if scenario.serving:
         yield _reduced(scenario, serving=False)
     if scenario.fuse:
@@ -90,6 +92,18 @@ def _reduced(scenario: Scenario, **overrides) -> Scenario:
         if i < len(scenario.arrival) else 0
         for i in range(items)
     )
+    # tenant_classes must track the (possibly shrunk) tenant list while
+    # the tenant pass stays on, and clears entirely when it drops.
+    tenant_serving = overrides.get("tenant_serving",
+                                   scenario.tenant_serving)
+    if tenant_serving:
+        overrides["tenant_classes"] = tuple(
+            scenario.tenant_classes[i]
+            if i < len(scenario.tenant_classes) else 0
+            for i in range(len(tenants))
+        )
+    else:
+        overrides["tenant_classes"] = ()
     faults = plan.faults
     max_kills = workers - 1
     if sum(1 for f in faults if f.action == "kill") > max_kills:

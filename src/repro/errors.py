@@ -77,6 +77,17 @@ class AdmissionError(ServingError):
     """Raised when the serving queue rejects a request (backpressure)."""
 
 
+class TenantError(ServingError):
+    """Raised by the multi-tenant layer for invalid tenant configurations."""
+
+
+class QuotaExceededError(AdmissionError):
+    """Raised when a tenant's admission quota (rate or in-flight cap) is
+    exhausted.  A subclass of :class:`AdmissionError` so load generators and
+    retry loops that shed on admission failures handle throttling the same
+    way they handle queue pressure."""
+
+
 class ClusterError(ReproError):
     """Raised by the multi-worker cluster runtime for execution failures."""
 

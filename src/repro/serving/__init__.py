@@ -11,9 +11,14 @@ Turns the offline batch engine into an online inference service:
   (image, format, plan).
 * :mod:`repro.serving.server` -- the :class:`SmolServer` facade
   (``submit() -> Future``, ``stats()``, ``close()``).
-* :mod:`repro.serving.loadgen` -- open-loop Poisson/burst load generation
-  with p50/p95/p99 latency reporting.
+* :mod:`repro.serving.loadgen` -- open-loop Poisson/burst/diurnal/flash
+  load generation (single- and multi-tenant mixes) with p50/p95/p99
+  latency reporting.
 * :mod:`repro.serving.metrics` -- latency percentile accounting.
+
+Multi-tenant serving (quotas, weighted-fair scheduling, deadline-aware
+plan selection) layers on top via :mod:`repro.tenant`; pass a
+:class:`~repro.tenant.spec.TenantConfig` as ``SmolServer(tenants=...)``.
 """
 
 from repro.serving.batcher import BatcherStats, BatchPolicy, MicroBatcher
@@ -22,13 +27,18 @@ from repro.serving.loadgen import (
     ArrivalTrace,
     LoadGenerator,
     LoadReport,
+    MultiTenantLoadGenerator,
+    MultiTenantLoadReport,
+    TenantLoadSpec,
     burst_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
     poisson_arrivals,
 )
 from repro.serving.metrics import LatencyRecorder, LatencySummary, percentile
 from repro.serving.queue import AdmissionQueue
 from repro.serving.request import InferenceRequest, InferenceResponse
-from repro.serving.server import ServerStats, SmolServer
+from repro.serving.server import ServerStats, SmolServer, TenantServingStats
 from repro.serving.session import (
     BatchResult,
     EngineSession,
@@ -57,12 +67,18 @@ __all__ = [
     "LoadReport",
     "LruCache",
     "MicroBatcher",
+    "MultiTenantLoadGenerator",
+    "MultiTenantLoadReport",
     "PredictionCache",
     "ServerStats",
     "SessionManager",
     "SimulatedSession",
     "SmolServer",
+    "TenantLoadSpec",
+    "TenantServingStats",
     "burst_arrivals",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
     "functional_session_for_plan",
     "percentile",
     "poisson_arrivals",

@@ -62,6 +62,67 @@ def burst_arrivals(rate_per_s: float, duration_s: float,
     return times
 
 
+def diurnal_arrivals(rate_per_s: float, duration_s: float,
+                     rng: np.random.Generator, depth: float = 0.8,
+                     period_s: float | None = None) -> list[float]:
+    """Non-homogeneous Poisson arrivals with a sinusoidal daily cycle.
+
+    The instantaneous rate is ``rate * (1 + depth * sin(2*pi*t/period))``
+    (mean ``rate``, peak ``rate * (1 + depth)``), sampled by Lewis-Shedler
+    thinning: draw a homogeneous process at the peak rate and keep each
+    arrival with probability ``lambda(t) / lambda_max``.  One ``period_s``
+    defaults to the whole trace, so a trace is one compressed "day".
+    """
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise ServingError("rate and duration must be positive")
+    if not 0.0 <= depth < 1.0:
+        raise ServingError("depth must be in [0, 1)")
+    period = duration_s if period_s is None else period_s
+    if period <= 0:
+        raise ServingError("period_s must be positive")
+    peak = rate_per_s * (1.0 + depth)
+    times: list[float] = []
+    now = 0.0
+    while True:
+        now += rng.exponential(1.0 / peak)
+        if now >= duration_s:
+            return times
+        instantaneous = rate_per_s * (
+            1.0 + depth * np.sin(2.0 * np.pi * now / period))
+        if rng.random() < instantaneous / peak:
+            times.append(now)
+
+
+def flash_crowd_arrivals(rate_per_s: float, duration_s: float,
+                         rng: np.random.Generator,
+                         multiplier: float = 8.0,
+                         at_frac: float = 0.5,
+                         width_frac: float = 0.1) -> list[float]:
+    """Baseline Poisson traffic with a flash crowd in the middle.
+
+    A second, independent Poisson process at ``rate * (multiplier - 1)``
+    is superposed over the window centered at ``at_frac * duration`` with
+    width ``width_frac * duration``, so inside the window the total rate
+    is ``rate * multiplier`` -- the spike an isolation test floods with.
+    """
+    if rate_per_s <= 0 or duration_s <= 0:
+        raise ServingError("rate and duration must be positive")
+    if multiplier < 1.0:
+        raise ServingError("multiplier must be >= 1")
+    if not 0.0 <= at_frac <= 1.0 or not 0.0 < width_frac <= 1.0:
+        raise ServingError("flash window must lie within the trace")
+    base = poisson_arrivals(rate_per_s, duration_s, rng)
+    if multiplier == 1.0:
+        return base
+    width = width_frac * duration_s
+    start = min(max(at_frac * duration_s - width / 2.0, 0.0),
+                duration_s - width)
+    spike_rate = rate_per_s * (multiplier - 1.0)
+    spike = [start + offset
+             for offset in poisson_arrivals(spike_rate, width, rng)]
+    return sorted(base + spike)
+
+
 @dataclass(frozen=True)
 class ArrivalTrace:
     """A fully materialized, deterministic request schedule.
@@ -74,6 +135,13 @@ class ArrivalTrace:
         Arrival times in seconds from the start of the run.
     choices:
         Index into the generator's image pool for each arrival.
+    tenant:
+        Originating tenant of every arrival ("" for single-tenant runs).
+        A non-empty tenant is part of the RNG key, so each tenant of a
+        multi-tenant mix draws from its own independent stream -- two
+        tenants offered the same (pattern, rate, seed) no longer replay
+        byte-identical schedules, and adding a tenant to a mix never
+        perturbs another tenant's trace.
     """
 
     pattern: str
@@ -82,30 +150,44 @@ class ArrivalTrace:
     seed: int
     offsets: tuple[float, ...]
     choices: tuple[int, ...]
+    tenant: str = ""
+
+    #: Arrival patterns :meth:`build` understands.
+    PATTERNS = ("poisson", "burst", "diurnal", "flash")
 
     def __len__(self) -> int:
         return len(self.offsets)
 
     @classmethod
     def build(cls, pattern: str, rate_per_s: float, duration_s: float,
-              pool_size: int, seed: int = 0,
-              burst_size: int = 8) -> "ArrivalTrace":
+              pool_size: int, seed: int = 0, burst_size: int = 8,
+              tenant: str = "") -> "ArrivalTrace":
         """Draw one trace; identical inputs always yield identical traces."""
-        if pattern not in ("poisson", "burst"):
+        if pattern not in cls.PATTERNS:
             raise ServingError(f"unknown arrival pattern {pattern!r}")
         if pool_size <= 0:
             raise ServingError("pool_size must be positive")
-        rng = deterministic_rng("loadgen", pattern, rate_per_s, duration_s,
-                                seed=seed)
+        # The empty tenant keeps the legacy key so existing single-tenant
+        # traces replay bit-identically across this change.
+        if tenant:
+            rng = deterministic_rng("loadgen", "tenant", tenant, pattern,
+                                    rate_per_s, duration_s, seed=seed)
+        else:
+            rng = deterministic_rng("loadgen", pattern, rate_per_s,
+                                    duration_s, seed=seed)
         if pattern == "poisson":
             offsets = poisson_arrivals(rate_per_s, duration_s, rng)
-        else:
+        elif pattern == "burst":
             offsets = burst_arrivals(rate_per_s, duration_s, burst_size)
+        elif pattern == "diurnal":
+            offsets = diurnal_arrivals(rate_per_s, duration_s, rng)
+        else:
+            offsets = flash_crowd_arrivals(rate_per_s, duration_s, rng)
         choices = rng.integers(0, pool_size, size=len(offsets))
         return cls(
             pattern=pattern, rate_per_s=rate_per_s, duration_s=duration_s,
             seed=seed, offsets=tuple(offsets),
-            choices=tuple(int(c) for c in choices),
+            choices=tuple(int(c) for c in choices), tenant=tenant,
         )
 
 
@@ -231,3 +313,152 @@ class LoadGenerator:
                 [r.latency_s for r in responses]
             ),
         )
+
+
+@dataclass(frozen=True)
+class TenantLoadSpec:
+    """One tenant's offered traffic in a multi-tenant mix."""
+
+    tenant: str
+    rate_per_s: float
+    pattern: str = "poisson"
+    deadline_s: float | None = None
+    burst_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ServingError("tenant must be non-empty")
+        if self.rate_per_s <= 0:
+            raise ServingError("rate_per_s must be positive")
+        if self.pattern not in ArrivalTrace.PATTERNS:
+            raise ServingError(f"unknown arrival pattern {self.pattern!r}")
+
+
+@dataclass(frozen=True)
+class MultiTenantLoadReport:
+    """Scorecard of one multi-tenant run: one :class:`LoadReport` per tenant."""
+
+    tenants: dict[str, LoadReport]
+    duration_s: float
+
+    @property
+    def offered(self) -> int:
+        """Total requests offered across all tenants."""
+        return sum(r.offered for r in self.tenants.values())
+
+    @property
+    def completed(self) -> int:
+        """Total requests completed across all tenants."""
+        return sum(r.completed for r in self.tenants.values())
+
+    def describe(self) -> str:
+        """One summary line per tenant."""
+        lines = [f"mixed load: {self.offered} offered over "
+                 f"{self.duration_s:.2f}s"]
+        for tenant in sorted(self.tenants):
+            report = self.tenants[tenant]
+            lines.append(
+                f"  {tenant:<12} {report.pattern:<8} "
+                f"completed {report.completed:>6} "
+                f"(shed {report.rejected}), {report.latency.describe()}")
+        return "\n".join(lines)
+
+
+class MultiTenantLoadGenerator:
+    """Replays several tenants' independent traces against one server.
+
+    Each :class:`TenantLoadSpec` draws its own :class:`ArrivalTrace`
+    (tenant-keyed RNG stream); the merged schedule interleaves them by
+    arrival time with the tenant name as a deterministic tiebreak, so a
+    mix replays identically run to run.
+    """
+
+    def __init__(self, server: SmolServer,
+                 image_pool: Sequence[tuple[str, np.ndarray | None]],
+                 specs: Sequence[TenantLoadSpec],
+                 format_name: str = "full-jpeg", seed: int = 0) -> None:
+        if not image_pool:
+            raise ServingError("image_pool must be non-empty")
+        if not specs:
+            raise ServingError("specs must be non-empty")
+        names = [spec.tenant for spec in specs]
+        if len(set(names)) != len(names):
+            raise ServingError(f"duplicate tenants in mix: {sorted(names)}")
+        self._server = server
+        self._pool = list(image_pool)
+        self._specs = list(specs)
+        self._format_name = format_name
+        self._seed = seed
+
+    def traces(self, duration_s: float) -> dict[str, ArrivalTrace]:
+        """The deterministic per-tenant schedules :meth:`run` replays."""
+        return {
+            spec.tenant: ArrivalTrace.build(
+                spec.pattern, spec.rate_per_s, duration_s,
+                pool_size=len(self._pool), seed=self._seed,
+                burst_size=spec.burst_size, tenant=spec.tenant,
+            )
+            for spec in self._specs
+        }
+
+    def run(self, duration_s: float, time_scale: float = 1.0,
+            shed_on_full: bool = True) -> MultiTenantLoadReport:
+        """Offer every tenant's trace concurrently and wait the mix out.
+
+        Quota throttles (:class:`~repro.errors.QuotaExceededError` is an
+        :class:`AdmissionError`) and queue sheds both count as rejected
+        for the tenant that offered the request.
+        """
+        if time_scale <= 0:
+            raise ServingError("time_scale must be positive")
+        traces = self.traces(duration_s)
+        deadlines = {spec.tenant: spec.deadline_s for spec in self._specs}
+        merged = sorted(
+            (offset, trace.tenant, int(choice))
+            for trace in traces.values()
+            for offset, choice in zip(trace.offsets, trace.choices)
+        )
+        futures: dict[str, list[Future]] = {t: [] for t in traces}
+        rejected = {t: 0 for t in traces}
+        start = time.monotonic()
+        for offset, tenant, choice in merged:
+            target = start + offset * time_scale
+            delay = target - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            image_id, payload = self._pool[choice]
+            request = InferenceRequest(
+                image_id=image_id, payload=payload,
+                format_name=self._format_name,
+                deadline_s=deadlines[tenant], tenant=tenant,
+            )
+            try:
+                futures[tenant].append(
+                    self._server.submit(request, block=not shed_on_full)
+                )
+            except AdmissionError:
+                rejected[tenant] += 1
+        responses = {
+            tenant: [future.result(timeout=60.0) for future in pending]
+            for tenant, pending in futures.items()
+        }
+        elapsed = time.monotonic() - start
+        reports = {}
+        for spec in self._specs:
+            tenant = spec.tenant
+            answered = responses[tenant]
+            reports[tenant] = LoadReport(
+                pattern=spec.pattern,
+                offered=len(traces[tenant]),
+                submitted=len(futures[tenant]),
+                rejected=rejected[tenant],
+                completed=len(answered),
+                cache_hits=sum(1 for r in answered if r.cached),
+                deadline_missed=sum(
+                    1 for r in answered if r.deadline_missed),
+                duration_s=elapsed,
+                latency=LatencySummary.from_seconds(
+                    [r.latency_s for r in answered]
+                ),
+            )
+        return MultiTenantLoadReport(tenants=reports, duration_s=elapsed)

@@ -42,6 +42,10 @@ class InferenceRequest:
     deadline_s:
         Optional latency budget in seconds relative to arrival.  Expired
         requests are still answered but flagged, so callers can discard them.
+    tenant:
+        Originating tenant for multi-tenant servers (quota, class, and SLO
+        attribution).  The empty default routes through the server's
+        default tenant spec, so single-tenant callers never set it.
     request_id:
         Process-unique id assigned at construction.
     arrival_s:
@@ -57,6 +61,7 @@ class InferenceRequest:
     payload: np.ndarray | None = None
     format_name: str = "full-jpeg"
     deadline_s: float | None = None
+    tenant: str = ""
     request_id: int = field(default_factory=lambda: next(_REQUEST_COUNTER))
     arrival_s: float = field(default_factory=monotonic)
     trace: tuple[int, int] | None = None

@@ -53,11 +53,51 @@ class _Pending:
 
     ``span`` is the request's ``serving.request`` span when observability
     is enabled (None otherwise); it is finished at resolution time.
+    ``tenant`` / ``class_name`` are the multi-tenant accounting identity
+    (the resolved spec name, not the raw request tenant, so strangers
+    sharing the default spec share its books); ``gated`` marks requests
+    holding a quota in-flight slot that must be released exactly once.
     """
 
     request: InferenceRequest
     future: Future
     span: object = None
+    tenant: str = ""
+    class_name: str = ""
+    gated: bool = False
+
+
+@dataclass(frozen=True)
+class TenantServingStats:
+    """Per-class and per-tenant counters of a multi-tenant server.
+
+    ``class_latency`` / ``class_served`` are keyed by priority class;
+    ``quotas`` is keyed by tenant spec name (including the default
+    spec); ``downgrades`` counts batches the deadline ladder moved to a
+    cheaper plan.
+    """
+
+    class_latency: dict[str, LatencySummary]
+    class_served: dict[str, int]
+    quotas: dict
+    downgrades: int
+
+    def describe(self) -> str:
+        """Multi-line per-class / per-tenant summary."""
+        lines = []
+        for name in self.class_latency:
+            summary = self.class_latency[name]
+            lines.append(
+                f"class {name:<12} served {self.class_served.get(name, 0):>6}"
+                f"  {summary.describe()}")
+        for name, quota in sorted(self.quotas.items()):
+            lines.append(
+                f"tenant {name:<11} admitted {quota.admitted:>6}, "
+                f"throttled {quota.throttled} "
+                f"(rate {quota.throttled_rate} / "
+                f"in-flight {quota.throttled_in_flight})")
+        lines.append(f"downgrades  {self.downgrades}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -77,6 +117,7 @@ class ServerStats:
     batcher: BatcherStats
     cache: CacheStats | None
     queries: int = 0
+    tenants: TenantServingStats | None = None
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""
@@ -100,6 +141,8 @@ class ServerStats:
             )
         if self.queries:
             lines.append(f"queries:    {self.queries} analytics queries")
+        if self.tenants is not None:
+            lines.append(self.tenants.describe())
         return "\n".join(lines)
 
 
@@ -162,7 +205,29 @@ class SmolServer:
     faults:
         Chaos seam handle (:data:`~repro.chaos.faults.NULL_FAULTS` by
         default), threaded into the admission queue (``serving.admit``)
-        and the micro-batcher (``serving.batch``).
+        and the micro-batcher (``serving.batch``); in multi-tenant mode
+        the DRR scheduler's seams (``tenant.enqueue`` / ``tenant.batch``)
+        replace them.
+    tenants:
+        Optional :class:`~repro.tenant.spec.TenantConfig`.  When set the
+        server runs multi-tenant: every submit is charged against its
+        tenant's admission quota (:class:`~repro.tenant.quota.QuotaGate`),
+        routed to its priority class's queue, and micro-batched by
+        deficit round-robin (:class:`~repro.tenant.scheduler.DrrScheduler`
+        replaces the FIFO queue+batcher pair).  Requests without a
+        deadline inherit their class's default; ``queue_capacity``
+        becomes a per-class bound.
+    ladder:
+        Optional :class:`~repro.tenant.deadline.PlanLadder`.  Before each
+        session-mode batch executes, the ladder is consulted with the
+        batch's tightest remaining deadline budget and may substitute a
+        cheaper pre-warmed plan rendition rather than knowingly miss the
+        deadline.
+    tenant_slo:
+        Optional :class:`~repro.tenant.slo.TenantSloBoard`.  Every
+        resolved or failed request is then also observed on its tenant's
+        own burn-rate board (the shared ``slo`` engine keeps tracking the
+        aggregate).
     """
 
     def __init__(self, session: EngineSession | SessionManager | None = None,
@@ -172,7 +237,8 @@ class SmolServer:
                  block_on_full: bool = True,
                  cluster=None, store=None, telemetry=None,
                  obs=NULL_OBS, slo=None, fuse: bool | None = None,
-                 faults=NULL_FAULTS) -> None:
+                 faults=NULL_FAULTS, tenants=None, ladder=None,
+                 tenant_slo=None) -> None:
         if (session is None) == (cluster is None):
             raise ServingError(
                 "provide exactly one of session= or cluster="
@@ -195,12 +261,42 @@ class SmolServer:
         self._policy = policy or BatchPolicy.latency()
         self._obs = obs if obs is not None else NULL_OBS
         self._faults = faults if faults is not None else NULL_FAULTS
-        self._queue: AdmissionQueue[_Pending] = AdmissionQueue(
-            queue_capacity, obs=self._obs, faults=self._faults
-        )
-        self._batcher: MicroBatcher[_Pending] = MicroBatcher(
-            self._queue, self._policy, obs=self._obs, faults=self._faults
-        )
+        self._tenants = tenants
+        self._ladder = ladder
+        self._tenant_slo = tenant_slo
+        if tenant_slo is not None:
+            tenant_slo.attach(self._obs)
+        if ladder is not None and cluster is not None:
+            raise ServingError(
+                "the deadline ladder applies to session-backed servers"
+            )
+        if tenants is not None:
+            # Multi-tenant mode: one DRR scheduler plays both queue and
+            # batcher (its surface matches each), so the serving loop and
+            # close path below run unchanged.
+            from repro.tenant.quota import QuotaGate
+            from repro.tenant.scheduler import DrrScheduler
+
+            self._gate = QuotaGate(tenants)
+            scheduler = DrrScheduler(
+                tenants.classes, self._policy, capacity=queue_capacity,
+                obs=self._obs, faults=self._faults,
+            )
+            self._queue = scheduler
+            self._batcher = scheduler
+            self._class_latency = {c.name: LatencyRecorder()
+                                   for c in tenants.classes}
+            self._class_served = {c.name: 0 for c in tenants.classes}
+        else:
+            self._gate = None
+            self._class_latency = {}
+            self._class_served = {}
+            self._queue: AdmissionQueue[_Pending] = AdmissionQueue(
+                queue_capacity, obs=self._obs, faults=self._faults
+            )
+            self._batcher: MicroBatcher[_Pending] = MicroBatcher(
+                self._queue, self._policy, obs=self._obs, faults=self._faults
+            )
         self._latency_metric = self._obs.histogram("serving_latency_seconds")
         self._completed_metric = self._obs.counter("serving_completed_total")
         self._cache_hits_metric = self._obs.counter("serving_cache_hits_total")
@@ -284,6 +380,20 @@ class SmolServer:
                                   image_id=request.image_id,
                                   format=request.format_name)
             request.trace = span.context
+        tenant_name = ""
+        class_name = ""
+        if self._tenants is not None:
+            # Resolve the accounting identity up front so cache hits and
+            # queue rejections are attributed too.  Unknown tenants share
+            # the default spec's books (TenantConfig.resolve).
+            spec = self._tenants.resolve(request.tenant)
+            tenant_name = spec.name
+            class_name = spec.priority
+            if request.deadline_s is None:
+                policy = self._tenants.policy(class_name)
+                request.deadline_s = policy.default_deadline_s
+            if span is not None:
+                span.set(tenant=tenant_name, priority=class_name)
         future: Future = Future()
         if self._cache is not None:
             plan_key = self._plan_key()
@@ -292,16 +402,28 @@ class SmolServer:
             hit = self._cache.get(key)
             if hit is not None:
                 self._resolve(
-                    _Pending(request, future, span),
+                    _Pending(request, future, span,
+                             tenant=tenant_name, class_name=class_name),
                     prediction=hit, batch_size=0, cached=True,
                     plan_key=plan_key, modelled_seconds=0.0,
                 )
                 return future
         should_block = self._block_on_full if block is None else block
+        gated = False
         try:
-            self._queue.admit(_Pending(request, future, span),
-                              block=should_block)
+            if self._gate is not None:
+                # Quota first: a throttled request must not consume queue
+                # space.  A successful admit is paired with exactly one
+                # release at resolution, failure, or cancellation.
+                self._gate.admit(tenant_name)
+                gated = True
+            self._queue.admit(
+                _Pending(request, future, span, tenant=tenant_name,
+                         class_name=class_name, gated=gated),
+                block=should_block)
         except Exception as exc:
+            if gated:
+                self._gate.release(tenant_name)
             if span is not None:
                 span.set(rejected=True, error=type(exc).__name__)
                 span.finish()
@@ -427,9 +549,26 @@ class SmolServer:
             errors=errors,
             plan_swaps=self._sessions.swaps if self._sessions else 0,
             latency=self._latency.summary(),
-            batcher=self._batcher.stats(),
+            batcher=(self._batcher.batch_stats() if self._tenants is not None
+                     else self._batcher.stats()),
             cache=self._cache.stats() if self._cache is not None else None,
             queries=queries,
+            tenants=self.tenant_stats(),
+        )
+
+    def tenant_stats(self) -> TenantServingStats | None:
+        """Per-class / per-tenant counters; None for single-tenant servers."""
+        if self._tenants is None:
+            return None
+        with self._counters_lock:
+            served = dict(self._class_served)
+        return TenantServingStats(
+            class_latency={name: recorder.summary()
+                           for name, recorder in self._class_latency.items()},
+            class_served=served,
+            quotas=self._gate.stats(),
+            downgrades=(self._ladder.downgrades
+                        if self._ladder is not None else 0),
         )
 
     def close(self, timeout: float = 30.0) -> None:
@@ -484,19 +623,28 @@ class SmolServer:
     def _execute_batch(self, batch: list[_Pending]) -> None:
         # Transition every future to RUNNING first: once running, a client
         # cancel() can no longer win the race against set_result below.
-        live = [item for item in batch
-                if item.future.set_running_or_notify_cancel()]
-        dropped = len(batch) - len(live)
+        live = []
+        dropped = 0
+        for item in batch:
+            if item.future.set_running_or_notify_cancel():
+                live.append(item)
+            else:
+                dropped += 1
+                self._release_gate(item)
         if dropped:
             with self._counters_lock:
                 self._cancelled += dropped
         if not live:
             return
+        batch_class = getattr(batch, "class_name", "")
         batch = live
         if self._cluster is not None:
             self._dispatch_to_cluster(batch)
             return
         session = self._sessions.current()
+        if self._ladder is not None:
+            session = self._ladder.select(
+                session, self._batch_budget(batch), len(batch))
         try:
             result = session.execute([item.request for item in batch])
         except Exception as exc:
@@ -506,10 +654,13 @@ class SmolServer:
             # Record before resolving so a client that awaited this batch
             # observes its telemetry too.  Telemetry is advisory: a
             # collector bug must not take the serving loop (and every
-            # pending future) down with it.
+            # pending future) down with it.  Tenant batches report under a
+            # per-class source so the adaptive layer sees each class's
+            # cost stream separately.
+            source = f"serving/{batch_class}" if batch_class else "serving"
             try:
                 self._telemetry.record_session_batch(session, result,
-                                                     source="serving")
+                                                     source=source)
             except Exception:
                 pass
         if self._obs.enabled:
@@ -579,17 +730,40 @@ class SmolServer:
             if self._outstanding == 0:
                 self._outstanding_drained.notify_all()
 
+    def _batch_budget(self, batch: list[_Pending]) -> float | None:
+        """Tightest remaining deadline across ``batch`` (None: no deadlines)."""
+        now = monotonic()
+        budget = None
+        for item in batch:
+            deadline = item.request.deadline_s
+            if deadline is None:
+                continue
+            remaining = item.request.arrival_s + deadline - now
+            if budget is None or remaining < budget:
+                budget = remaining
+        return budget
+
+    def _release_gate(self, item: _Pending) -> None:
+        """Return the item's quota in-flight slot, if it holds one."""
+        if item.gated and self._gate is not None:
+            self._gate.release(item.tenant)
+
     def _fail_batch(self, batch: list[_Pending], exc: BaseException) -> None:
         with self._counters_lock:
             self._errors += len(batch)
         self._obs.note("serving.batch_failed", error=type(exc).__name__,
                        requests=len(batch))
         for item in batch:
+            self._release_gate(item)
             if item.span is not None:
                 item.span.set(error=type(exc).__name__)
                 item.span.finish()
             if self._slo is not None:
                 self._slo.observe(item.request.age(monotonic()), error=True)
+            if self._tenant_slo is not None and item.tenant:
+                self._tenant_slo.observe(item.tenant,
+                                         item.request.age(monotonic()),
+                                         error=True)
             item.future.set_exception(
                 ServingError(f"batch execution failed: {exc}")
             )
@@ -619,6 +793,7 @@ class SmolServer:
         latency = item.request.age(monotonic()) + modelled_seconds
         missed = (item.request.deadline_s is not None
                   and latency > item.request.deadline_s)
+        self._release_gate(item)
         response = InferenceResponse(
             request_id=item.request.request_id,
             image_id=item.request.image_id,
@@ -631,8 +806,14 @@ class SmolServer:
         )
         self._latency.record(latency)
         self._latency_metric.observe(latency)
+        if item.class_name in self._class_latency:
+            self._class_latency[item.class_name].record(latency)
+            with self._counters_lock:
+                self._class_served[item.class_name] += 1
         if self._slo is not None:
             self._slo.observe(latency, error=missed)
+        if self._tenant_slo is not None and item.tenant:
+            self._tenant_slo.observe(item.tenant, latency, error=missed)
         self._completed_metric.inc()
         if cached:
             self._cache_hits_metric.inc()

@@ -1,0 +1,89 @@
+"""Per-tenant SLO boards on top of the Sentinel burn-rate engine.
+
+The Sentinel :class:`~repro.obs.slo.SloEngine` records every observation
+against *all* of its specs -- correct for a single service with layered
+windows, wrong for tenants whose traffic must not pollute each other's
+error budgets.  The board therefore keeps one engine per tenant, each
+with that tenant's own latency target (derived from its priority class's
+default deadline unless overridden), and routes observations by tenant
+name.  Burn-rate alerts come out tagged ``slo.burn/<tenant>`` so the
+Sentinel analytics and flight recorder attribute them per tenant.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import TenantError
+from repro.obs import NULL_OBS
+from repro.obs.slo import DEFAULT_WINDOWS, SloEngine, SloSpec
+from repro.tenant.spec import TenantConfig
+
+__all__ = ["TenantSloBoard"]
+
+
+class TenantSloBoard:
+    """One burn-rate SLO engine per tenant of a :class:`TenantConfig`.
+
+    ``fallback_target_s`` prices tenants whose priority class has no
+    default deadline (e.g. ``batch``): they still get a board, just with
+    a loose target, so a flooded batch tenant's burn is visible without
+    paging anyone about latency it never promised.
+    """
+
+    def __init__(self, config: TenantConfig,
+                 fallback_target_s: float = 1.0,
+                 objective: float = 0.99,
+                 windows=DEFAULT_WINDOWS,
+                 capacity: int = 65536,
+                 clock=time.monotonic) -> None:
+        if fallback_target_s <= 0:
+            raise TenantError("fallback_target_s must be positive")
+        self._engines: dict[str, SloEngine] = {}
+        self._default = (config.default_spec.name
+                         if config.default_spec else None)
+        for spec in config.all_specs():
+            policy = config.policy(spec.priority)
+            target = policy.default_deadline_s or fallback_target_s
+            self._engines[spec.name] = SloEngine(
+                (SloSpec(name=spec.name, latency_target_s=target,
+                         objective=objective, windows=windows),),
+                capacity=capacity, clock=clock,
+            )
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Tenant names with a board (config tenants + the default)."""
+        return tuple(self._engines)
+
+    def attach(self, obs) -> None:
+        """Route every tenant engine's burn alerts into ``obs``."""
+        for engine in self._engines.values():
+            engine.attach(obs if obs is not None else NULL_OBS)
+
+    def observe(self, tenant: str, latency_s: float, error: bool = False,
+                now: float | None = None) -> None:
+        """Record one served request against ``tenant``'s budget.
+
+        Unknown tenants fall through to the default board when one
+        exists, mirroring :meth:`TenantConfig.resolve`; with no default,
+        the observation is dropped (SLOs are advisory -- never fail the
+        serving path over accounting).
+        """
+        engine = self._engines.get(tenant)
+        if engine is None and self._default is not None:
+            engine = self._engines.get(self._default)
+        if engine is not None:
+            engine.observe(latency_s, error=error, now=now)
+
+    def evaluate(self, now: float | None = None) -> list:
+        """Run burn-rate evaluation on every board; returns new alerts."""
+        alerts = []
+        for engine in self._engines.values():
+            alerts.extend(engine.evaluate(now=now))
+        return alerts
+
+    def state(self) -> dict[str, dict]:
+        """Per-tenant SLO state (burn rates, budgets, alert status)."""
+        return {name: engine.state()
+                for name, engine in self._engines.items()}

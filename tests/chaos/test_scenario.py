@@ -31,7 +31,7 @@ class TestScenarioModel:
         assert set(dims) == {"items", "batch", "workers", "tenants",
                              "dag_ops", "drift_phases", "store_ops",
                              "faults", "queue_probe", "serving", "fuse",
-                             "proc_kill"}
+                             "proc_kill", "tenant_serving"}
         assert all(isinstance(v, int) and v >= 0 for v in dims.values())
 
 
@@ -49,36 +49,39 @@ class TestScenarioGen:
     def test_generated_scenarios_are_survivable_by_construction(self):
         # A clean stack must pass every seed: kills leave a surviving
         # replica, injected session failures stay below max_attempts.
-        # Serving-site faults live outside the dispatcher's retry budget
-        # (the serving and fuse passes run their own bounded resubmission
-        # loops), so only cluster-path raises count against it.
-        from repro.chaos.scenario import _SERVING_SITES
+        # Serving- and tenant-site faults live outside the dispatcher's
+        # retry budget (the serving, fuse, and tenant passes run their own
+        # bounded resubmission loops), so only cluster-path raises count
+        # against it.
+        from repro.chaos.scenario import _SERVING_SITES, _TENANT_SITES
+        outside = set(_SERVING_SITES) | set(_TENANT_SITES)
         gen = ScenarioGen()
         for seed in range(300):
             scenario = gen.generate(seed)
             assert scenario.kill_faults() <= scenario.workers - 1, seed
             raises = sum(1 for f in scenario.faults.faults
                          if f.action == "raise"
-                         and f.site not in _SERVING_SITES)
+                         and f.site not in outside)
             assert raises <= scenario.max_attempts - 1, seed
             for fault in scenario.faults.faults:
-                if fault.site in _SERVING_SITES:
+                if fault.site in outside:
                     assert fault.action in ("raise", "stall"), seed
 
     def test_generator_draws_the_duplicate_outcome_ambush(self):
         # The coordinated raise/ack-kill/collector-stall triple -- the
         # generated reproducer for the dispatcher double-retire bug --
         # must actually appear in a fixed seed range (seed 14 et al.).
-        # Serving-site faults (appended by newer generator axes) ride
-        # outside the dispatcher path, so they are ignored when matching
-        # the ambush template.
-        from repro.chaos.scenario import _SERVING_SITES
+        # Serving/tenant-site faults (appended by newer generator axes)
+        # ride outside the dispatcher path, so they are ignored when
+        # matching the ambush template.
+        from repro.chaos.scenario import _SERVING_SITES, _TENANT_SITES
+        outside = set(_SERVING_SITES) | set(_TENANT_SITES)
         gen = ScenarioGen()
         ambushes = [
             seed for seed in range(300)
             if {(f.site, f.action)
                 for f in gen.generate(seed).faults.faults
-                if f.site not in _SERVING_SITES}
+                if f.site not in outside}
             == {("worker.execute", "raise"), ("worker.ack", "kill"),
                 ("dispatcher.outcome", "stall")}
         ]

@@ -1,0 +1,153 @@
+"""Tests for multi-tenant load generation and the new arrival patterns.
+
+Includes the regression net for the latent single-tenant RNG assumption:
+two tenants offered the same (pattern, rate, seed) used to replay
+byte-identical schedules because the tenant was not part of the RNG key.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.loadgen import (
+    ArrivalTrace,
+    MultiTenantLoadGenerator,
+    TenantLoadSpec,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+)
+from repro.utils.rng import deterministic_rng
+
+
+def rng(seed=0):
+    return deterministic_rng("loadgen-tenant-test", seed=seed)
+
+
+class TestDiurnalArrivals:
+    def test_validates_shape(self):
+        with pytest.raises(ServingError):
+            diurnal_arrivals(0.0, 1.0, rng())
+        with pytest.raises(ServingError):
+            diurnal_arrivals(10.0, 1.0, rng(), depth=1.0)
+        with pytest.raises(ServingError):
+            diurnal_arrivals(10.0, 1.0, rng(), period_s=0.0)
+
+    def test_mean_rate_is_preserved(self):
+        times = diurnal_arrivals(200.0, 50.0, rng())
+        assert len(times) == pytest.approx(200.0 * 50.0, rel=0.1)
+        assert all(0.0 <= t < 50.0 for t in times)
+        assert times == sorted(times)
+
+    def test_peak_half_outdraws_trough_half(self):
+        # sin is positive over the first half-period and negative over
+        # the second, so with one period per trace the first half must
+        # carry visibly more arrivals.
+        times = diurnal_arrivals(200.0, 50.0, rng(), depth=0.9)
+        first = sum(1 for t in times if t < 25.0)
+        second = len(times) - first
+        assert first > second * 1.3
+
+    def test_zero_depth_is_plain_poisson(self):
+        times = diurnal_arrivals(100.0, 20.0, rng(), depth=0.0)
+        assert len(times) == pytest.approx(100.0 * 20.0, rel=0.15)
+
+
+class TestFlashCrowdArrivals:
+    def test_validates_shape(self):
+        with pytest.raises(ServingError):
+            flash_crowd_arrivals(10.0, 1.0, rng(), multiplier=0.5)
+        with pytest.raises(ServingError):
+            flash_crowd_arrivals(10.0, 1.0, rng(), width_frac=0.0)
+
+    def test_spike_window_concentrates_arrivals(self):
+        times = flash_crowd_arrivals(50.0, 20.0, rng(), multiplier=10.0,
+                                     at_frac=0.5, width_frac=0.1)
+        window = sum(1 for t in times if 9.0 <= t < 11.0)
+        # The 10% window at 10x rate carries about half of all traffic.
+        assert window / len(times) > 0.3
+        assert times == sorted(times)
+
+    def test_multiplier_one_is_plain_poisson(self):
+        times = flash_crowd_arrivals(50.0, 20.0, rng(), multiplier=1.0)
+        assert len(times) == pytest.approx(50.0 * 20.0, rel=0.15)
+
+
+class TestPerTenantStreams:
+    def test_tenants_draw_independent_streams(self):
+        # The regression: identical (pattern, rate, duration, seed) for
+        # two different tenants must NOT replay the same schedule.
+        alpha = ArrivalTrace.build("poisson", 100.0, 5.0, pool_size=32,
+                                   seed=7, tenant="alpha")
+        beta = ArrivalTrace.build("poisson", 100.0, 5.0, pool_size=32,
+                                  seed=7, tenant="beta")
+        assert alpha.offsets != beta.offsets
+        assert alpha.tenant == "alpha" and beta.tenant == "beta"
+
+    def test_tenant_traces_replay_bit_identically(self):
+        one = ArrivalTrace.build("diurnal", 80.0, 5.0, pool_size=32,
+                                 seed=3, tenant="alpha")
+        two = ArrivalTrace.build("diurnal", 80.0, 5.0, pool_size=32,
+                                 seed=3, tenant="alpha")
+        assert one == two
+
+    def test_empty_tenant_keeps_the_legacy_stream(self):
+        # Single-tenant callers must replay the exact pre-change traces:
+        # the empty tenant stays on the legacy (tenant-free) RNG key.
+        legacy_rng = deterministic_rng("loadgen", "poisson", 100.0, 5.0,
+                                       seed=7)
+        from repro.serving.loadgen import poisson_arrivals
+        expected = tuple(poisson_arrivals(100.0, 5.0, legacy_rng))
+        trace = ArrivalTrace.build("poisson", 100.0, 5.0, pool_size=32,
+                                   seed=7)
+        assert trace.offsets == expected
+
+    def test_flash_pattern_builds_through_the_trace(self):
+        trace = ArrivalTrace.build("flash", 60.0, 5.0, pool_size=8,
+                                   seed=1, tenant="spiky")
+        assert len(trace) > 0
+        assert all(0 <= c < 8 for c in trace.choices)
+
+
+class TestMultiTenantGenerator:
+    def make_pool(self, size=8):
+        image = np.zeros((8, 8, 3), dtype=np.uint8)
+        return [(f"img-{i}", image) for i in range(size)]
+
+    def test_validates_specs(self):
+        with pytest.raises(ServingError):
+            TenantLoadSpec(tenant="", rate_per_s=1.0)
+        with pytest.raises(ServingError):
+            TenantLoadSpec(tenant="a", rate_per_s=0.0)
+        with pytest.raises(ServingError):
+            TenantLoadSpec(tenant="a", rate_per_s=1.0, pattern="wat")
+        with pytest.raises(ServingError):
+            MultiTenantLoadGenerator(
+                server=None, image_pool=self.make_pool(),
+                specs=(TenantLoadSpec(tenant="a", rate_per_s=1.0),
+                       TenantLoadSpec(tenant="a", rate_per_s=2.0)))
+
+    def test_traces_are_per_tenant_and_deterministic(self):
+        specs = (TenantLoadSpec(tenant="alpha", rate_per_s=50.0),
+                 TenantLoadSpec(tenant="beta", rate_per_s=50.0),
+                 TenantLoadSpec(tenant="gamma", rate_per_s=20.0,
+                                pattern="flash"))
+        gen = MultiTenantLoadGenerator(server=None,
+                                       image_pool=self.make_pool(),
+                                       specs=specs, seed=5)
+        first = gen.traces(4.0)
+        second = gen.traces(4.0)
+        assert first == second
+        assert first["alpha"].offsets != first["beta"].offsets
+
+    def test_adding_a_tenant_never_perturbs_existing_traces(self):
+        pool = self.make_pool()
+        small = MultiTenantLoadGenerator(
+            server=None, image_pool=pool,
+            specs=(TenantLoadSpec(tenant="alpha", rate_per_s=50.0),),
+            seed=5)
+        large = MultiTenantLoadGenerator(
+            server=None, image_pool=pool,
+            specs=(TenantLoadSpec(tenant="alpha", rate_per_s=50.0),
+                   TenantLoadSpec(tenant="beta", rate_per_s=80.0)),
+            seed=5)
+        assert small.traces(4.0)["alpha"] == large.traces(4.0)["alpha"]

@@ -1,0 +1,85 @@
+"""Tests for the per-tenant SLO board (burn isolation between tenants)."""
+
+import pytest
+
+from repro.errors import TenantError
+from repro.tenant import TenantConfig, TenantSloBoard, TenantSpec
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_board(clock=None, default_spec=...):
+    kwargs = {}
+    if default_spec is not ...:
+        kwargs["default_spec"] = default_spec
+    config = TenantConfig(
+        tenants=(TenantSpec(name="alpha", priority="interactive"),
+                 TenantSpec(name="beta", priority="batch")),
+        **kwargs,
+    )
+    return TenantSloBoard(
+        config, clock=clock if clock is not None else FakeClock())
+
+
+class TestTargets:
+    def test_rejects_nonpositive_fallback(self):
+        config = TenantConfig(tenants=(TenantSpec(name="a"),))
+        with pytest.raises(TenantError):
+            TenantSloBoard(config, fallback_target_s=0.0)
+
+    def test_targets_come_from_class_deadlines(self):
+        board = make_board()
+        state = board.state()
+        # interactive class default deadline (50ms) prices alpha; batch
+        # has no deadline so beta gets the 1s fallback.
+        assert state["alpha"]["specs"][0]["latency_target_s"] \
+            == pytest.approx(0.05)
+        assert state["beta"]["specs"][0]["latency_target_s"] \
+            == pytest.approx(1.0)
+
+    def test_default_tenant_gets_a_board(self):
+        board = make_board()
+        assert set(board.tenants) == {"alpha", "beta", "*"}
+
+
+class TestIsolation:
+    def test_one_tenants_burn_never_pollutes_another(self):
+        clock = FakeClock()
+        board = make_board(clock=clock)
+        # alpha floods with deadline misses; beta stays clean.
+        for _ in range(50):
+            board.observe("alpha", latency_s=0.5)   # >> 50ms target
+            board.observe("beta", latency_s=0.01)
+        alpha = board.state()["alpha"]["specs"][0]
+        beta = board.state()["beta"]["specs"][0]
+        assert alpha["burning"]
+        assert not beta["burning"]
+        assert beta["windows"][0]["bad"] == 0
+
+    def test_evaluate_collects_all_boards(self):
+        clock = FakeClock()
+        board = make_board(clock=clock)
+        for _ in range(50):
+            board.observe("alpha", latency_s=0.5)
+        alerts = board.evaluate()
+        assert [a.name for a in alerts if a.alerting] == ["alpha"]
+
+
+class TestRouting:
+    def test_unknown_tenant_falls_to_the_default_board(self):
+        board = make_board()
+        board.observe("nobody", latency_s=2.0, error=True)
+        assert board.state()["*"]["specs"][0]["windows"][0]["bad"] == 1
+
+    def test_without_default_unknown_observations_drop(self):
+        board = make_board(default_spec=None)
+        board.observe("nobody", latency_s=2.0, error=True)
+        for state in board.state().values():
+            for spec in state["specs"]:
+                assert all(w["bad"] == 0 for w in spec["windows"])
